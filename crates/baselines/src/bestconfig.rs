@@ -1,0 +1,174 @@
+//! BestConfig \[55\] — the search-based comparator.
+//!
+//! Divide-and-Diverge Sampling (DDS): each round divides every knob's range
+//! into `k` intervals and draws one Latin-hypercube-style sample per
+//! interval combination row, guaranteeing coverage across dimensions.
+//! Recursive Bound-and-Search (RBS): the next round's ranges shrink around
+//! the best sample so far. Crucially — and this is the weakness the paper
+//! exploits (§6: "it does not learn experience from previous tuning
+//! efforts") — every call to [`ConfigTuner::tune`] starts from scratch.
+
+use crate::tuner::{run_propose_evaluate, ConfigTuner, TuneResult};
+use cdbtune::DbEnv;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The BestConfig tuner.
+pub struct BestConfig {
+    /// Samples per DDS round (intervals per dimension).
+    pub samples_per_round: usize,
+    /// Range shrink factor per RBS recursion.
+    pub shrink: f32,
+}
+
+impl Default for BestConfig {
+    fn default() -> Self {
+        Self { samples_per_round: 10, shrink: 0.5 }
+    }
+}
+
+/// Per-dimension search bounds.
+#[derive(Debug, Clone)]
+struct Bounds {
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+}
+
+impl Bounds {
+    fn full(dim: usize) -> Self {
+        Self { lo: vec![0.0; dim], hi: vec![1.0; dim] }
+    }
+
+    /// Shrinks the bounds around `center` by `factor` of the current width.
+    fn zoom(&mut self, center: &[f32], factor: f32) {
+        for ((lo, hi), &c) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(center) {
+            let width = (*hi - *lo) * factor;
+            *lo = (c - width / 2.0).max(0.0);
+            *hi = (c + width / 2.0).min(1.0);
+        }
+    }
+}
+
+/// One DDS round: `k` Latin-hypercube samples within bounds.
+fn dds_round(bounds: &Bounds, k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    let dim = bounds.lo.len();
+    // A permutation of interval indices per dimension → every interval of
+    // every dimension is covered exactly once ("diverge").
+    let mut perms: Vec<Vec<usize>> = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let mut p: Vec<usize> = (0..k).collect();
+        p.shuffle(rng);
+        perms.push(p);
+    }
+    (0..k)
+        .map(|row| {
+            (0..dim)
+                .map(|d| {
+                    let interval = perms[d][row] as f32;
+                    let width = (bounds.hi[d] - bounds.lo[d]) / k as f32;
+                    bounds.lo[d] + width * (interval + rng.gen::<f32>())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+impl ConfigTuner for BestConfig {
+    fn name(&self) -> &'static str {
+        "BestConfig"
+    }
+
+    fn tune(&mut self, env: &mut DbEnv, budget: usize, rng: &mut StdRng) -> TuneResult {
+        let dim = env.space().dim();
+        // Fresh state per request: no knowledge reuse, by design.
+        let mut bounds = Bounds::full(dim);
+        let mut queue: Vec<Vec<f32>> = Vec::new();
+        let k = self.samples_per_round;
+        let shrink = self.shrink;
+        run_propose_evaluate(
+            env,
+            budget,
+            |history, rng| {
+                if queue.is_empty() {
+                    // Bound the search space around the incumbent, then
+                    // sample the next DDS round.
+                    if let Some(best) = history
+                        .iter()
+                        .filter(|e| !e.crashed)
+                        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+                    {
+                        bounds.zoom(&best.action, shrink);
+                    }
+                    queue = dds_round(&bounds, k, rng);
+                }
+                queue.pop().expect("queue was just refilled")
+            },
+            rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_env;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dds_round_covers_every_interval() {
+        let bounds = Bounds::full(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = 8;
+        let samples = dds_round(&bounds, k, &mut rng);
+        assert_eq!(samples.len(), k);
+        // In each dimension, the k samples land in k distinct intervals.
+        for d in 0..3 {
+            let mut intervals: Vec<usize> =
+                samples.iter().map(|s| (s[d] * k as f32) as usize).collect();
+            intervals.sort_unstable();
+            intervals.dedup();
+            assert_eq!(intervals.len(), k, "dimension {d} not fully covered");
+        }
+    }
+
+    #[test]
+    fn zoom_shrinks_around_center() {
+        let mut b = Bounds::full(2);
+        b.zoom(&[0.5, 0.9], 0.5);
+        assert!((b.lo[0] - 0.25).abs() < 1e-6);
+        assert!((b.hi[0] - 0.75).abs() < 1e-6);
+        // Clamped at the box edge.
+        assert!(b.hi[1] <= 1.0);
+        assert!(b.lo[1] >= 0.6);
+    }
+
+    #[test]
+    fn search_improves_over_default() {
+        let mut env = tiny_env(8);
+        let mut tuner = BestConfig { samples_per_round: 5, shrink: 0.5 };
+        let mut rng = StdRng::seed_from_u64(8);
+        let result = tuner.tune(&mut env, 10, &mut rng);
+        assert_eq!(result.history.len(), 10);
+        assert!(result.best_perf.throughput_tps >= result.initial_perf.throughput_tps);
+    }
+
+    #[test]
+    fn restarts_from_scratch_each_request() {
+        // The second request's first round samples span the full box again
+        // (no knowledge reuse): verify by checking the spread of the first
+        // k proposals.
+        let mut env = tiny_env(9);
+        let mut tuner = BestConfig { samples_per_round: 4, shrink: 0.25 };
+        let mut rng = StdRng::seed_from_u64(9);
+        let first = tuner.tune(&mut env, 4, &mut rng);
+        let second = tuner.tune(&mut env, 4, &mut rng);
+        let spread = |r: &TuneResult| {
+            let dim0: Vec<f32> = r.history.iter().map(|e| e.action[0]).collect();
+            dim0.iter().cloned().fold(f32::MIN, f32::max)
+                - dim0.iter().cloned().fold(f32::MAX, f32::min)
+        };
+        assert!(spread(&first) > 0.4, "first request spans the box");
+        assert!(spread(&second) > 0.4, "second request spans the box again");
+    }
+}

@@ -1,0 +1,62 @@
+//! `baselines` — the comparator tuners of the paper's evaluation (§5, §6):
+//!
+//! * [`ottertune::OtterTune`] — the pipelined learning-based tuner \[4\]
+//!   (metric pruning → knob ranking → workload mapping → GP regression),
+//!   plus the "OtterTune with deep learning" variant of Figure 1,
+//! * [`bestconfig::BestConfig`] — divide-and-diverge sampling + recursive
+//!   bound-and-search \[55\], restarting from scratch per request,
+//! * [`dba::DbaTuner`] — the rule-based expert standing in for the paper's
+//!   three Tencent DBAs, including the DBA knob-importance ranking,
+//! * [`random_search::RandomSearch`] — the uninformed floor.
+//!
+//! Everything implements [`tuner::ConfigTuner`] over the same environments
+//! CDBTune tunes, so all comparisons run on identical footing.
+
+#![warn(missing_docs)]
+
+pub mod bestconfig;
+pub mod dba;
+pub mod ottertune;
+pub mod random_search;
+pub mod tuner;
+
+pub use bestconfig::BestConfig;
+pub use dba::{DbaTuner, WorkloadCharacter};
+pub use ottertune::{OtterTune, Regressor};
+pub use random_search::RandomSearch;
+pub use tuner::{ConfigTuner, Evaluation, TuneResult};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use cdbtune::{ActionSpace, DbEnv, EnvConfig};
+    use simdb::knobs::mysql::names;
+    use simdb::{Engine, EngineFlavor, HardwareConfig};
+    use workload::{build_workload, WorkloadKind};
+
+    /// A fast environment over six impactful knobs for baseline tests.
+    pub fn tiny_env(seed: u64) -> DbEnv {
+        let engine = Engine::new(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), seed);
+        let wl = build_workload(WorkloadKind::SysbenchRw, 0.005);
+        let reg = EngineFlavor::MySqlCdb.registry(&HardwareConfig::cdb_a());
+        let space = ActionSpace::from_names(
+            &reg,
+            [
+                names::BUFFER_POOL_SIZE,
+                names::FLUSH_LOG_AT_TRX_COMMIT,
+                names::LOG_FILE_SIZE,
+                names::LOG_FILES_IN_GROUP,
+                names::READ_IO_THREADS,
+                names::WRITE_IO_THREADS,
+            ],
+        )
+        .expect("knob names exist");
+        let cfg = EnvConfig {
+            warmup_txns: 20,
+            measure_txns: 120,
+            horizon: 1000,
+            seed,
+            ..EnvConfig::default()
+        };
+        DbEnv::new(engine, wl, space, cfg)
+    }
+}

@@ -1,0 +1,199 @@
+//! Gaussian-Process regression — the model at the heart of OtterTune \[4\].
+//!
+//! RBF kernel over normalized knob vectors, Cholesky-based fit, predictive
+//! mean/variance, and an upper-confidence-bound recommendation over a
+//! candidate set. The paper's critique — "simple regression … cannot
+//! optimize the knob settings in high-dimensional continuous space" — is
+//! exactly what the knob-count experiments exercise through this model.
+
+use tinynn::linalg::{solve_lower, solve_spd};
+use tinynn::Matrix;
+
+/// A fitted Gaussian process.
+pub struct GaussianProcess {
+    x: Matrix,
+    alpha: Matrix,
+    chol: Matrix,
+    lengthscale: f64,
+    signal_var: f64,
+    noise_var: f64,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to `(xs, ys)` with an RBF kernel. The lengthscale uses the
+    /// median-distance heuristic; targets are standardized internally.
+    ///
+    /// Returns `None` for an empty training set.
+    pub fn fit(xs: &[Vec<f32>], ys: &[f64], noise_var: f64) -> Option<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let n = xs.len();
+        let d = xs[0].len();
+        let mut x = Matrix::zeros(n, d);
+        for (r, v) in xs.iter().enumerate() {
+            for (c, &val) in v.iter().enumerate() {
+                x[(r, c)] = val;
+            }
+        }
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let y_var = ys.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n as f64;
+        let y_std = y_var.sqrt().max(1e-9);
+
+        let lengthscale = median_distance(&x).max(1e-3);
+        let signal_var = 1.0;
+
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rbf(x.row(i), x.row(j), lengthscale, signal_var);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] += noise_var as f32;
+        }
+        let mut y = Matrix::zeros(n, 1);
+        for (i, &yi) in ys.iter().enumerate() {
+            y[(i, 0)] = ((yi - y_mean) / y_std) as f32;
+        }
+        let (alpha, chol) = solve_spd(&k, &y).ok()?;
+        Some(Self { x, alpha, chol, lengthscale, signal_var, noise_var, y_mean, y_std })
+    }
+
+    /// Predictive mean and variance at a point (in the original target
+    /// units).
+    pub fn predict(&self, point: &[f32]) -> (f64, f64) {
+        let n = self.x.rows();
+        let mut k_star = Matrix::zeros(n, 1);
+        for i in 0..n {
+            k_star[(i, 0)] = rbf(self.x.row(i), point, self.lengthscale, self.signal_var);
+        }
+        let mean_std: f32 = k_star
+            .as_slice()
+            .iter()
+            .zip(self.alpha.as_slice())
+            .map(|(&k, &a)| k * a)
+            .sum();
+        // var = k(x,x) − vᵀv with v = L⁻¹ k*.
+        let v = solve_lower(&self.chol, &k_star);
+        let vv: f32 = v.as_slice().iter().map(|x| x * x).sum();
+        let prior = self.signal_var as f32 + self.noise_var as f32;
+        let var_std = (prior - vv).max(1e-9);
+        (
+            f64::from(mean_std) * self.y_std + self.y_mean,
+            f64::from(var_std) * self.y_std * self.y_std,
+        )
+    }
+
+    /// Upper confidence bound `mean + kappa * std` at a point.
+    pub fn ucb(&self, point: &[f32], kappa: f64) -> f64 {
+        let (mean, var) = self.predict(point);
+        mean + kappa * var.sqrt()
+    }
+
+    /// Fitted lengthscale (diagnostic).
+    pub fn lengthscale(&self) -> f64 {
+        self.lengthscale
+    }
+}
+
+fn rbf(a: &[f32], b: &[f32], lengthscale: f64, signal_var: f64) -> f32 {
+    let mut sq = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = f64::from(x - y);
+        sq += d * d;
+    }
+    (signal_var * (-sq / (2.0 * lengthscale * lengthscale)).exp()) as f32
+}
+
+/// Median pairwise distance over training rows (lengthscale heuristic).
+fn median_distance(x: &Matrix) -> f64 {
+    let n = x.rows();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut dists = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in 0..i {
+            let mut sq = 0.0f64;
+            for (&a, &b) in x.row(i).iter().zip(x.row(j)) {
+                sq += f64::from(a - b) * f64::from(a - b);
+            }
+            dists.push(sq.sqrt());
+        }
+    }
+    dists.sort_by(f64::total_cmp);
+    let m = dists[dists.len() / 2];
+    if m <= 0.0 {
+        1.0
+    } else {
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|i| vec![i as f32 / (n - 1) as f32]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs = grid_1d(8);
+        let ys: Vec<f64> = xs.iter().map(|x| (f64::from(x[0]) * 6.0).sin()).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, 1e-6).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            let (mean, var) = gp.predict(x);
+            assert!((mean - y).abs() < 0.05, "at {x:?}: {mean} vs {y}");
+            assert!(var < 0.1, "training-point variance {var}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0f32], vec![0.1]];
+        let ys = vec![1.0, 1.1];
+        let gp = GaussianProcess::fit(&xs, &ys, 1e-4).unwrap();
+        let (_, near) = gp.predict(&[0.05]);
+        let (_, far) = gp.predict(&[5.0]);
+        assert!(far > near * 2.0, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn ucb_prefers_unexplored_when_kappa_high() {
+        let xs = vec![vec![0.5f32]];
+        let ys = vec![0.0];
+        let gp = GaussianProcess::fit(&xs, &ys, 1e-4).unwrap();
+        let at_data = gp.ucb(&[0.5], 10.0);
+        let away = gp.ucb(&[3.0], 10.0);
+        assert!(away > at_data);
+    }
+
+    #[test]
+    fn empty_fit_returns_none() {
+        assert!(GaussianProcess::fit(&[], &[], 1e-4).is_none());
+    }
+
+    #[test]
+    fn handles_duplicate_points_via_jitter() {
+        let xs = vec![vec![0.3f32], vec![0.3], vec![0.3]];
+        let ys = vec![1.0, 1.2, 0.8];
+        let gp = GaussianProcess::fit(&xs, &ys, 1e-6).unwrap();
+        let (mean, _) = gp.predict(&[0.3]);
+        assert!((mean - 1.0).abs() < 0.25, "mean of duplicates ≈ average: {mean}");
+    }
+
+    #[test]
+    fn recovers_target_units() {
+        // Large-magnitude targets must round-trip through standardization.
+        let xs = grid_1d(5);
+        let ys: Vec<f64> = xs.iter().map(|x| 10_000.0 + 5_000.0 * f64::from(x[0])).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, 1e-6).unwrap();
+        let (mean, _) = gp.predict(&[0.5]);
+        assert!((mean - 12_500.0).abs() < 500.0, "{mean}");
+    }
+}

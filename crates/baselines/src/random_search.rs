@@ -1,0 +1,52 @@
+//! Uniform random search — the sanity-check floor every informed tuner
+//! should beat.
+
+use crate::tuner::{run_propose_evaluate, ConfigTuner, TuneResult};
+use cdbtune::DbEnv;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform random sampling over the normalized knob box.
+#[derive(Debug, Default)]
+pub struct RandomSearch;
+
+impl ConfigTuner for RandomSearch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn tune(&mut self, env: &mut DbEnv, budget: usize, rng: &mut StdRng) -> TuneResult {
+        let dim = env.space().dim();
+        run_propose_evaluate(env, budget, |_, rng| (0..dim).map(|_| rng.gen()).collect(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_env;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluates_the_full_budget() {
+        let mut env = tiny_env(10);
+        let mut tuner = RandomSearch;
+        let mut rng = StdRng::seed_from_u64(10);
+        let result = tuner.tune(&mut env, 6, &mut rng);
+        assert_eq!(result.history.len(), 6);
+        assert!(result.throughput_gain() >= 0.0);
+    }
+
+    #[test]
+    fn proposals_are_diverse() {
+        let mut env = tiny_env(11);
+        let mut tuner = RandomSearch;
+        let mut rng = StdRng::seed_from_u64(11);
+        let result = tuner.tune(&mut env, 5, &mut rng);
+        let first = &result.history[0].action;
+        assert!(
+            result.history[1..].iter().any(|e| e.action != *first),
+            "random proposals must differ"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Microbenchmarks of the learning substrate: the Table 2 "model update"
+//! (28.76 ms in the paper) and "recommendation" (2.16 ms) analogues, plus
+//! the GP fit/predict the OtterTune baseline leans on.
+
+use baselines::ottertune::gp::GaussianProcess;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rl::{Ddpg, DdpgConfig, PrioritizedReplay, ReplayBuffer, Transition};
+
+fn transition(rng: &mut StdRng, state_dim: usize, action_dim: usize) -> Transition {
+    Transition {
+        state: (0..state_dim).map(|_| rng.gen()).collect(),
+        action: (0..action_dim).map(|_| rng.gen()).collect(),
+        reward: rng.gen_range(-1.0..1.0),
+        next_state: (0..state_dim).map(|_| rng.gen()).collect(),
+        done: rng.gen_bool(0.05),
+    }
+}
+
+fn bench_ddpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddpg");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(3);
+    // The paper's dimensions: 63-metric state, 266-knob action, Table 5 nets.
+    let mut agent = Ddpg::new(DdpgConfig::paper(63, 266));
+    let batch: Vec<Transition> = (0..32).map(|_| transition(&mut rng, 63, 266)).collect();
+    let refs: Vec<&Transition> = batch.iter().collect();
+    group.bench_function("train_step_batch32_266knobs", |b| {
+        b.iter(|| agent.train_step(&refs, None, None));
+    });
+    let state: Vec<f32> = (0..63).map(|_| rng.gen()).collect();
+    group.bench_function("recommendation_266knobs", |b| {
+        b.iter(|| agent.act(&state));
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut uniform = ReplayBuffer::new(100_000);
+    let mut per = PrioritizedReplay::new(100_000, 0.6, 0.4);
+    for _ in 0..50_000 {
+        uniform.push(transition(&mut rng, 63, 32));
+        per.push(transition(&mut rng, 63, 32));
+    }
+    group.bench_function("uniform_sample32", |b| {
+        b.iter(|| uniform.sample(32, &mut rng).len());
+    });
+    group.bench_function("prioritized_sample32", |b| {
+        b.iter(|| per.sample(32, &mut rng).transitions.len());
+    });
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_process");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let xs: Vec<Vec<f32>> =
+        (0..75).map(|_| (0..40).map(|_| rng.gen()).collect()).collect();
+    let ys: Vec<f64> = (0..75).map(|_| rng.gen_range(0.0..1000.0)).collect();
+    group.bench_function("fit_75samples_40knobs", |b| {
+        b.iter(|| GaussianProcess::fit(&xs, &ys, 1e-3).expect("fit succeeds"));
+    });
+    let gp = GaussianProcess::fit(&xs, &ys, 1e-3).unwrap();
+    let point: Vec<f32> = (0..40).map(|_| rng.gen()).collect();
+    group.bench_function("predict", |b| {
+        b.iter(|| gp.predict(&point));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ddpg, bench_replay, bench_gp);
+criterion_main!(benches);

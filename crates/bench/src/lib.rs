@@ -1,0 +1,19 @@
+//! `bench` — the experiment harness regenerating every table and figure of
+//! the paper's evaluation (Section 5 and Appendix C).
+//!
+//! Each binary under `src/bin/` reproduces one table or figure and prints
+//! the same rows/series the paper reports (see DESIGN.md for the full
+//! index). Experiments run at a reduced scale — datasets, memory and disk
+//! are shrunk by the same factor, preserving the data:RAM ratios that drive
+//! buffer-pool and redo-log dynamics — so a full figure regenerates in
+//! seconds to minutes instead of the paper's days of stress testing.
+//!
+//! Set `CDBTUNE_QUICK=1` to shrink training budgets further (CI smoke runs).
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{ExperimentScale, Lab};
+pub use report::{print_header, print_row, write_json};

@@ -1,0 +1,249 @@
+//! `cdbtune` — the command-line interface to the tuning system.
+//!
+//! ```text
+//! cdbtune train  --workload rw --knobs 40 --episodes 20 --out model.json
+//! cdbtune tune   --model model.json --workload rw [--steps 5]
+//! cdbtune knobs  --flavor mysql [--ranked]
+//! cdbtune status --workload tpcc          # run a window, print SHOW STATUS
+//! cdbtune help
+//! ```
+//!
+//! All commands operate on a simulated instance (`--flavor`, `--ram-gb`,
+//! `--disk-gb`) loaded with the chosen workload at `--scale`.
+
+use cdbtune::{
+    tune_online, train_offline, ActionSpace, DbEnv, EnvConfig, OnlineConfig, TrainedModel,
+    TrainerConfig,
+};
+use simdb::{Engine, EngineFlavor, HardwareConfig, MediaType};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use workload::{build_workload, WorkloadKind};
+
+/// Minimal `--key value` flag parser (keeps the CLI dependency-free).
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}' (flags are --key value)"));
+            };
+            let value =
+                it.next().ok_or_else(|| format!("flag --{key} is missing its value"))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+}
+
+fn make_env(args: &Args) -> Result<DbEnv, String> {
+    let flavor: EngineFlavor = args.get("flavor", EngineFlavor::MySqlCdb)?;
+    let workload: WorkloadKind = args.get("workload", WorkloadKind::SysbenchRw)?;
+    let ram_gb: u32 = args.get("ram-gb", 1)?;
+    let disk_gb: u32 = args.get("disk-gb", 12)?;
+    let scale: f64 = args.get("scale", 0.1)?;
+    let knobs: usize = args.get("knobs", 40)?;
+    let seed: u64 = args.get("seed", 42)?;
+
+    let hw = HardwareConfig::new(ram_gb, disk_gb, MediaType::Ssd, 12);
+    let engine = Engine::new(flavor, hw, seed);
+    let registry = flavor.registry(&hw);
+    // The catalogue lists structural knobs first, so a prefix of the
+    // tunable set is a sensible default subspace at any size.
+    let space = ActionSpace::all_tunable(&registry).truncated(knobs);
+    let cfg = EnvConfig {
+        warmup_txns: 60,
+        measure_txns: 300,
+        horizon: 20,
+        seed,
+        ..EnvConfig::default()
+    };
+    Ok(DbEnv::new(engine, build_workload(workload, scale), space, cfg))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let out = args.required("out")?.to_string();
+    let episodes: usize = args.get("episodes", 20)?;
+    let steps: usize = args.get("steps", 20)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let mut env = make_env(args)?;
+    let trainer = TrainerConfig {
+        episodes,
+        steps_per_episode: steps,
+        seed,
+        ..TrainerConfig::default()
+    };
+    eprintln!("training: {episodes} episodes x {steps} steps over {} knobs...", env.space().dim());
+    let (model, report) = train_offline(&mut env, &trainer, Vec::new());
+    println!(
+        "trained in {:.1}s: {} steps, best {:.0} txn/s, {} crashes, converged at {:?}",
+        report.wall_seconds,
+        report.total_steps,
+        report.best_throughput,
+        report.crashes,
+        report.iterations_to_converge
+    );
+    std::fs::write(&out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("model written to {out}");
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let model_path = args.required("model")?.to_string();
+    let steps: usize = args.get("steps", 5)?;
+    let json =
+        std::fs::read_to_string(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+    let model = TrainedModel::from_json(&json).map_err(|e| format!("parsing model: {e}"))?;
+    let mut env = make_env(args)?;
+    if env.space().indices() != model.action_indices {
+        return Err(format!(
+            "model tunes {} knobs but the environment exposes {} — pass the same \
+             --flavor/--knobs/--ram-gb the model was trained with",
+            model.action_indices.len(),
+            env.space().dim()
+        ));
+    }
+    let cfg = OnlineConfig { max_steps: steps, ..OnlineConfig::default() };
+    let outcome = tune_online(&mut env, &model, &cfg);
+    println!(
+        "baseline:    {:>10.0} txn/s   p99 {:>8.1} ms",
+        outcome.initial_perf.throughput_tps,
+        outcome.initial_perf.p99_latency_ms()
+    );
+    for s in &outcome.steps {
+        println!(
+            "step {}:      {:>10.0} txn/s   p99 {:>8.1} ms{}",
+            s.step,
+            s.throughput_tps,
+            s.p99_latency_us / 1000.0,
+            if s.crashed { "   [crashed]" } else { "" }
+        );
+    }
+    println!(
+        "recommended: {:>10.0} txn/s   p99 {:>8.1} ms   ({:+.1}% / {:+.1}%)",
+        outcome.best_perf.throughput_tps,
+        outcome.best_perf.p99_latency_ms(),
+        outcome.throughput_gain() * 100.0,
+        -outcome.latency_reduction() * 100.0
+    );
+    let defaults = env.engine().registry().default_config();
+    let changes = outcome.best_config.diff(&defaults);
+    println!("\nchanged knobs ({} of {}):", changes.len(), defaults.values().len());
+    for (name, now, was) in changes.iter().take(25) {
+        println!("  {name:<48} {was:?} -> {now:?}");
+    }
+    if changes.len() > 25 {
+        println!("  ... and {} more", changes.len() - 25);
+    }
+    Ok(())
+}
+
+fn cmd_knobs(args: &Args) -> Result<(), String> {
+    let flavor: EngineFlavor = args.get("flavor", EngineFlavor::MySqlCdb)?;
+    let ranked: bool = args.get("ranked", false)?;
+    let hw = HardwareConfig::new(args.get("ram-gb", 1)?, args.get("disk-gb", 12)?, MediaType::Ssd, 12);
+    let registry = flavor.registry(&hw);
+    let tunable_only = ranked; // --ranked true also filters to tunable knobs
+    println!("{} knobs ({} tunable):", registry.len(), registry.tunable_count());
+    for d in registry.defs() {
+        if tunable_only && d.blacklisted {
+            continue;
+        }
+        let bl = if d.blacklisted { "  [blacklisted]" } else { "" };
+        println!("  {:<52} {:?}{}", d.name, d.default, bl);
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let mut env = make_env(args)?;
+    let baseline = env.engine().registry().default_config();
+    let _ = env.reset_episode(baseline);
+    let perf = env.initial_perf();
+    println!(
+        "-- {:.0} txn/s, p99 {:.1} ms under the default configuration --",
+        perf.throughput_tps,
+        perf.p99_latency_ms()
+    );
+    for (name, value) in env.engine().show_status() {
+        println!("{name:<44} {value:.0}");
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "cdbtune — automatic database configuration tuning (CDBTune reproduction)
+
+USAGE:
+  cdbtune <command> [--flag value ...]
+
+COMMANDS:
+  train    train a model offline       (--out model.json [--episodes 20] [--steps 20])
+  tune     serve a tuning request      (--model model.json [--steps 5])
+  knobs    list an engine's knobs      ([--flavor mysql] [--ranked true] = tunable only)
+  status   run a window, SHOW STATUS   ([--workload rw])
+  help     this text
+
+SHARED FLAGS:
+  --flavor    mysql | local-mysql | postgres | mongodb   (default mysql)
+  --workload  rw | ro | wo | tpcc | tpch | ycsb          (default rw)
+  --knobs     tuned knob count                           (default 40)
+  --ram-gb / --disk-gb                                   (default 1 / 12)
+  --scale     dataset scale vs the paper                 (default 0.1)
+  --seed                                                  (default 42)"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "train" => cmd_train(&args),
+        "tune" => cmd_tune(&args),
+        "knobs" => cmd_knobs(&args),
+        "status" => cmd_status(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The tuning environment: a database instance plus a workload, exposed to
+//! the agent as states/actions/rewards (Figure 3's correspondence).
+//!
+//! One environment step is one tuning iteration of §2.1: deploy a knob
+//! configuration (restarting the instance), replay the workload as a stress
+//! test, collect the 63-metric window delta as the state, and compute the
+//! reward from throughput/latency against the previous step and the initial
+//! configuration. A crashing configuration (redo log exceeding disk,
+//! §5.2.3) earns [`crate::reward::CRASH_REWARD`] and the instance is
+//! restored to the last healthy configuration.
+
+use crate::action::ActionSpace;
+use crate::reward::{Perf, RewardConfig, CRASH_REWARD};
+use crate::state::StateProcessor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{Environment, StepResult};
+use simdb::{Engine, KnobConfig, PerfMetrics, Txn};
+use workload::Workload;
+
+/// Environment parameters.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Unmeasured warm-up transactions per stress test.
+    pub warmup_txns: usize,
+    /// Measured transactions per stress test window.
+    pub measure_txns: usize,
+    /// Steps per training episode.
+    pub horizon: usize,
+    /// Client concurrency (`None` = the workload's paper default).
+    pub clients: Option<u32>,
+    /// Stress windows averaged for the baseline measurement at episode
+    /// reset. The recommendation the actor makes from the baseline state is
+    /// only as stable as that state; averaging a couple of windows mirrors
+    /// the paper's 150 s observation sampled every 5 s (§2.2.2).
+    pub baseline_windows: usize,
+    /// Reward function.
+    pub reward: RewardConfig,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        Self {
+            warmup_txns: 100,
+            measure_txns: 600,
+            horizon: 20,
+            clients: None,
+            baseline_windows: 2,
+            reward: RewardConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Everything observed in one tuning step.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Normalized 63-metric state after the step.
+    pub state: Vec<f32>,
+    /// Reward earned.
+    pub reward: f64,
+    /// External metrics of the stress window (the *previous* window's
+    /// metrics when the configuration crashed).
+    pub perf: PerfMetrics,
+    /// The configuration crashed the instance.
+    pub crashed: bool,
+    /// Episode step budget exhausted.
+    pub done: bool,
+}
+
+/// A tuning environment over a live engine and workload.
+pub struct DbEnv {
+    engine: Engine,
+    workload: Box<dyn Workload>,
+    space: ActionSpace,
+    cfg: EnvConfig,
+    processor: StateProcessor,
+    rng: StdRng,
+    clients: u32,
+    initial: Perf,
+    previous: Perf,
+    initial_metrics: PerfMetrics,
+    last_perf: PerfMetrics,
+    last_state: Vec<f32>,
+    last_good: KnobConfig,
+    steps_in_episode: usize,
+    total_steps: u64,
+    crashes: u64,
+}
+
+impl DbEnv {
+    /// Builds an environment. `workload.setup` must not have run yet — the
+    /// environment loads it into `engine` itself.
+    pub fn new(
+        mut engine: Engine,
+        mut workload: Box<dyn Workload>,
+        space: ActionSpace,
+        cfg: EnvConfig,
+    ) -> Self {
+        workload.setup(&mut engine);
+        let clients = cfg.clients.unwrap_or_else(|| workload.default_clients());
+        let last_good = engine.current_config().clone();
+        let seed = cfg.seed;
+        Self {
+            engine,
+            workload,
+            space,
+            cfg,
+            processor: StateProcessor::new(),
+            rng: StdRng::seed_from_u64(seed),
+            clients,
+            initial: Perf { throughput: 0.0, latency: 0.0 },
+            previous: Perf { throughput: 0.0, latency: 0.0 },
+            initial_metrics: PerfMetrics::from_latencies(&mut Vec::new(), 1, 0),
+            last_perf: PerfMetrics::from_latencies(&mut Vec::new(), 1, 0),
+            last_state: Vec::new(),
+            last_good,
+            steps_in_episode: 0,
+            total_steps: 0,
+            crashes: 0,
+        }
+    }
+
+    /// The action space.
+    pub fn space(&self) -> &ActionSpace {
+        &self.space
+    }
+
+    /// Replaces the action space (knob-count sweeps). Resets episode state.
+    pub fn set_space(&mut self, space: ActionSpace) {
+        self.space = space;
+    }
+
+    /// The live engine (inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (experiment setup, e.g. swapping hardware
+    /// requires building a new env instead).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Performance of the initial (baseline) configuration.
+    pub fn initial_perf(&self) -> &PerfMetrics {
+        &self.initial_metrics
+    }
+
+    /// Performance of the latest stress window.
+    pub fn last_perf(&self) -> &PerfMetrics {
+        &self.last_perf
+    }
+
+    /// Currently deployed configuration.
+    pub fn current_config(&self) -> &KnobConfig {
+        self.engine.current_config()
+    }
+
+    /// Crashes caused by agent actions so far.
+    pub fn crash_count(&self) -> u64 {
+        self.crashes
+    }
+
+    /// The state processor (ship it with the trained model).
+    pub fn processor(&self) -> &StateProcessor {
+        &self.processor
+    }
+
+    /// Installs a processor from a trained model (online tuning must
+    /// normalize exactly like offline training did).
+    pub fn set_processor(&mut self, processor: StateProcessor) {
+        self.processor = processor;
+    }
+
+    /// Reward configuration in force.
+    pub fn reward_config(&self) -> &RewardConfig {
+        &self.cfg.reward
+    }
+
+    /// Swaps the workload (e.g. for the replay of a user's recorded trace,
+    /// §2.2.1). The new workload's `setup` is **not** run — the engine
+    /// keeps its loaded tables, which is exactly what replaying a trace
+    /// against the same instance requires. `clients` overrides concurrency
+    /// (`None` keeps the new workload's default).
+    pub fn set_workload(&mut self, workload: Box<dyn Workload>, clients: Option<u32>) {
+        self.clients = clients.unwrap_or_else(|| workload.default_clients());
+        self.workload = workload;
+    }
+
+    fn stress_window(&mut self) -> (PerfMetrics, Vec<f32>) {
+        let warmup: Vec<Txn> = self.workload.window(self.cfg.warmup_txns, &mut self.rng);
+        let measure: Vec<Txn> = self.workload.window(self.cfg.measure_txns, &mut self.rng);
+        let before = self.engine.metrics();
+        let perf = self
+            .engine
+            .stress_test(&warmup, &measure, self.clients)
+            .expect("engine restored before every stress test");
+        let after = self.engine.metrics();
+        let delta = after.delta_since(&before);
+        let state = self.processor.process(&delta);
+        (perf, state)
+    }
+
+    /// Starts an episode: redeploys the baseline configuration, measures
+    /// the initial performance `D_0` (§4.2) and returns the initial state.
+    pub fn reset_episode(&mut self, baseline: KnobConfig) -> Vec<f32> {
+        self.engine
+            .apply_config(baseline.clone())
+            .expect("baseline configuration must be healthy");
+        self.last_good = baseline;
+        let windows = self.cfg.baseline_windows.max(1);
+        let mut state = vec![0.0f32; simdb::TOTAL_METRIC_COUNT];
+        let mut perf = None;
+        let mut tps = 0.0;
+        let mut p99 = 0.0;
+        for _ in 0..windows {
+            let (w_perf, w_state) = self.stress_window();
+            for (acc, x) in state.iter_mut().zip(&w_state) {
+                *acc += x / windows as f32;
+            }
+            tps += w_perf.throughput_tps / windows as f64;
+            p99 += w_perf.p99_latency_us / windows as f64;
+            perf = Some(w_perf);
+        }
+        let mut perf = perf.expect("at least one baseline window");
+        perf.throughput_tps = tps;
+        perf.p99_latency_us = p99;
+        self.initial = Perf { throughput: tps, latency: p99 };
+        self.previous = self.initial;
+        self.initial_metrics = perf;
+        self.last_perf = perf;
+        self.last_state = state.clone();
+        self.steps_in_episode = 0;
+        state
+    }
+
+    /// Applies an action as a knob deployment + stress test (one §2.1
+    /// tuning iteration).
+    pub fn step_action(&mut self, action: &[f32]) -> StepOutcome {
+        assert!(!self.last_state.is_empty(), "reset_episode must run before step_action");
+        self.total_steps += 1;
+        self.steps_in_episode += 1;
+        let done = self.steps_in_episode >= self.cfg.horizon;
+
+        let config = self.space.to_config(&self.last_good, action);
+        match self.engine.apply_config(config.clone()) {
+            Ok(()) => {}
+            Err(_) => {
+                // §5.2.3: punish, restore the last healthy configuration,
+                // keep training.
+                self.crashes += 1;
+                self.engine
+                    .apply_config(self.last_good.clone())
+                    .expect("last good configuration must redeploy");
+                return StepOutcome {
+                    state: self.last_state.clone(),
+                    reward: CRASH_REWARD,
+                    perf: self.last_perf,
+                    crashed: true,
+                    done,
+                };
+            }
+        }
+        self.last_good = config;
+        let (perf, state) = self.stress_window();
+        let current = Perf { throughput: perf.throughput_tps, latency: perf.p99_latency_us };
+        let reward = self.cfg.reward.reward(current, self.previous, self.initial);
+        self.previous = current;
+        self.last_perf = perf;
+        self.last_state = state.clone();
+        StepOutcome { state, reward, perf, crashed: false, done }
+    }
+}
+
+impl Environment for DbEnv {
+    fn state_dim(&self) -> usize {
+        simdb::TOTAL_METRIC_COUNT
+    }
+
+    fn action_dim(&self) -> usize {
+        self.space.dim()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        let baseline = self.engine.registry().default_config();
+        self.reset_episode(baseline)
+    }
+
+    fn step(&mut self, action: &[f32]) -> StepResult {
+        let out = self.step_action(action);
+        StepResult { next_state: out.state, reward: out.reward as f32, done: out.done }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use simdb::knobs::mysql::names;
+    use simdb::{EngineFlavor, HardwareConfig};
+    use workload::{build_workload, WorkloadKind};
+
+    pub(crate) fn tiny_env() -> DbEnv {
+        let engine = Engine::new(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), 17);
+        let wl = build_workload(WorkloadKind::SysbenchRw, 0.005);
+        let space_src = EngineFlavor::MySqlCdb.registry(&HardwareConfig::cdb_a());
+        let space = ActionSpace::from_names(
+            &space_src,
+            [
+                names::BUFFER_POOL_SIZE,
+                names::FLUSH_LOG_AT_TRX_COMMIT,
+                names::LOG_FILE_SIZE,
+                names::LOG_FILES_IN_GROUP,
+                names::READ_IO_THREADS,
+                names::WRITE_IO_THREADS,
+            ],
+        )
+        .unwrap();
+        let cfg = EnvConfig {
+            warmup_txns: 20,
+            measure_txns: 120,
+            horizon: 6,
+            ..EnvConfig::default()
+        };
+        DbEnv::new(engine, wl, space, cfg)
+    }
+
+    #[test]
+    fn reset_measures_the_baseline() {
+        let mut env = tiny_env();
+        let s = env.reset();
+        assert_eq!(s.len(), 63);
+        assert!(env.initial_perf().throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn step_produces_finite_reward_and_state() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        let out = env.step_action(&[0.5; 6]);
+        assert!(out.reward.is_finite());
+        assert!(!out.crashed);
+        assert!(out.perf.throughput_tps > 0.0);
+        assert_eq!(out.state.len(), 63);
+    }
+
+    #[test]
+    fn good_actions_earn_more_than_bad_actions() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        // Sensible: ~70 % RAM pool (linear axis), lazy flush, medium logs,
+        // 8+8 threads.
+        let good = env.step_action(&[0.68, 0.0, 0.6, 0.3, 0.35, 0.35]);
+        let _ = env.reset();
+        // Terrible: pool past physical RAM (swap cliff) + strict flushing.
+        let bad = env.step_action(&[1.0, 0.5, 0.6, 0.3, 0.0, 0.0]);
+        assert!(
+            good.reward > bad.reward,
+            "good {} should beat bad {}",
+            good.reward,
+            bad.reward
+        );
+        assert!(good.perf.throughput_tps > bad.perf.throughput_tps);
+    }
+
+    #[test]
+    fn crash_is_punished_and_recovered() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        // Max log file size × max group on a 100 GiB disk → crash rule.
+        let out = env.step_action(&[0.5, 0.5, 1.0, 1.0, 0.5, 0.5]);
+        assert!(out.crashed);
+        assert_eq!(out.reward, CRASH_REWARD);
+        assert_eq!(env.crash_count(), 1);
+        // The environment stays usable.
+        let next = env.step_action(&[0.5; 6]);
+        assert!(!next.crashed);
+        assert!(next.perf.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn episode_terminates_at_horizon() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        let mut done = false;
+        for _ in 0..6 {
+            done = env.step_action(&[0.5; 6]).done;
+        }
+        assert!(done);
+        // Reset starts a fresh episode.
+        let _ = env.reset();
+        assert!(!env.step_action(&[0.5; 6]).done);
+    }
+
+    #[test]
+    fn environment_trait_dimensions() {
+        let env = tiny_env();
+        assert_eq!(env.state_dim(), 63);
+        assert_eq!(env.action_dim(), 6);
+    }
+}

@@ -1,0 +1,158 @@
+//! The experience memory pool (§2.2.4).
+//!
+//! "Like the DBA's brain, it constantly accumulates data and replay\[s\]
+//! experience." One interface over the two backends the paper uses: plain
+//! uniform replay, and the prioritized replay \[38\] that §5.1 adds to halve
+//! convergence time.
+
+use rl::{PrioritizedReplay, ReplayBuffer, Transition};
+use serde::{Deserialize, Serialize};
+
+/// Which replay backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// Uniform random replay (§2.2.4).
+    Uniform,
+    /// Prioritized experience replay (§5.1, \[38\]).
+    Prioritized,
+}
+
+/// A sampled minibatch with optional prioritization metadata.
+pub struct Batch<'a> {
+    /// Sampled transitions.
+    pub transitions: Vec<&'a Transition>,
+    /// Buffer slots (prioritized only; feed TD errors back).
+    pub indices: Option<Vec<usize>>,
+    /// Importance weights (prioritized only).
+    pub weights: Option<Vec<f32>>,
+}
+
+/// The memory pool.
+pub enum MemoryPool {
+    /// Uniform backend.
+    Uniform(ReplayBuffer),
+    /// Prioritized backend.
+    Prioritized(PrioritizedReplay),
+}
+
+impl MemoryPool {
+    /// Creates a pool of the given kind and capacity.
+    pub fn new(kind: MemoryKind, capacity: usize) -> Self {
+        match kind {
+            MemoryKind::Uniform => MemoryPool::Uniform(ReplayBuffer::new(capacity)),
+            MemoryKind::Prioritized => {
+                MemoryPool::Prioritized(PrioritizedReplay::new(capacity, 0.6, 0.4))
+            }
+        }
+    }
+
+    /// Stored transition count.
+    pub fn len(&self) -> usize {
+        match self {
+            MemoryPool::Uniform(b) => b.len(),
+            MemoryPool::Prioritized(p) => p.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds a transition.
+    pub fn push(&mut self, t: Transition) {
+        match self {
+            MemoryPool::Uniform(b) => b.push(t),
+            MemoryPool::Prioritized(p) => p.push(t),
+        }
+    }
+
+    /// Samples a minibatch.
+    pub fn sample(&mut self, n: usize, rng: &mut impl rand::Rng) -> Batch<'_> {
+        match self {
+            MemoryPool::Uniform(b) => Batch {
+                transitions: b.sample(n, rng),
+                indices: None,
+                weights: None,
+            },
+            MemoryPool::Prioritized(p) => {
+                let batch = p.sample(n, rng);
+                Batch {
+                    transitions: batch.transitions,
+                    indices: Some(batch.indices),
+                    weights: Some(batch.weights),
+                }
+            }
+        }
+    }
+
+    /// Feeds TD errors back after a train step (no-op for uniform).
+    pub fn update_priorities(&mut self, indices: Option<&[usize]>, td_errors: &[f32]) {
+        if let (MemoryPool::Prioritized(p), Some(idx)) = (self, indices) {
+            p.update_priorities(idx, td_errors);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f32) -> Transition {
+        Transition {
+            state: vec![r],
+            action: vec![r],
+            reward: r,
+            next_state: vec![r],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn uniform_pool_has_no_weights() {
+        let mut pool = MemoryPool::new(MemoryKind::Uniform, 16);
+        pool.push(t(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = pool.sample(4, &mut rng);
+        assert!(batch.weights.is_none());
+        assert!(batch.indices.is_none());
+        assert_eq!(batch.transitions.len(), 4);
+    }
+
+    #[test]
+    fn prioritized_pool_reports_metadata() {
+        let mut pool = MemoryPool::new(MemoryKind::Prioritized, 16);
+        for i in 0..8 {
+            pool.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = pool.sample(4, &mut rng);
+        assert_eq!(batch.indices.as_ref().unwrap().len(), 4);
+        assert_eq!(batch.weights.as_ref().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn priority_updates_flow_through() {
+        let mut pool = MemoryPool::new(MemoryKind::Prioritized, 8);
+        for i in 0..8 {
+            pool.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let (indices, n) = {
+            let batch = pool.sample(4, &mut rng);
+            (batch.indices.clone(), batch.transitions.len())
+        };
+        pool.update_priorities(indices.as_deref(), &vec![9.0; n]);
+        assert_eq!(pool.len(), 8);
+    }
+
+    #[test]
+    fn uniform_ignores_priority_updates() {
+        let mut pool = MemoryPool::new(MemoryKind::Uniform, 8);
+        pool.push(t(0.0));
+        pool.update_priorities(None, &[1.0]); // must not panic
+        assert_eq!(pool.len(), 1);
+    }
+}

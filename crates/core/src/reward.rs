@@ -1,0 +1,253 @@
+//! The reward function (Section 4.2, Eqs. 4–7) and the Appendix C.1.1
+//! ablation variants.
+//!
+//! The reward encodes the DBA's judgement: compare current performance both
+//! to the *previous* step (is the trend right?) and to the *initial*
+//! configuration (is tuning actually paying off?). Throughput and latency
+//! each produce a reward, blended with coefficients `C_T + C_L = 1`
+//! (Eq. 7, Appendix C.1.2). A crashed instance earns a large negative
+//! constant (§5.2.3) instead of having its knob ranges clamped.
+
+use serde::{Deserialize, Serialize};
+
+/// Reward punishment for crashing the instance (§5.2.3 uses −100).
+pub const CRASH_REWARD: f64 = -100.0;
+
+/// Which reward formulation to use (Appendix C.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewardKind {
+    /// The paper's RF-CDBTune (Eq. 6 plus the zero-clamp rule).
+    CdbTune,
+    /// RF-A: compare only with the previous step.
+    PrevOnly,
+    /// RF-B: compare only with the initial settings.
+    InitialOnly,
+    /// RF-C: Eq. 6 without the zero-clamp rule (negative intermediate
+    /// trends keep their raw value).
+    NoClamp,
+}
+
+impl RewardKind {
+    /// All variants in the Appendix C.1.1 reporting order.
+    pub const ALL: [RewardKind; 4] =
+        [RewardKind::PrevOnly, RewardKind::InitialOnly, RewardKind::NoClamp, RewardKind::CdbTune];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RewardKind::CdbTune => "RF-CDBTune",
+            RewardKind::PrevOnly => "RF-A",
+            RewardKind::InitialOnly => "RF-B",
+            RewardKind::NoClamp => "RF-C",
+        }
+    }
+}
+
+/// External performance summary used by the reward (throughput up = good,
+/// latency down = good).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Perf {
+    /// Throughput (txn/sec).
+    pub throughput: f64,
+    /// Latency (the paper reports the 99th percentile).
+    pub latency: f64,
+}
+
+/// Reward function configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Formulation.
+    pub kind: RewardKind,
+    /// Throughput coefficient `C_T`.
+    pub c_t: f64,
+    /// Latency coefficient `C_L` (`C_T + C_L = 1`).
+    pub c_l: f64,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        // §C.1.2: "In general, we set CT = CL = 0.5."
+        Self { kind: RewardKind::CdbTune, c_t: 0.5, c_l: 0.5 }
+    }
+}
+
+impl RewardConfig {
+    /// Builds a config, validating `C_T + C_L = 1`.
+    ///
+    /// # Panics
+    /// Panics if the coefficients do not sum to 1 (±1e-6) or are negative.
+    pub fn new(kind: RewardKind, c_t: f64, c_l: f64) -> Self {
+        assert!(
+            (c_t + c_l - 1.0).abs() < 1e-6 && c_t >= 0.0 && c_l >= 0.0,
+            "C_T + C_L must equal 1, got {c_t} + {c_l}"
+        );
+        Self { kind, c_t, c_l }
+    }
+
+    /// Computes the reward for the current performance given the previous
+    /// step's and the initial configuration's performance (Eqs. 4–7).
+    pub fn reward(&self, current: Perf, previous: Perf, initial: Perf) -> f64 {
+        let r_t = metric_reward(
+            self.kind,
+            delta(current.throughput, initial.throughput),
+            delta(current.throughput, previous.throughput),
+        );
+        // Latency improves downward: Eq. (5) negates the deltas.
+        let r_l = metric_reward(
+            self.kind,
+            -delta(current.latency, initial.latency),
+            -delta(current.latency, previous.latency),
+        );
+        // The combined reward stays inside the crash punishment's magnitude
+        // so crashing remains the worst possible outcome.
+        (self.c_t * r_t + self.c_l * r_l).clamp(CRASH_REWARD, -CRASH_REWARD)
+    }
+}
+
+/// Largest |rate of change| the reward distinguishes. A pathological
+/// configuration (memory over-commit, redo-log thrash) can inflate p99 by
+/// 1000×; unbounded Eq.-5 deltas then produce rewards near −10⁹ that poison
+/// the critic's regression targets. Beyond a 5× swing the judgement is
+/// saturated — "much worse" — exactly as a DBA's would be.
+pub const DELTA_CLAMP: f64 = 5.0;
+
+/// Rate of change `(x_now − x_ref) / x_ref` (Eqs. 4–5), saturated at
+/// ±[`DELTA_CLAMP`].
+fn delta(now: f64, reference: f64) -> f64 {
+    if reference.abs() < 1e-12 {
+        0.0
+    } else {
+        ((now - reference) / reference).clamp(-DELTA_CLAMP, DELTA_CLAMP)
+    }
+}
+
+/// Eq. (6) for one metric, specialized per reward kind.
+fn metric_reward(kind: RewardKind, d0: f64, d_prev: f64) -> f64 {
+    let (d0, d_prev) = match kind {
+        RewardKind::CdbTune | RewardKind::NoClamp => (d0, d_prev),
+        RewardKind::PrevOnly => (d_prev, 0.0),
+        RewardKind::InitialOnly => (d0, 0.0),
+    };
+    let r = if d0 > 0.0 {
+        ((1.0 + d0).powi(2) - 1.0) * (1.0 + d_prev).abs()
+    } else {
+        -((1.0 - d0).powi(2) - 1.0) * (1.0 - d_prev).abs()
+    };
+    // §4.2: "when the result in Eq. (6) is positive and ∆_{t→t−1} is
+    // negative, we set r = 0" — progress against the baseline that regressed
+    // against the previous step earns nothing (RF-C skips this).
+    if kind == RewardKind::CdbTune && r > 0.0 && d_prev < 0.0 {
+        0.0
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Perf = Perf { throughput: 1000.0, latency: 100.0 };
+
+    fn perf(t: f64, l: f64) -> Perf {
+        Perf { throughput: t, latency: l }
+    }
+
+    #[test]
+    fn improvement_over_both_references_is_positive() {
+        let rf = RewardConfig::default();
+        let r = rf.reward(perf(1200.0, 80.0), perf(1100.0, 90.0), T0);
+        assert!(r > 0.0, "r = {r}");
+    }
+
+    #[test]
+    fn regression_below_initial_is_negative() {
+        let rf = RewardConfig::default();
+        let r = rf.reward(perf(800.0, 130.0), perf(900.0, 120.0), T0);
+        assert!(r < 0.0, "r = {r}");
+    }
+
+    #[test]
+    fn clamp_zeroes_positive_reward_with_negative_trend() {
+        // Better than initial (+20 %) but worse than the previous step.
+        let rf = RewardConfig::new(RewardKind::CdbTune, 1.0, 0.0);
+        let r = rf.reward(perf(1200.0, 100.0), perf(1300.0, 100.0), T0);
+        assert_eq!(r, 0.0);
+        // RF-C keeps the raw positive value in the same situation.
+        let rfc = RewardConfig::new(RewardKind::NoClamp, 1.0, 0.0);
+        let r = rfc.reward(perf(1200.0, 100.0), perf(1300.0, 100.0), T0);
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn rf_a_ignores_the_initial_baseline() {
+        let rf = RewardConfig::new(RewardKind::PrevOnly, 1.0, 0.0);
+        // Worse than initial but better than previous → RF-A still rewards.
+        let r = rf.reward(perf(900.0, 100.0), perf(800.0, 100.0), T0);
+        assert!(r > 0.0, "r = {r}");
+        // The full RF-CDBTune punishes it (below initial).
+        let full = RewardConfig::new(RewardKind::CdbTune, 1.0, 0.0);
+        assert!(full.reward(perf(900.0, 100.0), perf(800.0, 100.0), T0) < 0.0);
+    }
+
+    #[test]
+    fn rf_b_ignores_the_previous_step() {
+        let rf = RewardConfig::new(RewardKind::InitialOnly, 1.0, 0.0);
+        let up = rf.reward(perf(1200.0, 100.0), perf(1300.0, 100.0), T0);
+        let same = rf.reward(perf(1200.0, 100.0), perf(700.0, 100.0), T0);
+        assert_eq!(up, same, "RF-B cannot see the previous step");
+        assert!(up > 0.0);
+    }
+
+    #[test]
+    fn latency_reward_is_inverted() {
+        // Throughput flat, latency halved → positive reward via C_L.
+        let rf = RewardConfig::new(RewardKind::CdbTune, 0.0, 1.0);
+        let r = rf.reward(perf(1000.0, 50.0), perf(1000.0, 60.0), T0);
+        assert!(r > 0.0, "r = {r}");
+        let worse = rf.reward(perf(1000.0, 200.0), perf(1000.0, 150.0), T0);
+        assert!(worse < 0.0);
+    }
+
+    #[test]
+    fn coefficients_weight_the_two_rewards() {
+        // Throughput up 20 %, latency up (worse) 20 %.
+        let current = perf(1200.0, 120.0);
+        let prev = perf(1100.0, 110.0);
+        let t_heavy = RewardConfig::new(RewardKind::CdbTune, 0.9, 0.1);
+        let l_heavy = RewardConfig::new(RewardKind::CdbTune, 0.1, 0.9);
+        assert!(t_heavy.reward(current, prev, T0) > l_heavy.reward(current, prev, T0));
+    }
+
+    #[test]
+    fn quadratic_form_matches_eq6() {
+        // ∆0 = +0.5, ∆prev = +0.25 → ((1.5)²−1)·|1.25| = 1.25·1.25 = 1.5625.
+        let rf = RewardConfig::new(RewardKind::CdbTune, 1.0, 0.0);
+        let r = rf.reward(perf(1500.0, 100.0), perf(1200.0, 100.0), T0);
+        assert!((r - 1.5625).abs() < 1e-9, "r = {r}");
+        // ∆0 = −0.5, ∆prev = −0.25 → −((1.5)²−1)·|1.25| = −1.5625.
+        let r = rf.reward(perf(500.0, 100.0), perf(2000.0, 100.0), T0);
+        let expected = -(1.5f64.powi(2) - 1.0) * (1.0f64 + 0.75).abs();
+        assert!((r - expected).abs() < 1e-9, "r = {r}, expected {expected}");
+    }
+
+    #[test]
+    fn zero_reference_is_safe() {
+        let rf = RewardConfig::default();
+        let r = rf.reward(perf(100.0, 10.0), perf(0.0, 0.0), perf(0.0, 0.0));
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal 1")]
+    fn invalid_coefficients_panic() {
+        let _ = RewardConfig::new(RewardKind::CdbTune, 0.7, 0.7);
+    }
+
+    #[test]
+    fn labels_cover_all_variants() {
+        let labels: std::collections::HashSet<_> =
+            RewardKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

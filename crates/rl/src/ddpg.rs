@@ -1,0 +1,526 @@
+//! Deep Deterministic Policy Gradient (Section 4.1, Algorithm 1, Table 5).
+//!
+//! The actor maps the 63-metric state to a knob vector in `[0, 1]^m`
+//! (denormalized to knob domains by the tuner); the critic scores
+//! `(state, action)` pairs. Training follows Algorithm 1 with the two
+//! standard stabilizers of the original DDPG paper \[29\]: target networks
+//! with Polyak updates and (optionally prioritized) experience replay.
+//!
+//! Two implementation notes. First, Table 5's critic starts with a
+//! "parallel full connection 128+128" over state and action; a single dense
+//! layer over the concatenated `[state | action]` vector strictly subsumes
+//! that structure (parallel heads are the special case with the
+//! cross-blocks zeroed), so the critic here is a plain MLP over the
+//! concatenation. Second, the actor's output layer is *linear* with actions
+//! clamped into `[0, 1]` at act time and trained with inverting gradients
+//! (Hausknecht & Stone, 2016) rather than a squashing activation: a sigmoid
+//! output saturates irrecoverably when early critic gradients are large,
+//! which kills exactly the high-dimensional knob spaces the paper targets.
+
+use crate::env::Transition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tinynn::{
+    Adam, BatchNorm, Dense, Dropout, Init, Layer, Matrix, Mlp, NetState, Optimizer, Relu,
+    Tanh, PAPER_WEIGHT_INIT,
+};
+
+/// DDPG hyper-parameters. Defaults follow the paper: learning rate 0.001
+/// (Table 4), discount 0.99 (Table 4), the Table 5 layer sizes, and dropout
+/// 0.3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DdpgConfig {
+    /// State dimensionality (63 for CDBTune).
+    pub state_dim: usize,
+    /// Action dimensionality (number of tuned knobs).
+    pub action_dim: usize,
+    /// Actor hidden widths (Table 5 default `[128, 128, 64]`).
+    pub actor_hidden: Vec<usize>,
+    /// Critic hidden widths over the `[state|action]` concatenation
+    /// (Table 5 default `[256, 64, 16]`).
+    pub critic_hidden: Vec<usize>,
+    /// Actor learning rate.
+    pub actor_lr: f32,
+    /// Critic learning rate.
+    pub critic_lr: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Polyak coefficient for target-network updates.
+    pub tau: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Dropout probability in both networks.
+    pub dropout: f32,
+    /// RNG seed (weights, dropout).
+    pub seed: u64,
+}
+
+impl DdpgConfig {
+    /// The paper's configuration for a given state/action size.
+    pub fn paper(state_dim: usize, action_dim: usize) -> Self {
+        Self {
+            state_dim,
+            action_dim,
+            actor_hidden: vec![128, 128, 64],
+            critic_hidden: vec![256, 64, 16],
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            gamma: 0.99,
+            tau: 0.005,
+            batch_size: 32,
+            dropout: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics from one training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
+    /// Critic MSE loss.
+    pub critic_loss: f32,
+    /// Mean Q value of the batch under the current critic.
+    pub mean_q: f32,
+    /// Mean absolute TD error (feeds prioritized replay).
+    pub mean_td_error: f32,
+}
+
+/// Serializable snapshot of all four networks (the "model" the paper trains
+/// offline once and reuses for every online tuning request, §2.1).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DdpgSnapshot {
+    /// Config used to build the networks.
+    pub config: DdpgConfig,
+    /// Actor weights.
+    pub actor: NetState,
+    /// Critic weights.
+    pub critic: NetState,
+    /// Actor target weights.
+    pub actor_target: NetState,
+    /// Critic target weights.
+    pub critic_target: NetState,
+}
+
+/// The DDPG agent.
+pub struct Ddpg {
+    cfg: DdpgConfig,
+    actor: Mlp,
+    actor_target: Mlp,
+    critic: Mlp,
+    critic_target: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    smoothing_rng: StdRng,
+}
+
+fn build_actor(cfg: &DdpgConfig, rng: &mut StdRng, seed_salt: u64) -> Mlp {
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut prev = cfg.state_dim;
+    for (i, &h) in cfg.actor_hidden.iter().enumerate() {
+        layers.push(Box::new(Dense::new(prev, h, PAPER_WEIGHT_INIT, rng)));
+        match i {
+            0 => {
+                layers.push(Box::new(Relu()));
+                layers.push(Box::new(BatchNorm::new(h)));
+            }
+            1 => {
+                layers.push(Box::new(Tanh()));
+                layers.push(Box::new(Dropout::new(cfg.dropout, cfg.seed ^ seed_salt)));
+            }
+            _ => layers.push(Box::new(Tanh())),
+        }
+        prev = h;
+    }
+    // Linear output, clamped to the [0, 1] knob box at act time and kept
+    // in-box during training by inverting gradients.
+    layers.push(Box::new(Dense::new(prev, cfg.action_dim, PAPER_WEIGHT_INIT, rng)));
+    Mlp::new(layers)
+}
+
+fn build_critic(cfg: &DdpgConfig, rng: &mut StdRng, seed_salt: u64) -> Mlp {
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut prev = cfg.state_dim + cfg.action_dim;
+    for (i, &h) in cfg.critic_hidden.iter().enumerate() {
+        layers.push(Box::new(Dense::new(prev, h, PAPER_WEIGHT_INIT, rng)));
+        match i {
+            0 => {
+                layers.push(Box::new(Relu()));
+                layers.push(Box::new(Dropout::new(cfg.dropout, cfg.seed ^ seed_salt ^ 0xC1)));
+            }
+            _ => layers.push(Box::new(Tanh())),
+        }
+        prev = h;
+    }
+    layers.push(Box::new(Dense::new(prev, 1, Init::XavierUniform, rng)));
+    Mlp::new(layers)
+}
+
+fn to_matrix(rows: usize, cols: usize, it: impl Iterator<Item = f32>) -> Matrix {
+    let data: Vec<f32> = it.collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn hconcat(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "hconcat row mismatch");
+    let mut out = Matrix::zeros(a.rows(), a.cols() + b.cols());
+    for r in 0..a.rows() {
+        out.row_mut(r)[..a.cols()].copy_from_slice(a.row(r));
+        out.row_mut(r)[a.cols()..].copy_from_slice(b.row(r));
+    }
+    out
+}
+
+impl Ddpg {
+    /// Builds an agent (all four networks, with targets initialized to the
+    /// online networks).
+    pub fn new(cfg: DdpgConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let actor = build_actor(&cfg, &mut rng, 0xA0);
+        let critic = build_critic(&cfg, &mut rng, 0xB0);
+        let mut actor_target = build_actor(&cfg, &mut rng, 0xA1);
+        let mut critic_target = build_critic(&cfg, &mut rng, 0xB1);
+        actor_target.copy_from(&actor);
+        critic_target.copy_from(&critic);
+        let actor_opt = Adam::new(cfg.actor_lr);
+        let critic_opt = Adam::new(cfg.critic_lr);
+        let smoothing_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A5A);
+        Self { cfg, actor, actor_target, critic, critic_target, actor_opt, critic_opt, smoothing_rng }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &DdpgConfig {
+        &self.cfg
+    }
+
+    /// Scales both learning rates (online fine-tuning uses a fraction of
+    /// the offline rates so a handful of samples cannot wreck the policy).
+    pub fn scale_learning_rates(&mut self, factor: f32) {
+        self.actor_opt.set_learning_rate(self.cfg.actor_lr * factor);
+        self.critic_opt.set_learning_rate(self.cfg.critic_lr * factor);
+    }
+
+    /// Deterministic action for a state (evaluation mode; the
+    /// "recommendation time" of Table 2).
+    pub fn act(&mut self, state: &[f32]) -> Vec<f32> {
+        assert_eq!(state.len(), self.cfg.state_dim, "state width mismatch");
+        let s = to_matrix(1, self.cfg.state_dim, state.iter().copied());
+        self.actor.predict(&s).row(0).iter().map(|x| x.clamp(0.0, 1.0)).collect()
+    }
+
+    /// Critic score of a `(state, action)` pair (diagnostic).
+    pub fn q_value(&mut self, state: &[f32], action: &[f32]) -> f32 {
+        let s = to_matrix(1, self.cfg.state_dim, state.iter().copied());
+        let a = to_matrix(1, self.cfg.action_dim, action.iter().copied());
+        self.critic.predict(&hconcat(&s, &a))[(0, 0)]
+    }
+
+    /// One Algorithm-1 training step on a minibatch. `is_weights` are
+    /// importance weights from prioritized replay (uniform if `None`).
+    /// Returns stats plus per-sample TD errors via `td_out` when provided.
+    pub fn train_step(
+        &mut self,
+        batch: &[&Transition],
+        is_weights: Option<&[f32]>,
+        mut td_out: Option<&mut Vec<f32>>,
+    ) -> TrainStats {
+        let b = batch.len();
+        assert!(b > 0, "empty minibatch");
+        let ds = self.cfg.state_dim;
+        let da = self.cfg.action_dim;
+        let s = to_matrix(b, ds, batch.iter().flat_map(|t| t.state.iter().copied()));
+        let a = to_matrix(b, da, batch.iter().flat_map(|t| t.action.iter().copied()));
+        let s2 = to_matrix(b, ds, batch.iter().flat_map(|t| t.next_state.iter().copied()));
+
+        // Steps 2–4: bootstrap target values through the target networks,
+        // with target-policy smoothing (clipped noise on the target action)
+        // to damp critic over-estimation at out-of-distribution actions.
+        let mut a2 = self.actor_target.predict(&s2);
+        for x in a2.as_mut_slice() {
+            let noise: f32 = (self.smoothing_rng.gen::<f32>() - 0.5) * 0.1;
+            *x = (*x + noise.clamp(-0.05, 0.05)).clamp(0.0, 1.0);
+        }
+        let q2 = self.critic_target.predict(&hconcat(&s2, &a2));
+        let mut y = Matrix::zeros(b, 1);
+        for (i, t) in batch.iter().enumerate() {
+            let bootstrap = if t.done { 0.0 } else { self.cfg.gamma * q2[(i, 0)] };
+            y[(i, 0)] = t.reward + bootstrap;
+        }
+
+        // Steps 5–6: critic regression toward y (importance-weighted MSE).
+        let q = self.critic.forward(&hconcat(&s, &a), true);
+        let mut grad = Matrix::zeros(b, 1);
+        let mut loss = 0.0f32;
+        let mut td_sum = 0.0f32;
+        if let Some(out) = td_out.as_deref_mut() {
+            out.clear();
+        }
+        for i in 0..b {
+            let w = is_weights.map(|ws| ws[i]).unwrap_or(1.0);
+            let td = q[(i, 0)] - y[(i, 0)];
+            loss += w * td * td;
+            grad[(i, 0)] = 2.0 * w * td / b as f32;
+            td_sum += td.abs();
+            if let Some(out) = td_out.as_deref_mut() {
+                out.push(td);
+            }
+        }
+        loss /= b as f32;
+        self.critic.zero_grad();
+        let _ = self.critic.backward(&grad);
+        self.critic.clip_grad_norm(5.0);
+        self.critic_opt.step(&mut self.critic);
+
+        // Step 7: policy gradient — push the actor toward actions the
+        // critic scores higher. dJ/dθ = ∇a Q(s, a)|a=µ(s) · ∇θ µ(s).
+        let a_pred = self.actor.forward(&s, true);
+        let a_box = a_pred.map(|x| x.clamp(0.0, 1.0));
+        let q_pi = self.critic.forward(&hconcat(&s, &a_box), true);
+        let mean_q = q_pi.mean();
+        let up = Matrix::filled(b, 1, -1.0 / b as f32); // maximize mean Q
+        self.critic.zero_grad();
+        let g_input = self.critic.backward(&up);
+        // Split off the action columns of the critic's input gradient and
+        // apply inverting gradients: scale by the remaining headroom toward
+        // the boundary the gradient pushes at, reversing once the
+        // (unclamped) output leaves the box. Keeps actions in [0, 1]
+        // without a saturating activation.
+        let mut g_action = Matrix::zeros(b, da);
+        for r in 0..b {
+            for (c, (dst, &src)) in
+                g_action.row_mut(r).iter_mut().zip(&g_input.row(r)[ds..]).enumerate()
+            {
+                let a = a_pred[(r, c)];
+                let g = src.clamp(-1.0, 1.0);
+                // Minimizing L = -Q: g < 0 increases a, g > 0 decreases it.
+                *dst = if g < 0.0 { g * (1.0 - a) } else { g * a };
+            }
+        }
+        self.critic.zero_grad(); // discard actor-pass critic gradients
+        self.actor.zero_grad();
+        let _ = self.actor.backward(&g_action);
+        self.actor.clip_grad_norm(5.0);
+        self.actor_opt.step(&mut self.actor);
+
+        // Target tracking.
+        self.actor_target.soft_update_from(&self.actor, self.cfg.tau);
+        self.critic_target.soft_update_from(&self.critic, self.cfg.tau);
+
+        TrainStats { critic_loss: loss, mean_q, mean_td_error: td_sum / b as f32 }
+    }
+
+    /// Captures the model for persistence (the pre-trained "standard model"
+    /// shipped from offline training to online tuning, §2.1.2).
+    pub fn snapshot(&self) -> DdpgSnapshot {
+        DdpgSnapshot {
+            config: self.cfg.clone(),
+            actor: self.actor.state(),
+            critic: self.critic.state(),
+            actor_target: self.actor_target.state(),
+            critic_target: self.critic_target.state(),
+        }
+    }
+
+    /// Restores a snapshot (must have been produced by an identically
+    /// configured agent).
+    pub fn load_snapshot(&mut self, snap: &DdpgSnapshot) {
+        self.actor.load_state(&snap.actor);
+        self.critic.load_state(&snap.critic);
+        self.actor_target.load_state(&snap.actor_target);
+        self.critic_target.load_state(&snap.critic_target);
+    }
+
+    /// Rebuilds an agent from a snapshot alone.
+    pub fn from_snapshot(snap: &DdpgSnapshot) -> Self {
+        let mut agent = Self::new(snap.config.clone());
+        agent.load_snapshot(snap);
+        agent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::testenv::TargetEnv;
+    use crate::env::Environment;
+    use crate::noise::{perturb, GaussianNoise, NoiseProcess};
+    use crate::replay::ReplayBuffer;
+    use rand::Rng;
+
+    fn tiny_cfg() -> DdpgConfig {
+        DdpgConfig {
+            state_dim: 3,
+            action_dim: 3,
+            actor_hidden: vec![32, 16],
+            critic_hidden: vec![32, 16],
+            actor_lr: 3e-4,
+            critic_lr: 2e-3,
+            gamma: 0.3,
+            tau: 0.01,
+            batch_size: 32,
+            dropout: 0.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn act_outputs_unit_box_actions() {
+        let mut agent = Ddpg::new(tiny_cfg());
+        let a = agent.act(&[0.1, 0.5, 0.9]);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)), "{a:?}");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_policy() {
+        let mut agent = Ddpg::new(tiny_cfg());
+        let snap = agent.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let restored: DdpgSnapshot = serde_json::from_str(&json).unwrap();
+        let mut agent2 = Ddpg::from_snapshot(&restored);
+        let s = [0.3, 0.6, 0.2];
+        assert_eq!(agent.act(&s), agent2.act(&s));
+    }
+
+    #[test]
+    fn train_step_reduces_critic_loss_on_fixed_batch() {
+        let mut agent = Ddpg::new(tiny_cfg());
+        let batch: Vec<Transition> = (0..32)
+            .map(|i| {
+                let x = (i as f32) / 32.0;
+                Transition {
+                    state: vec![x, 1.0 - x, 0.5],
+                    action: vec![x, x, x],
+                    reward: x,
+                    next_state: vec![x, 1.0 - x, 0.5],
+                    done: true, // no bootstrap: pure regression target
+                }
+            })
+            .collect();
+        let refs: Vec<&Transition> = batch.iter().collect();
+        let first = agent.train_step(&refs, None, None).critic_loss;
+        let mut last = first;
+        for _ in 0..300 {
+            last = agent.train_step(&refs, None, None).critic_loss;
+        }
+        assert!(last < first * 0.2, "critic loss {first} -> {last}");
+    }
+
+    #[test]
+    fn td_errors_are_reported_per_sample() {
+        let mut agent = Ddpg::new(tiny_cfg());
+        let t = Transition {
+            state: vec![0.0; 3],
+            action: vec![0.5; 3],
+            reward: 1.0,
+            next_state: vec![0.0; 3],
+            done: false,
+        };
+        let refs = vec![&t, &t, &t];
+        let mut tds = Vec::new();
+        let stats = agent.train_step(&refs, None, Some(&mut tds));
+        assert_eq!(tds.len(), 3);
+        let mean = tds.iter().map(|x| x.abs()).sum::<f32>() / 3.0;
+        assert!((stats.mean_td_error - mean).abs() < 1e-5);
+    }
+
+    #[test]
+    fn learns_target_env_policy() {
+        // The classic smoke test: reward peaks when action == target; a
+        // trained actor must move its action toward the target.
+        let target = vec![0.8, 0.2, 0.6];
+        let mut env = TargetEnv::new(target.clone(), 10);
+        let mut agent = Ddpg::new(tiny_cfg());
+        let mut replay = ReplayBuffer::new(10_000);
+        let mut noise = GaussianNoise::new(3, 0.4, 0.02, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+
+        let initial_action = agent.act(&env.reset());
+        let initial_dist: f32 = initial_action
+            .iter()
+            .zip(&target)
+            .map(|(a, t)| (a - t) * (a - t))
+            .sum::<f32>()
+            .sqrt();
+
+        let mut state = env.reset();
+        for step in 0..3000 {
+            let raw = agent.act(&state);
+            let action = perturb(&raw, &noise.sample(&mut rng));
+            let result = env.step(&action);
+            replay.push(Transition {
+                state: state.clone(),
+                action,
+                reward: result.reward,
+                next_state: result.next_state.clone(),
+                done: result.done,
+            });
+            state = if result.done { env.reset() } else { result.next_state };
+            if replay.len() >= 64 {
+                let batch = replay.sample(32, &mut rng);
+                let _ = agent.train_step(&batch, None, None);
+            }
+            if step % 20 == 0 {
+                noise.decay();
+            }
+        }
+        let final_action = agent.act(&env.reset());
+        let final_dist: f32 = final_action
+            .iter()
+            .zip(&target)
+            .map(|(a, t)| (a - t) * (a - t))
+            .sum::<f32>()
+            .sqrt();
+        assert!(
+            final_dist < initial_dist * 0.7 && final_dist < 0.32,
+            "policy did not move toward target: {initial_dist} -> {final_dist} ({final_action:?})"
+        );
+    }
+
+    #[test]
+    fn importance_weights_scale_gradients() {
+        let mut a1 = Ddpg::new(tiny_cfg());
+        let mut a2 = Ddpg::new(tiny_cfg());
+        let t = Transition {
+            state: vec![0.2; 3],
+            action: vec![0.5; 3],
+            reward: 2.0,
+            next_state: vec![0.2; 3],
+            done: true,
+        };
+        let refs = vec![&t];
+        let s1 = a1.train_step(&refs, Some(&[1.0]), None);
+        let s2 = a2.train_step(&refs, Some(&[0.1]), None);
+        assert!((s1.critic_loss - 10.0 * s2.critic_loss).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mismatched_state_width_panics() {
+        let mut agent = Ddpg::new(tiny_cfg());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = agent.act(&[0.0; 5]);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn random_batches_do_not_nan() {
+        let mut agent = Ddpg::new(tiny_cfg());
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let batch: Vec<Transition> = (0..16)
+                .map(|_| Transition {
+                    state: (0..3).map(|_| rng.gen()).collect(),
+                    action: (0..3).map(|_| rng.gen()).collect(),
+                    reward: rng.gen_range(-100.0..100.0),
+                    next_state: (0..3).map(|_| rng.gen()).collect(),
+                    done: rng.gen_bool(0.1),
+                })
+                .collect();
+            let refs: Vec<&Transition> = batch.iter().collect();
+            let stats = agent.train_step(&refs, None, None);
+            assert!(stats.critic_loss.is_finite());
+            assert!(stats.mean_q.is_finite());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `rl` — the reinforcement-learning substrate of the CDBTune reproduction.
+//!
+//! Provides the algorithms Sections 3–4 of the paper discuss:
+//!
+//! * [`ddpg::Ddpg`] — Deep Deterministic Policy Gradient with the paper's
+//!   Table 5 actor-critic architecture, target networks, and snapshotting
+//!   (the method CDBTune adopts),
+//! * [`per::PrioritizedReplay`] — prioritized experience replay \[38\] that
+//!   §5.1 credits with a 2× convergence speedup,
+//! * [`replay::ReplayBuffer`] — the plain experience replay memory
+//!   (§2.2.4),
+//! * [`noise`] — Ornstein–Uhlenbeck and decaying Gaussian exploration,
+//! * [`qlearning::QLearning`] and [`dqn::Dqn`] — the value-based methods
+//!   §3.3 explains cannot scale to continuous 266-dimensional actions,
+//!   kept as runnable baselines/demonstrations.
+
+#![warn(missing_docs)]
+
+pub mod ddpg;
+pub mod dqn;
+pub mod env;
+pub mod noise;
+pub mod per;
+pub mod qlearning;
+pub mod replay;
+
+pub use ddpg::{Ddpg, DdpgConfig, DdpgSnapshot, TrainStats};
+pub use dqn::{Dqn, DqnConfig};
+pub use env::{Environment, StepResult, Transition};
+pub use noise::{perturb, GaussianNoise, NoiseProcess, OrnsteinUhlenbeck};
+pub use per::{PrioritizedBatch, PrioritizedReplay};
+pub use qlearning::{discretize_state, QLearning};
+pub use replay::ReplayBuffer;

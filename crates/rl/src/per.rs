@@ -1,0 +1,282 @@
+//! Prioritized experience replay (Schaul et al. \[38\]).
+//!
+//! Section 5.1: "to improve the offline training performance, we add the
+//! method of priority experience replay to accelerate the convergence,
+//! which increases the convergence speed by a factor of two". Implemented
+//! with a sum-tree for O(log n) proportional sampling and importance
+//! weights annealed by β.
+
+use crate::env::Transition;
+use rand::Rng;
+
+/// A fixed-capacity sum-tree over priorities.
+#[derive(Debug, Clone)]
+struct SumTree {
+    /// Complete binary tree in an array; leaves start at `capacity - 1`.
+    nodes: Vec<f64>,
+    capacity: usize,
+}
+
+impl SumTree {
+    fn new(capacity: usize) -> Self {
+        Self { nodes: vec![0.0; 2 * capacity - 1], capacity }
+    }
+
+    fn total(&self) -> f64 {
+        self.nodes[0]
+    }
+
+    fn set(&mut self, leaf: usize, priority: f64) {
+        debug_assert!(leaf < self.capacity);
+        let mut idx = leaf + self.capacity - 1;
+        let delta = priority - self.nodes[idx];
+        self.nodes[idx] = priority;
+        while idx > 0 {
+            idx = (idx - 1) / 2;
+            self.nodes[idx] += delta;
+        }
+    }
+
+    fn get(&self, leaf: usize) -> f64 {
+        self.nodes[leaf + self.capacity - 1]
+    }
+
+    /// Finds the leaf whose cumulative range contains `mass`.
+    fn find(&self, mut mass: f64) -> usize {
+        let mut idx = 0;
+        while idx < self.capacity - 1 {
+            let left = 2 * idx + 1;
+            if mass <= self.nodes[left] || self.nodes[left + 1] <= 0.0 {
+                idx = left;
+            } else {
+                mass -= self.nodes[left];
+                idx = left + 1;
+            }
+        }
+        idx - (self.capacity - 1)
+    }
+}
+
+/// A batch sampled from the prioritized buffer.
+#[derive(Debug)]
+pub struct PrioritizedBatch<'a> {
+    /// The sampled transitions.
+    pub transitions: Vec<&'a Transition>,
+    /// Buffer slots of each sample (pass back to
+    /// [`PrioritizedReplay::update_priorities`]).
+    pub indices: Vec<usize>,
+    /// Importance-sampling weights, normalized to max 1.
+    pub weights: Vec<f32>,
+}
+
+/// Proportional prioritized replay buffer.
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay {
+    tree: SumTree,
+    data: Vec<Option<Transition>>,
+    write: usize,
+    len: usize,
+    alpha: f64,
+    beta: f64,
+    beta_increment: f64,
+    max_priority: f64,
+    eps: f64,
+}
+
+impl PrioritizedReplay {
+    /// Creates a buffer with prioritization exponent `alpha` (0 = uniform)
+    /// and initial IS exponent `beta` annealing toward 1.
+    pub fn new(capacity: usize, alpha: f64, beta: f64) -> Self {
+        assert!(capacity > 1, "capacity must exceed 1");
+        Self {
+            tree: SumTree::new(capacity),
+            data: vec![None; capacity],
+            write: 0,
+            len: 0,
+            alpha,
+            beta,
+            beta_increment: 1e-4,
+            max_priority: 1.0,
+            eps: 1e-3,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current β (annealed toward 1 as sampling proceeds).
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Adds a transition with the maximum seen priority (new experience is
+    /// always replayed at least once).
+    pub fn push(&mut self, t: Transition) {
+        let slot = self.write;
+        self.data[slot] = Some(t);
+        self.tree.set(slot, self.max_priority.powf(self.alpha));
+        self.write = (self.write + 1) % self.data.len();
+        self.len = (self.len + 1).min(self.data.len());
+    }
+
+    /// Samples `n` transitions proportionally to priority, with IS weights.
+    pub fn sample(&mut self, n: usize, rng: &mut impl Rng) -> PrioritizedBatch<'_> {
+        assert!(self.len > 0, "cannot sample an empty prioritized buffer");
+        let total = self.tree.total().max(1e-12);
+        let mut indices = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let segment = total / n as f64;
+        for i in 0..n {
+            let lo = segment * i as f64;
+            let mass = lo + rng.gen::<f64>() * segment;
+            let mut leaf = self.tree.find(mass.min(total - 1e-9));
+            if self.data[leaf].is_none() {
+                leaf = rng.gen_range(0..self.len);
+            }
+            let p = (self.tree.get(leaf) / total).max(1e-12);
+            let w = (self.len as f64 * p).powf(-self.beta);
+            indices.push(leaf);
+            weights.push(w as f32);
+        }
+        let max_w = weights.iter().cloned().fold(f32::MIN, f32::max).max(1e-12);
+        for w in &mut weights {
+            *w /= max_w;
+        }
+        self.beta = (self.beta + self.beta_increment).min(1.0);
+        let transitions = indices
+            .iter()
+            .map(|&i| self.data[i].as_ref().expect("sampled slot is filled"))
+            .collect();
+        PrioritizedBatch { transitions, indices, weights }
+    }
+
+    /// Updates priorities from fresh TD errors after a training step.
+    pub fn update_priorities(&mut self, indices: &[usize], td_errors: &[f32]) {
+        for (&i, &e) in indices.iter().zip(td_errors) {
+            let p = (f64::from(e.abs()) + self.eps).min(100.0);
+            self.max_priority = self.max_priority.max(p);
+            self.tree.set(i, p.powf(self.alpha));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f32) -> Transition {
+        Transition {
+            state: vec![r],
+            action: vec![0.0],
+            reward: r,
+            next_state: vec![r],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn sumtree_total_tracks_sets() {
+        let mut s = SumTree::new(8);
+        s.set(0, 3.0);
+        s.set(5, 2.0);
+        assert!((s.total() - 5.0).abs() < 1e-12);
+        s.set(0, 1.0);
+        assert!((s.total() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sumtree_find_respects_mass() {
+        let mut s = SumTree::new(4);
+        s.set(0, 1.0);
+        s.set(1, 2.0);
+        s.set(2, 3.0);
+        s.set(3, 4.0);
+        assert_eq!(s.find(0.5), 0);
+        assert_eq!(s.find(2.5), 1);
+        assert_eq!(s.find(5.0), 2);
+        assert_eq!(s.find(9.5), 3);
+    }
+
+    #[test]
+    fn high_priority_items_sampled_more() {
+        let mut buf = PrioritizedReplay::new(64, 0.6, 0.4);
+        for i in 0..64 {
+            buf.push(t(i as f32));
+        }
+        // Make item with reward 7 overwhelmingly important.
+        let mut tds = vec![0.01f32; 64];
+        tds[7] = 50.0;
+        let indices: Vec<usize> = (0..64).collect();
+        buf.update_priorities(&indices, &tds);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hot = 0;
+        for _ in 0..50 {
+            let batch = buf.sample(16, &mut rng);
+            hot += batch.transitions.iter().filter(|x| x.reward == 7.0).count();
+        }
+        assert!(hot > 300, "hot item sampled {hot}/800 times");
+    }
+
+    #[test]
+    fn weights_penalize_over_sampled_items() {
+        let mut buf = PrioritizedReplay::new(16, 1.0, 0.8);
+        for i in 0..16 {
+            buf.push(t(i as f32));
+        }
+        let mut tds = vec![0.1f32; 16];
+        tds[3] = 10.0;
+        buf.update_priorities(&(0..16).collect::<Vec<_>>(), &tds);
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = buf.sample(64, &mut rng);
+        // Weights of the hot item must be the smallest (it is over-sampled).
+        let mut hot_w = f32::MAX;
+        let mut cold_w: f32 = 0.0;
+        for (i, tr) in batch.indices.iter().zip(&batch.transitions) {
+            if *i == 3 {
+                hot_w = hot_w.min(batch.weights[batch.indices.iter().position(|x| x == i).unwrap()]);
+            }
+            let _ = tr;
+        }
+        for (pos, &i) in batch.indices.iter().enumerate() {
+            if i != 3 {
+                cold_w = cold_w.max(batch.weights[pos]);
+            }
+        }
+        assert!(hot_w < cold_w, "hot {hot_w} vs cold {cold_w}");
+        assert!(batch.weights.iter().all(|&w| w <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn beta_anneals_toward_one() {
+        let mut buf = PrioritizedReplay::new(8, 0.6, 0.4);
+        buf.push(t(0.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        let b0 = buf.beta();
+        for _ in 0..100 {
+            let _ = buf.sample(4, &mut rng);
+        }
+        assert!(buf.beta() > b0);
+        assert!(buf.beta() <= 1.0);
+    }
+
+    #[test]
+    fn wraps_at_capacity() {
+        let mut buf = PrioritizedReplay::new(4, 0.6, 0.4);
+        for i in 0..10 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let batch = buf.sample(8, &mut rng);
+        assert!(batch.transitions.iter().all(|x| x.reward >= 6.0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Tabular Q-learning (Section 3.3, Eq. 1).
+//!
+//! The paper explains why Q-learning cannot tune a DBMS: discretizing 63
+//! metrics at 100 levels each yields 100^63 states, far beyond any table.
+//! The implementation exists (a) as the didactic baseline the paper walks
+//! through, and (b) to *demonstrate* that blow-up empirically on coarse
+//! discretizations of the tuning problem.
+
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Tabular Q-learning over discretized states and enumerated actions.
+#[derive(Debug, Clone)]
+pub struct QLearning {
+    table: HashMap<(u64, usize), f64>,
+    n_actions: usize,
+    /// Learning rate α (Eq. 1; the paper sets 0.001 for deep nets, tabular
+    /// methods use larger steps).
+    pub alpha: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Exploration rate.
+    pub epsilon: f64,
+    epsilon_min: f64,
+    epsilon_decay: f64,
+}
+
+impl QLearning {
+    /// Creates an agent over `n_actions` discrete actions.
+    pub fn new(n_actions: usize, alpha: f64, gamma: f64, epsilon: f64) -> Self {
+        assert!(n_actions > 0);
+        Self {
+            table: HashMap::new(),
+            n_actions,
+            alpha,
+            gamma,
+            epsilon,
+            epsilon_min: 0.01,
+            epsilon_decay: 0.995,
+        }
+    }
+
+    /// Number of `(state, action)` entries materialized so far — the state
+    /// blow-up diagnostic (§3.3).
+    pub fn table_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Q(s, a), defaulting to 0 for unseen pairs.
+    pub fn q(&self, state: u64, action: usize) -> f64 {
+        self.table.get(&(state, action)).copied().unwrap_or(0.0)
+    }
+
+    /// ε-greedy action selection.
+    pub fn select_action(&self, state: u64, rng: &mut impl Rng) -> usize {
+        if rng.gen::<f64>() < self.epsilon {
+            rng.gen_range(0..self.n_actions)
+        } else {
+            self.greedy_action(state)
+        }
+    }
+
+    /// Purely greedy action.
+    pub fn greedy_action(&self, state: u64) -> usize {
+        (0..self.n_actions)
+            .max_by(|&a, &b| {
+                self.q(state, a)
+                    .partial_cmp(&self.q(state, b))
+                    .expect("Q values are finite")
+            })
+            .expect("non-empty action set")
+    }
+
+    /// Eq. (1): `Q(s,a) += α [r + γ max_a' Q(s',a') − Q(s,a)]`.
+    pub fn update(&mut self, state: u64, action: usize, reward: f64, next_state: u64) {
+        let best_next = (0..self.n_actions)
+            .map(|a| self.q(next_state, a))
+            .fold(f64::MIN, f64::max);
+        let entry = self.table.entry((state, action)).or_insert(0.0);
+        *entry += self.alpha * (reward + self.gamma * best_next - *entry);
+    }
+
+    /// Decays ε toward its floor.
+    pub fn decay_epsilon(&mut self) {
+        self.epsilon = (self.epsilon * self.epsilon_decay).max(self.epsilon_min);
+    }
+}
+
+/// Discretizes a normalized state vector into a table key with `levels`
+/// buckets per dimension — the encoding whose key-space explodes as
+/// `levels^dims` (the paper's 100^63 argument).
+pub fn discretize_state(state: &[f32], levels: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in state {
+        let bucket = ((x.clamp(0.0, 1.0) * levels as f32) as u64).min(u64::from(levels - 1));
+        h ^= bucket.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_a_two_state_chain() {
+        // State 0 --a1--> state 1 (reward 1); any other action: reward 0.
+        let mut agent = QLearning::new(2, 0.5, 0.9, 0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let a = agent.select_action(0, &mut rng);
+            let (r, s2) = if a == 1 { (1.0, 1) } else { (0.0, 0) };
+            agent.update(0, a, r, s2);
+        }
+        assert_eq!(agent.greedy_action(0), 1);
+        assert!(agent.q(0, 1) > agent.q(0, 0));
+    }
+
+    #[test]
+    fn epsilon_decays_to_floor() {
+        let mut agent = QLearning::new(2, 0.1, 0.9, 1.0);
+        for _ in 0..10_000 {
+            agent.decay_epsilon();
+        }
+        assert!((agent.epsilon - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discretization_is_deterministic_and_sensitive() {
+        let s1 = [0.1f32, 0.5, 0.9];
+        let s2 = [0.1f32, 0.5, 0.91];
+        assert_eq!(discretize_state(&s1, 100), discretize_state(&s1, 100));
+        assert_ne!(discretize_state(&s1, 100), discretize_state(&s2, 100));
+        // Coarse discretization merges nearby states.
+        assert_eq!(discretize_state(&s1, 2), discretize_state(&[0.2, 0.6, 0.8], 2));
+    }
+
+    #[test]
+    fn table_grows_with_distinct_states_visited() {
+        // The §3.3 blow-up in miniature: visiting fresh random states keeps
+        // adding entries — the table never generalizes.
+        let mut agent = QLearning::new(4, 0.1, 0.9, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..2000u64 {
+            let s: Vec<f32> = (0..8).map(|_| rng.gen()).collect();
+            let key = discretize_state(&s, 100);
+            agent.update(key, (i % 4) as usize, 0.1, key.wrapping_add(1));
+        }
+        assert!(
+            agent.table_size() >= 1990,
+            "virtually every random state is new: {}",
+            agent.table_size()
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Uniform experience replay memory (§2.2.4).
+//!
+//! "We will randomly extract some batches of samples each time and update
+//! the model in order to eliminate the correlations between samples" — a
+//! bounded ring buffer with uniform sampling.
+
+use crate::env::Transition;
+use rand::Rng;
+
+/// A bounded uniform-sampling replay buffer.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<Transition>,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self { capacity, data: Vec::with_capacity(capacity.min(1 << 16)), write: 0 }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds a transition, evicting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.write] = t;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Vec<&Transition> {
+        assert!(!self.data.is_empty(), "cannot sample an empty replay buffer");
+        (0..n).map(|_| &self.data[rng.gen_range(0..self.data.len())]).collect()
+    }
+
+    /// Iterates over stored transitions (oldest-first is not guaranteed).
+    pub fn iter(&self) -> impl Iterator<Item = &Transition> {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f32) -> Transition {
+        Transition {
+            state: vec![r],
+            action: vec![0.0],
+            reward: r,
+            next_state: vec![r + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(t(i as f32));
+        }
+        assert_eq!(b.len(), 3);
+        let rewards: Vec<f32> = b.iter().map(|x| x.reward).collect();
+        // 0 and 1 were overwritten by 3 and 4.
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0) && rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..4 {
+            b.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(b.sample(32, &mut rng).len(), 32);
+    }
+
+    #[test]
+    fn sampling_covers_the_buffer() {
+        let mut b = ReplayBuffer::new(16);
+        for i in 0..16 {
+            b.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for s in b.sample(500, &mut rng) {
+            seen.insert(s.reward as i32);
+        }
+        assert!(seen.len() >= 14, "uniform sampling should hit most slots: {}", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay buffer")]
+    fn sampling_empty_panics() {
+        let b = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = b.sample(1, &mut rng);
+    }
+}

@@ -1,0 +1,60 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated DBMS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimDbError {
+    /// The instance crashed. The paper observes this when
+    /// `innodb_log_files_in_group * innodb_log_file_size` exceeds the disk
+    /// capacity (§5.2.3); the tuner is expected to punish it with a large
+    /// negative reward rather than clamp the knob ranges.
+    Crash {
+        /// Human-readable crash reason.
+        reason: String,
+    },
+    /// A knob name is unknown to the active registry.
+    UnknownKnob {
+        /// The offending knob name.
+        name: String,
+    },
+    /// A knob value is outside its declared domain.
+    InvalidKnobValue {
+        /// The offending knob name.
+        name: String,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A knob is blacklisted (path names, dangerous toggles — §5.2).
+    BlacklistedKnob {
+        /// The offending knob name.
+        name: String,
+    },
+    /// An operation referenced a table that does not exist.
+    UnknownTable {
+        /// The offending table id.
+        table: usize,
+    },
+    /// The engine must be restarted before serving (e.g. after a crash).
+    NotRunning,
+}
+
+impl fmt::Display for SimDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimDbError::Crash { reason } => write!(f, "instance crashed: {reason}"),
+            SimDbError::UnknownKnob { name } => write!(f, "unknown knob: {name}"),
+            SimDbError::InvalidKnobValue { name, detail } => {
+                write!(f, "invalid value for knob {name}: {detail}")
+            }
+            SimDbError::BlacklistedKnob { name } => write!(f, "knob {name} is blacklisted"),
+            SimDbError::UnknownTable { table } => write!(f, "unknown table id {table}"),
+            SimDbError::NotRunning => write!(f, "instance is not running (restart required)"),
+        }
+    }
+}
+
+impl std::error::Error for SimDbError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SimDbError>;

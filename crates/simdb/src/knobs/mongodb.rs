@@ -1,0 +1,310 @@
+//! The MongoDB-flavored knob registry: 232 tunable knobs (Appendix C.3 tunes
+//! 232 knobs for MongoDB).
+//!
+//! WiredTiger's cache maps onto the buffer pool, the journal onto the redo
+//! log, and ticket counts onto thread concurrency, so the same engine serves
+//! this flavor too.
+
+use super::effects::EffectProfile;
+use super::mysql::tail_def;
+use super::{KnobDef, KnobRegistry, KnobType, KnobValue};
+use crate::hardware::HardwareConfig;
+use std::sync::Arc;
+
+/// Total knob count of the MongoDB flavor.
+pub const MONGODB_KNOB_COUNT: usize = 232;
+
+/// Well-known structural knob names (mongod parameter spellings).
+pub mod names {
+    #![allow(missing_docs)]
+    pub const WT_CACHE_SIZE: &str = "wiredTigerCacheSizeGB_bytes";
+    pub const JOURNAL_COMMIT_INTERVAL: &str = "journalCommitInterval";
+    pub const WT_MAX_FILE_SIZE: &str = "wiredTigerMaxFileSize_bytes";
+    pub const WT_JOURNAL_FILES: &str = "wiredTigerJournalFiles";
+    pub const WT_READ_TICKETS: &str = "wiredTigerConcurrentReadTransactions";
+    pub const WT_WRITE_TICKETS: &str = "wiredTigerConcurrentWriteTransactions";
+    pub const SYNC_PERIOD_SECS: &str = "syncPeriodSecs";
+    pub const MAX_INCOMING_CONNECTIONS: &str = "maxIncomingConnections";
+    pub const WT_EVICTION_TRIGGER: &str = "wiredTigerEvictionTrigger";
+    pub const INTERNAL_QUERY_EXEC_BATCH: &str = "internalQueryExecYieldIterations";
+    pub const CURSOR_TIMEOUT_MS: &str = "cursorTimeoutMillis";
+}
+
+const MB: i64 = 1 << 20;
+const GB: i64 = 1 << 30;
+
+fn structural_defs(hw: &HardwareConfig) -> Vec<KnobDef> {
+    use names::*;
+    let ram = hw.ram_bytes() as i64;
+    let s = EffectProfile::Structural;
+    let int = |name: &str, min: i64, max: i64, default: i64, log: bool, e: EffectProfile| KnobDef {
+        name: name.to_string(),
+        ktype: KnobType::Integer { min, max, log_scale: log },
+        default: KnobValue::Int(default),
+        blacklisted: false,
+        effect: e,
+    };
+    vec![
+        int(WT_CACHE_SIZE, 256 * MB, (ram as f64 * 1.1) as i64, ram / 2, false, s.clone()),
+        int(JOURNAL_COMMIT_INTERVAL, 1, 500, 100, false, s.clone()),
+        int(WT_MAX_FILE_SIZE, 16 * MB, 8 * GB, 100 * MB, true, s.clone()),
+        int(WT_JOURNAL_FILES, 2, 16, 2, false, s.clone()),
+        int(WT_READ_TICKETS, 1, 512, 128, false, s.clone()),
+        int(WT_WRITE_TICKETS, 1, 512, 128, false, s.clone()),
+        int(SYNC_PERIOD_SECS, 1, 300, 60, false, s.clone()),
+        int(MAX_INCOMING_CONNECTIONS, 100, 65_536, 65_536, true, s.clone()),
+        KnobDef {
+            name: WT_EVICTION_TRIGGER.to_string(),
+            ktype: KnobType::Float { min: 50.0, max: 99.0 },
+            default: KnobValue::Float(95.0),
+            blacklisted: false,
+            effect: s.clone(),
+        },
+        int(INTERNAL_QUERY_EXEC_BATCH, 1, 10_000, 128, true, s.clone()),
+        int(CURSOR_TIMEOUT_MS, 1000, 3_600_000, 600_000, true, s),
+    ]
+}
+
+/// Real mongod parameter names forming the tail.
+const TAIL_NAMES: &[&str] = &[
+    "allowDiskUseByDefault",
+    "clusterAuthMode",
+    "connPoolMaxConnsPerHost",
+    "connPoolMaxInUseConnsPerHost",
+    "cursorTimeoutMillisForViews",
+    "diagnosticDataCollectionDirectorySizeMB",
+    "diagnosticDataCollectionEnabled",
+    "diagnosticDataCollectionFileSizeMB",
+    "diagnosticDataCollectionPeriodMillis",
+    "diagnosticDataCollectionSamplesPerChunk",
+    "diagnosticDataCollectionSamplesPerInterimUpdate",
+    "disableJavaScriptJIT",
+    "disableLogicalSessionCacheRefresh",
+    "enableFlowControl",
+    "enableLocalhostAuthBypass",
+    "enableShardedIndexConsistencyCheck",
+    "enableTestCommands",
+    "flowControlMaxSamples",
+    "flowControlMinTicketsPerSecond",
+    "flowControlSamplePeriod",
+    "flowControlTargetLagSeconds",
+    "flowControlThresholdLagPercentage",
+    "flowControlTicketAdderConstant",
+    "flowControlTicketMultiplierConstant",
+    "flowControlWarnThresholdSeconds",
+    "internalDocumentSourceCursorBatchSizeBytes",
+    "internalDocumentSourceGroupMaxMemoryBytes",
+    "internalDocumentSourceLookupCacheSizeBytes",
+    "internalDocumentSourceSortMaxBlockingSortBytes",
+    "internalGeoNearQuery2DMaxCoveringCells",
+    "internalGeoPredicateQuery2DMaxCoveringCells",
+    "internalInsertMaxBatchSize",
+    "internalPipelineLengthLimit",
+    "internalQueryAlwaysMergeOnPrimaryShard",
+    "internalQueryCacheEvictionRatio",
+    "internalQueryCacheFeedbacksStored",
+    "internalQueryCacheMaxEntriesPerCollection",
+    "internalQueryEnumerationMaxIntersectPerAnd",
+    "internalQueryEnumerationMaxOrSolutions",
+    "internalQueryExecMaxBlockingSortBytes",
+    "internalQueryExecYieldPeriodMS",
+    "internalQueryFacetBufferSizeBytes",
+    "internalQueryForceIntersectionPlans",
+    "internalQueryMaxScansToExplode",
+    "internalQueryPlanEvaluationCollFraction",
+    "internalQueryPlanEvaluationMaxResults",
+    "internalQueryPlanEvaluationWorks",
+    "internalQueryPlanOrChildrenIndependently",
+    "internalQueryPlannerEnableHashIntersection",
+    "internalQueryPlannerEnableIndexIntersection",
+    "internalQueryPlannerMaxIndexedSolutions",
+    "internalQueryProhibitBlockingMergeOnMongoS",
+    "internalQueryS2GeoCoarsestLevel",
+    "internalQueryS2GeoFinestLevel",
+    "internalQueryS2GeoMaxCells",
+    "internalScanAndOrderMaxBlockingSortBytes",
+    "internalValidateFeaturesAsMaster",
+    "journalCompressor",
+    "ttlMonitorEnabled",
+    "ttlMonitorSleepSecs",
+    "waitForSecondaryBeforeNoopWriteMS",
+    "watchdogPeriodSeconds",
+    "wiredTigerCheckpointDelaySecs",
+    "wiredTigerCursorCacheSize",
+    "wiredTigerDirectoryForIndexes",
+    "wiredTigerEngineRuntimeConfig_evict_min",
+    "wiredTigerEngineRuntimeConfig_evict_max",
+    "wiredTigerFileHandleCloseIdleTime",
+    "wiredTigerFileHandleCloseMinimum",
+    "wiredTigerFileHandleCloseScanInterval",
+    "wiredTigerSessionCloseIdleTimeSecs",
+    "logLevel",
+    "logComponentVerbosityQuery",
+    "logComponentVerbosityStorage",
+    "logComponentVerbosityWrite",
+    "maxLogSizeKB",
+    "quiet",
+    "redactClientLogData",
+    "traceExceptions",
+    "operationProfilingSlowOpThresholdMs",
+    "operationProfilingSlowOpSampleRate",
+    "notablescan",
+    "syncdelay_jitter",
+    "tcmallocMaxTotalThreadCacheBytes",
+    "tcmallocAggressiveMemoryDecommit",
+    "tcmallocReleaseRate",
+    "taskExecutorPoolSize",
+    "replBatchLimitBytes",
+    "replBatchLimitOperations",
+    "replWriterThreadCount",
+    "replIndexPrefetch",
+    "rollbackTimeLimitSecs",
+    "initialSyncTransientErrorRetryPeriodSeconds",
+    "oplogInitialFindMaxSeconds",
+    "oplogFetcherSteadyStateMaxFetcherRestarts",
+    "collectionClonerBatchSize",
+    "clonerMaxBatchSizeBytes",
+    "migrateCloneInsertionBatchSize",
+    "migrateCloneInsertionBatchDelayMS",
+    "rangeDeleterBatchSize",
+    "rangeDeleterBatchDelayMS",
+    "orphanCleanupDelaySecs",
+    "shardingTaskExecutorPoolMaxSize",
+    "shardingTaskExecutorPoolMinSize",
+    "shardingTaskExecutorPoolRefreshTimeoutMS",
+    "shardingTaskExecutorPoolHostTimeoutMS",
+    "chunkMigrationConcurrency",
+    "maxCatchUpPercentageBeforeBlockingWrites",
+    "mirrorReadsSamplingRate",
+    "maxNumSyncSourceChangesPerHour",
+    "enableOverflowIndexBuild",
+    "indexBuildMinAvailableDiskSpaceMB",
+    "maxIndexBuildMemoryUsageMegabytes",
+    "indexMaxNumGeneratedKeysPerDocument",
+    "storageGlobalParams_directoryperdb",
+    "honorSystemUmask",
+    "journalSizeMB",
+    "nssize",
+    "syncdelay_floor",
+    "timeseriesBucketMaxCount",
+    "timeseriesBucketMaxSize",
+    "timeseriesIdleBucketExpiryMemoryUsageThreshold",
+    "transactionLifetimeLimitSeconds",
+    "transactionSizeLimitBytes",
+    "maxTransactionLockRequestTimeoutMillis",
+    "periodicNoopIntervalSecs",
+    "writePeriodicNoops",
+    "scramIterationCount",
+    "scramSHA256IterationCount",
+    "saslauthdPath_enabled",
+    "authFailedDelayMs",
+    "allowRolesFromX509Certificates",
+    "auditAuthorizationSuccess",
+    "filterAllowList_enabled",
+    "featureCompatibilityVersionCheck",
+    "minSnapshotHistoryWindowInSeconds",
+    "checkpointIntervalMB",
+    "queryMemoryLimitMB",
+    "batchedDeletesTargetBatchDocs",
+    "batchedDeletesTargetBatchTimeMS",
+    "batchedDeletesTargetStagedDocBytes",
+    "deleteOneWithoutShardKeyTimeoutMS",
+    "connPoolMaxShardedConnsPerHost",
+    "connPoolMaxShardedInUseConnsPerHost",
+    "globalConnPoolIdleTimeoutMinutes",
+    "shardedConnPoolIdleTimeoutMinutes",
+    "httpVerboseLogging",
+    "ipv6_enabled",
+    "listenBacklog",
+    "maxAcceptableLogicalClockDriftSecs",
+    "maxSessions",
+    "serviceExecutorReservedThreads",
+    "syncSourceSelectionTimeoutMS",
+    "heartbeatIntervalMs",
+    "heartbeatTimeoutSecs",
+    "electionTimeoutMillis",
+    "catchUpTimeoutMillis",
+    "priorityTakeoverFreshnessWindowSeconds",
+    "newlyAddedRemovalDelayMS",
+    "slaveDelaySecs",
+    "oplogMinRetentionHours",
+    "storageEngineConcurrentCompactions",
+    "compactionThroughputMBPerSec",
+    "cacheEvictionDirtyTarget",
+    "cacheEvictionDirtyTrigger",
+    "cacheEvictionUpdatesTarget",
+    "cacheEvictionUpdatesTrigger",
+    "sessionMaxBatchSize",
+    "sessionWriteConcernTimeoutSystemMillis",
+    "skipShardingConfigurationChecks",
+    "readHedgingMode",
+    "maxTimeMSForHedgedReads",
+    "loadRoutingTableOnStartup",
+    "warmMinConnectionsInShardingTaskExecutorPoolOnStartup",
+    "routerExitAfterCoreDump",
+    "bsonObjectMaxUserSize",
+    "bsonDepthLimit",
+    "documentUnwindBatchSize",
+    "aggregateOperationResourceConsumptionMetricsEnabled",
+    "profileOperationResourceConsumptionMetrics",
+    "lockCodeSegmentsInMemory",
+    "reportOpWriteConcernCountersInServerStatus",
+    "diagnosticLogging_enabled",
+    "exitAfterRepair",
+    "recoverFromOplogAsStandalone",
+    "takeUnstableCheckpointOnShutdown",
+    "setParameterAtStartupOnly",
+    "slowConnectionThresholdMillis",
+    "tcpFastOpenServer",
+    "tcpFastOpenClient",
+    "tcpFastOpenQueueSize",
+    "keepAliveIntervalSecs",
+];
+
+/// Builds the full 232-knob MongoDB registry.
+pub fn mongodb_registry(hw: &HardwareConfig) -> Arc<KnobRegistry> {
+    let mut defs = structural_defs(hw);
+    let structural_count = defs.len();
+    for (i, name) in TAIL_NAMES.iter().enumerate() {
+        if defs.len() >= MONGODB_KNOB_COUNT {
+            break;
+        }
+        defs.push(tail_def(name, structural_count + i, structural_count));
+    }
+    let mut i = 0;
+    while defs.len() < MONGODB_KNOB_COUNT {
+        let name = format!("cdb_mongo_ext_tuning_param_{i:02}");
+        defs.push(tail_def(&name, defs.len(), structural_count));
+        i += 1;
+    }
+    defs.truncate(MONGODB_KNOB_COUNT);
+    Arc::new(KnobRegistry::new(defs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_exactly_232_knobs() {
+        let r = mongodb_registry(&HardwareConfig::cdb_e());
+        assert_eq!(r.len(), MONGODB_KNOB_COUNT);
+    }
+
+    #[test]
+    fn structural_names_resolve() {
+        let r = mongodb_registry(&HardwareConfig::cdb_e());
+        for n in [names::WT_CACHE_SIZE, names::JOURNAL_COMMIT_INTERVAL, names::WT_READ_TICKETS] {
+            assert!(r.def(n).is_some(), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn flavors_have_distinct_counts() {
+        use crate::knobs::mysql::MYSQL_KNOB_COUNT;
+        use crate::knobs::postgres::POSTGRES_KNOB_COUNT;
+        // Paper ordering: MySQL 266 > MongoDB 232 > Postgres 169.
+        let counts = [MYSQL_KNOB_COUNT, MONGODB_KNOB_COUNT, POSTGRES_KNOB_COUNT];
+        assert!(counts.windows(2).all(|w| w[0] > w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,637 @@
+//! The MySQL-flavored (CDB) knob registry: 266 tunable knobs, the maximum
+//! the paper's DBAs use to tune CDB (§5.2).
+//!
+//! Roughly 30 knobs are *structural*: the engine components and cost model
+//! consume them directly by name (buffer pool sizing, redo log geometry,
+//! flush policy, I/O thread counts, per-connection buffers, …). The long
+//! tail is real MySQL 5.6/5.7 system variables plus a `cdb_ext_*` vendor
+//! family mirroring how cloud forks (Tencent CDB among them) extend the
+//! catalogue; tail knobs carry small deterministic [`EffectProfile`]s so the
+//! surface stays nonlinear without any single minor knob mattering much.
+
+use super::effects::{CostComponent, EffectProfile};
+use super::{KnobDef, KnobRegistry, KnobType, KnobValue};
+use crate::hardware::HardwareConfig;
+use std::sync::Arc;
+
+/// Total knob count of the MySQL/CDB flavor (Figure 1(c), version 7.0).
+pub const MYSQL_KNOB_COUNT: usize = 266;
+
+/// Well-known structural knob names consumed by the engine and cost model.
+pub mod names {
+    #![allow(missing_docs)]
+    pub const BUFFER_POOL_SIZE: &str = "innodb_buffer_pool_size";
+    pub const LOG_FILE_SIZE: &str = "innodb_log_file_size";
+    pub const LOG_FILES_IN_GROUP: &str = "innodb_log_files_in_group";
+    pub const LOG_BUFFER_SIZE: &str = "innodb_log_buffer_size";
+    pub const FLUSH_LOG_AT_TRX_COMMIT: &str = "innodb_flush_log_at_trx_commit";
+    pub const READ_IO_THREADS: &str = "innodb_read_io_threads";
+    pub const WRITE_IO_THREADS: &str = "innodb_write_io_threads";
+    pub const PURGE_THREADS: &str = "innodb_purge_threads";
+    pub const THREAD_CONCURRENCY: &str = "innodb_thread_concurrency";
+    pub const IO_CAPACITY: &str = "innodb_io_capacity";
+    pub const LOCK_WAIT_TIMEOUT: &str = "innodb_lock_wait_timeout";
+    pub const MAX_CONNECTIONS: &str = "max_connections";
+    pub const SORT_BUFFER_SIZE: &str = "sort_buffer_size";
+    pub const JOIN_BUFFER_SIZE: &str = "join_buffer_size";
+    pub const READ_BUFFER_SIZE: &str = "read_buffer_size";
+    pub const READ_RND_BUFFER_SIZE: &str = "read_rnd_buffer_size";
+    pub const TMP_TABLE_SIZE: &str = "tmp_table_size";
+    pub const MAX_DIRTY_PAGES_PCT: &str = "innodb_max_dirty_pages_pct";
+    pub const ADAPTIVE_HASH_INDEX: &str = "innodb_adaptive_hash_index";
+    pub const SYNC_BINLOG: &str = "sync_binlog";
+    pub const DOUBLEWRITE: &str = "innodb_doublewrite";
+    pub const FLUSH_METHOD: &str = "innodb_flush_method";
+    pub const QUERY_CACHE_SIZE: &str = "query_cache_size";
+    pub const QUERY_CACHE_TYPE: &str = "query_cache_type";
+    pub const TABLE_OPEN_CACHE: &str = "table_open_cache";
+    pub const THREAD_CACHE_SIZE: &str = "thread_cache_size";
+    pub const FLUSH_NEIGHBORS: &str = "innodb_flush_neighbors";
+    pub const LRU_SCAN_DEPTH: &str = "innodb_lru_scan_depth";
+    pub const CHANGE_BUFFERING: &str = "innodb_change_buffering";
+    pub const SPIN_WAIT_DELAY: &str = "innodb_spin_wait_delay";
+    pub const BINLOG_CACHE_SIZE: &str = "binlog_cache_size";
+    pub const FILE_PER_TABLE: &str = "innodb_file_per_table";
+    pub const MAX_BINLOG_SIZE: &str = "max_binlog_size";
+    pub const SKIP_NAME_RESOLVE: &str = "skip_name_resolve";
+}
+
+const MB: i64 = 1 << 20;
+const GB: i64 = 1 << 30;
+
+fn int(
+    name: &str,
+    min: i64,
+    max: i64,
+    default: i64,
+    log_scale: bool,
+    effect: EffectProfile,
+) -> KnobDef {
+    KnobDef {
+        name: name.to_string(),
+        ktype: KnobType::Integer { min, max, log_scale },
+        default: KnobValue::Int(default),
+        blacklisted: false,
+        effect,
+    }
+}
+
+fn boolean(name: &str, default: bool, effect: EffectProfile) -> KnobDef {
+    KnobDef {
+        name: name.to_string(),
+        ktype: KnobType::Bool,
+        default: KnobValue::Bool(default),
+        blacklisted: false,
+        effect,
+    }
+}
+
+fn enumeration(name: &str, variants: &[&str], default: usize, effect: EffectProfile) -> KnobDef {
+    KnobDef {
+        name: name.to_string(),
+        ktype: KnobType::Enum { variants: variants.iter().map(|s| s.to_string()).collect() },
+        default: KnobValue::Enum(default),
+        blacklisted: false,
+        effect,
+    }
+}
+
+/// Builds the structural + important knob definitions.
+///
+/// Ranges that depend on instance size (buffer pool, redo log) are derived
+/// from `hw`; ranges deliberately extend past the "safe" region so the tuner
+/// can (and during early training will) wander into the swap cliff and the
+/// redo-log crash region the paper describes in §5.2.3.
+fn structural_defs(hw: &HardwareConfig) -> Vec<KnobDef> {
+    use names::*;
+    let ram = hw.ram_bytes() as i64;
+    let s = EffectProfile::Structural;
+    vec![
+        // Linear axis: the useful range is the upper half (the paper's agent
+        // also scales knobs linearly into [0, 1]); a log axis would compress
+        // exactly the region where the optimum lives.
+        int(BUFFER_POOL_SIZE, 64 * MB, (ram as f64 * 1.1) as i64, 128 * MB, false, s.clone()),
+        int(LOG_FILE_SIZE, 4 * MB, 8 * GB, 48 * MB, true, s.clone()),
+        int(LOG_FILES_IN_GROUP, 2, 16, 2, false, s.clone()),
+        int(LOG_BUFFER_SIZE, MB, 512 * MB, 8 * MB, true, s.clone()),
+        enumeration(FLUSH_LOG_AT_TRX_COMMIT, &["0", "1", "2"], 1, s.clone()),
+        int(READ_IO_THREADS, 1, 64, 4, false, s.clone()),
+        int(WRITE_IO_THREADS, 1, 64, 4, false, s.clone()),
+        int(PURGE_THREADS, 1, 32, 1, false, s.clone()),
+        int(THREAD_CONCURRENCY, 0, 512, 0, false, s.clone()),
+        int(IO_CAPACITY, 100, 20_000, 200, true, s.clone()),
+        int(LOCK_WAIT_TIMEOUT, 1, 300, 50, false, s.clone()),
+        int(MAX_CONNECTIONS, 100, 10_000, 151, true, s.clone()),
+        int(SORT_BUFFER_SIZE, 32 * 1024, 64 * MB, 256 * 1024, true, s.clone()),
+        int(JOIN_BUFFER_SIZE, 32 * 1024, 64 * MB, 256 * 1024, true, s.clone()),
+        int(READ_BUFFER_SIZE, 8 * 1024, 16 * MB, 128 * 1024, true, s.clone()),
+        int(READ_RND_BUFFER_SIZE, 8 * 1024, 16 * MB, 256 * 1024, true, s.clone()),
+        int(TMP_TABLE_SIZE, MB, 512 * MB, 16 * MB, true, s.clone()),
+        int(MAX_DIRTY_PAGES_PCT, 5, 90, 75, false, s.clone()),
+        boolean(ADAPTIVE_HASH_INDEX, true, s.clone()),
+        int(SYNC_BINLOG, 0, 1000, 0, false, s.clone()),
+        boolean(DOUBLEWRITE, true, s.clone()),
+        enumeration(FLUSH_METHOD, &["fsync", "O_DSYNC", "O_DIRECT"], 0, s.clone()),
+        int(QUERY_CACHE_SIZE, 0, 512 * MB, 0, false, s.clone()),
+        enumeration(QUERY_CACHE_TYPE, &["OFF", "ON", "DEMAND"], 0, s.clone()),
+        int(TABLE_OPEN_CACHE, 64, 10_000, 2000, true, s.clone()),
+        int(THREAD_CACHE_SIZE, 0, 1000, 9, false, s.clone()),
+        enumeration(FLUSH_NEIGHBORS, &["0", "1", "2"], 1, s.clone()),
+        int(LRU_SCAN_DEPTH, 100, 8192, 1024, true, s.clone()),
+        enumeration(
+            CHANGE_BUFFERING,
+            &["none", "inserts", "deletes", "changes", "purges", "all"],
+            5,
+            s.clone(),
+        ),
+        int(SPIN_WAIT_DELAY, 0, 60, 6, false, s.clone()),
+        int(BINLOG_CACHE_SIZE, 4 * 1024, 16 * MB, 32 * 1024, true, s.clone()),
+        // Knobs the paper calls out as matching DBA advice with no perf
+        // impact in the simulator (§5.2.3).
+        boolean(FILE_PER_TABLE, true, EffectProfile::None),
+        int(MAX_BINLOG_SIZE, 4 * MB, GB, GB, true, EffectProfile::None),
+        boolean(SKIP_NAME_RESOLVE, false, EffectProfile::None),
+    ]
+}
+
+/// Real MySQL 5.6/5.7 system-variable names forming the realistic tail.
+const TAIL_NAMES: &[&str] = &[
+    "autocommit",
+    "automatic_sp_privileges",
+    "back_log",
+    "big_tables",
+    "binlog_checksum",
+    "binlog_format",
+    "binlog_order_commits",
+    "binlog_row_image",
+    "binlog_rows_query_log_events",
+    "binlog_stmt_cache_size",
+    "bulk_insert_buffer_size",
+    "completion_type",
+    "concurrent_insert",
+    "connect_timeout",
+    "default_week_format",
+    "delay_key_write",
+    "delayed_insert_limit",
+    "delayed_insert_timeout",
+    "delayed_queue_size",
+    "div_precision_increment",
+    "end_markers_in_json",
+    "eq_range_index_dive_limit",
+    "event_scheduler",
+    "expire_logs_days",
+    "explicit_defaults_for_timestamp",
+    "flush",
+    "flush_time",
+    "ft_boolean_syntax_weight",
+    "ft_max_word_len",
+    "ft_min_word_len",
+    "ft_query_expansion_limit",
+    "general_log",
+    "group_concat_max_len",
+    "host_cache_size",
+    "innodb_adaptive_flushing",
+    "innodb_adaptive_flushing_lwm",
+    "innodb_adaptive_hash_index_parts",
+    "innodb_adaptive_max_sleep_delay",
+    "innodb_api_bk_commit_interval",
+    "innodb_api_disable_rowlock",
+    "innodb_api_enable_binlog",
+    "innodb_api_enable_mdl",
+    "innodb_api_trx_level",
+    "innodb_autoextend_increment",
+    "innodb_autoinc_lock_mode",
+    "innodb_buffer_pool_dump_at_shutdown",
+    "innodb_buffer_pool_dump_now",
+    "innodb_buffer_pool_dump_pct",
+    "innodb_buffer_pool_instances",
+    "innodb_buffer_pool_load_abort",
+    "innodb_buffer_pool_load_at_startup",
+    "innodb_buffer_pool_load_now",
+    "innodb_checksum_algorithm",
+    "innodb_cmp_per_index_enabled",
+    "innodb_commit_concurrency",
+    "innodb_compression_failure_threshold_pct",
+    "innodb_compression_level",
+    "innodb_compression_pad_pct_max",
+    "innodb_concurrency_tickets",
+    "innodb_deadlock_detect",
+    "innodb_disable_sort_file_cache",
+    "innodb_fast_shutdown",
+    "innodb_fill_factor",
+    "innodb_flush_log_at_timeout",
+    "innodb_flush_sync",
+    "innodb_flushing_avg_loops",
+    "innodb_ft_cache_size",
+    "innodb_ft_enable_diag_print",
+    "innodb_ft_enable_stopword",
+    "innodb_ft_max_token_size",
+    "innodb_ft_min_token_size",
+    "innodb_ft_num_word_optimize",
+    "innodb_ft_result_cache_limit",
+    "innodb_ft_sort_pll_degree",
+    "innodb_ft_total_cache_size",
+    "innodb_io_capacity_max",
+    "innodb_large_prefix",
+    "innodb_lock_schedule_algorithm",
+    "innodb_log_checksum_algorithm",
+    "innodb_log_compressed_pages",
+    "innodb_log_write_ahead_size",
+    "innodb_max_dirty_pages_pct_lwm",
+    "innodb_max_purge_lag",
+    "innodb_max_purge_lag_delay",
+    "innodb_max_undo_log_size",
+    "innodb_monitor_disable",
+    "innodb_monitor_enable",
+    "innodb_old_blocks_pct",
+    "innodb_old_blocks_time",
+    "innodb_online_alter_log_max_size",
+    "innodb_open_files",
+    "innodb_optimize_fulltext_only",
+    "innodb_page_cleaners",
+    "innodb_print_all_deadlocks",
+    "innodb_purge_batch_size",
+    "innodb_purge_rseg_truncate_frequency",
+    "innodb_random_read_ahead",
+    "innodb_read_ahead_threshold",
+    "innodb_replication_delay",
+    "innodb_rollback_on_timeout",
+    "innodb_rollback_segments",
+    "innodb_sort_buffer_size",
+    "innodb_stats_auto_recalc",
+    "innodb_stats_method",
+    "innodb_stats_on_metadata",
+    "innodb_stats_persistent",
+    "innodb_stats_persistent_sample_pages",
+    "innodb_stats_sample_pages",
+    "innodb_stats_transient_sample_pages",
+    "innodb_status_output",
+    "innodb_status_output_locks",
+    "innodb_strict_mode",
+    "innodb_support_xa",
+    "innodb_sync_array_size",
+    "innodb_sync_spin_loops",
+    "innodb_table_locks",
+    "innodb_thread_sleep_delay",
+    "innodb_undo_log_truncate",
+    "innodb_undo_logs",
+    "innodb_use_native_aio",
+    "interactive_timeout",
+    "join_buffer_space_limit",
+    "keep_files_on_create",
+    "key_buffer_size",
+    "key_cache_age_threshold",
+    "key_cache_block_size",
+    "key_cache_division_limit",
+    "lc_time_names_cache",
+    "local_infile",
+    "lock_wait_timeout",
+    "log_bin_trust_function_creators",
+    "log_output",
+    "log_queries_not_using_indexes",
+    "log_slave_updates",
+    "log_slow_admin_statements",
+    "log_slow_slave_statements",
+    "log_throttle_queries_not_using_indexes",
+    "log_warnings",
+    "long_query_time",
+    "low_priority_updates",
+    "master_info_repository",
+    "master_verify_checksum",
+    "max_allowed_packet",
+    "max_binlog_cache_size",
+    "max_binlog_stmt_cache_size",
+    "max_connect_errors",
+    "max_delayed_threads",
+    "max_digest_length",
+    "max_error_count",
+    "max_heap_table_size",
+    "max_insert_delayed_threads",
+    "max_join_size",
+    "max_length_for_sort_data",
+    "max_points_in_geometry",
+    "max_prepared_stmt_count",
+    "max_relay_log_size",
+    "max_seeks_for_key",
+    "max_sort_length",
+    "max_sp_recursion_depth",
+    "max_tmp_tables",
+    "max_user_connections",
+    "max_write_lock_count",
+    "metadata_locks_cache_size",
+    "metadata_locks_hash_instances",
+    "min_examined_row_limit",
+    "multi_range_count",
+    "mysql_native_password_proxy_users",
+    "net_buffer_length",
+    "net_read_timeout",
+    "net_retry_count",
+    "net_write_timeout",
+    "ngram_token_size",
+    "offline_mode",
+    "old_passwords",
+    "open_files_limit",
+    "optimizer_prune_level",
+    "optimizer_search_depth",
+    "optimizer_trace_limit",
+    "optimizer_trace_max_mem_size",
+    "optimizer_trace_offset",
+    "parser_max_mem_size",
+    "performance_schema_accounts_size",
+    "performance_schema_digests_size",
+    "performance_schema_events_stages_history_size",
+    "performance_schema_events_statements_history_size",
+    "performance_schema_events_transactions_history_size",
+    "performance_schema_events_waits_history_size",
+    "performance_schema_hosts_size",
+    "performance_schema_max_cond_classes",
+    "performance_schema_max_cond_instances",
+    "performance_schema_max_digest_length",
+    "performance_schema_max_file_classes",
+    "performance_schema_max_file_handles",
+    "performance_schema_max_file_instances",
+    "performance_schema_max_index_stat",
+    "performance_schema_max_memory_classes",
+    "performance_schema_max_metadata_locks",
+    "performance_schema_max_mutex_classes",
+    "performance_schema_max_mutex_instances",
+    "performance_schema_max_prepared_statements_instances",
+    "performance_schema_max_program_instances",
+    "performance_schema_max_rwlock_classes",
+    "performance_schema_max_rwlock_instances",
+    "performance_schema_max_socket_classes",
+    "performance_schema_max_socket_instances",
+    "performance_schema_max_sql_text_length",
+    "performance_schema_max_stage_classes",
+    "performance_schema_max_statement_classes",
+    "performance_schema_max_statement_stack",
+    "performance_schema_max_table_handles",
+    "performance_schema_max_table_instances",
+    "performance_schema_max_table_lock_stat",
+    "performance_schema_max_thread_classes",
+    "performance_schema_max_thread_instances",
+    "performance_schema_session_connect_attrs_size",
+    "performance_schema_setup_actors_size",
+    "performance_schema_setup_objects_size",
+    "performance_schema_users_size",
+    "preload_buffer_size",
+    "profiling_history_size",
+    "query_alloc_block_size",
+    "query_cache_limit",
+    "query_cache_min_res_unit",
+    "query_cache_wlock_invalidate",
+    "query_prealloc_size",
+    "range_alloc_block_size",
+    "range_optimizer_max_mem_size",
+    "relay_log_info_repository",
+    "relay_log_purge",
+    "relay_log_recovery",
+    "relay_log_space_limit",
+    "rpl_stop_slave_timeout",
+    "session_track_gtids",
+    "session_track_schema",
+    "session_track_state_change",
+    "show_compatibility_56",
+    "show_old_temporals",
+    "slave_checkpoint_group",
+    "slave_checkpoint_period",
+    "slave_compressed_protocol",
+    "slave_max_allowed_packet",
+    "slave_net_timeout",
+    "slave_parallel_workers",
+    "slave_pending_jobs_size_max",
+    "slave_transaction_retries",
+    "slow_launch_time",
+    "slow_query_log",
+    "sql_auto_is_null",
+    "sql_big_selects",
+    "sql_buffer_result",
+    "sql_log_off",
+    "sql_notes",
+    "sql_quote_show_create",
+    "sql_safe_updates",
+    "sql_select_limit",
+    "sql_slave_skip_counter",
+    "sql_warnings",
+    "stored_program_cache",
+    "sync_frm",
+    "sync_master_info",
+    "sync_relay_log",
+    "sync_relay_log_info",
+    "table_definition_cache",
+    "table_open_cache_instances",
+    "thread_stack",
+    "transaction_alloc_block_size",
+    "transaction_prealloc_size",
+    "updatable_views_with_limit",
+    "wait_timeout",
+];
+
+/// Blacklisted knob names — path-like or dangerous settings the DBA excludes
+/// from tuning (§5.2). They exist in the catalogue but the agent skips them.
+const BLACKLIST: &[&str] = &["general_log", "offline_mode", "sql_log_off", "event_scheduler"];
+
+/// FNV-1a hash for deterministic per-name effect derivation (public so
+/// baselines can derive per-knob folklore deterministically).
+pub fn name_hash_of(name: &str) -> u64 {
+    name_hash(name)
+}
+
+/// FNV-1a hash for deterministic per-name effect derivation.
+pub(crate) fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Builds a tail knob definition with a small deterministic effect.
+///
+/// `interaction_partner` lets the builder wire sparse pairwise dependencies;
+/// magnitudes are kept small (≤ 2 %) so that hundreds of tail knobs together
+/// move performance by only a few percent — the saturation the paper sees in
+/// Figure 8 once important knobs are covered.
+pub(crate) fn tail_def(name: &str, index: usize, partner_pool: usize) -> KnobDef {
+    let h = name_hash(name);
+    let component = match h % 7 {
+        0 => CostComponent::CpuPerOp,
+        1 => CostComponent::ReadIo,
+        2 => CostComponent::WriteIo,
+        3 => CostComponent::CommitSync,
+        4 => CostComponent::LockWait,
+        5 => CostComponent::Checkpoint,
+        _ => CostComponent::MemoryOverhead,
+    };
+    let effect = match (h >> 8) % 10 {
+        0..=4 => EffectProfile::None,
+        5 | 6 => EffectProfile::Monotone {
+            component,
+            magnitude: (((h >> 16) % 41) as f64 / 1000.0 - 0.02),
+        },
+        7 | 8 => EffectProfile::Sweet {
+            component,
+            center: ((h >> 16) % 100) as f64 / 100.0,
+            width: 0.15 + ((h >> 24) % 30) as f64 / 100.0,
+            magnitude: ((h >> 32) % 20) as f64 / 1000.0,
+        },
+        _ => {
+            if partner_pool > 0 {
+                EffectProfile::Interact {
+                    component,
+                    partner: (h >> 16) as usize % partner_pool,
+                    magnitude: ((h >> 32) % 20) as f64 / 1000.0,
+                }
+            } else {
+                EffectProfile::None
+            }
+        }
+    };
+    let _ = index;
+    let blacklisted = BLACKLIST.contains(&name);
+    match h % 4 {
+        0 => KnobDef {
+            name: name.to_string(),
+            ktype: KnobType::Bool,
+            default: KnobValue::Bool(h & 1 == 0),
+            blacklisted,
+            effect,
+        },
+        1 => KnobDef {
+            name: name.to_string(),
+            ktype: KnobType::Enum {
+                variants: (0..(2 + (h >> 40) % 4)).map(|i| format!("v{i}")).collect(),
+            },
+            default: KnobValue::Enum(0),
+            blacklisted,
+            effect,
+        },
+        _ => {
+            let max = 1i64 << (8 + (h >> 48) % 16);
+            KnobDef {
+                name: name.to_string(),
+                ktype: KnobType::Integer { min: 0, max, log_scale: false },
+                default: KnobValue::Int(max / 4),
+                blacklisted,
+                effect,
+            }
+        }
+    }
+}
+
+/// Builds the full 266-knob MySQL/CDB registry for a hardware configuration.
+pub fn mysql_registry(hw: &HardwareConfig) -> Arc<KnobRegistry> {
+    let mut defs = structural_defs(hw);
+    let structural_count = defs.len();
+    for (i, name) in TAIL_NAMES.iter().enumerate() {
+        if defs.len() >= MYSQL_KNOB_COUNT {
+            break;
+        }
+        defs.push(tail_def(name, structural_count + i, structural_count));
+    }
+    // Vendor-extension family: cloud MySQL forks (Tencent CDB included) add
+    // their own knobs on top of upstream; these pad the catalogue to the
+    // paper's 266.
+    let mut i = 0;
+    while defs.len() < MYSQL_KNOB_COUNT {
+        let name = format!("cdb_ext_tuning_param_{i:02}");
+        defs.push(tail_def(&name, defs.len(), structural_count));
+        i += 1;
+    }
+    defs.truncate(MYSQL_KNOB_COUNT);
+    Arc::new(KnobRegistry::new(defs))
+}
+
+/// The vendor ("CDB default") configuration: upstream defaults with the
+/// modest memory bump cloud providers apply at provisioning time. Used as
+/// the "CDB default" bar in Figure 9.
+pub fn cdb_default_config(registry: &Arc<KnobRegistry>, hw: &HardwareConfig) -> super::KnobConfig {
+    let mut cfg = registry.default_config();
+    let ram = hw.ram_bytes() as i64;
+    // Cloud defaults: ~30 % of RAM for the pool, slightly larger logs.
+    let _ = cfg.set(names::BUFFER_POOL_SIZE, KnobValue::Int(ram * 3 / 10));
+    let _ = cfg.set(names::LOG_FILE_SIZE, KnobValue::Int(256 * MB));
+    let _ = cfg.set(names::LOG_FILES_IN_GROUP, KnobValue::Int(2));
+    let _ = cfg.set(names::MAX_CONNECTIONS, KnobValue::Int(800));
+    let _ = cfg.set(names::READ_IO_THREADS, KnobValue::Int(8));
+    let _ = cfg.set(names::WRITE_IO_THREADS, KnobValue::Int(8));
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_exactly_266_knobs() {
+        let r = mysql_registry(&HardwareConfig::cdb_a());
+        assert_eq!(r.len(), MYSQL_KNOB_COUNT);
+    }
+
+    #[test]
+    fn structural_knobs_resolve_by_name() {
+        let r = mysql_registry(&HardwareConfig::cdb_a());
+        for name in [
+            names::BUFFER_POOL_SIZE,
+            names::LOG_FILE_SIZE,
+            names::LOG_FILES_IN_GROUP,
+            names::FLUSH_LOG_AT_TRX_COMMIT,
+            names::READ_IO_THREADS,
+            names::SORT_BUFFER_SIZE,
+        ] {
+            assert!(r.def(name).is_some(), "missing structural knob {name}");
+        }
+    }
+
+    #[test]
+    fn buffer_pool_range_scales_with_ram() {
+        let small = mysql_registry(&HardwareConfig::cdb_a()); // 8 GB
+        let big = mysql_registry(&HardwareConfig::cdb_e()); // 32 GB
+        let get_max = |r: &Arc<KnobRegistry>| match r.def(names::BUFFER_POOL_SIZE).unwrap().ktype {
+            KnobType::Integer { max, .. } => max,
+            _ => panic!("buffer pool must be integer"),
+        };
+        assert!(get_max(&big) > get_max(&small) * 3);
+    }
+
+    #[test]
+    fn blacklist_applied() {
+        let r = mysql_registry(&HardwareConfig::cdb_a());
+        assert!(r.def("general_log").unwrap().blacklisted);
+        assert!(r.tunable_count() < r.len());
+        assert!(r.tunable_count() >= 260, "tunable: {}", r.tunable_count());
+    }
+
+    #[test]
+    fn registry_is_deterministic() {
+        let a = mysql_registry(&HardwareConfig::cdb_a());
+        let b = mysql_registry(&HardwareConfig::cdb_a());
+        for (da, db) in a.defs().iter().zip(b.defs()) {
+            assert_eq!(da.name, db.name);
+            assert_eq!(da.effect, db.effect);
+        }
+    }
+
+    #[test]
+    fn cdb_default_sets_bigger_pool_than_upstream() {
+        let hw = HardwareConfig::cdb_a();
+        let r = mysql_registry(&hw);
+        let upstream = r.default_config();
+        let cdb = cdb_default_config(&r, &hw);
+        assert!(
+            cdb.get(names::BUFFER_POOL_SIZE).unwrap().as_i64()
+                > upstream.get(names::BUFFER_POOL_SIZE).unwrap().as_i64()
+        );
+    }
+
+    #[test]
+    fn interaction_partners_in_range() {
+        let r = mysql_registry(&HardwareConfig::cdb_a());
+        for d in r.defs() {
+            if let EffectProfile::Interact { partner, .. } = d.effect {
+                assert!(partner < r.len(), "partner {partner} out of range for {}", d.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The PostgreSQL-flavored knob registry: 169 tunable knobs (Appendix C.3
+//! tunes 169 knobs for Postgres).
+//!
+//! Structural knobs map onto the same engine components as the MySQL flavor
+//! (shared buffers ↔ buffer pool, WAL segments ↔ redo log, …) so one engine
+//! implementation serves every flavor, exactly as the tuner is agnostic to
+//! the DBMS behind the metric vector.
+
+use super::effects::EffectProfile;
+use super::mysql::tail_def;
+use super::{KnobDef, KnobRegistry, KnobType, KnobValue};
+use crate::hardware::HardwareConfig;
+use std::sync::Arc;
+
+/// Total knob count of the Postgres flavor.
+pub const POSTGRES_KNOB_COUNT: usize = 169;
+
+/// Well-known structural knob names (Postgres GUC spellings).
+pub mod names {
+    #![allow(missing_docs)]
+    pub const SHARED_BUFFERS: &str = "shared_buffers";
+    pub const WAL_SEGMENT_SIZE: &str = "wal_segment_size";
+    pub const WAL_KEEP_SEGMENTS: &str = "wal_keep_segments";
+    pub const WAL_BUFFERS: &str = "wal_buffers";
+    pub const SYNCHRONOUS_COMMIT: &str = "synchronous_commit";
+    pub const EFFECTIVE_IO_CONCURRENCY: &str = "effective_io_concurrency";
+    pub const BGWRITER_LRU_MAXPAGES: &str = "bgwriter_lru_maxpages";
+    pub const AUTOVACUUM_MAX_WORKERS: &str = "autovacuum_max_workers";
+    pub const MAX_WORKER_PROCESSES: &str = "max_worker_processes";
+    pub const MAX_CONNECTIONS: &str = "max_connections";
+    pub const WORK_MEM: &str = "work_mem";
+    pub const MAINTENANCE_WORK_MEM: &str = "maintenance_work_mem";
+    pub const TEMP_BUFFERS: &str = "temp_buffers";
+    pub const DEADLOCK_TIMEOUT: &str = "deadlock_timeout";
+    pub const CHECKPOINT_COMPLETION_TARGET: &str = "checkpoint_completion_target";
+    pub const FSYNC: &str = "fsync";
+    pub const FULL_PAGE_WRITES: &str = "full_page_writes";
+}
+
+const KB: i64 = 1 << 10;
+const MB: i64 = 1 << 20;
+const GB: i64 = 1 << 30;
+
+fn structural_defs(hw: &HardwareConfig) -> Vec<KnobDef> {
+    use names::*;
+    let ram = hw.ram_bytes() as i64;
+    let s = EffectProfile::Structural;
+    let int = |name: &str, min: i64, max: i64, default: i64, log: bool, e: EffectProfile| KnobDef {
+        name: name.to_string(),
+        ktype: KnobType::Integer { min, max, log_scale: log },
+        default: KnobValue::Int(default),
+        blacklisted: false,
+        effect: e,
+    };
+    vec![
+        int(SHARED_BUFFERS, 16 * MB, (ram as f64 * 1.1) as i64, 128 * MB, false, s.clone()),
+        int(WAL_SEGMENT_SIZE, 16 * MB, 4 * GB, 16 * MB, true, s.clone()),
+        int(WAL_KEEP_SEGMENTS, 2, 16, 2, false, s.clone()),
+        int(WAL_BUFFERS, 64 * KB, 256 * MB, 4 * MB, true, s.clone()),
+        KnobDef {
+            name: SYNCHRONOUS_COMMIT.to_string(),
+            ktype: KnobType::Enum {
+                variants: vec!["off".into(), "on".into(), "local".into()],
+            },
+            default: KnobValue::Enum(1),
+            blacklisted: false,
+            effect: s.clone(),
+        },
+        int(EFFECTIVE_IO_CONCURRENCY, 1, 64, 1, false, s.clone()),
+        int(BGWRITER_LRU_MAXPAGES, 0, 1000, 100, false, s.clone()),
+        int(AUTOVACUUM_MAX_WORKERS, 1, 32, 3, false, s.clone()),
+        int(MAX_WORKER_PROCESSES, 1, 64, 8, false, s.clone()),
+        int(MAX_CONNECTIONS, 10, 10_000, 100, true, s.clone()),
+        int(WORK_MEM, 64 * KB, 256 * MB, 4 * MB, true, s.clone()),
+        int(MAINTENANCE_WORK_MEM, MB, GB, 64 * MB, true, s.clone()),
+        int(TEMP_BUFFERS, 800 * KB, 256 * MB, 8 * MB, true, s.clone()),
+        int(DEADLOCK_TIMEOUT, 1, 300, 1, false, s.clone()),
+        KnobDef {
+            name: CHECKPOINT_COMPLETION_TARGET.to_string(),
+            ktype: KnobType::Float { min: 0.1, max: 0.95 },
+            default: KnobValue::Float(0.5),
+            blacklisted: false,
+            effect: s.clone(),
+        },
+        KnobDef {
+            name: FSYNC.to_string(),
+            ktype: KnobType::Bool,
+            default: KnobValue::Bool(true),
+            blacklisted: false,
+            effect: s.clone(),
+        },
+        KnobDef {
+            name: FULL_PAGE_WRITES.to_string(),
+            ktype: KnobType::Bool,
+            default: KnobValue::Bool(true),
+            blacklisted: false,
+            effect: s,
+        },
+    ]
+}
+
+/// Real PostgreSQL GUC names forming the tail.
+const TAIL_NAMES: &[&str] = &[
+    "array_nulls",
+    "authentication_timeout",
+    "autovacuum",
+    "autovacuum_analyze_scale_factor",
+    "autovacuum_analyze_threshold",
+    "autovacuum_freeze_max_age",
+    "autovacuum_multixact_freeze_max_age",
+    "autovacuum_naptime",
+    "autovacuum_vacuum_cost_delay",
+    "autovacuum_vacuum_cost_limit",
+    "autovacuum_vacuum_scale_factor",
+    "autovacuum_vacuum_threshold",
+    "autovacuum_work_mem",
+    "backend_flush_after",
+    "bgwriter_delay",
+    "bgwriter_flush_after",
+    "bgwriter_lru_multiplier",
+    "bytea_output",
+    "checkpoint_flush_after",
+    "checkpoint_timeout",
+    "checkpoint_warning",
+    "commit_delay",
+    "commit_siblings",
+    "constraint_exclusion",
+    "cpu_index_tuple_cost",
+    "cpu_operator_cost",
+    "cpu_tuple_cost",
+    "cursor_tuple_fraction",
+    "db_user_namespace",
+    "default_statistics_target",
+    "default_transaction_deferrable",
+    "default_transaction_isolation",
+    "default_transaction_read_only",
+    "effective_cache_size",
+    "enable_bitmapscan",
+    "enable_hashagg",
+    "enable_hashjoin",
+    "enable_indexonlyscan",
+    "enable_indexscan",
+    "enable_material",
+    "enable_mergejoin",
+    "enable_nestloop",
+    "enable_seqscan",
+    "enable_sort",
+    "enable_tidscan",
+    "escape_string_warning",
+    "extra_float_digits",
+    "from_collapse_limit",
+    "geqo",
+    "geqo_effort",
+    "geqo_generations",
+    "geqo_pool_size",
+    "geqo_seed",
+    "geqo_selection_bias",
+    "geqo_threshold",
+    "gin_fuzzy_search_limit",
+    "gin_pending_list_limit",
+    "hot_standby",
+    "hot_standby_feedback",
+    "huge_pages",
+    "idle_in_transaction_session_timeout",
+    "join_collapse_limit",
+    "lock_timeout",
+    "log_autovacuum_min_duration",
+    "log_checkpoints",
+    "log_connections",
+    "log_disconnections",
+    "log_duration",
+    "log_executor_stats",
+    "log_lock_waits",
+    "log_min_duration_statement",
+    "log_parser_stats",
+    "log_planner_stats",
+    "log_replication_commands",
+    "log_rotation_age",
+    "log_rotation_size",
+    "log_statement_stats",
+    "log_temp_files",
+    "logging_collector",
+    "maintenance_io_concurrency",
+    "max_files_per_process",
+    "max_locks_per_transaction",
+    "max_logical_replication_workers",
+    "max_parallel_workers",
+    "max_parallel_workers_per_gather",
+    "max_pred_locks_per_transaction",
+    "max_prepared_transactions",
+    "max_replication_slots",
+    "max_stack_depth",
+    "max_standby_archive_delay",
+    "max_standby_streaming_delay",
+    "max_sync_workers_per_subscription",
+    "max_wal_senders",
+    "min_parallel_index_scan_size",
+    "min_parallel_table_scan_size",
+    "min_wal_size",
+    "old_snapshot_threshold",
+    "parallel_setup_cost",
+    "parallel_tuple_cost",
+    "password_encryption",
+    "quote_all_identifiers",
+    "random_page_cost",
+    "replacement_sort_tuples",
+    "seq_page_cost",
+    "session_replication_role",
+    "standard_conforming_strings",
+    "statement_timeout",
+    "superuser_reserved_connections",
+    "synchronize_seqscans",
+    "tcp_keepalives_count",
+    "tcp_keepalives_idle",
+    "tcp_keepalives_interval",
+    "temp_file_limit",
+    "trace_notify",
+    "trace_sort",
+    "track_activities",
+    "track_activity_query_size",
+    "track_commit_timestamp",
+    "track_counts",
+    "track_functions",
+    "track_io_timing",
+    "transform_null_equals",
+    "update_process_title",
+    "vacuum_cost_delay",
+    "vacuum_cost_limit",
+    "vacuum_cost_page_dirty",
+    "vacuum_cost_page_hit",
+    "vacuum_cost_page_miss",
+    "vacuum_defer_cleanup_age",
+    "vacuum_freeze_min_age",
+    "vacuum_freeze_table_age",
+    "vacuum_multixact_freeze_min_age",
+    "vacuum_multixact_freeze_table_age",
+    "wal_compression",
+    "wal_log_hints",
+    "wal_receiver_status_interval",
+    "wal_receiver_timeout",
+    "wal_retrieve_retry_interval",
+    "wal_sender_timeout",
+    "wal_sync_method",
+    "wal_writer_delay",
+    "wal_writer_flush_after",
+];
+
+/// Builds the full 169-knob Postgres registry.
+pub fn postgres_registry(hw: &HardwareConfig) -> Arc<KnobRegistry> {
+    let mut defs = structural_defs(hw);
+    let structural_count = defs.len();
+    for (i, name) in TAIL_NAMES.iter().enumerate() {
+        if defs.len() >= POSTGRES_KNOB_COUNT {
+            break;
+        }
+        defs.push(tail_def(name, structural_count + i, structural_count));
+    }
+    let mut i = 0;
+    while defs.len() < POSTGRES_KNOB_COUNT {
+        let name = format!("cdb_pg_ext_tuning_param_{i:02}");
+        defs.push(tail_def(&name, defs.len(), structural_count));
+        i += 1;
+    }
+    defs.truncate(POSTGRES_KNOB_COUNT);
+    Arc::new(KnobRegistry::new(defs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_exactly_169_knobs() {
+        let r = postgres_registry(&HardwareConfig::cdb_d());
+        assert_eq!(r.len(), POSTGRES_KNOB_COUNT);
+    }
+
+    #[test]
+    fn structural_names_resolve() {
+        let r = postgres_registry(&HardwareConfig::cdb_d());
+        for n in [names::SHARED_BUFFERS, names::WAL_SEGMENT_SIZE, names::SYNCHRONOUS_COMMIT] {
+            assert!(r.def(n).is_some(), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn shared_buffers_scales_with_ram() {
+        let r = postgres_registry(&HardwareConfig::cdb_e());
+        match r.def(names::SHARED_BUFFERS).unwrap().ktype {
+            KnobType::Integer { max, .. } => {
+                assert!(max > 32 * GB, "max {max} should exceed 32 GiB RAM")
+            }
+            _ => panic!("shared_buffers must be integer"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Tunable-knob growth across CDB versions (Figure 1(c)).
+//!
+//! The paper motivates automatic tuning with the observation that the number
+//! of tunable knobs keeps growing release over release (from ~230 in CDB 1.0
+//! to 266 in CDB 7.0). This module records that series and can materialize a
+//! truncated registry for any version, which the `fig01_knob_growth` bench
+//! prints.
+
+use super::mysql::mysql_registry;
+use super::KnobRegistry;
+use crate::hardware::HardwareConfig;
+use std::sync::Arc;
+
+/// `(version, tunable knob count)` pairs underlying Figure 1(c).
+pub const CDB_VERSION_KNOB_COUNTS: &[(f32, usize)] = &[
+    (1.0, 232),
+    (2.0, 238),
+    (3.0, 242),
+    (4.0, 248),
+    (5.0, 254),
+    (6.0, 261),
+    (7.0, 266),
+];
+
+/// Knob count for a CDB version (nearest version at or below `version`).
+pub fn knob_count_for_version(version: f32) -> usize {
+    let mut count = CDB_VERSION_KNOB_COUNTS[0].1;
+    for &(v, c) in CDB_VERSION_KNOB_COUNTS {
+        if v <= version + 1e-6 {
+            count = c;
+        }
+    }
+    count
+}
+
+/// Builds the MySQL registry truncated to a version's knob count, modelling
+/// an older CDB release exposing fewer tunables.
+pub fn registry_for_version(hw: &HardwareConfig, version: f32) -> Arc<KnobRegistry> {
+    let full = mysql_registry(hw);
+    let count = knob_count_for_version(version);
+    let defs: Vec<_> = full.defs().iter().take(count).cloned().collect();
+    // Drop interaction partners that point past the truncation boundary.
+    let defs = defs
+        .into_iter()
+        .map(|mut d| {
+            if let super::effects::EffectProfile::Interact { partner, .. } = &d.effect {
+                if *partner >= count {
+                    d.effect = super::effects::EffectProfile::None;
+                }
+            }
+            d
+        })
+        .collect();
+    Arc::new(KnobRegistry::new(defs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_monotone_increasing() {
+        for w in CDB_VERSION_KNOB_COUNTS.windows(2) {
+            assert!(w[1].1 > w[0].1, "knob counts must grow: {w:?}");
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn latest_version_matches_full_registry() {
+        assert_eq!(knob_count_for_version(7.0), super::super::mysql::MYSQL_KNOB_COUNT);
+    }
+
+    #[test]
+    fn lookup_rounds_down() {
+        assert_eq!(knob_count_for_version(3.5), 242);
+        assert_eq!(knob_count_for_version(0.5), 232);
+        assert_eq!(knob_count_for_version(99.0), 266);
+    }
+
+    #[test]
+    fn truncated_registry_builds() {
+        let r = registry_for_version(&HardwareConfig::cdb_a(), 1.0);
+        assert_eq!(r.len(), 232);
+        // No dangling interaction partners.
+        for d in r.defs() {
+            if let super::super::effects::EffectProfile::Interact { partner, .. } = d.effect {
+                assert!(partner < r.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! `simdb` — a simulated cloud DBMS substrate for the CDBTune reproduction.
+//!
+//! The paper tunes real database instances (Tencent cloud MySQL, local
+//! MySQL, PostgreSQL, MongoDB). This crate provides the stand-in those
+//! experiments run against: a storage engine with *real* data structures —
+//! an LRU buffer pool, B+tree-indexed tables, a redo log with a file group
+//! and checkpoints, a row lock manager — whose performance in *simulated
+//! time* is produced by a calibrated queueing cost model driven by the
+//! physical events those structures emit. The tuner only ever sees what it
+//! would see from a real DBMS:
+//!
+//! * a knob catalogue ([`knobs::KnobRegistry`]; 266 knobs for MySQL/CDB,
+//!   169 for Postgres, 232 for MongoDB),
+//! * the 63 `SHOW STATUS`-style internal metrics
+//!   ([`metrics::InternalMetrics`]; 14 state values + 49 counters),
+//! * throughput and latency ([`metrics::PerfMetrics`]).
+//!
+//! # Quick tour
+//!
+//! ```
+//! use simdb::{Engine, EngineFlavor, HardwareConfig, Txn, Op, KnobValue};
+//! use simdb::knobs::mysql::names;
+//!
+//! let mut db = Engine::new(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), 7);
+//! let t = db.create_table("sbtest1", 2700, 10_000);
+//!
+//! // Deploy a configuration (this restarts the instance).
+//! let mut cfg = db.registry().default_config();
+//! cfg.set(names::BUFFER_POOL_SIZE, KnobValue::Int(2 << 30)).unwrap();
+//! db.apply_config(cfg).unwrap();
+//!
+//! // Stress-test it.
+//! let txns: Vec<Txn> = (0..200)
+//!     .map(|i| Txn::single(Op::PointRead { table: t, key: i * 37 % 10_000 }))
+//!     .collect();
+//! let perf = db.run(&txns, 32).unwrap();
+//! assert!(perf.throughput_tps > 0.0);
+//! let state = db.metrics(); // 63 internal metrics
+//! assert_eq!(state.state.len() + state.cumulative.len(), 63);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod flavor;
+pub mod hardware;
+pub mod knobs;
+pub mod lock;
+pub mod metrics;
+pub mod storage;
+pub mod wal;
+
+pub use engine::Engine;
+pub use error::{Result, SimDbError};
+pub use exec::{Op, Txn, TxnDemand};
+pub use storage::TableId;
+pub use flavor::{EngineFlavor, StructuralSettings};
+pub use hardware::{HardwareConfig, MediaType};
+pub use knobs::{KnobConfig, KnobDef, KnobRegistry, KnobType, KnobValue};
+pub use metrics::{InternalMetrics, MetricsDelta, PerfMetrics, TOTAL_METRIC_COUNT};

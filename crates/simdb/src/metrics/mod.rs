@@ -1,0 +1,14 @@
+//! Database metrics.
+//!
+//! * [`internal`] — the 63 `SHOW STATUS`-style metrics (14 state values +
+//!   49 cumulative counters, §2.1.1) that form the RL **state**.
+//! * [`external`] — throughput and latency, the inputs to the RL **reward**.
+
+pub mod external;
+pub mod internal;
+
+pub use external::PerfMetrics;
+pub use internal::{
+    CumulativeMetric, InternalMetrics, MetricsDelta, StateMetric, CUMULATIVE_METRIC_COUNT,
+    STATE_METRIC_COUNT, TOTAL_METRIC_COUNT,
+};

@@ -1,0 +1,375 @@
+//! A from-scratch B+tree mapping `u64` keys to `u64` values.
+//!
+//! Tables index primary keys with this tree (key → page number). Leaves are
+//! chained for range scans. Fanout is fixed at construction; the engine uses
+//! a fanout that makes tree depth realistic for the simulated table sizes so
+//! per-lookup CPU cost (proportional to depth) behaves like a real index.
+
+const MIN_FANOUT: usize = 4;
+
+#[derive(Debug)]
+enum Node {
+    Internal {
+        /// Separator keys; child `i` holds keys `< keys[i]`, the last child
+        /// holds the rest.
+        keys: Vec<u64>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        values: Vec<u64>,
+        next: Option<usize>,
+    },
+}
+
+/// A B+tree with `u64` keys and values.
+#[derive(Debug)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: usize,
+    fanout: usize,
+    len: usize,
+}
+
+impl BPlusTree {
+    /// Creates an empty tree with the given maximum fanout (≥ 4).
+    pub fn new(fanout: usize) -> Self {
+        assert!(fanout >= MIN_FANOUT, "fanout must be at least {MIN_FANOUT}");
+        Self {
+            nodes: vec![Node::Leaf { keys: Vec::new(), values: Vec::new(), next: None }],
+            root: 0,
+            fanout,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total node count (internal + leaf).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (1 = a single leaf).
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut n = self.root;
+        loop {
+            match &self.nodes[n] {
+                Node::Internal { children, .. } => {
+                    n = children[0];
+                    d += 1;
+                }
+                Node::Leaf { .. } => return d,
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let leaf = self.find_leaf(key);
+        match &self.nodes[leaf] {
+            Node::Leaf { keys, values, .. } => {
+                keys.binary_search(&key).ok().map(|i| values[i])
+            }
+            Node::Internal { .. } => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    /// Inserts or overwrites; returns the previous value if any.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        let (split, prev) = self.insert_rec(self.root, key, value);
+        if let Some((sep, right)) = split {
+            let new_root = Node::Internal { keys: vec![sep], children: vec![self.root, right] };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+        }
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes a key; returns its value if present.
+    ///
+    /// Underflowed leaves are left in place (lazy deletion) — acceptable for
+    /// the simulator's workloads, where deletes are a small fraction of ops.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let leaf = self.find_leaf(key);
+        match &mut self.nodes[leaf] {
+            Node::Leaf { keys, values, .. } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    let v = values.remove(i);
+                    self.len -= 1;
+                    Some(v)
+                }
+                Err(_) => None,
+            },
+            Node::Internal { .. } => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    /// Returns up to `limit` `(key, value)` pairs with `key >= start`, in
+    /// key order, following the leaf chain.
+    pub fn range_from(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        let mut node = self.find_leaf(start);
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { keys, values, next } => {
+                    let begin = keys.partition_point(|&k| k < start);
+                    for i in begin..keys.len() {
+                        if out.len() >= limit {
+                            return out;
+                        }
+                        out.push((keys[i], values[i]));
+                    }
+                    match next {
+                        Some(n) => node = *n,
+                        None => return out,
+                    }
+                }
+                Node::Internal { .. } => unreachable!("leaf chain only links leaves"),
+            }
+        }
+    }
+
+    /// Number of leaves a range scan of `limit` entries starting at `start`
+    /// will touch (for scan cost accounting).
+    pub fn leaves_touched(&self, start: u64, limit: usize) -> usize {
+        let mut touched = 0;
+        let mut remaining = limit;
+        let mut node = self.find_leaf(start);
+        loop {
+            touched += 1;
+            match &self.nodes[node] {
+                Node::Leaf { keys, next, .. } => {
+                    let begin = keys.partition_point(|&k| k < start);
+                    let here = keys.len() - begin;
+                    if here >= remaining {
+                        return touched;
+                    }
+                    remaining -= here;
+                    match next {
+                        Some(n) => node = *n,
+                        None => return touched,
+                    }
+                }
+                Node::Internal { .. } => unreachable!(),
+            }
+        }
+    }
+
+    fn find_leaf(&self, key: u64) -> usize {
+        let mut n = self.root;
+        loop {
+            match &self.nodes[n] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    n = children[idx];
+                }
+                Node::Leaf { .. } => return n,
+            }
+        }
+    }
+
+    /// Recursive insert; returns `(split, previous value)` where `split` is
+    /// `Some((separator, right node index))` when this node split.
+    fn insert_rec(
+        &mut self,
+        node: usize,
+        key: u64,
+        value: u64,
+    ) -> (Option<(u64, usize)>, Option<u64>) {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, values, .. } => {
+                let prev = match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = values[i];
+                        values[i] = value;
+                        return (None, Some(old));
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        None
+                    }
+                };
+                if keys.len() > self.fanout {
+                    (Some(self.split_leaf(node)), prev)
+                } else {
+                    (None, prev)
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let child = children[idx];
+                let (split, prev) = self.insert_rec(child, key, value);
+                if let Some((sep, right)) = split {
+                    if let Node::Internal { keys, children } = &mut self.nodes[node] {
+                        let idx = keys.partition_point(|&k| k <= sep);
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() > self.fanout {
+                            return (Some(self.split_internal(node)), prev);
+                        }
+                    }
+                }
+                (None, prev)
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> (u64, usize) {
+        let new_index = self.nodes.len();
+        if let Node::Leaf { keys, values, next } = &mut self.nodes[node] {
+            let mid = keys.len() / 2;
+            let right_keys = keys.split_off(mid);
+            let right_values = values.split_off(mid);
+            let sep = right_keys[0];
+            let right = Node::Leaf { keys: right_keys, values: right_values, next: *next };
+            *next = Some(new_index);
+            self.nodes.push(right);
+            (sep, new_index)
+        } else {
+            unreachable!("split_leaf on non-leaf")
+        }
+    }
+
+    fn split_internal(&mut self, node: usize) -> (u64, usize) {
+        let new_index = self.nodes.len();
+        if let Node::Internal { keys, children } = &mut self.nodes[node] {
+            let mid = keys.len() / 2;
+            let sep = keys[mid];
+            let right_keys = keys.split_off(mid + 1);
+            keys.pop(); // drop the separator that moves up
+            let right_children = children.split_off(mid + 1);
+            let right = Node::Internal { keys: right_keys, children: right_children };
+            self.nodes.push(right);
+            (sep, new_index)
+        } else {
+            unreachable!("split_internal on non-internal")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new(4);
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.insert(k, k * 10), None);
+        }
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.get(k), Some(k * 10));
+        }
+        assert_eq!(t.get(2), None);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn overwrite_returns_previous() {
+        let mut t = BPlusTree::new(4);
+        t.insert(1, 10);
+        assert_eq!(t.insert(1, 20), Some(10));
+        assert_eq!(t.get(1), Some(20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn matches_btreemap_on_mixed_sequences() {
+        let mut t = BPlusTree::new(8);
+        let mut m = BTreeMap::new();
+        // Deterministic pseudo-random mixed workload.
+        let mut x: u64 = 0x9E37_79B9;
+        for i in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 1000;
+            match x % 5 {
+                0 => {
+                    assert_eq!(t.remove(k), m.remove(&k));
+                }
+                _ => {
+                    assert_eq!(t.insert(k, i), m.insert(k, i));
+                }
+            }
+            assert_eq!(t.len(), m.len());
+        }
+        for k in 0..1000u64 {
+            assert_eq!(t.get(k), m.get(&k).copied(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_scans_in_order() {
+        let mut t = BPlusTree::new(4);
+        for k in (0..100u64).rev() {
+            t.insert(k * 2, k);
+        }
+        let r = t.range_from(51, 10);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![52, 54, 56, 58, 60, 62, 64, 66, 68, 70]);
+    }
+
+    #[test]
+    fn range_stops_at_end() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..10u64 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.range_from(8, 100).len(), 2);
+        assert_eq!(t.range_from(100, 5).len(), 0);
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        let mut t = BPlusTree::new(16);
+        for k in 0..10_000u64 {
+            t.insert(k, k);
+        }
+        let d = t.depth();
+        assert!((3..=5).contains(&d), "depth {d} unexpected for 10k keys at fanout 16");
+    }
+
+    #[test]
+    fn leaves_touched_counts_chain_hops() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..100u64 {
+            t.insert(k, k);
+        }
+        // Scanning 20 keys with ≤ 4 keys per leaf touches at least 5 leaves.
+        assert!(t.leaves_touched(0, 20) >= 5);
+        assert_eq!(t.leaves_touched(99, 1), 1);
+    }
+
+    #[test]
+    fn sequential_bulk_insert_keeps_order() {
+        let mut t = BPlusTree::new(64);
+        for k in 0..50_000u64 {
+            t.insert(k, k + 1);
+        }
+        assert_eq!(t.len(), 50_000);
+        let all = t.range_from(0, 50_000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(all.len(), 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be at least")]
+    fn tiny_fanout_rejected() {
+        let _ = BPlusTree::new(2);
+    }
+}

@@ -1,0 +1,11 @@
+//! Storage engine: pages, buffer pool, B+tree indexes, tables.
+
+pub mod buffer_pool;
+pub mod btree;
+pub mod page;
+pub mod table;
+
+pub use buffer_pool::{AccessOutcome, BufferPool};
+pub use btree::BPlusTree;
+pub use page::{PageId, PAGE_SIZE_BYTES};
+pub use table::{Table, TableId};

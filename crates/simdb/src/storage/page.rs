@@ -1,0 +1,58 @@
+//! Page identity and geometry.
+//!
+//! Pages are identified, not materialized: the simulator never stores row
+//! payloads, only which pages exist, which are resident in the buffer pool,
+//! and which are dirty. That keeps a multi-gigabyte simulated database at a
+//! few dozen bytes per *resident* page while the LRU dynamics stay real.
+
+/// Fixed page size (InnoDB default, 16 KiB).
+pub const PAGE_SIZE_BYTES: u64 = 16 * 1024;
+
+/// Globally unique page identifier: `(table, page number within table)`
+/// packed into a `u64` for cheap hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(u64);
+
+impl PageId {
+    const PAGE_BITS: u32 = 40;
+
+    /// Packs a table id and page number.
+    pub fn new(table: usize, page_no: u64) -> Self {
+        debug_assert!(page_no < (1 << Self::PAGE_BITS));
+        debug_assert!((table as u64) < (1 << (64 - Self::PAGE_BITS)));
+        Self(((table as u64) << Self::PAGE_BITS) | page_no)
+    }
+
+    /// The owning table id.
+    pub fn table(self) -> usize {
+        (self.0 >> Self::PAGE_BITS) as usize
+    }
+
+    /// The page number within the table.
+    pub fn page_no(self) -> u64 {
+        self.0 & ((1 << Self::PAGE_BITS) - 1)
+    }
+
+    /// Raw packed value (stable hash key).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let p = PageId::new(7, 123_456_789);
+        assert_eq!(p.table(), 7);
+        assert_eq!(p.page_no(), 123_456_789);
+    }
+
+    #[test]
+    fn distinct_tables_distinct_ids() {
+        assert_ne!(PageId::new(0, 5), PageId::new(1, 5));
+        assert_ne!(PageId::new(1, 5), PageId::new(1, 6));
+    }
+}

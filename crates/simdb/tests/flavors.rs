@@ -1,0 +1,150 @@
+//! Integration tests of the non-MySQL engine flavors: knob application
+//! must reach the engine components through each flavor's own names.
+
+use simdb::knobs::{mongodb, postgres};
+use simdb::{Engine, EngineFlavor, HardwareConfig, KnobValue, MediaType, Op, SimDbError, Txn};
+
+fn hw() -> HardwareConfig {
+    HardwareConfig::new(2, 24, MediaType::Ssd, 12)
+}
+
+fn read_txns_seeded(rows: u64, n: usize, seed: u64) -> Vec<Txn> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Txn::single(Op::PointRead { table: 0, key: (x >> 33) % rows })
+        })
+        .collect()
+}
+
+fn read_txns(rows: u64, n: usize) -> Vec<Txn> {
+    read_txns_seeded(rows, n, 0x0123_4567)
+}
+
+#[test]
+fn postgres_shared_buffers_drives_the_pool() {
+    let mut e = Engine::new(EngineFlavor::Postgres, hw(), 1);
+    e.create_table("pgbench_accounts", 1000, 100_000);
+    let mut cfg = e.registry().default_config();
+    cfg.set(postgres::names::SHARED_BUFFERS, KnobValue::Int(1 << 30)).unwrap();
+    e.apply_config(cfg).unwrap();
+    assert_eq!(e.settings().buffer_pool_bytes, 1 << 30);
+
+    // A 1 GiB pool holds the whole 100 MB table; reads should mostly hit.
+    // Fresh keys per window, as a real benchmark would issue.
+    let _ = e.run(&read_txns_seeded(100_000, 500, 11), 16).unwrap();
+    let big = e.run(&read_txns_seeded(100_000, 500, 22), 16).unwrap();
+
+    let mut cfg = e.registry().default_config();
+    cfg.set(postgres::names::SHARED_BUFFERS, KnobValue::Int(16 << 20)).unwrap();
+    cfg.set(postgres::names::FSYNC, KnobValue::Bool(true)).unwrap();
+    e.apply_config(cfg).unwrap();
+    let _ = e.run(&read_txns_seeded(100_000, 500, 33), 16).unwrap();
+    let small = e.run(&read_txns_seeded(100_000, 500, 44), 16).unwrap();
+    assert!(
+        big.throughput_tps > small.throughput_tps,
+        "1 GiB shared_buffers {:.0} must beat 16 MiB {:.0}",
+        big.throughput_tps,
+        small.throughput_tps
+    );
+}
+
+#[test]
+fn postgres_synchronous_commit_off_speeds_writes() {
+    let run = |sync_commit: usize| {
+        let mut e = Engine::new(EngineFlavor::Postgres, hw(), 2);
+        e.create_table("t", 500, 50_000);
+        let mut cfg = e.registry().default_config();
+        cfg.set(postgres::names::SYNCHRONOUS_COMMIT, KnobValue::Enum(sync_commit)).unwrap();
+        cfg.set(postgres::names::SHARED_BUFFERS, KnobValue::Int(512 << 20)).unwrap();
+        e.apply_config(cfg).unwrap();
+        let txns: Vec<Txn> =
+            (0..800).map(|i| Txn::single(Op::Update { table: 0, key: (i * 63) % 50_000 })).collect();
+        e.run(&txns, 16).unwrap().throughput_tps
+    };
+    let off = run(0); // synchronous_commit = off
+    let on = run(1);
+    assert!(off > on, "async commit {off:.0} must beat sync {on:.0}");
+}
+
+#[test]
+fn postgres_wal_crash_rule_applies() {
+    let tiny_disk = HardwareConfig::new(2, 2, MediaType::Ssd, 12);
+    let mut e = Engine::new(EngineFlavor::Postgres, tiny_disk, 3);
+    e.create_table("t", 500, 1_000);
+    let mut cfg = e.registry().default_config();
+    cfg.set(postgres::names::WAL_SEGMENT_SIZE, KnobValue::Int(4 << 30)).unwrap();
+    cfg.set(postgres::names::WAL_KEEP_SEGMENTS, KnobValue::Int(16)).unwrap();
+    let err = e.apply_config(cfg).unwrap_err();
+    assert!(matches!(err, SimDbError::Crash { .. }), "64 GiB of WAL on a 2 GiB disk");
+}
+
+#[test]
+fn mongodb_cache_size_drives_the_pool() {
+    let mut e = Engine::new(EngineFlavor::MongoDb, hw(), 4);
+    e.create_table("usertable", 1000, 100_000);
+    let mut cfg = e.registry().default_config();
+    cfg.set(mongodb::names::WT_CACHE_SIZE, KnobValue::Int(1 << 30)).unwrap();
+    e.apply_config(cfg).unwrap();
+    assert_eq!(e.settings().buffer_pool_bytes, 1 << 30);
+    let perf = e.run(&read_txns(100_000, 300), 32).unwrap();
+    assert!(perf.throughput_tps > 0.0);
+}
+
+#[test]
+fn mongodb_tickets_cap_concurrency() {
+    let mut e = Engine::new(EngineFlavor::MongoDb, hw(), 5);
+    e.create_table("usertable", 1000, 50_000);
+    let mut cfg = e.registry().default_config();
+    cfg.set(mongodb::names::WT_READ_TICKETS, KnobValue::Int(4)).unwrap();
+    cfg.set(mongodb::names::WT_WRITE_TICKETS, KnobValue::Int(4)).unwrap();
+    e.apply_config(cfg).unwrap();
+    assert_eq!(e.settings().thread_concurrency, 4);
+    // Few tickets throttle a 64-client workload's throughput.
+    let throttled = e.run(&read_txns_seeded(50_000, 400, 55), 64).unwrap();
+
+    let mut cfg = e.registry().default_config();
+    cfg.set(mongodb::names::WT_READ_TICKETS, KnobValue::Int(256)).unwrap();
+    cfg.set(mongodb::names::WT_WRITE_TICKETS, KnobValue::Int(256)).unwrap();
+    e.apply_config(cfg).unwrap();
+    let open = e.run(&read_txns_seeded(50_000, 400, 66), 64).unwrap();
+    assert!(
+        open.throughput_tps > throttled.throughput_tps * 1.5,
+        "256 tickets {:.0} must beat 4 tickets {:.0}",
+        open.throughput_tps,
+        throttled.throughput_tps
+    );
+}
+
+#[test]
+fn mongodb_journal_interval_trades_durability_for_speed() {
+    let run = |interval_ms: i64| {
+        let mut e = Engine::new(EngineFlavor::MongoDb, hw(), 6);
+        e.create_table("usertable", 500, 50_000);
+        let mut cfg = e.registry().default_config();
+        cfg.set(mongodb::names::JOURNAL_COMMIT_INTERVAL, KnobValue::Int(interval_ms)).unwrap();
+        e.apply_config(cfg).unwrap();
+        let txns: Vec<Txn> =
+            (0..600).map(|i| Txn::single(Op::Update { table: 0, key: (i * 97) % 50_000 })).collect();
+        e.run(&txns, 32).unwrap().throughput_tps
+    };
+    let eager = run(1); // ~per-commit journaling
+    let lazy = run(400);
+    assert!(lazy > eager, "lazy journal {lazy:.0} must beat eager {eager:.0}");
+}
+
+#[test]
+fn local_mysql_is_slower_than_cloud_mysql() {
+    let run = |flavor: EngineFlavor| {
+        let mut e = Engine::new(flavor, hw(), 7);
+        e.create_table("sbtest1", 2700, 50_000);
+        e.run(&read_txns(50_000, 500), 32).unwrap().throughput_tps
+    };
+    let cloud = run(EngineFlavor::MySqlCdb);
+    let local = run(EngineFlavor::LocalMySql);
+    assert!(
+        cloud > local,
+        "the cloud kernel's optimizations must show: cloud {cloud:.0} vs local {local:.0}"
+    );
+}

@@ -1,0 +1,239 @@
+//! 1-D batch normalization over features.
+//!
+//! Table 5 places a `BatchNorm` after the second dense layer of the actor
+//! network. Training mode normalizes with batch statistics and maintains
+//! exponential running estimates; evaluation mode uses the running estimates,
+//! which matters because online tuning (Section 2.1.2) runs the actor on
+//! single states (batch size 1) where batch statistics are degenerate.
+
+use super::{Layer, Param};
+use crate::matrix::Matrix;
+
+/// Batch normalization over the feature (column) dimension.
+pub struct BatchNorm {
+    gamma: Param,
+    beta: Param,
+    running_mean: Matrix,
+    running_var: Matrix,
+    momentum: f32,
+    eps: f32,
+    // forward cache
+    x_hat: Option<Matrix>,
+    batch_std: Option<Matrix>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer over `dim` features with momentum 0.9.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Param::new(Matrix::filled(1, dim, 1.0)),
+            beta: Param::new(Matrix::zeros(1, dim)),
+            running_mean: Matrix::zeros(1, dim),
+            running_var: Matrix::filled(1, dim, 1.0),
+            momentum: 0.9,
+            eps: 1e-5,
+            x_hat: None,
+            batch_std: None,
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        debug_assert_eq!(input.cols(), self.dim(), "batchnorm width mismatch");
+        let n = input.rows() as f32;
+        let (mean, var) = if train && input.rows() > 1 {
+            let mean = input.col_mean();
+            let mut var = Matrix::zeros(1, self.dim());
+            for r in 0..input.rows() {
+                for (v, (&x, &m)) in var
+                    .row_mut(0)
+                    .iter_mut()
+                    .zip(input.row(r).iter().zip(mean.row(0)))
+                {
+                    *v += (x - m) * (x - m);
+                }
+            }
+            var.scale(1.0 / n);
+            // Update running statistics.
+            for (r, &b) in self.running_mean.as_mut_slice().iter_mut().zip(mean.as_slice()) {
+                *r = self.momentum * *r + (1.0 - self.momentum) * b;
+            }
+            for (r, &b) in self.running_var.as_mut_slice().iter_mut().zip(var.as_slice()) {
+                *r = self.momentum * *r + (1.0 - self.momentum) * b;
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let mut std = var.clone();
+        let eps = self.eps;
+        std.map_inplace(|v| (v + eps).sqrt());
+
+        let mut x_hat = input.clone();
+        for r in 0..x_hat.rows() {
+            for (x, (&m, &s)) in x_hat
+                .row_mut(r)
+                .iter_mut()
+                .zip(mean.row(0).iter().zip(std.row(0)))
+            {
+                *x = (*x - m) / s;
+            }
+        }
+        let mut out = x_hat.clone();
+        for r in 0..out.rows() {
+            for (y, (&g, &b)) in out
+                .row_mut(r)
+                .iter_mut()
+                .zip(self.gamma.value.row(0).iter().zip(self.beta.value.row(0)))
+            {
+                *y = *y * g + b;
+            }
+        }
+        self.x_hat = Some(x_hat);
+        self.batch_std = Some(std);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x_hat = self.x_hat.as_ref().expect("BatchNorm::backward before forward");
+        let std = self.batch_std.as_ref().expect("BatchNorm::backward before forward");
+        let n = grad_out.rows() as f32;
+
+        // d gamma = sum over batch of g * x_hat; d beta = colsum(g)
+        self.gamma.grad.add_assign(&grad_out.zip_map(x_hat, |g, xh| g * xh).col_sum());
+        self.beta.grad.add_assign(&grad_out.col_sum());
+
+        // Standard batch-norm input gradient:
+        // dX = gamma/std * (dY - mean(dY) - x_hat * mean(dY * x_hat))
+        let mean_dy = grad_out.col_mean();
+        let mean_dy_xhat = grad_out.zip_map(x_hat, |g, xh| g * xh).col_mean();
+        let mut dx = Matrix::zeros(grad_out.rows(), grad_out.cols());
+        let single_sample = grad_out.rows() == 1;
+        for r in 0..grad_out.rows() {
+            for c in 0..grad_out.cols() {
+                let g = grad_out[(r, c)];
+                let gamma = self.gamma.value[(0, c)];
+                let s = std[(0, c)];
+                dx[(r, c)] = if single_sample {
+                    // Eval-style normalization (running stats treated as
+                    // constants): gradient is a simple per-feature scale.
+                    gamma / s * g
+                } else {
+                    gamma / s
+                        * (g - mean_dy[(0, c)] - x_hat[(r, c)] * mean_dy_xhat[(0, c)])
+                };
+            }
+        }
+        let _ = n;
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm"
+    }
+
+    fn state(&self) -> Vec<Matrix> {
+        vec![
+            self.gamma.value.clone(),
+            self.beta.value.clone(),
+            self.running_mean.clone(),
+            self.running_var.clone(),
+        ]
+    }
+
+    fn load_state(&mut self, state: &[Matrix]) {
+        assert_eq!(state.len(), 4, "batchnorm expects [gamma, beta, mean, var]");
+        for m in state {
+            assert_eq!(m.cols(), self.dim(), "batchnorm state width mismatch");
+        }
+        self.gamma.value = state[0].clone();
+        self.beta.value = state[1].clone();
+        self.running_mean = state[2].clone();
+        self.running_var = state[3].clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_batch_to_zero_mean_unit_var() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut bn = BatchNorm::new(4);
+        let x = Init::Normal(3.0).sample(64, 4, &mut rng);
+        let y = bn.forward(&x, true);
+        let mean = y.col_mean();
+        assert!(mean.as_slice().iter().all(|m| m.abs() < 1e-4), "mean {mean:?}");
+        for c in 0..4 {
+            let var: f32 = (0..64).map(|r| y[(r, c)].powi(2)).sum::<f32>() / 64.0;
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut bn = BatchNorm::new(2);
+        // Feed several biased batches so the running mean drifts toward 5.
+        for _ in 0..200 {
+            let mut x = Init::Normal(1.0).sample(32, 2, &mut rng);
+            x.map_inplace(|v| v + 5.0);
+            let _ = bn.forward(&x, true);
+        }
+        // A single eval sample at the running mean should normalize to ~beta.
+        let x = Matrix::from_vec(1, 2, vec![5.0, 5.0]);
+        let y = bn.forward(&x, false);
+        assert!(y.as_slice().iter().all(|v| v.abs() < 0.3), "eval output {y:?}");
+    }
+
+    #[test]
+    fn single_row_train_falls_back_to_running_stats() {
+        let mut bn = BatchNorm::new(2);
+        let x = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        // Fresh running stats are mean 0, var 1 → output ≈ input.
+        let y = bn.forward(&x, true);
+        assert!((y[(0, 0)] - 1.0).abs() < 1e-3);
+        assert!((y[(0, 1)] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bn = BatchNorm::new(3);
+        let x = Init::Normal(2.0).sample(16, 3, &mut rng);
+        let _ = bn.forward(&x, true);
+        let state = bn.state();
+        let mut bn2 = BatchNorm::new(3);
+        bn2.load_state(&state);
+        let probe = Init::Normal(1.0).sample(4, 3, &mut rng);
+        assert_eq!(bn.forward(&probe, false), bn2.forward(&probe, false));
+    }
+
+    #[test]
+    fn backward_gradient_shapes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut bn = BatchNorm::new(3);
+        let x = Init::Normal(1.0).sample(8, 3, &mut rng);
+        let y = bn.forward(&x, true);
+        let g = Matrix::filled(y.rows(), y.cols(), 1.0);
+        let dx = bn.backward(&g);
+        assert_eq!((dx.rows(), dx.cols()), (8, 3));
+        // With dY = const, the projection terms cancel: dX should be ~0.
+        assert!(dx.as_slice().iter().all(|v| v.abs() < 1e-4), "dx {dx:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Fully-connected (affine) layer: `Y = X·W + b`.
+
+use super::{Layer, Param};
+use crate::init::Init;
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Fully-connected layer with weights `W (in x out)` and bias `b (1 x out)`.
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with `weight_init` for `W`; bias starts at zero.
+    pub fn new(in_dim: usize, out_dim: usize, weight_init: Init, rng: &mut impl Rng) -> Self {
+        Self {
+            weight: Param::new(weight_init.sample(in_dim, out_dim, rng)),
+            bias: Param::new(Matrix::zeros(1, out_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        debug_assert_eq!(input.cols(), self.in_dim(), "dense input width mismatch");
+        let mut out = input.matmul(&self.weight.value);
+        out.add_row_broadcast(&self.bias.value);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward called before forward");
+        // dW = Xᵀ·dY, db = colsum(dY), dX = dY·Wᵀ
+        self.weight.grad.add_assign(&input.t_matmul(grad_out));
+        self.bias.grad.add_assign(&grad_out.col_sum());
+        grad_out.matmul_t(&self.weight.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn state(&self) -> Vec<Matrix> {
+        vec![self.weight.value.clone(), self.bias.value.clone()]
+    }
+
+    fn load_state(&mut self, state: &[Matrix]) {
+        assert_eq!(state.len(), 2, "dense expects [weight, bias]");
+        assert_eq!(
+            (state[0].rows(), state[0].cols()),
+            (self.weight.value.rows(), self.weight.value.cols()),
+            "dense weight shape mismatch"
+        );
+        assert_eq!(state[1].cols(), self.bias.value.cols(), "dense bias shape mismatch");
+        self.weight.value = state[0].clone();
+        self.bias.value = state[1].clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_input_gradient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(3, 2, Init::Zeros, &mut rng);
+        d.load_state(&[
+            Matrix::zeros(3, 2),
+            Matrix::row_vector(vec![1.5, -0.5]),
+        ]);
+        let x = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let y = d.forward(&x, false);
+        assert_eq!((y.rows(), y.cols()), (2, 2));
+        assert_eq!(y.row(0), &[1.5, -0.5]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = Dense::new(4, 3, Init::Uniform(0.5), &mut rng);
+        let x = Init::Uniform(1.0).sample(5, 4, &mut rng);
+        check_input_gradient(&mut d, &x, 1e-2);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dense::new(2, 2, Init::Uniform(0.5), &mut rng);
+        let x = Init::Uniform(1.0).sample(3, 2, &mut rng);
+
+        // loss = sum(forward(x)); dL/dY = ones
+        let y = d.forward(&x, true);
+        let ones = Matrix::filled(y.rows(), y.cols(), 1.0);
+        d.zero_grad();
+        let _ = d.backward(&ones);
+        let mut analytic = Vec::new();
+        d.visit_params(&mut |p| analytic.push(p.grad.clone()));
+
+        let eps = 1e-3f32;
+        let base_state = d.state();
+        for (pi, (label, shape)) in
+            [("weight", (2usize, 2usize)), ("bias", (1usize, 2usize))].iter().enumerate()
+        {
+            for idx in 0..shape.0 * shape.1 {
+                let mut plus = base_state.clone();
+                plus[pi].as_mut_slice()[idx] += eps;
+                d.load_state(&plus);
+                let lp: f32 = d.forward(&x, true).as_slice().iter().sum();
+
+                let mut minus = base_state.clone();
+                minus[pi].as_mut_slice()[idx] -= eps;
+                d.load_state(&minus);
+                let lm: f32 = d.forward(&x, true).as_slice().iter().sum();
+
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic[pi].as_slice()[idx];
+                assert!(
+                    (a - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+                    "{label} grad mismatch at {idx}: analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut d = Dense::new(2, 2, Init::Uniform(0.5), &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let _ = d.forward(&x, true);
+        let _ = d.backward(&g);
+        let mut first = Matrix::zeros(1, 1);
+        d.visit_params(&mut |p| first = p.grad.clone());
+        let _ = d.forward(&x, true);
+        let _ = d.backward(&g);
+        let mut second = Matrix::zeros(1, 1);
+        d.visit_params(&mut |p| second = p.grad.clone());
+        assert!(second.as_slice()[0] > first.as_slice()[0] - 1e-9);
+        d.zero_grad();
+        d.visit_params(&mut |p| assert!(p.grad.as_slice().iter().all(|&x| x == 0.0)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Inverted dropout.
+//!
+//! Table 5 uses dropout rates of 0.2 and 0.3 in the actor/critic stacks.
+//! Inverted scaling (`1 / (1 - p)` at train time) keeps evaluation a no-op.
+
+use super::Layer;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dropout layer with drop probability `p`.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer. `seed` makes training deterministic.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
+        Self { p, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+
+    /// The configured drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Matrix::zeros(input.rows(), input.cols());
+        for m in mask.as_mut_slice() {
+            *m = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+        }
+        let out = input.zip_map(&mask, |x, m| x * m);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => grad_out.zip_map(mask, |g, m| g * m),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 42);
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 42);
+        let x = Matrix::filled(200, 50, 1.0);
+        let y = d.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean} drifted from 1.0");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Matrix::filled(4, 4, 1.0);
+        let y = d.forward(&x, true);
+        let g = Matrix::filled(4, 4, 1.0);
+        let dx = d.backward(&g);
+        // Where forward zeroed, backward must zero too.
+        for (yo, go) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*yo == 0.0, *go == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let mut d = Dropout::new(0.0, 1);
+        let x = Matrix::filled(8, 8, 3.0);
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn invalid_probability_panics() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Network layers.
+//!
+//! Every layer caches whatever it needs during `forward` and consumes that
+//! cache in `backward`, so a training step is always the strict sequence
+//! `forward(train = true)` → loss gradient → `backward`. The layer set is
+//! exactly what Table 5 of the paper requires: fully-connected layers, ReLU
+//! and Tanh activations, batch normalization, and dropout.
+
+mod activation;
+mod batchnorm;
+mod dense;
+mod dropout;
+
+pub use activation::{Activation, ActivationKind, LeakyRelu, Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm;
+pub use dense::Dense;
+pub use dropout::Dropout;
+
+use crate::matrix::Matrix;
+
+/// A learnable parameter: a value matrix plus its accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Matrix,
+    /// Gradient of the loss w.r.t. `value`, populated by `backward`.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps a value matrix with a zeroed gradient of the same shape.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+}
+
+/// A differentiable network layer.
+pub trait Layer: Send {
+    /// Computes the layer output for a batch (`rows` = batch size).
+    ///
+    /// `train` switches batch-norm to batch statistics and enables dropout.
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
+
+    /// Backpropagates `grad_out` (dL/d output), accumulating parameter
+    /// gradients and returning dL/d input.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Visits every learnable parameter in a stable order.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Short human-readable layer name for debugging.
+    fn name(&self) -> &'static str;
+
+    /// Serializable state: parameters plus any persistent buffers
+    /// (e.g. batch-norm running statistics), in a stable order.
+    fn state(&self) -> Vec<Matrix> {
+        Vec::new()
+    }
+
+    /// Restores state previously produced by [`Layer::state`].
+    ///
+    /// # Panics
+    /// Implementations panic if shapes or counts disagree.
+    fn load_state(&mut self, _state: &[Matrix]) {}
+
+    /// Resets all parameter gradients to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.fill_zero());
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by the layer tests.
+    use super::*;
+
+    /// Checks dL/d input of `layer` against central finite differences,
+    /// where the loss is `sum(output * seed)` for a fixed random-ish seed.
+    pub fn check_input_gradient(layer: &mut dyn Layer, input: &Matrix, tol: f32) {
+        let seed = input_seed(layer, input);
+        let out = layer.forward(input, true);
+        let grad_out = seed.clone();
+        let analytic = layer.backward(&grad_out);
+        let _ = out;
+
+        let eps = 1e-3f32;
+        for idx in 0..input.as_slice().len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            // Deterministic layers only: forward twice with the same mode.
+            let lp = loss_of(layer, &plus, &seed);
+            let lm = loss_of(layer, &minus, &seed);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.as_slice()[idx];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at {idx}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    fn input_seed(layer: &mut dyn Layer, input: &Matrix) -> Matrix {
+        let out = layer.forward(input, true);
+        let mut seed = Matrix::zeros(out.rows(), out.cols());
+        for (i, x) in seed.as_mut_slice().iter_mut().enumerate() {
+            *x = ((i % 7) as f32 - 3.0) * 0.31;
+        }
+        seed
+    }
+
+    fn loss_of(layer: &mut dyn Layer, input: &Matrix, seed: &Matrix) -> f32 {
+        let out = layer.forward(input, true);
+        out.as_slice().iter().zip(seed.as_slice()).map(|(&o, &s)| o * s).sum()
+    }
+}

@@ -1,0 +1,253 @@
+//! A sequential multi-layer perceptron with manual backpropagation, plus the
+//! soft-update and parameter-blending utilities DDPG target networks need.
+
+use crate::layers::{Layer, Param};
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network: an ordered stack of [`Layer`]s.
+pub struct Mlp {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+/// Serializable snapshot of an [`Mlp`]'s learnable state (parameters and
+/// persistent buffers such as batch-norm running statistics).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct NetState {
+    /// Per-layer state matrices, in layer order.
+    pub layers: Vec<Vec<Matrix>>,
+}
+
+impl Mlp {
+    /// Creates an MLP from a layer stack.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the network forward. `train` enables dropout and batch statistics.
+    pub fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Convenience: forward in evaluation mode.
+    pub fn predict(&mut self, input: &Matrix) -> Matrix {
+        self.forward(input, false)
+    }
+
+    /// Backpropagates `grad_out` through the stack (must follow a `forward`),
+    /// accumulating parameter gradients. Returns dL/d input.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Visits every learnable parameter in a stable order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.as_slice().len());
+        n
+    }
+
+    /// Clips the global gradient norm to `max_norm` (no-op when below).
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let mut sq = 0.0f32;
+        self.visit_params(&mut |p| {
+            sq += p.grad.as_slice().iter().map(|g| g * g).sum::<f32>();
+        });
+        let norm = sq.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            self.visit_params(&mut |p| p.grad.scale(scale));
+        }
+    }
+
+    /// Captures a serializable snapshot of parameters and buffers.
+    pub fn state(&self) -> NetState {
+        NetState { layers: self.layers.iter().map(|l| l.state()).collect() }
+    }
+
+    /// Restores a snapshot created by [`Mlp::state`].
+    ///
+    /// # Panics
+    /// Panics if the architecture does not match the snapshot.
+    pub fn load_state(&mut self, state: &NetState) {
+        assert_eq!(
+            state.layers.len(),
+            self.layers.len(),
+            "snapshot has {} layers, network has {}",
+            state.layers.len(),
+            self.layers.len()
+        );
+        for (layer, s) in self.layers.iter_mut().zip(&state.layers) {
+            layer.load_state(s);
+        }
+    }
+
+    /// Polyak soft update: `self = tau * source + (1 - tau) * self`, applied
+    /// to every state matrix (parameters and buffers alike). This is the
+    /// target-network update used by DDPG.
+    ///
+    /// # Panics
+    /// Panics if architectures differ.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f32) {
+        let src = source.state();
+        let mut dst = self.state();
+        assert_eq!(src.layers.len(), dst.layers.len(), "soft update layer count mismatch");
+        for (d_layer, s_layer) in dst.layers.iter_mut().zip(&src.layers) {
+            assert_eq!(d_layer.len(), s_layer.len(), "soft update state count mismatch");
+            for (d, s) in d_layer.iter_mut().zip(s_layer) {
+                for (dv, &sv) in d.as_mut_slice().iter_mut().zip(s.as_slice()) {
+                    *dv = tau * sv + (1.0 - tau) * *dv;
+                }
+            }
+        }
+        self.load_state(&dst);
+    }
+
+    /// Hard copy of all state from `source` (equivalent to `tau = 1`).
+    pub fn copy_from(&mut self, source: &Mlp) {
+        self.load_state(&source.state());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{BatchNorm, Dense, Dropout, Relu, Tanh};
+    use crate::loss::mse_loss;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(rng: &mut StdRng) -> Mlp {
+        Mlp::new(vec![
+            Box::new(Dense::new(2, 16, Init::XavierUniform, rng)),
+            Box::new(Relu()),
+            Box::new(Dense::new(16, 1, Init::XavierUniform, rng)),
+        ])
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let mut net = tiny_net(&mut rng);
+        let mut opt = Adam::new(1e-2);
+        // y = 2a - b
+        let xs = Init::Uniform(1.0).sample(64, 2, &mut rng);
+        let mut ys = Matrix::zeros(64, 1);
+        for r in 0..64 {
+            ys[(r, 0)] = 2.0 * xs[(r, 0)] - xs[(r, 1)];
+        }
+        let mut last = f32::MAX;
+        for _ in 0..500 {
+            let pred = net.forward(&xs, true);
+            let (loss, grad) = mse_loss(&pred, &ys);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net);
+            last = loss;
+        }
+        assert!(last < 1e-3, "final loss {last}");
+    }
+
+    #[test]
+    fn soft_update_converges_to_source() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let src = tiny_net(&mut rng);
+        let mut dst = tiny_net(&mut rng);
+        for _ in 0..400 {
+            dst.soft_update_from(&src, 0.05);
+        }
+        let a = src.state();
+        let b = dst.state();
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            for (ma, mb) in la.iter().zip(lb) {
+                for (&x, &y) in ma.as_slice().iter().zip(mb.as_slice()) {
+                    assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_through_json() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let mut net = Mlp::new(vec![
+            Box::new(Dense::new(3, 8, Init::XavierUniform, &mut rng)),
+            Box::new(BatchNorm::new(8)),
+            Box::new(Tanh()),
+            Box::new(Dropout::new(0.2, 1)),
+            Box::new(Dense::new(8, 2, Init::XavierUniform, &mut rng)),
+        ]);
+        let x = Init::Uniform(1.0).sample(16, 3, &mut rng);
+        let _ = net.forward(&x, true); // populate running stats
+        let json = serde_json::to_string(&net.state()).unwrap();
+        let restored: NetState = serde_json::from_str(&json).unwrap();
+
+        let mut net2 = Mlp::new(vec![
+            Box::new(Dense::new(3, 8, Init::Zeros, &mut rng)),
+            Box::new(BatchNorm::new(8)),
+            Box::new(Tanh()),
+            Box::new(Dropout::new(0.2, 1)),
+            Box::new(Dense::new(8, 2, Init::Zeros, &mut rng)),
+        ]);
+        net2.load_state(&restored);
+        let probe = Init::Uniform(1.0).sample(4, 3, &mut rng);
+        assert_eq!(net.predict(&probe), net2.predict(&probe));
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_large_gradients() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let mut net = tiny_net(&mut rng);
+        let x = Init::Uniform(1.0).sample(8, 2, &mut rng);
+        let y = net.forward(&x, true);
+        let big = Matrix::filled(y.rows(), y.cols(), 1e4);
+        net.zero_grad();
+        net.backward(&big);
+        net.clip_grad_norm(1.0);
+        let mut sq = 0.0;
+        net.visit_params(&mut |p| sq += p.grad.as_slice().iter().map(|g| g * g).sum::<f32>());
+        assert!(sq.sqrt() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let mut net = tiny_net(&mut rng);
+        // (2*16 + 16) + (16*1 + 1) = 48 + 17 = 65
+        assert_eq!(net.param_count(), 65);
+    }
+}

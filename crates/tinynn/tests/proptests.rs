@@ -1,0 +1,110 @@
+//! Property-based tests for the linear-algebra and network substrate.
+
+use proptest::prelude::*;
+use tinynn::{cholesky, solve_spd, Init, Matrix};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// A·I = I·A = A.
+    #[test]
+    fn identity_is_neutral(a in matrix_strategy(4, 4)) {
+        let i = Matrix::identity(4);
+        prop_assert_eq!(a.matmul(&i), a.clone());
+        prop_assert_eq!(i.matmul(&a), a);
+    }
+
+    /// (Aᵀ)ᵀ = A, and the fused transpose-multiplies agree with the
+    /// explicit ones.
+    #[test]
+    fn transpose_identities(a in matrix_strategy(3, 5), b in matrix_strategy(3, 4)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        prop_assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+        let c = Matrix::from_vec(2, 5, vec![1.0; 10]);
+        prop_assert_eq!(c.matmul_t(&a), c.matmul(&a.transpose()));
+    }
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        a in matrix_strategy(3, 3),
+        b in matrix_strategy(3, 2),
+        c in matrix_strategy(3, 2),
+    ) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let left = a.matmul(&bc);
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Cholesky of MᵀM + I reconstructs and its SPD solve inverts.
+    #[test]
+    fn cholesky_solves_spd_systems(m in matrix_strategy(4, 4)) {
+        let mut a = m.t_matmul(&m);
+        for i in 0..4 {
+            a[(i, i)] += 1.0;
+        }
+        let l = cholesky(&a).expect("MᵀM + I is SPD");
+        let rec = l.matmul_t(&l);
+        let scale = 1.0 + a.as_slice().iter().fold(0.0f32, |s, x| s.max(x.abs()));
+        for (x, y) in a.as_slice().iter().zip(rec.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2 * scale, "{x} vs {y}");
+        }
+        let b = Matrix::from_vec(4, 1, vec![1.0, -1.0, 0.5, 2.0]);
+        let (x, _) = solve_spd(&a, &b).expect("solvable");
+        let back = a.matmul(&x);
+        for (u, v) in back.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((u - v).abs() < 0.05 * scale, "{u} vs {v}");
+        }
+    }
+
+    /// Initializers produce matrices of the right shape with bounded values.
+    #[test]
+    fn initializers_are_bounded(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let u = Init::Uniform(0.1).sample(8, 8, &mut rng);
+        prop_assert!(u.as_slice().iter().all(|x| x.abs() <= 0.1));
+        let z = Init::Zeros.sample(3, 3, &mut rng);
+        prop_assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let x = Init::XavierUniform.sample(16, 16, &mut rng);
+        let bound = (6.0f32 / 32.0).sqrt() + 1e-6;
+        prop_assert!(x.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    /// Softly updating toward a source contracts the parameter distance.
+    #[test]
+    fn soft_update_contracts(tau in 0.01f32..1.0) {
+        use rand::SeedableRng;
+        use tinynn::{Dense, Layer, Mlp};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let src = Mlp::new(vec![
+            Box::new(Dense::new(2, 4, Init::Uniform(1.0), &mut rng)) as Box<dyn Layer>,
+        ]);
+        let mut dst = Mlp::new(vec![
+            Box::new(Dense::new(2, 4, Init::Uniform(1.0), &mut rng)) as Box<dyn Layer>,
+        ]);
+        let dist = |a: &Mlp, b: &Mlp| -> f32 {
+            let (sa, sb) = (a.state(), b.state());
+            sa.layers
+                .iter()
+                .flatten()
+                .flat_map(|m| m.as_slice())
+                .zip(sb.layers.iter().flatten().flat_map(|m| m.as_slice()))
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
+                .sqrt()
+        };
+        let before = dist(&src, &dst);
+        dst.soft_update_from(&src, tau);
+        let after = dist(&src, &dst);
+        prop_assert!(after <= before * (1.0 - tau) + 1e-5, "{before} -> {after} (tau {tau})");
+    }
+}

@@ -1,0 +1,266 @@
+//! TPC-C-style OLTP workload.
+//!
+//! The paper runs TPC-C with 200 warehouses (~12.8 GB) and 32 concurrent
+//! connections (§5, "Workload"). The generator builds the nine TPC-C tables
+//! and issues the standard transaction mix; its signature behaviours — hot
+//! warehouse/district rows that contend under concurrency, order-line
+//! insert streams, stock updates — emerge from the key patterns, not from
+//! any workload-specific handling in the engine.
+
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::Rng;
+use simdb::{Engine, Op, TableId, Txn};
+
+/// Paper warehouse count at scale 1.0.
+const WAREHOUSES: u64 = 200;
+/// Paper connection count.
+const CLIENTS: u32 = 32;
+
+const DISTRICTS_PER_WH: u64 = 10;
+const CUSTOMERS_PER_DISTRICT: u64 = 3_000;
+const STOCK_PER_WH: u64 = 100_000;
+
+/// Table indices within the workload.
+#[derive(Debug, Clone, Copy)]
+struct Tables {
+    warehouse: TableId,
+    district: TableId,
+    customer: TableId,
+    stock: TableId,
+    item: TableId,
+    orders: TableId,
+    order_line: TableId,
+    new_order: TableId,
+    history: TableId,
+}
+
+/// The TPC-C workload generator.
+pub struct TpccWorkload {
+    warehouses: u64,
+    tables: Option<Tables>,
+    next_order_id: u64,
+}
+
+impl TpccWorkload {
+    /// Creates a TPC-C workload with `scale * 200` warehouses (min 4).
+    pub fn new(scale: f64) -> Self {
+        let warehouses = ((WAREHOUSES as f64 * scale) as u64).max(4);
+        Self { warehouses, tables: None, next_order_id: 0 }
+    }
+
+    /// Warehouse count after scaling.
+    pub fn warehouses(&self) -> u64 {
+        self.warehouses
+    }
+
+    fn t(&self) -> Tables {
+        self.tables.expect("setup() must run before window()")
+    }
+
+    fn new_order(&mut self, rng: &mut StdRng) -> Txn {
+        let t = self.t();
+        let w = rng.gen_range(0..self.warehouses);
+        let d = w * DISTRICTS_PER_WH + rng.gen_range(0..DISTRICTS_PER_WH);
+        let c = d * CUSTOMERS_PER_DISTRICT / DISTRICTS_PER_WH * DISTRICTS_PER_WH
+            + rng.gen_range(0..CUSTOMERS_PER_DISTRICT);
+        let mut ops = vec![
+            Op::PointRead { table: t.warehouse, key: w },
+            Op::PointRead { table: t.customer, key: c % (self.warehouses * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT) },
+            // D_NEXT_O_ID increment: the hottest write in TPC-C.
+            Op::Update { table: t.district, key: d },
+        ];
+        let order_id = self.next_order_id;
+        self.next_order_id += 1;
+        ops.push(Op::Insert { table: t.orders, key: order_id });
+        ops.push(Op::Insert { table: t.new_order, key: order_id });
+        let lines = rng.gen_range(5..=15);
+        for l in 0..lines {
+            let item = rng.gen_range(0..100_000u64);
+            ops.push(Op::PointRead { table: t.item, key: item });
+            // 1 % of stock lookups are remote warehouses.
+            let stock_w = if rng.gen_range(0..100) == 0 {
+                rng.gen_range(0..self.warehouses)
+            } else {
+                w
+            };
+            ops.push(Op::Update { table: t.stock, key: stock_w * STOCK_PER_WH % (self.warehouses * STOCK_PER_WH) + item % STOCK_PER_WH });
+            ops.push(Op::Insert { table: t.order_line, key: order_id * 15 + l });
+        }
+        Txn::new(ops)
+    }
+
+    fn payment(&mut self, rng: &mut StdRng) -> Txn {
+        let t = self.t();
+        let w = rng.gen_range(0..self.warehouses);
+        let d = w * DISTRICTS_PER_WH + rng.gen_range(0..DISTRICTS_PER_WH);
+        let c = rng.gen_range(0..self.warehouses * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT);
+        let h = self.next_order_id;
+        self.next_order_id += 1;
+        Txn::new(vec![
+            // W_YTD update: one row per warehouse — the classic hot spot.
+            Op::Update { table: t.warehouse, key: w },
+            Op::Update { table: t.district, key: d },
+            Op::Update { table: t.customer, key: c },
+            Op::Insert { table: t.history, key: h },
+        ])
+    }
+
+    fn order_status(&self, rng: &mut StdRng) -> Txn {
+        let t = self.t();
+        let c = rng.gen_range(0..self.warehouses * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT);
+        let recent = self.next_order_id.saturating_sub(rng.gen_range(1..100));
+        Txn::new(vec![
+            Op::PointRead { table: t.customer, key: c },
+            Op::PointRead { table: t.orders, key: recent },
+            Op::RangeScan { table: t.order_line, start: recent * 15, limit: 15 },
+        ])
+    }
+
+    fn delivery(&mut self, rng: &mut StdRng) -> Txn {
+        let t = self.t();
+        let mut ops = Vec::with_capacity(DISTRICTS_PER_WH as usize * 3);
+        for _ in 0..DISTRICTS_PER_WH {
+            let oldest = self.next_order_id.saturating_sub(rng.gen_range(1..1000));
+            ops.push(Op::Delete { table: t.new_order, key: oldest });
+            ops.push(Op::Update { table: t.orders, key: oldest });
+            ops.push(Op::Update {
+                table: t.customer,
+                key: rng.gen_range(0..self.warehouses * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT),
+            });
+        }
+        Txn::new(ops)
+    }
+
+    fn stock_level(&self, rng: &mut StdRng) -> Txn {
+        let t = self.t();
+        let w = rng.gen_range(0..self.warehouses);
+        Txn::new(vec![
+            Op::PointRead { table: t.district, key: w * DISTRICTS_PER_WH },
+            Op::RangeScan { table: t.order_line, start: self.next_order_id.saturating_sub(300) * 15, limit: 200 },
+            Op::RangeScan { table: t.stock, start: w * STOCK_PER_WH % (self.warehouses * STOCK_PER_WH), limit: 180 },
+        ])
+    }
+}
+
+impl Workload for TpccWorkload {
+    fn name(&self) -> &'static str {
+        "tpcc"
+    }
+
+    fn default_clients(&self) -> u32 {
+        CLIENTS
+    }
+
+    fn setup(&mut self, engine: &mut Engine) {
+        let w = self.warehouses;
+        let tables = Tables {
+            warehouse: engine.create_table("warehouse", 90, w),
+            district: engine.create_table("district", 95, w * DISTRICTS_PER_WH),
+            customer: engine.create_table("customer", 655, w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT),
+            stock: engine.create_table("stock", 306, w * STOCK_PER_WH),
+            item: engine.create_table("item", 82, 100_000),
+            orders: engine.create_table("orders", 24, w * 3_000),
+            order_line: engine.create_table("order_line", 54, w * 30_000),
+            new_order: engine.create_table("new_order", 8, w * 900),
+            history: engine.create_table("history", 46, w * 3_000),
+        };
+        self.next_order_id = w * 3_000;
+        self.tables = Some(tables);
+    }
+
+    fn window(&mut self, n: usize, rng: &mut StdRng) -> Vec<Txn> {
+        (0..n)
+            .map(|_| match rng.gen_range(0..100) {
+                0..=44 => self.new_order(rng),
+                45..=87 => self.payment(rng),
+                88..=91 => self.order_status(rng),
+                92..=95 => self.delivery(rng),
+                _ => self.stock_level(rng),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use simdb::{EngineFlavor, HardwareConfig};
+
+    fn tiny() -> (Engine, TpccWorkload) {
+        let mut e = Engine::new(EngineFlavor::MySqlCdb, HardwareConfig::cdb_b(), 5);
+        let mut wl = TpccWorkload::new(0.02); // 4 warehouses
+        wl.setup(&mut e);
+        (e, wl)
+    }
+
+    #[test]
+    fn scale_floors_at_four_warehouses() {
+        assert_eq!(TpccWorkload::new(0.0001).warehouses(), 4);
+        assert_eq!(TpccWorkload::new(1.0).warehouses(), 200);
+    }
+
+    #[test]
+    fn setup_creates_nine_tables() {
+        let (e, _) = tiny();
+        let m = e.metrics();
+        assert_eq!(
+            m.get_state(simdb::metrics::internal::StateMetric::OpenTables),
+            9.0
+        );
+    }
+
+    #[test]
+    fn mix_contains_all_transaction_types() {
+        let (_, mut wl) = tiny();
+        let mut rng = StdRng::seed_from_u64(1);
+        let txns = wl.window(500, &mut rng);
+        let writes = txns.iter().filter(|t| t.is_write()).count();
+        let reads = txns.len() - writes;
+        // NewOrder + Payment + Delivery ≈ 92 % writes.
+        assert!(writes > 400, "writes {writes}");
+        assert!(reads > 10, "reads {reads}");
+    }
+
+    #[test]
+    fn warehouse_updates_hit_hot_rows() {
+        let (_, mut wl) = tiny();
+        let mut rng = StdRng::seed_from_u64(2);
+        let txns = wl.window(300, &mut rng);
+        let mut warehouse_updates = 0;
+        for txn in &txns {
+            for op in &txn.ops {
+                if let Op::Update { table, key } = op {
+                    if *table == wl.t().warehouse {
+                        assert!(*key < 4, "only 4 warehouse rows exist");
+                        warehouse_updates += 1;
+                    }
+                }
+            }
+        }
+        assert!(warehouse_updates > 50, "payment txns update warehouses: {warehouse_updates}");
+    }
+
+    #[test]
+    fn executes_on_engine_with_contention() {
+        let (mut e, mut wl) = tiny();
+        let mut rng = StdRng::seed_from_u64(3);
+        let txns = wl.window(400, &mut rng);
+        let perf = e.run(&txns, wl.default_clients()).unwrap();
+        assert!(perf.throughput_tps > 0.0);
+        let m = e.metrics();
+        use simdb::metrics::internal::CumulativeMetric as C;
+        assert!(m.get_cumulative(C::RowsInserted) > 0.0);
+        assert!(m.get_cumulative(C::RowsUpdated) > 0.0);
+    }
+
+    #[test]
+    fn order_ids_advance_monotonically() {
+        let (_, mut wl) = tiny();
+        let before = wl.next_order_id;
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = wl.window(100, &mut rng);
+        assert!(wl.next_order_id > before);
+    }
+}

@@ -1,0 +1,237 @@
+//! TPC-H-style OLAP workload.
+//!
+//! The paper uses TPC-H with 16 tables totalling ~16 GB (§5, "Workload").
+//! (TPC-H proper has 8 tables; the paper's deployment splits lineitem and
+//! orders into partitions — we model the 8 logical tables and note the size
+//! target.) Queries are expressed as scan / join / sort-aggregate op
+//! pipelines approximating the access patterns of the classic query set:
+//! Q1 (big scan + aggregate), Q3 (3-way join + sort), Q5 (multi-join),
+//! Q6 (selective scan), Q13 (outer join + aggregate), Q16 (part/partsupp
+//! join), Q18 (large join + group-by having).
+
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::Rng;
+use simdb::{Engine, Op, TableId, Txn};
+
+/// Analytic stream count (paper runs a handful of concurrent TPC-H streams).
+const CLIENTS: u32 = 8;
+
+/// Rows at scale 1.0 (≈ 16 GB total with the row widths below).
+const LINEITEM_ROWS: u64 = 6_000_000;
+
+#[derive(Debug, Clone, Copy)]
+struct Tables {
+    lineitem: TableId,
+    orders: TableId,
+    customer: TableId,
+    part: TableId,
+    supplier: TableId,
+    partsupp: TableId,
+    nation: TableId,
+    region: TableId,
+}
+
+/// The TPC-H workload generator.
+pub struct TpchWorkload {
+    scale: f64,
+    tables: Option<Tables>,
+}
+
+impl TpchWorkload {
+    /// Creates a TPC-H workload; `scale` shrinks all tables (1.0 ≈ 16 GB).
+    pub fn new(scale: f64) -> Self {
+        Self { scale: scale.max(0.001), tables: None }
+    }
+
+    fn rows(&self, base: u64) -> u64 {
+        ((base as f64 * self.scale) as u64).max(100)
+    }
+
+    fn t(&self) -> Tables {
+        self.tables.expect("setup() must run before window()")
+    }
+
+    fn q1_pricing_summary(&self, lineitem_rows: u64) -> Txn {
+        let t = self.t();
+        Txn::new(vec![
+            Op::FullScan { table: t.lineitem, fraction_pct: 95 },
+            Op::SortAggregate { table: t.lineitem, input_rows: lineitem_rows / 50, row_bytes: 48 },
+        ])
+    }
+
+    fn q3_shipping_priority(&self, rng: &mut StdRng) -> Txn {
+        let t = self.t();
+        let orders_rows = self.rows(LINEITEM_ROWS / 4);
+        Txn::new(vec![
+            Op::FullScan { table: t.customer, fraction_pct: 20 },
+            Op::Join { outer: t.orders, inner: t.customer, outer_rows: orders_rows / 10 },
+            Op::Join { outer: t.lineitem, inner: t.orders, outer_rows: self.rows(LINEITEM_ROWS) / 20 },
+            Op::SortAggregate {
+                table: t.orders,
+                input_rows: orders_rows / 20 + rng.gen_range(0..100),
+                row_bytes: 40,
+            },
+        ])
+    }
+
+    fn q5_local_supplier(&self) -> Txn {
+        let t = self.t();
+        Txn::new(vec![
+            Op::FullScan { table: t.region, fraction_pct: 100 },
+            Op::Join { outer: t.nation, inner: t.region, outer_rows: 25 },
+            Op::Join { outer: t.supplier, inner: t.nation, outer_rows: self.rows(10_000) },
+            Op::Join { outer: t.lineitem, inner: t.supplier, outer_rows: self.rows(LINEITEM_ROWS) / 30 },
+            Op::SortAggregate { table: t.lineitem, input_rows: 25, row_bytes: 64 },
+        ])
+    }
+
+    fn q6_forecast_revenue(&self) -> Txn {
+        let t = self.t();
+        Txn::new(vec![Op::FullScan { table: t.lineitem, fraction_pct: 15 }])
+    }
+
+    fn q13_customer_distribution(&self) -> Txn {
+        let t = self.t();
+        let customers = self.rows(150_000);
+        Txn::new(vec![
+            Op::Join { outer: t.customer, inner: t.orders, outer_rows: customers },
+            Op::SortAggregate { table: t.customer, input_rows: customers, row_bytes: 16 },
+        ])
+    }
+
+    fn q16_parts_supplier(&self) -> Txn {
+        let t = self.t();
+        Txn::new(vec![
+            Op::FullScan { table: t.part, fraction_pct: 30 },
+            Op::Join { outer: t.partsupp, inner: t.part, outer_rows: self.rows(800_000) / 20 },
+            Op::SortAggregate { table: t.part, input_rows: self.rows(200_000) / 10, row_bytes: 32 },
+        ])
+    }
+
+    fn q18_large_volume_customer(&self) -> Txn {
+        let t = self.t();
+        Txn::new(vec![
+            Op::FullScan { table: t.lineitem, fraction_pct: 60 },
+            Op::SortAggregate {
+                table: t.lineitem,
+                input_rows: self.rows(LINEITEM_ROWS) / 4,
+                row_bytes: 24,
+            },
+            Op::Join { outer: t.orders, inner: t.customer, outer_rows: self.rows(LINEITEM_ROWS / 4) / 100 },
+        ])
+    }
+}
+
+impl Workload for TpchWorkload {
+    fn name(&self) -> &'static str {
+        "tpch"
+    }
+
+    fn default_clients(&self) -> u32 {
+        CLIENTS
+    }
+
+    fn setup(&mut self, engine: &mut Engine) {
+        let tables = Tables {
+            lineitem: engine.create_table("lineitem", 120, self.rows(LINEITEM_ROWS)),
+            orders: engine.create_table("orders", 110, self.rows(LINEITEM_ROWS / 4)),
+            customer: engine.create_table("customer", 180, self.rows(150_000)),
+            part: engine.create_table("part", 160, self.rows(200_000)),
+            supplier: engine.create_table("supplier", 150, self.rows(10_000)),
+            partsupp: engine.create_table("partsupp", 140, self.rows(800_000)),
+            nation: engine.create_table("nation", 120, 25),
+            region: engine.create_table("region", 120, 5),
+        };
+        self.tables = Some(tables);
+    }
+
+    fn window(&mut self, n: usize, rng: &mut StdRng) -> Vec<Txn> {
+        let lineitem_rows = self.rows(LINEITEM_ROWS);
+        (0..n)
+            .map(|_| match rng.gen_range(0..7) {
+                0 => self.q1_pricing_summary(lineitem_rows),
+                1 => self.q3_shipping_priority(rng),
+                2 => self.q5_local_supplier(),
+                3 => self.q6_forecast_revenue(),
+                4 => self.q13_customer_distribution(),
+                5 => self.q16_parts_supplier(),
+                _ => self.q18_large_volume_customer(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use simdb::{EngineFlavor, HardwareConfig};
+
+    fn tiny() -> (Engine, TpchWorkload) {
+        let mut e = Engine::new(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), 11);
+        let mut wl = TpchWorkload::new(0.01);
+        wl.setup(&mut e);
+        (e, wl)
+    }
+
+    #[test]
+    fn setup_creates_eight_tables() {
+        let (e, _) = tiny();
+        let m = e.metrics();
+        assert_eq!(m.get_state(simdb::metrics::internal::StateMetric::OpenTables), 8.0);
+    }
+
+    #[test]
+    fn queries_are_read_only() {
+        let (_, mut wl) = tiny();
+        let mut rng = StdRng::seed_from_u64(1);
+        for txn in wl.window(60, &mut rng) {
+            assert!(!txn.is_write(), "TPC-H queries never write: {txn:?}");
+        }
+    }
+
+    #[test]
+    fn mix_includes_scans_joins_and_sorts() {
+        let (_, mut wl) = tiny();
+        let mut rng = StdRng::seed_from_u64(2);
+        let txns = wl.window(120, &mut rng);
+        let mut scans = 0;
+        let mut joins = 0;
+        let mut sorts = 0;
+        for txn in &txns {
+            for op in &txn.ops {
+                match op {
+                    Op::FullScan { .. } => scans += 1,
+                    Op::Join { .. } => joins += 1,
+                    Op::SortAggregate { .. } => sorts += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(scans > 0 && joins > 0 && sorts > 0, "{scans}/{joins}/{sorts}");
+    }
+
+    #[test]
+    fn executes_and_spills_with_small_sort_buffer() {
+        let (mut e, mut wl) = tiny();
+        let mut rng = StdRng::seed_from_u64(3);
+        let txns = wl.window(20, &mut rng);
+        let perf = e.run(&txns, wl.default_clients()).unwrap();
+        assert!(perf.throughput_tps > 0.0);
+        let m = e.metrics();
+        use simdb::metrics::internal::CumulativeMetric as C;
+        assert!(m.get_cumulative(C::SortRows) > 0.0);
+    }
+
+    #[test]
+    fn scale_changes_table_sizes() {
+        let mut e1 = Engine::new(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), 1);
+        let mut small = TpchWorkload::new(0.001);
+        small.setup(&mut e1);
+        let mut e2 = Engine::new(EngineFlavor::MySqlCdb, HardwareConfig::cdb_a(), 1);
+        let mut large = TpchWorkload::new(0.01);
+        large.setup(&mut e2);
+        assert!(e2.data_pages() > e1.data_pages() * 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! Adaptability demo (§5.3): a model trained on one environment keeps
+//! working when the user resizes memory or switches the workload — without
+//! retraining. This is the cloud-elasticity property the paper leads with
+//! (1,800 Tencent users made 6,700 hardware adjustments in half a year).
+//!
+//! ```text
+//! cargo run --release --example adapt_to_change
+//! ```
+
+use cdbtune::{ActionSpace, DbEnv, EnvConfig, OnlineConfig, TrainerConfig};
+use simdb::{Engine, EngineFlavor, HardwareConfig, MediaType};
+use workload::{build_workload, WorkloadKind};
+
+fn make_env(ram_gb: u32, kind: WorkloadKind, seed: u64) -> DbEnv {
+    let hw = HardwareConfig::new(ram_gb, 12, MediaType::Ssd, 12);
+    let engine = Engine::new(EngineFlavor::MySqlCdb, hw, seed);
+    let registry = EngineFlavor::MySqlCdb.registry(&hw);
+    let ranking = baselines::DbaTuner::knob_ranking(&registry);
+    let space = ActionSpace::from_indices(&registry, ranking.into_iter().take(20));
+    let cfg = EnvConfig { warmup_txns: 60, measure_txns: 300, horizon: 20, seed, ..Default::default() };
+    DbEnv::new(engine, build_workload(kind, 0.1), space, cfg)
+}
+
+fn main() {
+    // Train once on a 1 GiB instance running sysbench write-only.
+    println!("training the standard model on 1 GiB RAM, sysbench WO...");
+    let mut env = make_env(1, WorkloadKind::SysbenchWo, 1);
+    let trainer = TrainerConfig { episodes: 16, steps_per_episode: 20, ..TrainerConfig::default() };
+    let (model, _) = cdbtune::train_offline(&mut env, &trainer, Vec::new());
+
+    // The user doubles, then quadruples, the instance memory. The same
+    // model tunes each size — only the action space is rebound to the
+    // resized registry (knob ranges scale with RAM).
+    println!("\n-- memory change (M_1G -> XG, no retraining) --");
+    for ram in [1u32, 2, 4] {
+        let mut env = make_env(ram, WorkloadKind::SysbenchWo, 7 + u64::from(ram));
+        let mut cross = model.clone();
+        cross.action_indices = env.space().indices().to_vec();
+        let outcome = cdbtune::tune_online(&mut env, &cross, &OnlineConfig::default());
+        println!(
+            "  {ram} GiB: {:.0} -> {:.0} txn/s ({:+.0}%)",
+            outcome.initial_perf.throughput_tps,
+            outcome.best_perf.throughput_tps,
+            outcome.throughput_gain() * 100.0
+        );
+    }
+
+    // The workload changes from write-only to mixed read-write.
+    println!("\n-- workload change (M_WO -> RW, no retraining) --");
+    let mut env = make_env(1, WorkloadKind::SysbenchRw, 31);
+    let mut cross = model.clone();
+    cross.action_indices = env.space().indices().to_vec();
+    let outcome = cdbtune::tune_online(&mut env, &cross, &OnlineConfig::default());
+    println!(
+        "  RW: {:.0} -> {:.0} txn/s ({:+.0}%)",
+        outcome.initial_perf.throughput_tps,
+        outcome.best_perf.throughput_tps,
+        outcome.throughput_gain() * 100.0
+    );
+    println!("\nthe same weights served every environment — the §5.3 adaptability claim");
+}

@@ -1,0 +1,70 @@
+//! A tuner shoot-out on one instance: CDBTune against OtterTune (GP and
+//! deep-learning variants), BestConfig, the rule-based DBA, and random
+//! search — each with its paper step budget (Table 2).
+//!
+//! ```text
+//! cargo run --release --example compare_tuners
+//! ```
+
+use baselines::{BestConfig, ConfigTuner, DbaTuner, OtterTune, RandomSearch, Regressor};
+use cdbtune::{ActionSpace, DbEnv, EnvConfig, OnlineConfig, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdb::{Engine, EngineFlavor, HardwareConfig};
+use workload::{build_workload, WorkloadKind};
+
+fn make_env(seed: u64) -> DbEnv {
+    let hw = HardwareConfig::new(1, 12, simdb::MediaType::Ssd, 12);
+    let engine = Engine::new(EngineFlavor::MySqlCdb, hw, seed);
+    let registry = EngineFlavor::MySqlCdb.registry(&hw);
+    let ranking = baselines::DbaTuner::knob_ranking(&registry);
+    let space = ActionSpace::from_indices(&registry, ranking.into_iter().take(30));
+    let cfg = EnvConfig { warmup_txns: 60, measure_txns: 300, horizon: 1000, seed, ..Default::default() };
+    DbEnv::new(engine, build_workload(WorkloadKind::SysbenchRw, 0.1), space, cfg)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut leaderboard: Vec<(String, f64, f64, usize)> = Vec::new();
+
+    // CDBTune: offline training once + 5-step online request.
+    println!("CDBTune: offline training...");
+    let mut env = make_env(1);
+    let trainer = TrainerConfig { episodes: 16, steps_per_episode: 20, ..TrainerConfig::default() };
+    let (model, _) = cdbtune::train_offline(&mut env, &trainer, Vec::new());
+    let mut env = make_env(1);
+    let outcome = cdbtune::tune_online(&mut env, &model, &OnlineConfig::default());
+    leaderboard.push((
+        "CDBTune".into(),
+        outcome.best_perf.throughput_tps,
+        outcome.best_perf.p99_latency_ms(),
+        outcome.steps.len(),
+    ));
+
+    // Baselines, each with its Table 2 step budget.
+    let tuners: Vec<(Box<dyn ConfigTuner>, usize)> = vec![
+        (Box::new(OtterTune::new(Regressor::GaussianProcess)), 11),
+        (Box::new(OtterTune::new(Regressor::DeepLearning)), 11),
+        (Box::new(BestConfig::default()), 50),
+        (Box::new(DbaTuner::default()), 5),
+        (Box::new(RandomSearch), 11),
+    ];
+    for (mut tuner, budget) in tuners {
+        println!("{}: {budget} evaluations...", tuner.name());
+        let mut env = make_env(1);
+        let result = tuner.tune(&mut env, budget, &mut rng);
+        leaderboard.push((
+            tuner.name().into(),
+            result.best_perf.throughput_tps,
+            result.best_perf.p99_latency_us / 1000.0,
+            result.history.len(),
+        ));
+    }
+
+    leaderboard.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\n{:<14} {:>12} {:>12} {:>8}", "tuner", "tps", "p99 (ms)", "steps");
+    println!("{}", "-".repeat(50));
+    for (name, tps, p99, steps) in &leaderboard {
+        println!("{name:<14} {tps:>12.0} {p99:>12.1} {steps:>8}");
+    }
+}

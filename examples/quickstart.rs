@@ -1,0 +1,73 @@
+//! Quickstart: tune a cloud MySQL instance end-to-end in under a minute.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow is the paper's Figure 2 lifecycle: spin up an instance + a
+//! workload, train the DDPG model offline on try-and-error samples, then
+//! serve an online tuning request (5 steps) and print the recommendation.
+
+use cdbtune::{ActionSpace, CdbTune, DbEnv, EnvConfig, OnlineConfig, TrainerConfig};
+use simdb::{Engine, EngineFlavor, HardwareConfig, KnobValue};
+use workload::{build_workload, WorkloadKind};
+
+fn main() {
+    // A small cloud instance: 1 GiB RAM, 12 GiB disk (a 1/8-scale CDB-A),
+    // running a sysbench read-write workload that roughly fills RAM.
+    let hw = HardwareConfig::new(1, 12, simdb::MediaType::Ssd, 12);
+    let engine = Engine::new(EngineFlavor::MySqlCdb, hw, 42);
+    let workload = build_workload(WorkloadKind::SysbenchRw, 0.125);
+
+    // Tune the 20 most impactful knobs (pass `None`-style full spaces via
+    // `ActionSpace::all_tunable` when you have the training budget).
+    let registry = EngineFlavor::MySqlCdb.registry(&hw);
+    let ranking = baselines::DbaTuner::knob_ranking(&registry);
+    let space = ActionSpace::from_indices(&registry, ranking.into_iter().take(20));
+
+    let env_cfg = EnvConfig {
+        warmup_txns: 80,
+        measure_txns: 400,
+        horizon: 20,
+        ..EnvConfig::default()
+    };
+    let mut env = DbEnv::new(engine, workload, space, env_cfg);
+
+    // Offline training: 16 episodes of 20 try-and-error steps each.
+    println!("training offline (this is the paper's one-time 4.7 h phase, simulated)...");
+    let trainer = TrainerConfig { episodes: 16, steps_per_episode: 20, ..TrainerConfig::default() };
+    let mut tuner = CdbTune::new(trainer, OnlineConfig::default());
+    let report = tuner.train_offline(&mut env, Vec::new());
+    println!(
+        "  {} steps, best throughput seen {:.0} txn/s, {} exploration crashes, {:.1}s wall",
+        report.total_steps, report.best_throughput, report.crashes, report.wall_seconds
+    );
+
+    // Online tuning request: 5 steps, recommend the best configuration.
+    println!("serving a tuning request (5 online steps)...");
+    let outcome = tuner.handle_tuning_request(&mut env, None);
+    println!(
+        "  baseline:    {:>8.0} txn/s  p99 {:>7.1} ms",
+        outcome.initial_perf.throughput_tps,
+        outcome.initial_perf.p99_latency_ms()
+    );
+    println!(
+        "  recommended: {:>8.0} txn/s  p99 {:>7.1} ms  ({:+.1}% throughput, {:+.1}% latency)",
+        outcome.best_perf.throughput_tps,
+        outcome.best_perf.p99_latency_ms(),
+        outcome.throughput_gain() * 100.0,
+        -outcome.latency_reduction() * 100.0
+    );
+
+    // What did the recommendation actually change vs the defaults?
+    let defaults = registry.default_config();
+    let changes = outcome.best_config.diff(&defaults);
+    println!("recommendation changed {} knobs; a sample:", changes.len());
+    for (name, now, was) in changes.iter().take(8) {
+        let fmt = |v: &KnobValue| match v {
+            KnobValue::Int(x) if *x > (1 << 20) => format!("{} MiB", x >> 20),
+            other => format!("{other:?}"),
+        };
+        println!("  {name:<36} {} -> {}", fmt(was), fmt(now));
+    }
+}

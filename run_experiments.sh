@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerates every paper table and figure. Outputs go to stdout and
+# results/*.json. Takes ~30-60 min at the standard scale; set
+# CDBTUNE_QUICK=1 for a fast smoke pass.
+set -e
+cargo build --release -p bench
+for exp in \
+    fig01_knob_growth \
+    fig01_surface \
+    table02_efficiency \
+    fig01_ottertune_samples \
+    fig09_table03_comparison \
+    fig05_steps \
+    fig06_knobs_dba \
+    fig07_knobs_ottertune \
+    fig08_knobs_random \
+    fig10_memory_adaptability \
+    fig11_disk_adaptability \
+    fig12_workload_adaptability \
+    fig14_reward_functions \
+    fig15_ct_cl_sweep \
+    table06_network_ablation \
+    fig16_17_18_other_databases \
+    extra_per_ablation \
+    extra_dqn_vs_ddpg \
+    extra_media_adaptability
+do
+    echo "\n##### $exp #####"
+    ./target/release/$exp
+done

@@ -1,0 +1,22 @@
+//! `cdbtune-suite` — the integration surface of the CDBTune reproduction.
+//!
+//! This crate re-exports the workspace's public APIs for the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/`. The actual implementations live in:
+//!
+//! * [`cdbtune`] — the tuning system itself (the paper's contribution),
+//! * [`simdb`] — the simulated cloud DBMS substrate,
+//! * [`workload`] — Sysbench/TPC-C/TPC-H/YCSB generators and trace replay,
+//! * [`rl`] — DDPG, prioritized replay, exploration noise, Q-learning/DQN,
+//! * [`tinynn`] — the neural-network and linear-algebra substrate,
+//! * [`baselines`] — OtterTune, BestConfig, the rule-based DBA, random
+//!   search.
+//!
+//! Run `cargo run --release --example quickstart` for the five-minute tour.
+
+pub use baselines;
+pub use cdbtune;
+pub use rl;
+pub use simdb;
+pub use tinynn;
+pub use workload;

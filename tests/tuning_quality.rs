@@ -1,0 +1,155 @@
+//! Qualitative-shape integration tests: the orderings the paper's
+//! evaluation depends on must hold on the simulated substrate. These use
+//! generous margins — they assert *shape*, not absolute numbers.
+
+use baselines::{ConfigTuner, DbaTuner, OtterTune, Regressor};
+use cdbtune::{ActionSpace, DbEnv, EnvConfig};
+use rand::SeedableRng;
+use simdb::knobs::mysql::names;
+use simdb::{Engine, EngineFlavor, HardwareConfig, KnobValue, MediaType};
+use workload::{build_workload, WorkloadKind};
+
+fn env_with(kind: WorkloadKind, knobs: usize, seed: u64) -> DbEnv {
+    let hw = HardwareConfig::new(1, 12, MediaType::Ssd, 12);
+    let engine = Engine::new(EngineFlavor::MySqlCdb, hw, seed);
+    let registry = EngineFlavor::MySqlCdb.registry(&hw);
+    let ranking = DbaTuner::knob_ranking(&registry);
+    let space = ActionSpace::from_indices(&registry, ranking.into_iter().take(knobs));
+    let cfg = EnvConfig {
+        warmup_txns: 40,
+        measure_txns: 200,
+        horizon: 1000,
+        seed,
+        ..EnvConfig::default()
+    };
+    DbEnv::new(engine, build_workload(kind, 0.05), space, cfg)
+}
+
+#[test]
+fn dba_rules_beat_mysql_defaults_across_workloads() {
+    for kind in [WorkloadKind::SysbenchRw, WorkloadKind::SysbenchRo, WorkloadKind::SysbenchWo] {
+        let mut env = env_with(kind, 20, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut dba = DbaTuner::default();
+        let r = dba.tune(&mut env, 5, &mut rng);
+        // Write-only is durability-bound: the expert keeps
+        // flush_log_at_trx_commit = 1 (production crash safety), so both
+        // default and expert sit behind the same group-committed fsync and
+        // the margin is modest. Read paths improve dramatically.
+        let factor = if kind == WorkloadKind::SysbenchWo { 1.05 } else { 1.5 };
+        assert!(
+            r.best_perf.throughput_tps > r.initial_perf.throughput_tps * factor,
+            "{kind:?}: expert rules must beat defaults ({:.0} vs {:.0})",
+            r.best_perf.throughput_tps,
+            r.initial_perf.throughput_tps
+        );
+    }
+}
+
+#[test]
+fn ottertune_beats_random_defaults_with_enough_samples() {
+    let mut env = env_with(WorkloadKind::SysbenchRw, 12, 2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut ot = OtterTune::new(Regressor::GaussianProcess);
+    let r = ot.tune(&mut env, 11, &mut rng);
+    assert!(r.best_perf.throughput_tps > r.initial_perf.throughput_tps * 1.3);
+}
+
+#[test]
+fn relaxed_durability_wins_on_write_heavy_loads() {
+    // The paper's WO observation: the tuned config relaxes commit flushing
+    // and grows the log. Verify the surface rewards exactly that.
+    let mut env = env_with(WorkloadKind::SysbenchWo, 4, 3);
+    let reg = std::sync::Arc::clone(env.engine().registry());
+    let ram = env.engine().hardware().ram_bytes() as i64;
+    let mut strict = reg.default_config();
+    strict.set(names::BUFFER_POOL_SIZE, KnobValue::Int(ram * 3 / 4)).unwrap();
+    strict.set(names::FLUSH_LOG_AT_TRX_COMMIT, KnobValue::Enum(1)).unwrap();
+    let _ = env.reset_episode(strict);
+    let strict_perf = *env.initial_perf();
+
+    let mut relaxed = reg.default_config();
+    relaxed.set(names::BUFFER_POOL_SIZE, KnobValue::Int(ram * 3 / 4)).unwrap();
+    relaxed.set(names::FLUSH_LOG_AT_TRX_COMMIT, KnobValue::Enum(0)).unwrap();
+    relaxed.set(names::LOG_FILE_SIZE, KnobValue::Int(1 << 30)).unwrap();
+    relaxed.set(names::DOUBLEWRITE, KnobValue::Bool(false)).unwrap();
+    let _ = env.reset_episode(relaxed);
+    let relaxed_perf = *env.initial_perf();
+
+    assert!(
+        relaxed_perf.throughput_tps > strict_perf.throughput_tps * 1.2,
+        "relaxed {:.0} vs strict {:.0}",
+        relaxed_perf.throughput_tps,
+        strict_perf.throughput_tps
+    );
+}
+
+#[test]
+fn buffer_pool_matters_most_on_read_heavy_loads() {
+    let mut env = env_with(WorkloadKind::SysbenchRo, 4, 4);
+    let reg = std::sync::Arc::clone(env.engine().registry());
+    let ram = env.engine().hardware().ram_bytes() as i64;
+
+    let mut small = reg.default_config();
+    small.set(names::BUFFER_POOL_SIZE, KnobValue::Int(64 << 20)).unwrap();
+    small.set(names::FLUSH_METHOD, KnobValue::Enum(2)).unwrap(); // no OS cache
+    let _ = env.reset_episode(small);
+    let small_perf = *env.initial_perf();
+
+    let mut big = reg.default_config();
+    big.set(names::BUFFER_POOL_SIZE, KnobValue::Int(ram * 3 / 4)).unwrap();
+    big.set(names::FLUSH_METHOD, KnobValue::Enum(2)).unwrap();
+    let _ = env.reset_episode(big);
+    let big_perf = *env.initial_perf();
+
+    assert!(
+        big_perf.throughput_tps > small_perf.throughput_tps * 1.5,
+        "big pool {:.0} vs small pool {:.0}",
+        big_perf.throughput_tps,
+        small_perf.throughput_tps
+    );
+}
+
+#[test]
+fn memory_overcommit_is_a_cliff_not_a_slope() {
+    let mut env = env_with(WorkloadKind::SysbenchRw, 4, 5);
+    let reg = std::sync::Arc::clone(env.engine().registry());
+    let ram = env.engine().hardware().ram_bytes() as i64;
+
+    let mut fit = reg.default_config();
+    fit.set(names::BUFFER_POOL_SIZE, KnobValue::Int(ram * 3 / 4)).unwrap();
+    let _ = env.reset_episode(fit);
+    let fit_perf = *env.initial_perf();
+
+    let mut over = reg.default_config();
+    over.set(names::BUFFER_POOL_SIZE, KnobValue::Int(ram * 11 / 10)).unwrap();
+    let _ = env.reset_episode(over);
+    let over_perf = *env.initial_perf();
+
+    assert!(
+        over_perf.throughput_tps < fit_perf.throughput_tps / 2.0,
+        "over-commit {:.0} must collapse vs fit {:.0}",
+        over_perf.throughput_tps,
+        fit_perf.throughput_tps
+    );
+}
+
+#[test]
+fn tpcc_contends_harder_than_sysbench_uniform_updates() {
+    use simdb::metrics::internal::CumulativeMetric as C;
+    // TPC-C's hot warehouse rows must produce visibly more lock waiting
+    // per write than sysbench's uniform updates.
+    let run = |kind: WorkloadKind| {
+        let mut env = env_with(kind, 4, 6);
+        let _ = env.reset_episode(env.engine().registry().default_config());
+        let m = env.engine().metrics();
+        let writes = (m.get_cumulative(C::ComUpdate) + m.get_cumulative(C::ComInsert)).max(1.0);
+        m.get_cumulative(C::RowLockWaits) / writes
+    };
+    let tpcc = run(WorkloadKind::TpcC);
+    let sysbench = run(WorkloadKind::SysbenchWo);
+    assert!(
+        tpcc > sysbench,
+        "TPC-C lock waits/write {tpcc:.4} must exceed sysbench's {sysbench:.4}"
+    );
+}
