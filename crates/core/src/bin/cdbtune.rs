@@ -12,10 +12,10 @@
 //! `--disk-gb`) loaded with the chosen workload at `--scale`.
 
 use cdbtune::{
-    tune_online, train_offline, ActionSpace, DbEnv, EnvConfig, OnlineConfig, TrainedModel,
-    TrainerConfig,
+    resume_from_checkpoint, tune_online, train_offline, ActionSpace, DbEnv, EnvConfig,
+    OnlineConfig, TrainedModel, TrainerConfig, TrainingCheckpoint,
 };
-use simdb::{Engine, EngineFlavor, HardwareConfig, MediaType};
+use simdb::{Engine, EngineFlavor, FaultPlan, HardwareConfig, MediaType};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use workload::{build_workload, WorkloadKind};
@@ -80,7 +80,13 @@ fn make_env(args: &Args) -> Result<DbEnv, String> {
         seed,
         ..EnvConfig::default()
     };
-    Ok(DbEnv::new(engine, build_workload(workload, scale), space, cfg))
+    let mut env = DbEnv::new(engine, build_workload(workload, scale), space, cfg);
+    if let Some(spec) = args.flags.get("faults") {
+        let plan: FaultPlan = spec.parse().map_err(|e| format!("--faults: {e}"))?;
+        env.engine_mut().set_fault_plan(Some(plan));
+        eprintln!("fault injection armed: {spec}");
+    }
+    Ok(env)
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
@@ -88,15 +94,34 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let episodes: usize = args.get("episodes", 20)?;
     let steps: usize = args.get("steps", 20)?;
     let seed: u64 = args.get("seed", 42)?;
+    let checkpoint_dir: Option<String> = args.flags.get("checkpoint-dir").cloned();
+    let checkpoint_every: usize = args.get("checkpoint-every", 20)?;
+    let resume: bool = args.get("resume", false)?;
     let mut env = make_env(args)?;
     let trainer = TrainerConfig {
         episodes,
         steps_per_episode: steps,
         seed,
+        checkpoint_dir: checkpoint_dir.clone(),
+        checkpoint_every_steps: checkpoint_every,
         ..TrainerConfig::default()
     };
     eprintln!("training: {episodes} episodes x {steps} steps over {} knobs...", env.space().dim());
-    let (model, report) = train_offline(&mut env, &trainer, Vec::new());
+    let (model, report) = if resume {
+        let dir = checkpoint_dir
+            .as_deref()
+            .ok_or("--resume true needs --checkpoint-dir <dir>")?;
+        let ck = TrainingCheckpoint::load(dir)
+            .map_err(|e| format!("loading checkpoint from {dir}: {e}"))?
+            .ok_or_else(|| format!("no checkpoint found in {dir}"))?;
+        eprintln!(
+            "resuming from checkpoint: episode {}, step {} ({} total steps so far)",
+            ck.episode, ck.ep_step, ck.report.total_steps
+        );
+        resume_from_checkpoint(&mut env, &trainer, ck)
+    } else {
+        train_offline(&mut env, &trainer, Vec::new())
+    };
     println!(
         "trained in {:.1}s: {} steps, best {:.0} txn/s, {} crashes, converged at {:?}",
         report.wall_seconds,
@@ -105,6 +130,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         report.crashes,
         report.iterations_to_converge
     );
+    println!("recovery:   {}", report.recovery.summary());
     std::fs::write(&out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
     println!("model written to {out}");
     Ok(())
@@ -138,8 +164,21 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
             s.step,
             s.throughput_tps,
             s.p99_latency_us / 1000.0,
-            if s.crashed { "   [crashed]" } else { "" }
+            if s.crashed {
+                "   [crashed]"
+            } else if s.degraded {
+                "   [degraded]"
+            } else {
+                ""
+            }
         );
+    }
+    if let Some(reason) = &outcome.degraded {
+        println!("tuning degraded: {reason:?} — recommending the best configuration measured");
+    }
+    let rec = outcome.recovery;
+    if rec != cdbtune::RecoveryStats::default() {
+        println!("recovery:    {}", rec.summary());
     }
     println!(
         "recommended: {:>10.0} txn/s   p99 {:>8.1} ms   ({:+.1}% / {:+.1}%)",
@@ -200,7 +239,9 @@ USAGE:
   cdbtune <command> [--flag value ...]
 
 COMMANDS:
-  train    train a model offline       (--out model.json [--episodes 20] [--steps 20])
+  train    train a model offline       (--out model.json [--episodes 20] [--steps 20]
+                                        [--checkpoint-dir d] [--checkpoint-every 20]
+                                        [--resume true])
   tune     serve a tuning request      (--model model.json [--steps 5])
   knobs    list an engine's knobs      ([--flavor mysql] [--ranked true] = tunable only)
   status   run a window, SHOW STATUS   ([--workload rw])
@@ -212,7 +253,10 @@ SHARED FLAGS:
   --knobs     tuned knob count                           (default 40)
   --ram-gb / --disk-gb                                   (default 1 / 12)
   --scale     dataset scale vs the paper                 (default 0.1)
-  --seed                                                  (default 42)"
+  --seed                                                  (default 42)
+  --faults    inject infrastructure faults, e.g.
+              'restart=0.2,hang=0.05,crash=0.02,straggler=0.1x4,
+               fsync=0.1x8,dropout=0.05,seed=7[,from=N,until=N]'"
 }
 
 fn main() -> ExitCode {

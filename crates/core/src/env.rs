@@ -8,6 +8,20 @@
 //! configuration. A crashing configuration (redo log exceeding disk,
 //! §5.2.3) earns [`crate::reward::CRASH_REWARD`] and the instance is
 //! restored to the last healthy configuration.
+//!
+//! # Resilience
+//!
+//! The environment assumes hostile infrastructure (see
+//! [`simdb::FaultPlan`]): transient deploy failures are retried with
+//! exponential backoff under a deadline ([`RecoveryPolicy`]); a config that
+//! crashes the instance `quarantine_threshold` consecutive times is
+//! quarantined and never deployed again; every failure path rolls back to
+//! the last healthy configuration (escalating to a forced restart, which
+//! cannot fail, so the environment never wedges). Backoff is *simulated* —
+//! accounted in [`RecoveryStats::backoff_ms`], never slept — matching the
+//! repo-wide simulated-time discipline. Collected metric deltas are
+//! sanitized ([`crate::state::StateProcessor::sanitize`]) so dropped
+//! metrics never poison the actor input.
 
 use crate::action::ActionSpace;
 use crate::reward::{Perf, RewardConfig, CRASH_REWARD};
@@ -15,8 +29,180 @@ use crate::state::StateProcessor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl::{Environment, StepResult};
-use simdb::{Engine, KnobConfig, PerfMetrics, Txn};
+use serde::{Deserialize, Serialize};
+use simdb::{Engine, KnobConfig, PerfMetrics, SimDbError, Txn};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use workload::Workload;
+
+/// Retry/backoff/quarantine policy for the environment's recovery paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Retries after the first attempt of a deploy or stress window.
+    pub max_retries: u32,
+    /// First backoff, milliseconds (doubles per retry).
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Total simulated backoff budget per operation, milliseconds; retries
+    /// stop once the next wait would cross it.
+    pub deadline_ms: u64,
+    /// Consecutive crashes of one configuration cell before it is
+    /// quarantined (never deployed again).
+    pub quarantine_threshold: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_backoff_ms: 250,
+            max_backoff_ms: 4_000,
+            deadline_ms: 15_000,
+            quarantine_threshold: 3,
+        }
+    }
+}
+
+fn backoff_ms(policy: &RecoveryPolicy, attempt: u32) -> u64 {
+    policy
+        .base_backoff_ms
+        .saturating_mul(1u64 << attempt.min(20))
+        .min(policy.max_backoff_ms)
+}
+
+/// Counters of every recovery action taken. Cumulative over the
+/// environment's lifetime; [`RecoveryStats::since`] diffs two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Transient failures retried (deploys and stress windows).
+    pub retries: u64,
+    /// Simulated exponential-backoff time accrued, milliseconds.
+    pub backoff_ms: u64,
+    /// Rollbacks to the last healthy configuration.
+    pub rollbacks: u64,
+    /// Forced engine restarts (the escalation when even the rollback
+    /// deploy kept failing).
+    pub forced_restarts: u64,
+    /// Configuration cells quarantined after repeated crashes.
+    pub quarantined_configs: u64,
+    /// Steps short-circuited because the action hit a quarantined cell.
+    pub quarantine_hits: u64,
+    /// Steps that ended degraded (no measurement; neutral reward).
+    pub degraded_steps: u64,
+    /// Metric entries imputed from the running mean (dropouts).
+    pub imputed_metrics: u64,
+    /// Training checkpoints written (filled in by the trainer).
+    pub checkpoints_written: u64,
+    /// Training checkpoints loaded on resume (filled in by the trainer).
+    pub checkpoints_loaded: u64,
+}
+
+impl RecoveryStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.retries += other.retries;
+        self.backoff_ms += other.backoff_ms;
+        self.rollbacks += other.rollbacks;
+        self.forced_restarts += other.forced_restarts;
+        self.quarantined_configs += other.quarantined_configs;
+        self.quarantine_hits += other.quarantine_hits;
+        self.degraded_steps += other.degraded_steps;
+        self.imputed_metrics += other.imputed_metrics;
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoints_loaded += other.checkpoints_loaded;
+    }
+
+    /// Field-wise difference against an `earlier` snapshot (saturating).
+    pub fn since(&self, earlier: &RecoveryStats) -> RecoveryStats {
+        RecoveryStats {
+            retries: self.retries.saturating_sub(earlier.retries),
+            backoff_ms: self.backoff_ms.saturating_sub(earlier.backoff_ms),
+            rollbacks: self.rollbacks.saturating_sub(earlier.rollbacks),
+            forced_restarts: self.forced_restarts.saturating_sub(earlier.forced_restarts),
+            quarantined_configs: self
+                .quarantined_configs
+                .saturating_sub(earlier.quarantined_configs),
+            quarantine_hits: self.quarantine_hits.saturating_sub(earlier.quarantine_hits),
+            degraded_steps: self.degraded_steps.saturating_sub(earlier.degraded_steps),
+            imputed_metrics: self.imputed_metrics.saturating_sub(earlier.imputed_metrics),
+            checkpoints_written: self
+                .checkpoints_written
+                .saturating_sub(earlier.checkpoints_written),
+            checkpoints_loaded: self
+                .checkpoints_loaded
+                .saturating_sub(earlier.checkpoints_loaded),
+        }
+    }
+
+    /// One-line human summary for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} retries ({} ms backoff), {} rollbacks, {} forced restarts, \
+             {} quarantined, {} quarantine hits, {} degraded steps, \
+             {} imputed metrics, {} ckpts written / {} loaded",
+            self.retries,
+            self.backoff_ms,
+            self.rollbacks,
+            self.forced_restarts,
+            self.quarantined_configs,
+            self.quarantine_hits,
+            self.degraded_steps,
+            self.imputed_metrics,
+            self.checkpoints_written,
+            self.checkpoints_loaded
+        )
+    }
+}
+
+/// Typed environment failure: what operation kept failing, after how many
+/// attempts, and the engine error that ended it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvError {
+    /// Deploying a configuration failed terminally (a crash) or kept
+    /// failing transiently until retries/deadline ran out.
+    DeployFailed {
+        /// Deploy attempts made.
+        attempts: u32,
+        /// The last engine error.
+        source: SimDbError,
+    },
+    /// A stress-test window kept failing until retries/deadline ran out.
+    WindowFailed {
+        /// Window attempts made.
+        attempts: u32,
+        /// The last engine error.
+        source: SimDbError,
+    },
+}
+
+impl EnvError {
+    /// The underlying engine error.
+    pub fn source_error(&self) -> &SimDbError {
+        match self {
+            EnvError::DeployFailed { source, .. } | EnvError::WindowFailed { source, .. } => source,
+        }
+    }
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::DeployFailed { attempts, source } => {
+                write!(f, "configuration deploy failed after {attempts} attempt(s): {source}")
+            }
+            EnvError::WindowFailed { attempts, source } => {
+                write!(f, "stress window failed after {attempts} attempt(s): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.source_error())
+    }
+}
 
 /// Environment parameters.
 #[derive(Debug, Clone)]
@@ -36,6 +222,8 @@ pub struct EnvConfig {
     pub baseline_windows: usize,
     /// Reward function.
     pub reward: RewardConfig,
+    /// Retry/backoff/quarantine policy.
+    pub recovery: RecoveryPolicy,
     /// Workload generator seed.
     pub seed: u64,
 }
@@ -49,6 +237,7 @@ impl Default for EnvConfig {
             clients: None,
             baseline_windows: 2,
             reward: RewardConfig::default(),
+            recovery: RecoveryPolicy::default(),
             seed: 0,
         }
     }
@@ -62,12 +251,29 @@ pub struct StepOutcome {
     /// Reward earned.
     pub reward: f64,
     /// External metrics of the stress window (the *previous* window's
-    /// metrics when the configuration crashed).
+    /// metrics when the configuration crashed or the step degraded).
     pub perf: PerfMetrics,
-    /// The configuration crashed the instance.
+    /// The configuration crashed the instance (or hit a quarantined cell).
     pub crashed: bool,
+    /// The step could not be measured (infrastructure failures exhausted
+    /// the retry budget): the environment rolled back, reward is neutral,
+    /// and `state`/`perf` repeat the last healthy observation. Degraded
+    /// transitions should not be trained on.
+    pub degraded: bool,
     /// Episode step budget exhausted.
     pub done: bool,
+}
+
+/// Coarse action-cell key for crash-loop bookkeeping: each knob dimension
+/// quantized to 32 bins, FNV-folded. Actions land in the same cell when
+/// every knob is within ~3 % — close enough to share a crash verdict.
+fn quantize_action_key(action: &[f32]) -> u64 {
+    let mut key = 0xcbf2_9ce4_8422_2325u64;
+    for &a in action {
+        let bin = (a.clamp(0.0, 1.0) * 31.0).round() as u64;
+        key = (key ^ bin).wrapping_mul(0x100_0000_01B3);
+    }
+    key
 }
 
 /// A tuning environment over a live engine and workload.
@@ -88,6 +294,9 @@ pub struct DbEnv {
     steps_in_episode: usize,
     total_steps: u64,
     crashes: u64,
+    stats: RecoveryStats,
+    quarantined: HashSet<u64>,
+    crash_streaks: HashMap<u64, u32>,
 }
 
 impl DbEnv {
@@ -120,6 +329,9 @@ impl DbEnv {
             steps_in_episode: 0,
             total_steps: 0,
             crashes: 0,
+            stats: RecoveryStats::default(),
+            quarantined: HashSet::new(),
+            crash_streaks: HashMap::new(),
         }
     }
 
@@ -128,9 +340,12 @@ impl DbEnv {
         &self.space
     }
 
-    /// Replaces the action space (knob-count sweeps). Resets episode state.
+    /// Replaces the action space (knob-count sweeps). Resets episode state
+    /// and the quarantine bookkeeping (cell keys are dimension-specific).
     pub fn set_space(&mut self, space: ActionSpace) {
         self.space = space;
+        self.quarantined.clear();
+        self.crash_streaks.clear();
     }
 
     /// The live engine (inspection).
@@ -138,8 +353,9 @@ impl DbEnv {
         &self.engine
     }
 
-    /// Mutable engine access (experiment setup, e.g. swapping hardware
-    /// requires building a new env instead).
+    /// Mutable engine access (experiment setup, e.g. installing a
+    /// [`simdb::FaultPlan`]; swapping hardware requires building a new env
+    /// instead).
     pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.engine
     }
@@ -162,6 +378,16 @@ impl DbEnv {
     /// Crashes caused by agent actions so far.
     pub fn crash_count(&self) -> u64 {
         self.crashes
+    }
+
+    /// Recovery counters accumulated over the environment's lifetime.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.stats
+    }
+
+    /// Number of quarantined configuration cells.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
     }
 
     /// The state processor (ship it with the trained model).
@@ -190,42 +416,118 @@ impl DbEnv {
         self.workload = workload;
     }
 
-    fn stress_window(&mut self) -> (PerfMetrics, Vec<f32>) {
+    /// Deploys with retry + exponential (simulated) backoff for transient
+    /// failures, under the policy's deadline. Terminal errors — crashes,
+    /// knob-domain errors — return immediately: they are the
+    /// configuration's fault and retrying would redeploy the same poison.
+    fn deploy_with_retry(&mut self, config: &KnobConfig) -> Result<(), EnvError> {
+        let policy = self.cfg.recovery;
+        let mut waited = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            match self.engine.apply_config(config.clone()) {
+                Ok(()) => return Ok(()),
+                Err(e) if !e.is_transient() => {
+                    return Err(EnvError::DeployFailed { attempts: attempt + 1, source: e })
+                }
+                Err(e) => {
+                    let wait = backoff_ms(&policy, attempt);
+                    if attempt >= policy.max_retries || waited + wait > policy.deadline_ms {
+                        return Err(EnvError::DeployFailed { attempts: attempt + 1, source: e });
+                    }
+                    waited += wait;
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.stats.backoff_ms += wait;
+                }
+            }
+        }
+    }
+
+    /// Restores the last healthy configuration. When even that deploy keeps
+    /// failing, escalates to a forced restart — `apply_config` installs the
+    /// configuration before any failure path, so `Engine::restart` (which
+    /// cannot fail) boots it. The environment therefore never wedges.
+    fn rollback_to_last_good(&mut self) {
+        self.stats.rollbacks += 1;
+        let last_good = self.last_good.clone();
+        if self.deploy_with_retry(&last_good).is_err() {
+            self.engine.restart();
+            self.stats.forced_restarts += 1;
+        }
+    }
+
+    /// One stress-window attempt: runs the workload, collects the metric
+    /// delta through the faulty collection path, sanitizes it, and folds it
+    /// into the state processor.
+    fn run_stress_window(&mut self) -> simdb::Result<(PerfMetrics, Vec<f32>)> {
         let warmup: Vec<Txn> = self.workload.window(self.cfg.warmup_txns, &mut self.rng);
         let measure: Vec<Txn> = self.workload.window(self.cfg.measure_txns, &mut self.rng);
         let before = self.engine.metrics();
-        let perf = self
-            .engine
-            .stress_test(&warmup, &measure, self.clients)
-            .expect("engine restored before every stress test");
-        let after = self.engine.metrics();
-        let delta = after.delta_since(&before);
+        let perf = self.engine.stress_test(&warmup, &measure, self.clients)?;
+        let mut delta = self.engine.collect_window_delta(&before);
+        self.stats.imputed_metrics += self.processor.sanitize(&mut delta);
         let state = self.processor.process(&delta);
-        (perf, state)
+        Ok((perf, state))
+    }
+
+    /// Stress window with retry: a crashed/stopped instance is restarted
+    /// between attempts, and failures back off (simulated) under the
+    /// deadline.
+    fn stress_window_with_retry(&mut self) -> Result<(PerfMetrics, Vec<f32>), EnvError> {
+        let policy = self.cfg.recovery;
+        let mut waited = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            match self.run_stress_window() {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    let wait = backoff_ms(&policy, attempt);
+                    if attempt >= policy.max_retries || waited + wait > policy.deadline_ms {
+                        return Err(EnvError::WindowFailed { attempts: attempt + 1, source: e });
+                    }
+                    waited += wait;
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.stats.backoff_ms += wait;
+                    if !self.engine.is_running() {
+                        self.engine.restart();
+                        self.stats.forced_restarts += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Starts an episode: redeploys the baseline configuration, measures
     /// the initial performance `D_0` (§4.2) and returns the initial state.
-    pub fn reset_episode(&mut self, baseline: KnobConfig) -> Vec<f32> {
-        self.engine
-            .apply_config(baseline.clone())
-            .expect("baseline configuration must be healthy");
+    /// Fails only when the baseline itself is terminally undeployable or
+    /// every baseline window ran out of retries.
+    pub fn try_reset_episode(&mut self, baseline: KnobConfig) -> Result<Vec<f32>, EnvError> {
+        if let Err(e) = self.deploy_with_retry(&baseline) {
+            if !e.source_error().is_transient() {
+                return Err(e);
+            }
+            // Transient exhaustion: the baseline is already installed as
+            // the engine's config, so a forced restart boots it.
+            self.engine.restart();
+            self.stats.forced_restarts += 1;
+        }
         self.last_good = baseline;
         let windows = self.cfg.baseline_windows.max(1);
         let mut state = vec![0.0f32; simdb::TOTAL_METRIC_COUNT];
-        let mut perf = None;
+        let mut perf = self.last_perf;
         let mut tps = 0.0;
         let mut p99 = 0.0;
         for _ in 0..windows {
-            let (w_perf, w_state) = self.stress_window();
+            let (w_perf, w_state) = self.stress_window_with_retry()?;
             for (acc, x) in state.iter_mut().zip(&w_state) {
                 *acc += x / windows as f32;
             }
             tps += w_perf.throughput_tps / windows as f64;
             p99 += w_perf.p99_latency_us / windows as f64;
-            perf = Some(w_perf);
+            perf = w_perf;
         }
-        let mut perf = perf.expect("at least one baseline window");
         perf.throughput_tps = tps;
         perf.p99_latency_us = p99;
         self.initial = Perf { throughput: tps, latency: p99 };
@@ -234,44 +536,135 @@ impl DbEnv {
         self.last_perf = perf;
         self.last_state = state.clone();
         self.steps_in_episode = 0;
-        state
+        Ok(state)
+    }
+
+    /// Infallible [`DbEnv::try_reset_episode`]: when even the resilient
+    /// reset fails, the episode starts degraded from the last known
+    /// state (all-zero before any successful window) instead of panicking.
+    pub fn reset_episode(&mut self, baseline: KnobConfig) -> Vec<f32> {
+        match self.try_reset_episode(baseline) {
+            Ok(state) => state,
+            Err(_) => {
+                self.stats.degraded_steps += 1;
+                if !self.engine.is_running() {
+                    self.engine.restart();
+                    self.stats.forced_restarts += 1;
+                }
+                let state = if self.last_state.is_empty() {
+                    vec![0.0f32; simdb::TOTAL_METRIC_COUNT]
+                } else {
+                    self.last_state.clone()
+                };
+                self.last_state = state.clone();
+                self.steps_in_episode = 0;
+                state
+            }
+        }
+    }
+
+    fn crash_outcome(&self, done: bool) -> StepOutcome {
+        StepOutcome {
+            state: self.last_state.clone(),
+            reward: CRASH_REWARD,
+            perf: self.last_perf,
+            crashed: true,
+            degraded: false,
+            done,
+        }
+    }
+
+    fn degraded_outcome(&mut self, done: bool) -> StepOutcome {
+        self.stats.degraded_steps += 1;
+        StepOutcome {
+            state: self.last_state.clone(),
+            reward: 0.0,
+            perf: self.last_perf,
+            crashed: false,
+            degraded: true,
+            done,
+        }
+    }
+
+    /// Records a crash for the action's quarantine cell; quarantines it
+    /// after `quarantine_threshold` consecutive crashes.
+    fn note_crash(&mut self, key: u64) {
+        let streak = self.crash_streaks.entry(key).or_insert(0);
+        *streak += 1;
+        if *streak >= self.cfg.recovery.quarantine_threshold && self.quarantined.insert(key) {
+            self.stats.quarantined_configs += 1;
+        }
     }
 
     /// Applies an action as a knob deployment + stress test (one §2.1
-    /// tuning iteration).
-    pub fn step_action(&mut self, action: &[f32]) -> StepOutcome {
+    /// tuning iteration), with typed errors for unrecoverable
+    /// infrastructure failures. Crashing configurations are *not* errors —
+    /// they produce the punished [`StepOutcome`] of §5.2.3. On `Err` the
+    /// environment has already rolled back and remains usable.
+    pub fn try_step_action(&mut self, action: &[f32]) -> Result<StepOutcome, EnvError> {
         assert!(!self.last_state.is_empty(), "reset_episode must run before step_action");
         self.total_steps += 1;
         self.steps_in_episode += 1;
         let done = self.steps_in_episode >= self.cfg.horizon;
 
+        let key = quantize_action_key(action);
+        if self.quarantined.contains(&key) {
+            // Known crash loop: punish without risking the instance.
+            self.stats.quarantine_hits += 1;
+            return Ok(self.crash_outcome(done));
+        }
+
         let config = self.space.to_config(&self.last_good, action);
-        match self.engine.apply_config(config.clone()) {
+        match self.deploy_with_retry(&config) {
             Ok(()) => {}
-            Err(_) => {
-                // §5.2.3: punish, restore the last healthy configuration,
-                // keep training.
-                self.crashes += 1;
-                self.engine
-                    .apply_config(self.last_good.clone())
-                    .expect("last good configuration must redeploy");
-                return StepOutcome {
-                    state: self.last_state.clone(),
-                    reward: CRASH_REWARD,
-                    perf: self.last_perf,
-                    crashed: true,
-                    done,
-                };
+            Err(e) => {
+                let crashed = matches!(e.source_error(), SimDbError::Crash { .. });
+                self.rollback_to_last_good();
+                if crashed {
+                    // §5.2.3: punish, restore the last healthy
+                    // configuration, keep training.
+                    self.crashes += 1;
+                    self.note_crash(key);
+                    return Ok(self.crash_outcome(done));
+                }
+                // Transient infrastructure failure, not the config's fault:
+                // surface it; the caller decides how to degrade.
+                return Err(e);
             }
         }
+        self.crash_streaks.remove(&key);
         self.last_good = config;
-        let (perf, state) = self.stress_window();
+
+        let (perf, state) = match self.stress_window_with_retry() {
+            Ok(out) => out,
+            Err(e) => {
+                if !self.engine.is_running() {
+                    self.engine.restart();
+                    self.stats.forced_restarts += 1;
+                }
+                return Err(e);
+            }
+        };
         let current = Perf { throughput: perf.throughput_tps, latency: perf.p99_latency_us };
         let reward = self.cfg.reward.reward(current, self.previous, self.initial);
         self.previous = current;
         self.last_perf = perf;
         self.last_state = state.clone();
-        StepOutcome { state, reward, perf, crashed: false, done }
+        Ok(StepOutcome { state, reward, perf, crashed: false, degraded: false, done })
+    }
+
+    /// Infallible [`DbEnv::try_step_action`]: unrecoverable infrastructure
+    /// failures become a *degraded* outcome (neutral reward, repeated
+    /// state/perf, `degraded: true`) instead of a panic or error — graceful
+    /// degradation for callers that must keep stepping.
+    pub fn step_action(&mut self, action: &[f32]) -> StepOutcome {
+        match self.try_step_action(action) {
+            Ok(out) => out,
+            Err(_) => {
+                let done = self.steps_in_episode >= self.cfg.horizon;
+                self.degraded_outcome(done)
+            }
+        }
     }
 }
 
@@ -299,7 +692,7 @@ impl Environment for DbEnv {
 pub(crate) mod tests {
     use super::*;
     use simdb::knobs::mysql::names;
-    use simdb::{EngineFlavor, HardwareConfig};
+    use simdb::{EngineFlavor, FaultPlan, HardwareConfig};
     use workload::{build_workload, WorkloadKind};
 
     pub(crate) fn tiny_env() -> DbEnv {
@@ -317,7 +710,7 @@ pub(crate) mod tests {
                 names::WRITE_IO_THREADS,
             ],
         )
-        .unwrap();
+        .expect("tiny_env knob names exist in the MySQL registry");
         let cfg = EnvConfig {
             warmup_txns: 20,
             measure_txns: 120,
@@ -342,6 +735,7 @@ pub(crate) mod tests {
         let out = env.step_action(&[0.5; 6]);
         assert!(out.reward.is_finite());
         assert!(!out.crashed);
+        assert!(!out.degraded);
         assert!(out.perf.throughput_tps > 0.0);
         assert_eq!(out.state.len(), 63);
     }
@@ -374,6 +768,7 @@ pub(crate) mod tests {
         assert!(out.crashed);
         assert_eq!(out.reward, CRASH_REWARD);
         assert_eq!(env.crash_count(), 1);
+        assert_eq!(env.recovery_stats().rollbacks, 1);
         // The environment stays usable.
         let next = env.step_action(&[0.5; 6]);
         assert!(!next.crashed);
@@ -399,5 +794,118 @@ pub(crate) mod tests {
         let env = tiny_env();
         assert_eq!(env.state_dim(), 63);
         assert_eq!(env.action_dim(), 6);
+    }
+
+    #[test]
+    fn transient_restart_failures_back_off_and_recover() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        env.engine_mut()
+            .set_fault_plan(Some(FaultPlan::new(3).with_restart_failure(0.5)));
+        for _ in 0..10 {
+            let out = env.step_action(&[0.5; 6]);
+            assert!(!out.crashed, "restart failures are not crashes");
+            assert!(out.reward.is_finite());
+        }
+        let stats = *env.recovery_stats();
+        assert!(stats.retries > 0, "p=0.5 restart failures must trigger retries");
+        assert!(stats.backoff_ms > 0, "retries accrue simulated backoff");
+        assert!(env.engine().is_running(), "environment never wedges");
+    }
+
+    #[test]
+    fn exhausted_retries_roll_back_and_degrade() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        let healthy = env.current_config().clone();
+        // Every deploy fails: retries exhaust, the env rolls back.
+        env.engine_mut()
+            .set_fault_plan(Some(FaultPlan::new(1).with_restart_failure(1.0)));
+        let err = env.try_step_action(&[0.6; 6]).unwrap_err();
+        assert!(matches!(err, EnvError::DeployFailed { .. }));
+        assert!(err.source_error().is_transient());
+        let stats = *env.recovery_stats();
+        assert!(stats.rollbacks >= 1);
+        assert!(stats.forced_restarts >= 1, "rollback escalated to forced restart");
+        assert!(env.engine().is_running());
+        // The infallible wrapper degrades instead of erroring.
+        let out = env.step_action(&[0.6; 6]);
+        assert!(out.degraded);
+        assert_eq!(out.reward, 0.0);
+        // Disarm: the env steps normally again from the last good config.
+        env.engine_mut().set_fault_plan(None);
+        let out = env.step_action(&[0.5; 6]);
+        assert!(!out.degraded && !out.crashed);
+        assert_eq!(env.current_config().values().len(), healthy.values().len());
+    }
+
+    #[test]
+    fn crash_looping_config_gets_quarantined() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        let crash_action = [0.5, 0.5, 1.0, 1.0, 0.5, 0.5];
+        for _ in 0..3 {
+            let out = env.step_action(&crash_action);
+            assert!(out.crashed);
+        }
+        assert_eq!(env.crash_count(), 3);
+        assert_eq!(env.quarantined_count(), 1);
+        assert_eq!(env.recovery_stats().quarantined_configs, 1);
+        // The fourth attempt is short-circuited: punished, never deployed.
+        let restarts_before = env.engine().restart_count();
+        let out = env.step_action(&crash_action);
+        assert!(out.crashed);
+        assert_eq!(out.reward, CRASH_REWARD);
+        assert_eq!(env.crash_count(), 3, "no real crash on a quarantine hit");
+        assert_eq!(env.recovery_stats().quarantine_hits, 1);
+        assert_eq!(env.engine().restart_count(), restarts_before, "no deploy happened");
+    }
+
+    #[test]
+    fn spurious_window_crashes_are_restarted_and_retried() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        // Every window dies mid-run: retries exhaust, but the env restarts
+        // the instance between attempts and degrades the step instead of
+        // panicking or wedging.
+        env.engine_mut()
+            .set_fault_plan(Some(FaultPlan::new(9).with_spurious_crash(1.0)));
+        let out = env.step_action(&[0.5; 6]);
+        assert!(out.degraded);
+        assert!(env.recovery_stats().retries > 0);
+        assert!(env.recovery_stats().forced_restarts > 0);
+        assert!(env.engine().is_running());
+        // Disarm: measurement resumes on the same environment.
+        env.engine_mut().set_fault_plan(None);
+        let out = env.step_action(&[0.5; 6]);
+        assert!(!out.degraded && !out.crashed);
+        assert!(out.perf.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn metric_dropouts_are_imputed_not_propagated() {
+        let mut env = tiny_env();
+        env.engine_mut()
+            .set_fault_plan(Some(FaultPlan::new(5).with_metric_dropout(0.2)));
+        let state = env.reset();
+        assert!(state.iter().all(|x| x.is_finite()));
+        for _ in 0..3 {
+            let out = env.step_action(&[0.5; 6]);
+            assert!(out.state.iter().all(|x| x.is_finite()), "sanitized states stay finite");
+            assert!(out.reward.is_finite());
+        }
+        assert!(env.recovery_stats().imputed_metrics > 0, "20% dropout must impute");
+    }
+
+    #[test]
+    fn stats_since_diffs_snapshots() {
+        let a = RecoveryStats { retries: 5, rollbacks: 2, ..RecoveryStats::default() };
+        let b = RecoveryStats { retries: 8, rollbacks: 2, ..RecoveryStats::default() };
+        let d = b.since(&a);
+        assert_eq!(d.retries, 3);
+        assert_eq!(d.rollbacks, 0);
+        let mut m = a;
+        m.merge(&d);
+        assert_eq!(m.retries, 8);
     }
 }

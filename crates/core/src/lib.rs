@@ -52,12 +52,15 @@ pub mod timing;
 pub mod trainer;
 
 pub use action::ActionSpace;
-pub use env::{DbEnv, EnvConfig, StepOutcome};
+pub use env::{DbEnv, EnvConfig, EnvError, RecoveryPolicy, RecoveryStats, StepOutcome};
 pub use memory_pool::{Batch, MemoryKind, MemoryPool};
-pub use online::{tune_online, OnlineConfig, OnlineStep, TuningOutcome};
+pub use online::{tune_online, DegradedReason, OnlineConfig, OnlineStep, TuningOutcome};
 pub use parallel::collect_parallel;
 pub use reward::{Perf, RewardConfig, RewardKind, CRASH_REWARD};
 pub use state::StateProcessor;
 pub use system::CdbTune;
 pub use timing::{profile_step, StepTiming, TunerBudget, RESTART_SIMULATED_SEC};
-pub use trainer::{train_offline, NoiseKind, TrainedModel, TrainerConfig, TrainingReport};
+pub use trainer::{
+    resume_from_checkpoint, train_offline, train_offline_resumable, NoiseKind, TrainedModel,
+    TrainerConfig, TrainingCheckpoint, TrainingReport,
+};

@@ -86,6 +86,16 @@ impl MemoryPool {
         }
     }
 
+    /// Clones out every stored transition, oldest-slot first (crash-safe
+    /// training checkpoints persist the pool this way; priorities are
+    /// rebuilt as max-priority on reload, which re-anneals quickly).
+    pub fn transitions(&self) -> Vec<Transition> {
+        match self {
+            MemoryPool::Uniform(b) => b.iter().cloned().collect(),
+            MemoryPool::Prioritized(p) => p.iter().cloned().collect(),
+        }
+    }
+
     /// Feeds TD errors back after a train step (no-op for uniform).
     pub fn update_priorities(&mut self, indices: Option<&[usize]>, td_errors: &[f32]) {
         if let (MemoryPool::Prioritized(p), Some(idx)) = (self, indices) {
@@ -146,6 +156,23 @@ mod tests {
         };
         pool.update_priorities(indices.as_deref(), &vec![9.0; n]);
         assert_eq!(pool.len(), 8);
+    }
+
+    #[test]
+    fn transitions_round_trip_both_backends() {
+        for kind in [MemoryKind::Uniform, MemoryKind::Prioritized] {
+            let mut pool = MemoryPool::new(kind, 16);
+            for i in 0..5 {
+                pool.push(t(i as f32));
+            }
+            let out = pool.transitions();
+            assert_eq!(out.len(), 5, "{kind:?}");
+            let mut rebuilt = MemoryPool::new(kind, 16);
+            for tr in out {
+                rebuilt.push(tr);
+            }
+            assert_eq!(rebuilt.len(), 5, "{kind:?}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! to the real workload, and the configuration with the best observed
 //! performance is recommended.
 
-use crate::env::DbEnv;
+use crate::env::{DbEnv, RecoveryStats};
 use crate::trainer::TrainedModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,6 +47,15 @@ pub struct OnlineConfig {
     pub satisfaction: Option<f64>,
     /// RNG seed.
     pub seed: u64,
+    /// Consecutive failed steps (crashes or unmeasurable degraded steps)
+    /// before the request aborts and recommends the best configuration
+    /// known so far instead of risking further deploys.
+    #[serde(default = "default_max_consecutive_failures")]
+    pub max_consecutive_failures: u32,
+}
+
+fn default_max_consecutive_failures() -> u32 {
+    3
 }
 
 impl Default for OnlineConfig {
@@ -60,8 +69,26 @@ impl Default for OnlineConfig {
             candidates: 1,
             satisfaction: None,
             seed: 0,
+            max_consecutive_failures: default_max_consecutive_failures(),
         }
     }
+}
+
+/// Why a tuning request ended early in a degraded state. The request still
+/// returns a safe recommendation (the best configuration it measured, or
+/// the unchanged baseline) — degradation is graceful, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradedReason {
+    /// This many consecutive steps failed (crashed or could not be
+    /// measured), so the request stopped risking further deploys.
+    RepeatedStepFailures {
+        /// Consecutive failed steps at abort time.
+        consecutive: u32,
+    },
+    /// The baseline itself could not be measured (infrastructure failures
+    /// exhausted every retry); the recommendation is the unchanged
+    /// current configuration.
+    BaselineUnmeasurable,
 }
 
 /// One recorded online step.
@@ -77,6 +104,10 @@ pub struct OnlineStep {
     pub reward: f64,
     /// The recommendation crashed the instance.
     pub crashed: bool,
+    /// The step could not be measured (infrastructure failure, not the
+    /// configuration's fault); its metrics repeat the previous step's.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// Result of one tuning request.
@@ -93,6 +124,11 @@ pub struct TuningOutcome {
     /// The fine-tuned model (reuse for the next request — incremental
     /// training, §2.1.1).
     pub updated_model: TrainedModel,
+    /// Set when the request ended early in a degraded state; the
+    /// recommendation is still safe to deploy.
+    pub degraded: Option<DegradedReason>,
+    /// Recovery actions taken while serving this request.
+    pub recovery: RecoveryStats,
 }
 
 impl TuningOutcome {
@@ -133,14 +169,33 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
     let mut noise =
         GaussianNoise::new(env.space().dim(), cfg.noise_sigma, cfg.noise_sigma * 0.2, 0.9);
     let mut replay = ReplayBuffer::new(4096);
+    let recovery0 = *env.recovery_stats();
 
     let baseline = env.current_config().clone();
-    let mut state = env.reset_episode(baseline.clone());
+    let mut state = match env.try_reset_episode(baseline.clone()) {
+        Ok(state) => state,
+        Err(_) => {
+            // Nothing measurable: recommend the unchanged baseline rather
+            // than deploying blind.
+            let perf = *env.last_perf();
+            return TuningOutcome {
+                best_config: baseline,
+                best_perf: perf,
+                initial_perf: perf,
+                steps: Vec::new(),
+                updated_model: model.clone(),
+                degraded: Some(DegradedReason::BaselineUnmeasurable),
+                recovery: env.recovery_stats().since(&recovery0),
+            };
+        }
+    };
     let initial_perf = *env.initial_perf();
 
     let mut best_perf = initial_perf;
     let mut best_config = baseline;
     let mut steps = Vec::with_capacity(cfg.max_steps);
+    let mut degraded: Option<DegradedReason> = None;
+    let mut consecutive_failures = 0u32;
 
     for step in 1..=cfg.max_steps {
         let raw = agent.act(&state);
@@ -181,18 +236,35 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
             p99_latency_us: out.perf.p99_latency_us,
             reward: out.reward,
             crashed: out.crashed,
+            degraded: out.degraded,
         });
-        if !out.crashed && out.perf.throughput_tps > best_perf.throughput_tps {
+        if out.crashed || out.degraded {
+            consecutive_failures += 1;
+            if consecutive_failures >= cfg.max_consecutive_failures.max(1) {
+                // The instance (or its infrastructure) is in no state to
+                // keep experimenting on; settle for the best so far.
+                degraded = Some(DegradedReason::RepeatedStepFailures {
+                    consecutive: consecutive_failures,
+                });
+                break;
+            }
+        } else {
+            consecutive_failures = 0;
+        }
+        if !out.crashed && !out.degraded && out.perf.throughput_tps > best_perf.throughput_tps {
             best_perf = out.perf;
             best_config = env.current_config().clone();
         }
-        replay.push(Transition {
-            state: state.clone(),
-            action,
-            reward: out.reward as f32 * model.reward_scale,
-            next_state: out.state.clone(),
-            done: out.done,
-        });
+        // Degraded steps carry no measurement to learn from.
+        if !out.degraded {
+            replay.push(Transition {
+                state: state.clone(),
+                action,
+                reward: out.reward as f32 * model.reward_scale,
+                next_state: out.state.clone(),
+                done: out.done,
+            });
+        }
         state = out.state;
 
         if cfg.fine_tune && replay.len() >= 3 {
@@ -217,7 +289,15 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
         action_indices: model.action_indices.clone(),
         reward_scale: model.reward_scale,
     };
-    TuningOutcome { best_config, best_perf, initial_perf, steps, updated_model }
+    TuningOutcome {
+        best_config,
+        best_perf,
+        initial_perf,
+        steps,
+        updated_model,
+        degraded,
+        recovery: env.recovery_stats().since(&recovery0),
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +353,39 @@ mod tests {
         let cfg = OnlineConfig { fine_tune: false, ..OnlineConfig::default() };
         let outcome = tune_online(&mut env, &model, &cfg);
         assert_eq!(outcome.updated_model.snapshot.actor, model.snapshot.actor);
+    }
+
+    #[test]
+    fn repeated_step_failures_abort_with_a_safe_recommendation() {
+        let (mut env, model) = trained();
+        // Every deploy fails: each step degrades; after three in a row the
+        // request aborts and recommends the (measured) baseline.
+        env.engine_mut()
+            .set_fault_plan(Some(simdb::FaultPlan::new(2).with_restart_failure(1.0)));
+        let outcome = tune_online(&mut env, &model, &OnlineConfig::default());
+        assert_eq!(
+            outcome.degraded,
+            Some(DegradedReason::RepeatedStepFailures { consecutive: 3 })
+        );
+        assert_eq!(outcome.steps.len(), 3);
+        assert!(outcome.steps.iter().all(|s| s.degraded));
+        assert!(outcome.recovery.retries > 0);
+        assert!(outcome.throughput_gain() >= 0.0, "the baseline recommendation is safe");
+        assert!(env.engine().is_running());
+    }
+
+    #[test]
+    fn unmeasurable_baseline_returns_the_unchanged_config() {
+        let (mut env, model) = trained();
+        let before = env.current_config().clone();
+        // Every stress window dies mid-run: the baseline cannot be measured.
+        env.engine_mut()
+            .set_fault_plan(Some(simdb::FaultPlan::new(4).with_spurious_crash(1.0)));
+        let outcome = tune_online(&mut env, &model, &OnlineConfig::default());
+        assert_eq!(outcome.degraded, Some(DegradedReason::BaselineUnmeasurable));
+        assert!(outcome.steps.is_empty());
+        assert_eq!(outcome.best_config.values().len(), before.values().len());
+        assert!(outcome.recovery.retries > 0);
     }
 
     #[test]

@@ -40,15 +40,35 @@ impl StateProcessor {
         self.count
     }
 
-    /// Folds a raw delta into the running statistics.
+    /// Folds a raw delta into the running statistics. Non-finite entries
+    /// (dropped metrics that slipped past [`StateProcessor::sanitize`]) are
+    /// treated as their dimension's current mean, so one bad collection can
+    /// never poison the normalizer forever.
     pub fn observe(&mut self, delta: &MetricsDelta) {
         self.count += 1;
         let n = self.count as f64;
-        for (i, &x) in delta.values.iter().enumerate() {
+        for (i, &raw) in delta.values.iter().enumerate() {
+            let x = if raw.is_finite() { raw } else { self.mean[i] };
             let d = x - self.mean[i];
             self.mean[i] += d / n;
             self.m2[i] += d * (x - self.mean[i]);
         }
+    }
+
+    /// Imputes non-finite entries (`NaN`/±∞ from metric-collection
+    /// dropouts) with the running mean of their dimension, returning how
+    /// many were imputed. Before any observation the mean is 0.0 — neutral
+    /// under standardization. The agent therefore sees "this metric looked
+    /// average" instead of a poisoned state vector.
+    pub fn sanitize(&self, delta: &mut MetricsDelta) -> u64 {
+        let mut imputed = 0;
+        for (i, v) in delta.values.iter_mut().enumerate() {
+            if !v.is_finite() {
+                *v = self.mean[i];
+                imputed += 1;
+            }
+        }
+        imputed
     }
 
     /// Standardizes a delta into the RL state vector, clamped to ±5σ.
@@ -64,7 +84,10 @@ impl StateProcessor {
             .values
             .iter()
             .enumerate()
-            .map(|(i, &x)| {
+            .map(|(i, &raw)| {
+                // Defence in depth: a non-finite entry reaching this point
+                // vectorizes as its mean (i.e. 0 after standardization).
+                let x = if raw.is_finite() { raw } else { self.mean[i] };
                 let var = if self.count > 1 { self.m2[i] / (self.count - 1) as f64 } else { 0.0 };
                 if var <= 1e-12 {
                     0.0
@@ -135,6 +158,35 @@ mod tests {
         assert_eq!(v[5], 5.0);
         let v = p.vectorize(&delta_with(&[(5, -1e9)]));
         assert_eq!(v[5], -5.0);
+    }
+
+    #[test]
+    fn sanitize_imputes_from_the_running_mean() {
+        let mut p = StateProcessor::new();
+        for _ in 0..100 {
+            p.observe(&delta_with(&[(2, 40.0)]));
+        }
+        let mut d = delta_with(&[(2, f64::NAN), (9, f64::INFINITY)]);
+        let imputed = p.sanitize(&mut d);
+        assert_eq!(imputed, 2);
+        assert_eq!(d.values[2], 40.0, "dimension mean imputed");
+        assert_eq!(d.values[9], 0.0, "unseen dimension imputes the 0 mean");
+        assert_eq!(p.sanitize(&mut d), 0, "second pass finds nothing");
+    }
+
+    #[test]
+    fn non_finite_inputs_never_reach_the_state_vector() {
+        let mut p = StateProcessor::new();
+        for i in 0..50 {
+            p.observe(&delta_with(&[(4, f64::from(i % 7))]));
+        }
+        let d = delta_with(&[(4, f64::NAN), (5, f64::NEG_INFINITY)]);
+        let v = p.vectorize(&d);
+        assert!(v.iter().all(|x| x.is_finite()), "vectorize guards non-finite input");
+        // Observing garbage keeps the running stats finite too.
+        p.observe(&d);
+        let v = p.process(&delta_with(&[(4, 3.0)]));
+        assert!(v.iter().all(|x| x.is_finite()));
     }
 
     #[test]

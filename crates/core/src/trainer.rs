@@ -9,7 +9,7 @@
 //! past convergence to the configured step budget, and the first
 //! convergence step is reported (Figs. 8, 14, Table 6 plot it).
 
-use crate::env::DbEnv;
+use crate::env::{DbEnv, RecoveryStats};
 use crate::memory_pool::{MemoryKind, MemoryPool};
 use crate::reward::RewardConfig;
 use crate::state::StateProcessor;
@@ -82,6 +82,20 @@ pub struct TrainerConfig {
     pub reward_scale: f32,
     /// RNG seed.
     pub seed: u64,
+    /// Directory for crash-safe training checkpoints (`None` disables
+    /// checkpointing). A checkpoint holds the networks, the normalizer, the
+    /// replay pool, and every counter needed to resume mid-run; it is
+    /// written atomically (temp file + rename) so a kill mid-write leaves
+    /// the previous checkpoint intact.
+    #[serde(default)]
+    pub checkpoint_dir: Option<String>,
+    /// Environment steps between checkpoints (0 also disables).
+    #[serde(default = "default_checkpoint_every")]
+    pub checkpoint_every_steps: usize,
+}
+
+fn default_checkpoint_every() -> usize {
+    20
 }
 
 impl Default for TrainerConfig {
@@ -107,6 +121,8 @@ impl Default for TrainerConfig {
             gamma: 0.99,
             reward_scale: 0.1,
             seed: 0,
+            checkpoint_dir: None,
+            checkpoint_every_steps: default_checkpoint_every(),
         }
     }
 }
@@ -199,8 +215,12 @@ pub struct TrainingReport {
     pub actor_eval_history: Vec<f64>,
     /// Crashes triggered by exploration.
     pub crashes: u64,
-    /// Wall-clock training time, seconds.
+    /// Wall-clock training time, seconds (accumulated across resumes).
     pub wall_seconds: f64,
+    /// Recovery actions taken while training (retries, rollbacks,
+    /// quarantines, imputed metrics, checkpoints).
+    #[serde(default)]
+    pub recovery: RecoveryStats,
 }
 
 /// Deterministic cold/warm episode alternation: spreads
@@ -211,7 +231,7 @@ fn is_warm_episode(episode: usize, fraction: f64) -> bool {
 }
 
 /// Tracks the paper's convergence criterion over a smoothed series.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConvergenceTracker {
     threshold: f64,
     window: usize,
@@ -257,21 +277,166 @@ impl ConvergenceTracker {
     }
 }
 
+/// A crash-safe snapshot of an offline-training run: everything needed to
+/// resume mid-run after a kill — networks, normalizer, replay pool, the
+/// report so far, and the loop position. Written atomically
+/// (`checkpoint.json.tmp` + rename), so an interrupted write never
+/// clobbers the previous good checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingCheckpoint {
+    /// Checkpoint format version.
+    pub version: u32,
+    /// Trainer seed the run started with (resume must reuse it).
+    pub seed: u64,
+    /// Episode the run was in when checkpointed.
+    pub episode: usize,
+    /// Next step index within that episode.
+    pub ep_step: usize,
+    /// Current DDPG networks.
+    pub snapshot: DdpgSnapshot,
+    /// Current state normalizer.
+    pub processor: StateProcessor,
+    /// Replay-pool contents (priorities are rebuilt as max on reload).
+    pub transitions: Vec<Transition>,
+    /// Report accumulated so far (histories, bests, recovery counters).
+    pub report: TrainingReport,
+    /// Convergence-criterion state.
+    pub tracker: ConvergenceTracker,
+    /// Best deterministic-policy evaluation so far.
+    pub best_eval: f64,
+    /// Best (networks, normalizer) pair so far — the shipped model.
+    pub best_snapshot: Option<(DdpgSnapshot, StateProcessor)>,
+}
+
+impl TrainingCheckpoint {
+    /// The checkpoint file inside `dir`.
+    pub fn path_in(dir: &str) -> std::path::PathBuf {
+        std::path::Path::new(dir).join("checkpoint.json")
+    }
+
+    /// Writes atomically: serialize to `checkpoint.json.tmp`, then rename
+    /// over `checkpoint.json`. A kill at any point leaves either the old
+    /// or the new checkpoint complete on disk, never a torn file.
+    pub fn save_atomic(&self, dir: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let tmp = std::path::Path::new(dir).join("checkpoint.json.tmp");
+        let json =
+            serde_json::to_string(self).expect("checkpoint serialization cannot fail");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, Self::path_in(dir))?;
+        Ok(())
+    }
+
+    /// Loads the checkpoint from `dir`; `Ok(None)` when none exists.
+    pub fn load(dir: &str) -> std::io::Result<Option<Self>> {
+        let path = Self::path_in(dir);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let json = std::fs::read_to_string(&path)?;
+        serde_json::from_str(&json)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
 /// Runs offline training on an environment, returning the trained model and
 /// the report. `seed_transitions` pre-fills the memory pool (incremental
 /// training on accumulated user feedback, §2.1.1, or parallel collection).
+/// With [`TrainerConfig::checkpoint_dir`] set, a [`TrainingCheckpoint`] is
+/// written every `checkpoint_every_steps` environment steps.
 pub fn train_offline(
     env: &mut DbEnv,
     cfg: &TrainerConfig,
     seed_transitions: Vec<Transition>,
 ) -> (TrainedModel, TrainingReport) {
+    train_offline_resumable(env, cfg, seed_transitions, None)
+}
+
+/// Resumes an interrupted run from a [`TrainingCheckpoint`] and trains to
+/// the step budget in `cfg`. The total step count across the interrupted
+/// run and the resume equals an uninterrupted run's.
+pub fn resume_from_checkpoint(
+    env: &mut DbEnv,
+    cfg: &TrainerConfig,
+    checkpoint: TrainingCheckpoint,
+) -> (TrainedModel, TrainingReport) {
+    train_offline_resumable(env, cfg, Vec::new(), Some(checkpoint))
+}
+
+/// Offline training with optional resume — the engine behind
+/// [`train_offline`] and [`resume_from_checkpoint`].
+pub fn train_offline_resumable(
+    env: &mut DbEnv,
+    cfg: &TrainerConfig,
+    seed_transitions: Vec<Transition>,
+    resume: Option<TrainingCheckpoint>,
+) -> (TrainedModel, TrainingReport) {
     let start = std::time::Instant::now();
     let state_dim = simdb::TOTAL_METRIC_COUNT;
     let action_dim = env.space().dim();
-    let mut agent = Ddpg::new(cfg.ddpg_config(state_dim, action_dim));
+    let registry = std::sync::Arc::clone(env.engine().registry());
+    let space_indices: Vec<usize> = env.space().indices().to_vec();
+    let crashes0 = env.crash_count();
+    let recovery0 = *env.recovery_stats();
+
     let mut pool = MemoryPool::new(cfg.memory, cfg.memory_capacity);
-    for t in seed_transitions {
-        pool.push(t);
+    let mut agent;
+    let mut report;
+    let mut tracker;
+    let mut best_snapshot: Option<(DdpgSnapshot, StateProcessor)>;
+    let mut best_eval;
+    let mut best_config: Option<simdb::KnobConfig> = None;
+    let start_episode;
+    let resume_ep_step;
+    match resume {
+        Some(ck) => {
+            agent = Ddpg::from_snapshot(&ck.snapshot);
+            env.set_processor(ck.processor);
+            for t in ck.transitions {
+                pool.push(t);
+            }
+            report = ck.report;
+            report.recovery.checkpoints_loaded += 1;
+            tracker = ck.tracker;
+            best_eval = ck.best_eval;
+            best_snapshot = ck.best_snapshot;
+            if report.best_throughput > 0.0 {
+                let mut cfg_best = registry.default_config();
+                cfg_best.apply_normalized(
+                    &space_indices,
+                    &report.best_action.iter().map(|&x| f64::from(x)).collect::<Vec<_>>(),
+                );
+                best_config = Some(cfg_best);
+            }
+            start_episode = ck.episode;
+            resume_ep_step = ck.ep_step;
+        }
+        None => {
+            agent = Ddpg::new(cfg.ddpg_config(state_dim, action_dim));
+            for t in seed_transitions {
+                pool.push(t);
+            }
+            report = TrainingReport {
+                total_steps: 0,
+                iterations_to_converge: None,
+                reward_history: Vec::new(),
+                throughput_history: Vec::new(),
+                latency_history: Vec::new(),
+                best_throughput: 0.0,
+                best_latency_us: f64::MAX,
+                best_action: vec![0.5; action_dim],
+                actor_eval_history: Vec::new(),
+                crashes: 0,
+                wall_seconds: 0.0,
+                recovery: RecoveryStats::default(),
+            };
+            tracker = ConvergenceTracker::new(cfg.convergence_threshold, cfg.convergence_window);
+            best_snapshot = None;
+            best_eval = f64::MIN;
+            start_episode = 0;
+            resume_ep_step = 0;
+        }
     }
     let mut noise: Box<dyn NoiseProcess> = match cfg.noise_kind {
         NoiseKind::Gaussian => Box::new(GaussianNoise::new(
@@ -284,42 +449,33 @@ pub fn train_offline(
             Box::new(OrnsteinUhlenbeck::new(action_dim, 0.0, 0.15, cfg.noise_sigma))
         }
     };
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x7157));
-    let mut tracker = ConvergenceTracker::new(cfg.convergence_threshold, cfg.convergence_window);
-
-    let mut report = TrainingReport {
-        total_steps: 0,
-        iterations_to_converge: None,
-        reward_history: Vec::new(),
-        throughput_history: Vec::new(),
-        latency_history: Vec::new(),
-        best_throughput: 0.0,
-        best_latency_us: f64::MAX,
-        best_action: vec![0.5; action_dim],
-        actor_eval_history: Vec::new(),
-        crashes: 0,
-        wall_seconds: 0.0,
-    };
+    // Replay the per-episode decay so resumed exploration continues at the
+    // sigma the interrupted run had reached.
+    for _ in 0..start_episode {
+        noise.decay();
+    }
+    // Resume draws a deterministic RNG stream keyed off the loop position;
+    // it differs from the uninterrupted stream (StdRng is not
+    // checkpointable) but every resume of the same checkpoint is identical.
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed.wrapping_add(0x7157).wrapping_add(report.total_steps as u64),
+    );
     let mut td_scratch = Vec::new();
 
-    // Periodically evaluate the deterministic policy and keep the best
-    // snapshot: the shipped "standard model" is the best policy training
-    // produced, not whichever weights the last gradient step left behind.
-    let mut best_snapshot: Option<(DdpgSnapshot, StateProcessor)> = None;
-    let mut best_eval = f64::MIN;
-
-    let registry = std::sync::Arc::clone(env.engine().registry());
-    let space_indices: Vec<usize> = env.space().indices().to_vec();
-    let mut best_config: Option<simdb::KnobConfig> = None;
-
-    for episode in 0..cfg.episodes {
+    for episode in start_episode..cfg.episodes {
+        let ep_start = if episode == start_episode { resume_ep_step } else { 0 };
+        if ep_start >= cfg.steps_per_episode {
+            // The checkpoint landed exactly on an episode boundary.
+            noise.decay();
+            continue;
+        }
         let warm = is_warm_episode(episode, cfg.warm_start_fraction);
         let baseline = match (&best_config, warm) {
             (Some(cfg), true) => cfg.clone(),
             _ => registry.default_config(),
         };
         let mut state = env.reset_episode(baseline);
-        for ep_step in 0..cfg.steps_per_episode {
+        for ep_step in ep_start..cfg.steps_per_episode {
             // The first step of each post-warmup episode plays the
             // deterministic policy from the baseline state — exactly the
             // recommendation online tuning will make — and the shipped
@@ -335,7 +491,7 @@ pub fn train_offline(
             let out = env.step_action(&action);
             if evaluate {
                 report.actor_eval_history.push(out.perf.throughput_tps);
-                if !out.crashed && out.perf.throughput_tps > best_eval {
+                if !out.crashed && !out.degraded && out.perf.throughput_tps > best_eval {
                     best_eval = out.perf.throughput_tps;
                     // Capture the normalizer together with the weights: the
                     // policy only reproduces its evaluation behaviour with
@@ -347,7 +503,7 @@ pub fn train_offline(
             report.reward_history.push(out.reward);
             report.throughput_history.push(out.perf.throughput_tps);
             report.latency_history.push(out.perf.p99_latency_us);
-            if !out.crashed && out.perf.throughput_tps > report.best_throughput {
+            if !out.crashed && !out.degraded && out.perf.throughput_tps > report.best_throughput {
                 report.best_throughput = out.perf.throughput_tps;
                 report.best_latency_us = out.perf.p99_latency_us;
                 report.best_action = action.clone();
@@ -360,13 +516,17 @@ pub fn train_offline(
             }
             let _ = tracker.observe(out.perf.throughput_tps);
 
-            pool.push(Transition {
-                state: state.clone(),
-                action,
-                reward: out.reward as f32 * cfg.reward_scale,
-                next_state: out.state.clone(),
-                done: out.done,
-            });
+            // Degraded steps carry no measurement — nothing to learn from;
+            // they are recorded in the histories but not replayed.
+            if !out.degraded {
+                pool.push(Transition {
+                    state: state.clone(),
+                    action,
+                    reward: out.reward as f32 * cfg.reward_scale,
+                    next_state: out.state.clone(),
+                    done: out.done,
+                });
+            }
             state = out.state;
 
             if pool.len() >= cfg.batch_size {
@@ -384,15 +544,45 @@ pub fn train_offline(
                     pool.update_priorities(indices.as_deref(), &td_scratch);
                 }
             }
+
+            if let Some(dir) = &cfg.checkpoint_dir {
+                if cfg.checkpoint_every_steps > 0
+                    && report.total_steps % cfg.checkpoint_every_steps == 0
+                {
+                    report.recovery.checkpoints_written += 1;
+                    let mut ck_report = report.clone();
+                    ck_report.crashes += env.crash_count() - crashes0;
+                    ck_report.recovery.merge(&env.recovery_stats().since(&recovery0));
+                    ck_report.iterations_to_converge = tracker.converged_at();
+                    ck_report.wall_seconds += start.elapsed().as_secs_f64();
+                    let ck = TrainingCheckpoint {
+                        version: 1,
+                        seed: cfg.seed,
+                        episode,
+                        ep_step: ep_step + 1,
+                        snapshot: agent.snapshot(),
+                        processor: env.processor().clone(),
+                        transitions: pool.transitions(),
+                        report: ck_report,
+                        tracker: tracker.clone(),
+                        best_eval,
+                        best_snapshot: best_snapshot.clone(),
+                    };
+                    if ck.save_atomic(dir).is_err() {
+                        report.recovery.checkpoints_written -= 1;
+                    }
+                }
+            }
             if out.done {
                 break;
             }
         }
         noise.decay();
     }
-    report.crashes = env.crash_count();
+    report.crashes += env.crash_count() - crashes0;
+    report.recovery.merge(&env.recovery_stats().since(&recovery0));
     report.iterations_to_converge = tracker.converged_at();
-    report.wall_seconds = start.elapsed().as_secs_f64();
+    report.wall_seconds += start.elapsed().as_secs_f64();
 
     let (snapshot, processor) =
         best_snapshot.unwrap_or_else(|| (agent.snapshot(), env.processor().clone()));
@@ -452,6 +642,82 @@ mod tests {
         // must run updates without panicking.
         let (_, report) = train_offline(&mut env, &cfg, seed);
         assert_eq!(report.total_steps, 2);
+    }
+
+    fn ckpt_dir(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("cdbtune-ckpt-{tag}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn checkpoints_are_written_atomically_and_round_trip() {
+        let dir = ckpt_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut env = tiny_env();
+        let cfg = TrainerConfig {
+            episodes: 1,
+            steps_per_episode: 3,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every_steps: 1,
+            ..TrainerConfig::smoke()
+        };
+        let (_, report) = train_offline(&mut env, &cfg, Vec::new());
+        assert_eq!(report.recovery.checkpoints_written, 3);
+        let ck = TrainingCheckpoint::load(&dir).unwrap().expect("checkpoint exists");
+        assert_eq!(ck.report.total_steps, 3);
+        assert_eq!(ck.episode, 0);
+        assert_eq!(ck.ep_step, 3);
+        assert_eq!(ck.transitions.len(), 3);
+        assert_eq!(ck.report.recovery.checkpoints_written, 3);
+        // The temp file never outlives the rename.
+        assert!(!std::path::Path::new(&dir).join("checkpoint.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_reaches_the_uninterrupted_step_count() {
+        let dir = ckpt_dir("resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let full = TrainerConfig {
+            episodes: 3,
+            steps_per_episode: 5,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every_steps: 2,
+            ..TrainerConfig::smoke()
+        };
+        // Uninterrupted reference run.
+        let mut env = tiny_env();
+        let (_, uninterrupted) = train_offline(&mut env, &full, Vec::new());
+        assert_eq!(uninterrupted.total_steps, 15);
+        let _ = std::fs::remove_dir_all(&dir);
+        // "Killed" run: same config, dead after episode 0 (5 of 15 steps).
+        let mut env = tiny_env();
+        let cut = TrainerConfig { episodes: 1, ..full.clone() };
+        let (_, partial) = train_offline(&mut env, &cut, Vec::new());
+        assert_eq!(partial.total_steps, 5);
+        let ck = TrainingCheckpoint::load(&dir).unwrap().expect("checkpoint written");
+        let buffered = ck.transitions.len();
+        assert!(buffered > 0);
+        // Resume with the full budget against a fresh environment.
+        let mut env = tiny_env();
+        let (model, resumed) = resume_from_checkpoint(&mut env, &full, ck);
+        assert_eq!(resumed.total_steps, uninterrupted.total_steps);
+        assert_eq!(resumed.reward_history.len(), uninterrupted.reward_history.len());
+        assert_eq!(resumed.recovery.checkpoints_loaded, 1);
+        assert!(model.processor.observations() > 0);
+        // The resumed pool kept the interrupted run's experience.
+        let final_ck = TrainingCheckpoint::load(&dir).unwrap().unwrap();
+        assert!(final_ck.transitions.len() >= buffered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_loads_as_none() {
+        let dir = ckpt_dir("missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(TrainingCheckpoint::load(&dir).unwrap().is_none());
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property-based tests for the resilience layer: state sanitization under
+//! arbitrary metric-dropout masks, and the determinism of the
+//! fault-injection subsystem the recovery paths are exercised against.
+
+use cdbtune::StateProcessor;
+use proptest::prelude::*;
+use simdb::{FaultPlan, MetricsDelta, TOTAL_METRIC_COUNT};
+
+proptest! {
+    /// Whatever subset of metrics drops out (NaN/±∞), `sanitize` imputes
+    /// every poisoned entry and the resulting state vector is always finite.
+    #[test]
+    fn sanitized_states_never_contain_non_finite_values(
+        history in prop::collection::vec(
+            prop::collection::vec(-1e9f64..1e9, TOTAL_METRIC_COUNT),
+            1..8,
+        ),
+        mask in prop::collection::vec(any::<bool>(), TOTAL_METRIC_COUNT),
+        values in prop::collection::vec(-1e9f64..1e9, TOTAL_METRIC_COUNT),
+        poison in prop::collection::vec(0u8..3, TOTAL_METRIC_COUNT),
+    ) {
+        let mut p = StateProcessor::new();
+        for h in &history {
+            let mut d = MetricsDelta::default();
+            d.values.copy_from_slice(h);
+            p.observe(&d);
+        }
+        let mut d = MetricsDelta::default();
+        d.values.copy_from_slice(&values);
+        let mut dropped = 0u64;
+        for i in 0..TOTAL_METRIC_COUNT {
+            if mask[i] {
+                d.values[i] = match poison[i] {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    _ => f64::NEG_INFINITY,
+                };
+                dropped += 1;
+            }
+        }
+        let imputed = p.sanitize(&mut d);
+        prop_assert_eq!(imputed, dropped);
+        prop_assert!(d.values.iter().all(|v| v.is_finite()));
+        let state = p.vectorize(&d);
+        prop_assert_eq!(state.len(), TOTAL_METRIC_COUNT);
+        prop_assert!(state.iter().all(|x| x.is_finite()));
+    }
+
+    /// Even when dropped metrics bypass `sanitize`, `vectorize`/`observe`
+    /// never let a non-finite value through (defence in depth).
+    #[test]
+    fn vectorize_guards_unsanitized_dropouts(
+        mask in prop::collection::vec(any::<bool>(), TOTAL_METRIC_COUNT),
+    ) {
+        let mut p = StateProcessor::new();
+        let mut d = MetricsDelta::default();
+        for i in 0..TOTAL_METRIC_COUNT {
+            d.values[i] = i as f64;
+        }
+        p.observe(&d);
+        p.observe(&d);
+        for i in 0..TOTAL_METRIC_COUNT {
+            if mask[i] {
+                d.values[i] = f64::NAN;
+            }
+        }
+        let state = p.vectorize(&d);
+        prop_assert!(state.iter().all(|x| x.is_finite()));
+        // Observing the poisoned delta keeps the running stats finite too.
+        p.observe(&d);
+        let state = p.process(&MetricsDelta::default());
+        prop_assert!(state.iter().all(|x| x.is_finite()));
+    }
+
+    /// Fault decisions are a pure function of (plan, tick): replaying the
+    /// same plan yields the same schedule, and outside the configured
+    /// half-open step window nothing ever fires.
+    #[test]
+    fn fault_plans_are_deterministic_and_window_bounded(
+        seed in any::<u64>(),
+        p in 0.0f64..=1.0,
+        from in 0u64..500,
+        len in 1u64..500,
+        ticks in prop::collection::vec(0u64..1000, 1..64),
+    ) {
+        let plan = FaultPlan::new(seed)
+            .with_restart_failure(p)
+            .with_spurious_crash(p)
+            .with_metric_dropout(p)
+            .in_window(from, from + len);
+        let replay = plan;
+        for &t in &ticks {
+            prop_assert_eq!(
+                plan.restart_outcome(t).is_some(),
+                replay.restart_outcome(t).is_some()
+            );
+            prop_assert_eq!(plan.crashes_window(t), replay.crashes_window(t));
+            prop_assert_eq!(plan.drops_metric(t, 7), replay.drops_metric(t, 7));
+            if t < from || t >= from + len {
+                prop_assert!(plan.restart_outcome(t).is_none());
+                prop_assert!(!plan.crashes_window(t));
+                prop_assert!(!plan.drops_metric(t, 7));
+            }
+        }
+    }
+
+    /// Any valid probability combination parses, and parsing is a pure
+    /// function of the spec string.
+    #[test]
+    fn fault_spec_parsing_accepts_valid_probabilities(
+        restart in 0.0f64..=1.0,
+        crash in 0.0f64..=1.0,
+        dropout in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = format!("restart={restart},crash={crash},dropout={dropout},seed={seed}");
+        let plan = FaultPlan::parse(&spec).unwrap();
+        let again = FaultPlan::parse(&spec).unwrap();
+        prop_assert_eq!(plan, again);
+        for t in 0..50 {
+            prop_assert_eq!(
+                plan.restart_outcome(t).is_some(),
+                again.restart_outcome(t).is_some()
+            );
+        }
+    }
+}

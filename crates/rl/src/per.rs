@@ -101,6 +101,11 @@ impl PrioritizedReplay {
         }
     }
 
+    /// Iterates the stored transitions (checkpointing the pool).
+    pub fn iter(&self) -> impl Iterator<Item = &Transition> {
+        self.data.iter().filter_map(|slot| slot.as_ref())
+    }
+
     /// Number of stored transitions.
     pub fn len(&self) -> usize {
         self.len

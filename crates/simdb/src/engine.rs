@@ -12,6 +12,7 @@
 use crate::cost::{solve_closed_network, Center, CostParams};
 use crate::error::{Result, SimDbError};
 use crate::exec::{Op, Txn, TxnDemand};
+use crate::faults::{FaultPlan, FaultStats, RestartFault};
 use crate::flavor::{EngineFlavor, StructuralSettings};
 use crate::hardware::HardwareConfig;
 use crate::knobs::{EffectMultipliers, KnobConfig, KnobRegistry};
@@ -64,6 +65,13 @@ pub struct Engine {
     /// Lock waits observed during the last run window (a *current* gauge;
     /// lifetime totals would leak instance age into the RL state).
     last_window_lock_waits: u64,
+    /// Injected-fault schedule (None = healthy infrastructure).
+    faults: Option<FaultPlan>,
+    /// Fault clock: advances once per deploy attempt and once per run
+    /// window, so retries roll fresh fault decisions.
+    fault_tick: u64,
+    /// Injected-fault counters.
+    fault_stats: FaultStats,
 }
 
 impl Engine {
@@ -105,7 +113,27 @@ impl Engine {
             last_queue_write: 0.0,
             last_log_pending: 0.0,
             last_window_lock_waits: 0,
+            faults: None,
+            fault_tick: 0,
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Installs (or clears) a fault-injection schedule. The fault clock is
+    /// not reset, so re-installing the same plan mid-run continues its
+    /// deterministic sequence.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Counters of faults injected so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
     }
 
     /// Engine flavor.
@@ -209,6 +237,28 @@ impl Engine {
                 ),
             });
         }
+        // Injected restart faults fire *after* the genuine crash rule: the
+        // new configuration is already installed (`self.config`), so a
+        // later forced `restart()` boots it, and each retry lands on a
+        // fresh fault tick and can succeed.
+        self.fault_tick += 1;
+        if let Some(fault) = self.faults.and_then(|p| p.restart_outcome(self.fault_tick)) {
+            self.running = false;
+            return Err(match fault {
+                RestartFault::Hang => {
+                    self.fault_stats.restart_hangs += 1;
+                    SimDbError::Timeout {
+                        what: "instance restart (injected hang past deadline)".to_string(),
+                    }
+                }
+                RestartFault::Fail => {
+                    self.fault_stats.restart_failures += 1;
+                    SimDbError::RestartFailed {
+                        reason: "injected fault: instance did not come back up".to_string(),
+                    }
+                }
+            });
+        }
         self.boot();
         Ok(())
     }
@@ -293,6 +343,28 @@ impl Engine {
         }
         if txns.is_empty() {
             return Ok(PerfMetrics::from_latencies(&mut Vec::new(), clients, 0));
+        }
+        self.fault_tick += 1;
+        let mut straggler = 1.0f64;
+        if let Some(plan) = self.faults {
+            let tick = self.fault_tick;
+            if plan.crashes_window(tick) {
+                self.running = false;
+                self.crashes += 1;
+                self.fault_stats.spurious_crashes += 1;
+                return Err(SimDbError::Crash {
+                    reason: "injected fault: instance process died mid-window".to_string(),
+                });
+            }
+            straggler = plan.straggler_factor(tick);
+            if straggler > 1.0 {
+                self.fault_stats.straggler_windows += 1;
+            }
+            let fsync_factor = plan.fsync_factor(tick);
+            if fsync_factor > 1.0 {
+                self.fault_stats.fsync_storms += 1;
+            }
+            self.wal.set_fsync_retry_factor(fsync_factor);
         }
         let mut params = CostParams::derive(&self.hw, &self.settings, &self.effects, clients);
         params.refine_os_cache(self.data_bytes() as f64, &self.hw);
@@ -385,6 +457,13 @@ impl Engine {
                 lat * admission
             })
             .collect();
+
+        if straggler > 1.0 {
+            // Straggler node: everything the window measured ran slower.
+            for l in &mut latencies {
+                *l *= straggler;
+            }
+        }
 
         for &l in &latencies {
             if l > 1e6 {
@@ -816,6 +895,31 @@ impl Engine {
         m.set_state(S::CheckpointAgeBytes, self.wal.checkpoint_age() as f64);
         m
     }
+
+    /// Collects the 63-metric window delta since `before` through the
+    /// (possibly faulty) collection path: with a metric-dropout fault armed,
+    /// each entry independently comes back `NaN` — the collector timed out
+    /// on that counter — and consumers must sanitize before feeding the RL
+    /// state. [`Engine::metrics`] itself stays pristine; only this
+    /// collection wrapper injects.
+    pub fn collect_window_delta(
+        &mut self,
+        before: &InternalMetrics,
+    ) -> crate::metrics::MetricsDelta {
+        let mut delta = self.metrics().delta_since(before);
+        if let Some(plan) = self.faults {
+            let tick = self.fault_tick;
+            let mut dropped = 0u64;
+            for (i, v) in delta.values.iter_mut().enumerate() {
+                if plan.drops_metric(tick, i) {
+                    *v = f64::NAN;
+                    dropped += 1;
+                }
+            }
+            self.fault_stats.dropped_metrics += dropped;
+        }
+        delta
+    }
 }
 
 #[cfg(test)]
@@ -1042,6 +1146,113 @@ mod tests {
         assert_eq!(names.len(), 63, "names unique");
         assert!(rows.iter().any(|(n, v)| *n == "com_select" && *v >= 50.0));
         assert!(rows.iter().any(|(n, _)| *n == "innodb_buffer_pool_pages_total"));
+    }
+
+    #[test]
+    fn injected_restart_failure_is_transient_and_retryable() {
+        let mut e = small_engine();
+        let reg = Arc::clone(e.registry());
+        // p=0.5: with deterministic per-tick rolls some deploys fail and
+        // some succeed; retrying the same config eventually boots.
+        e.set_fault_plan(Some(FaultPlan::new(3).with_restart_failure(0.5)));
+        let mut failures = 0u64;
+        let mut successes = 0u64;
+        for _ in 0..20 {
+            match e.apply_config(reg.default_config()) {
+                Ok(()) => {
+                    successes += 1;
+                    assert!(e.is_running());
+                }
+                Err(err) => {
+                    failures += 1;
+                    assert!(err.is_transient(), "injected restart failure is transient");
+                    assert!(!e.is_running());
+                }
+            }
+        }
+        assert!(failures > 0 && successes > 0, "{failures} failures / {successes} successes");
+        assert_eq!(e.fault_stats().restart_failures, failures);
+        assert_eq!(e.crash_count(), 0, "restart faults are not crashes");
+    }
+
+    #[test]
+    fn injected_crash_stops_the_instance_mid_window() {
+        let mut e = small_engine();
+        e.set_fault_plan(Some(FaultPlan::new(1).with_spurious_crash(1.0)));
+        let err = e.run(&point_read_txns(50, 2, 20_000), 8).unwrap_err();
+        assert!(matches!(err, SimDbError::Crash { .. }));
+        assert!(!err.is_transient());
+        assert!(!e.is_running());
+        assert_eq!(e.fault_stats().spurious_crashes, 1);
+        // Recovery path: restart, disarm, serve again.
+        e.set_fault_plan(None);
+        e.restart();
+        assert!(e.run(&point_read_txns(50, 2, 20_000), 8).is_ok());
+    }
+
+    #[test]
+    fn straggler_window_inflates_latency_not_structure() {
+        let mut e = small_engine();
+        let txns = point_read_txns(500, 2, 20_000);
+        let healthy = e.run(&txns, 16).unwrap();
+        e.set_fault_plan(Some(FaultPlan::new(2).with_straggler(1.0, 8.0)));
+        let slow = e.run(&txns, 16).unwrap();
+        assert!(
+            slow.avg_latency_us > healthy.avg_latency_us * 4.0,
+            "straggler {:.0}us vs healthy {:.0}us",
+            slow.avg_latency_us,
+            healthy.avg_latency_us
+        );
+        assert_eq!(e.fault_stats().straggler_windows, 1);
+    }
+
+    #[test]
+    fn fsync_storm_inflates_os_log_fsyncs() {
+        let run_storm = |storm: bool| {
+            let mut e = small_engine();
+            let reg = Arc::clone(e.registry());
+            let mut cfg = reg.default_config();
+            cfg.set(my::FLUSH_LOG_AT_TRX_COMMIT, KnobValue::Enum(1)).unwrap();
+            e.apply_config(cfg).unwrap();
+            if storm {
+                e.set_fault_plan(Some(FaultPlan::new(4).with_fsync_storm(1.0, 32.0)));
+            }
+            let before = e.metrics();
+            let _ = e.run(&update_txns(500, 20_000), 16).unwrap();
+            let delta = e.metrics().delta_since(&before);
+            delta.values[14 + C::OsLogFsyncs as usize]
+        };
+        let healthy = run_storm(false);
+        let stormy = run_storm(true);
+        assert!(
+            stormy > healthy * 8.0,
+            "storm fsyncs {stormy} should dwarf healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn metric_dropout_nans_the_collected_delta_only() {
+        let mut e = small_engine();
+        let before = e.metrics();
+        let _ = e.run(&point_read_txns(200, 2, 20_000), 8).unwrap();
+        e.set_fault_plan(Some(FaultPlan::new(5).with_metric_dropout(0.3)));
+        let delta = e.collect_window_delta(&before);
+        let dropped = delta.non_finite_count();
+        assert!(dropped > 0, "30% dropout over 63 metrics must lose some");
+        assert_eq!(e.fault_stats().dropped_metrics, dropped as u64);
+        // The pristine metric path is untouched.
+        assert_eq!(e.metrics().delta_since(&before).non_finite_count(), 0);
+    }
+
+    #[test]
+    fn no_plan_means_no_behaviour_change() {
+        let mut e = small_engine();
+        let before = e.metrics();
+        let perf = e.run(&point_read_txns(200, 2, 20_000), 8).unwrap();
+        assert!(perf.throughput_tps > 0.0);
+        let delta = e.collect_window_delta(&before);
+        assert_eq!(delta.non_finite_count(), 0);
+        assert_eq!(*e.fault_stats(), crate::faults::FaultStats::default());
     }
 
     #[test]

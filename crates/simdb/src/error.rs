@@ -37,6 +37,31 @@ pub enum SimDbError {
     },
     /// The engine must be restarted before serving (e.g. after a crash).
     NotRunning,
+    /// The instance failed to come back up after a restart — an
+    /// infrastructure fault (injected or real), not the configuration's;
+    /// retrying the deploy is the right response.
+    RestartFailed {
+        /// Human-readable failure reason.
+        reason: String,
+    },
+    /// An operation exceeded its deadline (e.g. a restart that hung).
+    Timeout {
+        /// What timed out.
+        what: String,
+    },
+}
+
+impl SimDbError {
+    /// Whether a caller should retry the failed operation: infrastructure
+    /// failures (failed/hung restarts, a stopped instance) are transient;
+    /// crashes and knob-domain errors are the configuration's fault and
+    /// retrying redeploys the same poison.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimDbError::RestartFailed { .. } | SimDbError::Timeout { .. } | SimDbError::NotRunning
+        )
+    }
 }
 
 impl fmt::Display for SimDbError {
@@ -50,6 +75,8 @@ impl fmt::Display for SimDbError {
             SimDbError::BlacklistedKnob { name } => write!(f, "knob {name} is blacklisted"),
             SimDbError::UnknownTable { table } => write!(f, "unknown table id {table}"),
             SimDbError::NotRunning => write!(f, "instance is not running (restart required)"),
+            SimDbError::RestartFailed { reason } => write!(f, "restart failed: {reason}"),
+            SimDbError::Timeout { what } => write!(f, "timed out: {what}"),
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod flavor;
 pub mod hardware;
 pub mod knobs;
@@ -55,6 +56,7 @@ pub mod wal;
 
 pub use engine::Engine;
 pub use error::{Result, SimDbError};
+pub use faults::{FaultPlan, FaultSpec, FaultStats, StepWindow};
 pub use exec::{Op, Txn, TxnDemand};
 pub use storage::TableId;
 pub use flavor::{EngineFlavor, StructuralSettings};

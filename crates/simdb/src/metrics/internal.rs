@@ -344,6 +344,12 @@ impl MetricsDelta {
         &self.values
     }
 
+    /// Number of `NaN`/infinite entries — nonzero when metric collection
+    /// suffered dropouts; consumers must impute before feeding the network.
+    pub fn non_finite_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_finite()).count()
+    }
+
     /// Name of the metric at a given vector index.
     pub fn name_of(index: usize) -> &'static str {
         if index < STATE_METRIC_COUNT {

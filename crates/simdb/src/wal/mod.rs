@@ -64,6 +64,9 @@ pub struct RedoLog {
     bytes_written: u64,
     log_waits: u64,
     checkpoints: u64,
+    /// Fault hook: durable fsyncs issued per logical sync (>1 during an
+    /// fsync error storm, when failed syncs must be retried).
+    fsync_retry: u64,
 }
 
 impl RedoLog {
@@ -84,7 +87,17 @@ impl RedoLog {
             bytes_written: 0,
             log_waits: 0,
             checkpoints: 0,
+            fsync_retry: 1,
         }
+    }
+
+    /// Fault hook: each logical fsync issues `factor` physical fsyncs
+    /// (rounded, clamped to `[1, 64]`) while an fsync error storm is
+    /// active — the retries surface in `innodb_os_log_fsyncs` and in log
+    /// I/O cost exactly as a flaky log volume would. `1.0` restores
+    /// healthy behaviour.
+    pub fn set_fsync_retry_factor(&mut self, factor: f64) {
+        self.fsync_retry = factor.round().clamp(1.0, 64.0) as u64;
     }
 
     /// Total redo capacity (`file_size * files_in_group`).
@@ -140,8 +153,8 @@ impl RedoLog {
             }
             FlushPolicy::PerCommit => {
                 out += self.flush_buffer();
-                out.fsyncs += 1;
-                self.fsyncs += 1;
+                out.fsyncs += self.fsync_retry;
+                self.fsyncs += self.fsync_retry;
             }
         }
         out
@@ -151,8 +164,8 @@ impl RedoLog {
     /// sync here.
     pub fn background_sync(&mut self) -> LogOutcome {
         let mut out = self.flush_buffer();
-        out.fsyncs += 1;
-        self.fsyncs += 1;
+        out.fsyncs += self.fsync_retry;
+        self.fsyncs += self.fsync_retry;
         out
     }
 
@@ -284,6 +297,20 @@ mod tests {
             checkpoints
         };
         assert!(run(10_000) > run(1_000_000) * 10);
+    }
+
+    #[test]
+    fn fsync_retry_factor_multiplies_syncs() {
+        let mut log = RedoLog::new(1 << 20, 1 << 24, 2, FlushPolicy::PerCommit);
+        log.set_fsync_retry_factor(8.0);
+        log.append(100);
+        let out = log.commit();
+        assert_eq!(out.fsyncs, 8);
+        log.set_fsync_retry_factor(1.0);
+        log.append(100);
+        assert_eq!(log.commit().fsyncs, 1);
+        let (_, _, fsyncs, ..) = log.counters();
+        assert_eq!(fsyncs, 9, "retries surface in the lifetime counter");
     }
 
     #[test]

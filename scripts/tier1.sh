@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and lint the whole workspace.
+# ROADMAP.md names `cargo build --release && cargo test -q` as the tier-1
+# bar; clippy with -D warnings rides along to keep the tree lint-clean.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

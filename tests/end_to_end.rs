@@ -97,6 +97,62 @@ fn crash_configs_are_survivable_during_training() {
 }
 
 #[test]
+fn faulted_training_completes_with_nonzero_recovery_stats() {
+    // The ISSUE acceptance scenario: restart failures, straggler windows,
+    // and 10 % metric dropout at a fixed seed — a full train_offline smoke
+    // run completes without panicking and the recovery counters prove the
+    // resilience paths actually ran.
+    let mut env = tiny_env(WorkloadKind::SysbenchRw, 11);
+    let plan: simdb::FaultPlan = "restart=0.25,straggler=0.2x4,dropout=0.1,seed=5"
+        .parse()
+        .expect("valid fault spec");
+    env.engine_mut().set_fault_plan(Some(plan));
+    let (model, report) = cdbtune::train_offline(&mut env, &smoke_trainer(), Vec::new());
+    assert_eq!(report.total_steps, 32, "every step completed despite the faults");
+    assert!(report.recovery.retries > 0, "25% restart failures force retries");
+    assert!(report.recovery.imputed_metrics > 0, "10% dropout forces imputation");
+    assert!(report.reward_history.iter().all(|r| r.is_finite()));
+    assert!(model.processor.observations() > 0);
+    assert!(env.engine().is_running(), "the tuning loop never wedged the instance");
+    let stats = env.engine().fault_stats();
+    assert!(
+        stats.restart_failures + stats.straggler_windows + stats.dropped_metrics > 0,
+        "the plan injected real faults"
+    );
+}
+
+#[test]
+fn killed_training_resumes_to_the_same_step_count() {
+    // Mid-run kill + resume reaches the same total step count as an
+    // uninterrupted run (crash-safe checkpointing acceptance criterion).
+    let dir = std::env::temp_dir().join(format!("cdbtune-e2e-ckpt-{}", std::process::id()));
+    let dir = dir.to_string_lossy().into_owned();
+    let _ = std::fs::remove_dir_all(&dir);
+    let full = TrainerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every_steps: 3,
+        ..smoke_trainer()
+    };
+    let mut env = tiny_env(WorkloadKind::SysbenchRw, 12);
+    let (_, uninterrupted) = cdbtune::train_offline(&mut env, &full, Vec::new());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // "Kill" after 2 of 4 episodes, then resume from the last checkpoint.
+    let cut = TrainerConfig { episodes: 2, ..full.clone() };
+    let mut env = tiny_env(WorkloadKind::SysbenchRw, 12);
+    let (_, partial) = cdbtune::train_offline(&mut env, &cut, Vec::new());
+    assert!(partial.total_steps < uninterrupted.total_steps);
+    let ck = cdbtune::TrainingCheckpoint::load(&dir)
+        .expect("readable checkpoint")
+        .expect("checkpoint written before the kill");
+    let mut env = tiny_env(WorkloadKind::SysbenchRw, 12);
+    let (_, resumed) = cdbtune::resume_from_checkpoint(&mut env, &full, ck);
+    assert_eq!(resumed.total_steps, uninterrupted.total_steps);
+    assert_eq!(resumed.recovery.checkpoints_loaded, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn parallel_collection_feeds_training() {
     let seeds = cdbtune::collect_parallel(|w| tiny_env(WorkloadKind::SysbenchRw, 50 + w as u64), 3, 4, 7);
     assert_eq!(seeds.len(), 12);
