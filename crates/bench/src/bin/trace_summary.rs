@@ -1,0 +1,40 @@
+//! `trace_summary` — render a `--trace-out` JSONL trace as a step-by-step
+//! regression summary.
+//!
+//! ```text
+//! cdbtune train --out m.json --trace-out run.jsonl ...
+//! trace_summary run.jsonl
+//! ```
+//!
+//! Exits nonzero when the trace has schema or consistency issues, so it
+//! doubles as a CI validity gate for trace files.
+
+use bench::trace::TraceSummary;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_summary <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match TraceSummary::from_jsonl(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: parsing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", summary.render());
+    if summary.issues.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -14,6 +14,8 @@
 
 pub mod harness;
 pub mod report;
+pub mod trace;
 
 pub use harness::{ExperimentScale, Lab};
 pub use report::{print_header, print_row, write_json};
+pub use trace::{schema_round_trip, StepRow, TraceSummary};

@@ -13,7 +13,8 @@
 
 use cdbtune::{
     resume_from_checkpoint, tune_online, train_offline, ActionSpace, DbEnv, EnvConfig,
-    OnlineConfig, TrainedModel, TrainerConfig, TrainingCheckpoint,
+    OnlineConfig, PerConfig, Telemetry, TraceLevel, TrainedModel, TrainerConfig,
+    TrainingCheckpoint,
 };
 use simdb::{Engine, EngineFlavor, FaultPlan, HardwareConfig, MediaType};
 use std::collections::HashMap;
@@ -86,6 +87,18 @@ fn make_env(args: &Args) -> Result<DbEnv, String> {
         env.engine_mut().set_fault_plan(Some(plan));
         eprintln!("fault injection armed: {spec}");
     }
+    if let Some(path) = args.flags.get("trace-out") {
+        let level = match args.flags.get("trace-level") {
+            Some(s) => TraceLevel::parse(s).map_err(|e| format!("--trace-level: {e}"))?,
+            None => TraceLevel::Step,
+        };
+        let telemetry =
+            Telemetry::to_file(path, level).map_err(|e| format!("--trace-out {path}: {e}"))?;
+        env.set_telemetry(telemetry);
+        eprintln!("tracing {level} events to {path}");
+    } else if args.flags.contains_key("trace-level") {
+        return Err("--trace-level needs --trace-out <path>".into());
+    }
     Ok(env)
 }
 
@@ -97,6 +110,17 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let checkpoint_dir: Option<String> = args.flags.get("checkpoint-dir").cloned();
     let checkpoint_every: usize = args.get("checkpoint-every", 20)?;
     let resume: bool = args.get("resume", false)?;
+    let per_default = PerConfig::default();
+    let per = PerConfig {
+        alpha: args.get("per-alpha", per_default.alpha)?,
+        beta: args.get("per-beta", per_default.beta)?,
+    };
+    if !(0.0..=1.0).contains(&per.alpha) || !(0.0..=1.0).contains(&per.beta) {
+        return Err(format!(
+            "--per-alpha/--per-beta must be in [0, 1] (got {} / {})",
+            per.alpha, per.beta
+        ));
+    }
     let mut env = make_env(args)?;
     let trainer = TrainerConfig {
         episodes,
@@ -104,6 +128,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         seed,
         checkpoint_dir: checkpoint_dir.clone(),
         checkpoint_every_steps: checkpoint_every,
+        per,
         ..TrainerConfig::default()
     };
     eprintln!("training: {episodes} episodes x {steps} steps over {} knobs...", env.space().dim());
@@ -241,7 +266,7 @@ USAGE:
 COMMANDS:
   train    train a model offline       (--out model.json [--episodes 20] [--steps 20]
                                         [--checkpoint-dir d] [--checkpoint-every 20]
-                                        [--resume true])
+                                        [--resume true] [--per-alpha 0.6] [--per-beta 0.4])
   tune     serve a tuning request      (--model model.json [--steps 5])
   knobs    list an engine's knobs      ([--flavor mysql] [--ranked true] = tunable only)
   status   run a window, SHOW STATUS   ([--workload rw])
@@ -256,7 +281,9 @@ SHARED FLAGS:
   --seed                                                  (default 42)
   --faults    inject infrastructure faults, e.g.
               'restart=0.2,hang=0.05,crash=0.02,straggler=0.1x4,
-               fsync=0.1x8,dropout=0.05,seed=7[,from=N,until=N]'"
+               fsync=0.1x8,dropout=0.05,seed=7[,from=N,until=N]'
+  --trace-out    write structured JSONL trace events to this file
+  --trace-level  off | summary | step | debug       (default step, with --trace-out)"
 }
 
 fn main() -> ExitCode {

@@ -26,6 +26,9 @@
 use crate::action::ActionSpace;
 use crate::reward::{Perf, RewardConfig, CRASH_REWARD};
 use crate::state::StateProcessor;
+use crate::telemetry::{
+    EngineSample, PhaseTiming, RecoveryDelta, RewardTrace, Telemetry, TraceEvent,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl::{Environment, StepResult};
@@ -33,6 +36,7 @@ use serde::{Deserialize, Serialize};
 use simdb::{Engine, KnobConfig, PerfMetrics, SimDbError, Txn};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::time::Instant;
 use workload::Workload;
 
 /// Retry/backoff/quarantine policy for the environment's recovery paths.
@@ -262,6 +266,14 @@ pub struct StepOutcome {
     pub degraded: bool,
     /// Episode step budget exhausted.
     pub done: bool,
+    /// Reward decomposition (Eq. 4–7 terms and which rules fired).
+    pub reward_trace: RewardTrace,
+    /// Wall/simulated timings of the environment-side phases (deployment,
+    /// stress, metrics collection). The trainer adds recommendation and
+    /// model-update time before tracing the full step.
+    pub timing: PhaseTiming,
+    /// Recovery actions accrued during this step alone.
+    pub recovery: RecoveryDelta,
 }
 
 /// Coarse action-cell key for crash-loop bookkeeping: each knob dimension
@@ -297,6 +309,7 @@ pub struct DbEnv {
     stats: RecoveryStats,
     quarantined: HashSet<u64>,
     crash_streaks: HashMap<u64, u32>,
+    telemetry: Telemetry,
 }
 
 impl DbEnv {
@@ -332,6 +345,42 @@ impl DbEnv {
             stats: RecoveryStats::default(),
             quarantined: HashSet::new(),
             crash_streaks: HashMap::new(),
+            telemetry: Telemetry::null(),
+        }
+    }
+
+    /// Installs a telemetry handle. The environment emits
+    /// [`TraceEvent::Recovery`] events (Debug level) for every recovery
+    /// action and fills the per-step trace fields of [`StepOutcome`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry handle ([`Telemetry::null`] by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Engine counters for the step trace.
+    pub fn engine_sample(&self) -> EngineSample {
+        EngineSample {
+            restarts: self.engine.restart_count(),
+            crashes: self.engine.crash_count(),
+            running: self.engine.is_running(),
+        }
+    }
+
+    fn recovery_delta_since(&self, before: &RecoveryStats) -> RecoveryDelta {
+        let d = self.stats.since(before);
+        RecoveryDelta {
+            retries: d.retries,
+            backoff_ms: d.backoff_ms,
+            rollbacks: d.rollbacks,
+            forced_restarts: d.forced_restarts,
+            quarantined_configs: d.quarantined_configs,
+            quarantine_hits: d.quarantine_hits,
+            degraded_steps: d.degraded_steps,
+            imputed_metrics: d.imputed_metrics,
         }
     }
 
@@ -439,8 +488,20 @@ impl DbEnv {
                     attempt += 1;
                     self.stats.retries += 1;
                     self.stats.backoff_ms += wait;
+                    self.emit_recovery("retry", "deploy", u64::from(attempt), wait);
                 }
             }
+        }
+    }
+
+    fn emit_recovery(&self, action: &str, during: &str, attempt: u64, backoff_ms: u64) {
+        if self.telemetry.enabled(crate::telemetry::TraceLevel::Debug) {
+            self.telemetry.emit(&TraceEvent::Recovery {
+                action: action.to_string(),
+                during: during.to_string(),
+                attempt,
+                backoff_ms,
+            });
         }
     }
 
@@ -450,31 +511,49 @@ impl DbEnv {
     /// cannot fail) boots it. The environment therefore never wedges.
     fn rollback_to_last_good(&mut self) {
         self.stats.rollbacks += 1;
+        self.emit_recovery("rollback", "deploy", 0, 0);
         let last_good = self.last_good.clone();
         if self.deploy_with_retry(&last_good).is_err() {
             self.engine.restart();
             self.stats.forced_restarts += 1;
+            self.emit_recovery("forced_restart", "deploy", 0, 0);
         }
     }
 
     /// One stress-window attempt: runs the workload, collects the metric
     /// delta through the faulty collection path, sanitizes it, and folds it
     /// into the state processor.
-    fn run_stress_window(&mut self) -> simdb::Result<(PerfMetrics, Vec<f32>)> {
+    fn run_stress_window(&mut self) -> simdb::Result<(PerfMetrics, Vec<f32>, PhaseTiming)> {
         let warmup: Vec<Txn> = self.workload.window(self.cfg.warmup_txns, &mut self.rng);
         let measure: Vec<Txn> = self.workload.window(self.cfg.measure_txns, &mut self.rng);
         let before = self.engine.metrics();
+        let t0 = Instant::now();
         let perf = self.engine.stress_test(&warmup, &measure, self.clients)?;
+        let stress_wall_us = t0.elapsed().as_micros() as u64;
+        let t0 = Instant::now();
         let mut delta = self.engine.collect_window_delta(&before);
         self.stats.imputed_metrics += self.processor.sanitize(&mut delta);
         let state = self.processor.process(&delta);
-        Ok((perf, state))
+        let metrics_wall_us = t0.elapsed().as_micros() as u64;
+        let stress_simulated_sec = if perf.throughput_tps > 0.0 {
+            perf.ops as f64 / perf.throughput_tps
+        } else {
+            0.0
+        };
+        let timing = PhaseTiming {
+            stress_wall_us,
+            stress_simulated_sec,
+            metrics_wall_us,
+            ..PhaseTiming::default()
+        };
+        Ok((perf, state, timing))
     }
 
     /// Stress window with retry: a crashed/stopped instance is restarted
     /// between attempts, and failures back off (simulated) under the
-    /// deadline.
-    fn stress_window_with_retry(&mut self) -> Result<(PerfMetrics, Vec<f32>), EnvError> {
+    /// deadline. The returned timing covers the successful window; failed
+    /// attempts surface as retry counters and simulated backoff instead.
+    fn stress_window_with_retry(&mut self) -> Result<(PerfMetrics, Vec<f32>, PhaseTiming), EnvError> {
         let policy = self.cfg.recovery;
         let mut waited = 0u64;
         let mut attempt = 0u32;
@@ -490,9 +569,11 @@ impl DbEnv {
                     attempt += 1;
                     self.stats.retries += 1;
                     self.stats.backoff_ms += wait;
+                    self.emit_recovery("retry", "stress", u64::from(attempt), wait);
                     if !self.engine.is_running() {
                         self.engine.restart();
                         self.stats.forced_restarts += 1;
+                        self.emit_recovery("forced_restart", "stress", u64::from(attempt), 0);
                     }
                 }
             }
@@ -520,7 +601,7 @@ impl DbEnv {
         let mut tps = 0.0;
         let mut p99 = 0.0;
         for _ in 0..windows {
-            let (w_perf, w_state) = self.stress_window_with_retry()?;
+            let (w_perf, w_state, _) = self.stress_window_with_retry()?;
             for (acc, x) in state.iter_mut().zip(&w_state) {
                 *acc += x / windows as f32;
             }
@@ -563,7 +644,7 @@ impl DbEnv {
         }
     }
 
-    fn crash_outcome(&self, done: bool) -> StepOutcome {
+    fn crash_outcome(&self, done: bool, timing: PhaseTiming, before: &RecoveryStats) -> StepOutcome {
         StepOutcome {
             state: self.last_state.clone(),
             reward: CRASH_REWARD,
@@ -571,10 +652,13 @@ impl DbEnv {
             crashed: true,
             degraded: false,
             done,
+            reward_trace: RewardTrace::crash(CRASH_REWARD),
+            timing,
+            recovery: self.recovery_delta_since(before),
         }
     }
 
-    fn degraded_outcome(&mut self, done: bool) -> StepOutcome {
+    fn degraded_outcome(&mut self, done: bool, before: &RecoveryStats) -> StepOutcome {
         self.stats.degraded_steps += 1;
         StepOutcome {
             state: self.last_state.clone(),
@@ -583,6 +667,9 @@ impl DbEnv {
             crashed: false,
             degraded: true,
             done,
+            reward_trace: RewardTrace::default(),
+            timing: PhaseTiming::default(),
+            recovery: self.recovery_delta_since(before),
         }
     }
 
@@ -593,6 +680,7 @@ impl DbEnv {
         *streak += 1;
         if *streak >= self.cfg.recovery.quarantine_threshold && self.quarantined.insert(key) {
             self.stats.quarantined_configs += 1;
+            self.emit_recovery("quarantine", "deploy", 0, 0);
         }
     }
 
@@ -606,16 +694,22 @@ impl DbEnv {
         self.total_steps += 1;
         self.steps_in_episode += 1;
         let done = self.steps_in_episode >= self.cfg.horizon;
+        let stats0 = self.stats;
 
         let key = quantize_action_key(action);
         if self.quarantined.contains(&key) {
             // Known crash loop: punish without risking the instance.
             self.stats.quarantine_hits += 1;
-            return Ok(self.crash_outcome(done));
+            self.emit_recovery("quarantine_hit", "deploy", 0, 0);
+            return Ok(self.crash_outcome(done, PhaseTiming::default(), &stats0));
         }
 
         let config = self.space.to_config(&self.last_good, action);
-        match self.deploy_with_retry(&config) {
+        let t0 = Instant::now();
+        let deployed = self.deploy_with_retry(&config);
+        let mut timing =
+            PhaseTiming { deployment_wall_us: t0.elapsed().as_micros() as u64, ..Default::default() };
+        match deployed {
             Ok(()) => {}
             Err(e) => {
                 let crashed = matches!(e.source_error(), SimDbError::Crash { .. });
@@ -625,7 +719,7 @@ impl DbEnv {
                     // configuration, keep training.
                     self.crashes += 1;
                     self.note_crash(key);
-                    return Ok(self.crash_outcome(done));
+                    return Ok(self.crash_outcome(done, timing, &stats0));
                 }
                 // Transient infrastructure failure, not the config's fault:
                 // surface it; the caller decides how to degrade.
@@ -635,22 +729,37 @@ impl DbEnv {
         self.crash_streaks.remove(&key);
         self.last_good = config;
 
-        let (perf, state) = match self.stress_window_with_retry() {
+        let (perf, state, window_timing) = match self.stress_window_with_retry() {
             Ok(out) => out,
             Err(e) => {
                 if !self.engine.is_running() {
                     self.engine.restart();
                     self.stats.forced_restarts += 1;
+                    self.emit_recovery("forced_restart", "stress", 0, 0);
                 }
                 return Err(e);
             }
         };
+        timing.stress_wall_us = window_timing.stress_wall_us;
+        timing.stress_simulated_sec = window_timing.stress_simulated_sec;
+        timing.metrics_wall_us = window_timing.metrics_wall_us;
         let current = Perf { throughput: perf.throughput_tps, latency: perf.p99_latency_us };
-        let reward = self.cfg.reward.reward(current, self.previous, self.initial);
+        let (reward, reward_trace) =
+            self.cfg.reward.reward_traced(current, self.previous, self.initial);
         self.previous = current;
         self.last_perf = perf;
         self.last_state = state.clone();
-        Ok(StepOutcome { state, reward, perf, crashed: false, degraded: false, done })
+        Ok(StepOutcome {
+            state,
+            reward,
+            perf,
+            crashed: false,
+            degraded: false,
+            done,
+            reward_trace,
+            timing,
+            recovery: self.recovery_delta_since(&stats0),
+        })
     }
 
     /// Infallible [`DbEnv::try_step_action`]: unrecoverable infrastructure
@@ -658,11 +767,12 @@ impl DbEnv {
     /// state/perf, `degraded: true`) instead of a panic or error — graceful
     /// degradation for callers that must keep stepping.
     pub fn step_action(&mut self, action: &[f32]) -> StepOutcome {
+        let stats0 = self.stats;
         match self.try_step_action(action) {
             Ok(out) => out,
             Err(_) => {
                 let done = self.steps_in_episode >= self.cfg.horizon;
-                self.degraded_outcome(done)
+                self.degraded_outcome(done, &stats0)
             }
         }
     }

@@ -48,17 +48,22 @@ pub mod parallel;
 pub mod reward;
 pub mod state;
 pub mod system;
+pub mod telemetry;
 pub mod timing;
 pub mod trainer;
 
 pub use action::ActionSpace;
 pub use env::{DbEnv, EnvConfig, EnvError, RecoveryPolicy, RecoveryStats, StepOutcome};
-pub use memory_pool::{Batch, MemoryKind, MemoryPool};
+pub use memory_pool::{Batch, MemoryKind, MemoryPool, PerConfig};
 pub use online::{tune_online, DegradedReason, OnlineConfig, OnlineStep, TuningOutcome};
 pub use parallel::collect_parallel;
 pub use reward::{Perf, RewardConfig, RewardKind, CRASH_REWARD};
 pub use state::StateProcessor;
 pub use system::CdbTune;
+pub use telemetry::{
+    EngineSample, JsonlSink, NullSink, PhaseTiming, RecoveryDelta, ReplayTrace, RewardTrace,
+    RingSink, Telemetry, TelemetrySink, TraceEvent, TraceLevel,
+};
 pub use timing::{profile_step, StepTiming, TunerBudget, RESTART_SIMULATED_SEC};
 pub use trainer::{
     resume_from_checkpoint, train_offline, train_offline_resumable, NoiseKind, TrainedModel,

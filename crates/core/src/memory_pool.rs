@@ -5,7 +5,7 @@
 //! uniform replay, and the prioritized replay \[38\] that §5.1 adds to halve
 //! convergence time.
 
-use rl::{PrioritizedReplay, ReplayBuffer, Transition};
+use rl::{PerStats, PrioritizedReplay, ReplayBuffer, Transition};
 use serde::{Deserialize, Serialize};
 
 /// Which replay backend to use.
@@ -15,6 +15,23 @@ pub enum MemoryKind {
     Uniform,
     /// Prioritized experience replay (§5.1, \[38\]).
     Prioritized,
+}
+
+/// Prioritized-replay hyper-parameters (\[38\]'s α and initial β), plumbed
+/// from the trainer config instead of hardcoded in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerConfig {
+    /// Prioritization exponent α (0 = uniform, 1 = fully proportional).
+    pub alpha: f64,
+    /// Initial importance-sampling exponent β, annealed toward 1.
+    pub beta: f64,
+}
+
+impl Default for PerConfig {
+    fn default() -> Self {
+        // The values \[38\] recommends for proportional prioritization.
+        Self { alpha: 0.6, beta: 0.4 }
+    }
 }
 
 /// A sampled minibatch with optional prioritization metadata.
@@ -36,13 +53,28 @@ pub enum MemoryPool {
 }
 
 impl MemoryPool {
-    /// Creates a pool of the given kind and capacity.
+    /// Creates a pool of the given kind and capacity with default PER
+    /// hyper-parameters.
     pub fn new(kind: MemoryKind, capacity: usize) -> Self {
+        Self::with_per(kind, capacity, PerConfig::default())
+    }
+
+    /// Creates a pool with explicit PER hyper-parameters (ignored by the
+    /// uniform backend).
+    pub fn with_per(kind: MemoryKind, capacity: usize, per: PerConfig) -> Self {
         match kind {
             MemoryKind::Uniform => MemoryPool::Uniform(ReplayBuffer::new(capacity)),
             MemoryKind::Prioritized => {
-                MemoryPool::Prioritized(PrioritizedReplay::new(capacity, 0.6, 0.4))
+                MemoryPool::Prioritized(PrioritizedReplay::new(capacity, per.alpha, per.beta))
             }
+        }
+    }
+
+    /// Replay observability counters (`None` for the uniform backend).
+    pub fn replay_stats(&self) -> Option<PerStats> {
+        match self {
+            MemoryPool::Uniform(_) => None,
+            MemoryPool::Prioritized(p) => Some(p.stats()),
         }
     }
 
@@ -173,6 +205,20 @@ mod tests {
             }
             assert_eq!(rebuilt.len(), 5, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn per_hyperparameters_are_plumbed_not_hardcoded() {
+        let pool =
+            MemoryPool::with_per(MemoryKind::Prioritized, 8, PerConfig { alpha: 0.9, beta: 0.7 });
+        let stats = pool.replay_stats().expect("prioritized pool reports stats");
+        assert!((stats.alpha - 0.9).abs() < 1e-12);
+        assert!((stats.beta - 0.7).abs() < 1e-12);
+        // `new` keeps the [38] defaults.
+        let default_pool = MemoryPool::new(MemoryKind::Prioritized, 8);
+        let d = default_pool.replay_stats().unwrap();
+        assert!((d.alpha - 0.6).abs() < 1e-12 && (d.beta - 0.4).abs() < 1e-12);
+        assert!(MemoryPool::new(MemoryKind::Uniform, 8).replay_stats().is_none());
     }
 
     #[test]

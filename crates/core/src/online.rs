@@ -9,6 +9,7 @@
 //! performance is recommended.
 
 use crate::env::{DbEnv, RecoveryStats};
+use crate::telemetry::{ReplayTrace, TraceEvent, TraceLevel};
 use crate::trainer::TrainedModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -170,6 +171,14 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
         GaussianNoise::new(env.space().dim(), cfg.noise_sigma, cfg.noise_sigma * 0.2, 0.9);
     let mut replay = ReplayBuffer::new(4096);
     let recovery0 = *env.recovery_stats();
+    let start = std::time::Instant::now();
+    let telemetry = env.telemetry().clone();
+    telemetry.emit(&TraceEvent::RunStart {
+        mode: "tune".to_string(),
+        seed: cfg.seed,
+        knobs: env.space().dim() as u64,
+        state_dim: simdb::TOTAL_METRIC_COUNT as u64,
+    });
 
     let baseline = env.current_config().clone();
     let mut state = match env.try_reset_episode(baseline.clone()) {
@@ -197,13 +206,21 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
     let mut degraded: Option<DegradedReason> = None;
     let mut consecutive_failures = 0u32;
 
+    telemetry.emit(&TraceEvent::EpisodeStart {
+        episode: 0,
+        warm_start: true,
+        baseline_tps: initial_perf.throughput_tps,
+        baseline_p99_us: initial_perf.p99_latency_us,
+    });
     for step in 1..=cfg.max_steps {
+        let t_rec = std::time::Instant::now();
         let raw = agent.act(&state);
+        let recommendation_wall_us = t_rec.elapsed().as_micros() as u64;
         // Step 1 deploys the model's recommendation verbatim; later steps
         // explore around the (fine-tuned) policy, screening noisy
         // candidates with the critic so only its best-scored variant is
         // deployed on the instance.
-        let mut sparse_perturb = |raw: &[f32], rng: &mut StdRng, noise: &mut GaussianNoise| {
+        let sparse_perturb = |raw: &[f32], rng: &mut StdRng, noise: &mut GaussianNoise| {
             let dim = raw.len();
             let k = ((dim as f32 * cfg.noise_fraction).ceil() as usize).clamp(1, dim);
             let full = noise.sample(rng);
@@ -238,6 +255,29 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
             crashed: out.crashed,
             degraded: out.degraded,
         });
+        if telemetry.enabled(TraceLevel::Step) {
+            let mut timing = out.timing;
+            timing.recommendation_wall_us = recommendation_wall_us;
+            telemetry.emit(&TraceEvent::Step {
+                step: step as u64,
+                episode: 0,
+                action: action.iter().map(|&x| f64::from(x)).collect(),
+                reward: out.reward_trace,
+                throughput_tps: out.perf.throughput_tps,
+                p99_latency_us: out.perf.p99_latency_us,
+                crashed: out.crashed,
+                degraded: out.degraded,
+                replay: ReplayTrace {
+                    len: replay.len() as u64,
+                    is_weight_min: 1.0,
+                    is_weight_max: 1.0,
+                    ..ReplayTrace::default()
+                },
+                recovery: out.recovery,
+                engine: env.engine_sample(),
+                timing,
+            });
+        }
         if out.crashed || out.degraded {
             consecutive_failures += 1;
             if consecutive_failures >= cfg.max_consecutive_failures.max(1) {
@@ -289,6 +329,14 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
         action_indices: model.action_indices.clone(),
         reward_scale: model.reward_scale,
     };
+    telemetry.emit(&TraceEvent::RunEnd {
+        mode: "tune".to_string(),
+        total_steps: steps.len() as u64,
+        best_tps: best_perf.throughput_tps,
+        crashes: steps.iter().filter(|s| s.crashed).count() as u64,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    });
+    telemetry.flush();
     TuningOutcome {
         best_config,
         best_perf,

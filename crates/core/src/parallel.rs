@@ -7,9 +7,26 @@
 //! §2.1.1, spread across cores instead of servers).
 
 use crate::env::DbEnv;
+use crate::telemetry::{Telemetry, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rl::Transition;
+
+/// Derives worker `w`'s RNG seed from the run seed with a splitmix64
+/// finalizer.
+///
+/// The old `seed ^ (w * 0x9E37)` derivation handed worker 0 the raw run
+/// seed and gave adjacent workers seeds differing in a handful of low
+/// bits — StdRng streams seeded that closely can stay correlated for many
+/// draws. splitmix64's finalizer is bijective, so distinct `(seed, w)`
+/// inputs map to pairwise-distinct, avalanche-mixed seeds; `w + 1` keeps
+/// even worker 0 off the raw seed.
+pub fn worker_seed(seed: u64, worker: usize) -> u64 {
+    let mut z = seed.wrapping_add((worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Collects `steps_per_worker` random-policy transitions from each of
 /// `workers` independent environments, in parallel.
@@ -26,6 +43,21 @@ pub fn collect_parallel<F>(
 where
     F: Fn(usize) -> DbEnv + Sync,
 {
+    collect_parallel_traced(make_env, workers, steps_per_worker, seed, &Telemetry::null())
+}
+
+/// [`collect_parallel`] with telemetry: emits one
+/// [`TraceEvent::CollectWorker`] per worker once it joins.
+pub fn collect_parallel_traced<F>(
+    make_env: F,
+    workers: usize,
+    steps_per_worker: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> Vec<Transition>
+where
+    F: Fn(usize) -> DbEnv + Sync,
+{
     assert!(workers > 0, "need at least one worker");
     let mut all = Vec::with_capacity(workers * steps_per_worker);
     crossbeam::thread::scope(|scope| {
@@ -34,13 +66,15 @@ where
                 let make_env = &make_env;
                 scope.spawn(move |_| {
                     let mut env = make_env(w);
-                    let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37));
+                    let mut rng = StdRng::seed_from_u64(worker_seed(seed, w));
                     let dim = env.space().dim();
                     let mut out = Vec::with_capacity(steps_per_worker);
+                    let mut crashes = 0u64;
                     let mut state = env.reset_episode(env.engine().registry().default_config());
                     for _ in 0..steps_per_worker {
                         let action: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
                         let step = env.step_action(&action);
+                        crashes += u64::from(step.crashed);
                         out.push(Transition {
                             state: state.clone(),
                             action,
@@ -54,12 +88,19 @@ where
                             step.state
                         };
                     }
-                    out
+                    (out, crashes)
                 })
             })
             .collect();
-        for h in handles {
-            all.extend(h.join().expect("collector worker must not panic"));
+        for (w, h) in handles.into_iter().enumerate() {
+            let (out, crashes) = h.join().expect("collector worker must not panic");
+            telemetry.emit(&TraceEvent::CollectWorker {
+                worker: w as u64,
+                derived_seed: worker_seed(seed, w),
+                steps: out.len() as u64,
+                crashes,
+            });
+            all.extend(out);
         }
     })
     .expect("crossbeam scope");
@@ -91,6 +132,73 @@ mod tests {
             ..EnvConfig::default()
         };
         DbEnv::new(engine, wl, space, cfg)
+    }
+
+    #[test]
+    fn worker_seeds_are_pairwise_distinct_across_workers_and_run_seeds() {
+        // The pre-fix `seed ^ (w * 0x9E37)` derivation collides across
+        // (seed, worker) pairs trivially: e.g. run seed 0 worker 1 equals
+        // run seed 0x9E37 worker 0, and worker 0 always gets the raw run
+        // seed. The splitmix64 derivation must give pairwise-distinct seeds
+        // across a workers × adjacent-run-seeds grid.
+        let mut seen = std::collections::HashSet::new();
+        for run_seed in 0..64u64 {
+            for w in 0..32usize {
+                assert!(
+                    seen.insert(worker_seed(run_seed, w)),
+                    "collision at run_seed {run_seed} worker {w}"
+                );
+            }
+        }
+        // Worker 0 must not explore with the raw run seed.
+        assert_ne!(worker_seed(42, 0), 42);
+    }
+
+    #[test]
+    fn worker_action_streams_are_pairwise_distinct() {
+        // Adjacent seeds and adjacent workers must produce different action
+        // streams from the first draws on — correlated exploration defeats
+        // the point of parallel collection (§5.1).
+        let stream = |s: u64, w: usize| -> Vec<u32> {
+            let mut rng = StdRng::seed_from_u64(worker_seed(s, w));
+            (0..8).map(|_| rng.gen::<f32>().to_bits()).collect()
+        };
+        let mut streams = Vec::new();
+        for s in [7u64, 8u64] {
+            for w in 0..8usize {
+                streams.push((s, w, stream(s, w)));
+            }
+        }
+        for i in 0..streams.len() {
+            for j in i + 1..streams.len() {
+                assert_ne!(
+                    streams[i].2, streams[j].2,
+                    "workers ({}, {}) and ({}, {}) drew identical actions",
+                    streams[i].0, streams[i].1, streams[j].0, streams[j].1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_collection_emits_one_event_per_worker() {
+        use crate::telemetry::{Telemetry, TraceEvent, TraceLevel};
+        let telemetry = Telemetry::ring(64, TraceLevel::Summary);
+        let transitions = collect_parallel_traced(make_env, 2, 3, 11, &telemetry);
+        assert_eq!(transitions.len(), 6);
+        let events = telemetry.drain_ring();
+        let workers: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::CollectWorker { worker, derived_seed, steps, .. } => {
+                    assert_eq!(*steps, 3);
+                    assert_eq!(*derived_seed, worker_seed(11, *worker as usize));
+                    Some(*worker)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(workers, vec![0, 1]);
     }
 
     #[test]

@@ -10,9 +10,10 @@
 //! convergence step is reported (Figs. 8, 14, Table 6 plot it).
 
 use crate::env::{DbEnv, RecoveryStats};
-use crate::memory_pool::{MemoryKind, MemoryPool};
+use crate::memory_pool::{MemoryKind, MemoryPool, PerConfig};
 use crate::reward::RewardConfig;
 use crate::state::StateProcessor;
+use crate::telemetry::{ReplayTrace, TraceEvent, TraceLevel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rl::{
@@ -45,6 +46,9 @@ pub struct TrainerConfig {
     pub memory: MemoryKind,
     /// Replay capacity.
     pub memory_capacity: usize,
+    /// Prioritized-replay α/β (ignored by the uniform backend).
+    #[serde(default)]
+    pub per: PerConfig,
     /// Initial exploration noise scale.
     pub noise_sigma: f32,
     /// Noise floor.
@@ -107,6 +111,7 @@ impl Default for TrainerConfig {
             updates_per_step: 8,
             memory: MemoryKind::Prioritized,
             memory_capacity: 100_000,
+            per: PerConfig::default(),
             noise_sigma: 0.35,
             noise_sigma_min: 0.08,
             noise_decay: 0.96,
@@ -379,8 +384,15 @@ pub fn train_offline_resumable(
     let space_indices: Vec<usize> = env.space().indices().to_vec();
     let crashes0 = env.crash_count();
     let recovery0 = *env.recovery_stats();
+    let telemetry = env.telemetry().clone();
+    telemetry.emit(&TraceEvent::RunStart {
+        mode: "train".to_string(),
+        seed: cfg.seed,
+        knobs: action_dim as u64,
+        state_dim: state_dim as u64,
+    });
 
-    let mut pool = MemoryPool::new(cfg.memory, cfg.memory_capacity);
+    let mut pool = MemoryPool::with_per(cfg.memory, cfg.memory_capacity, cfg.per);
     let mut agent;
     let mut report;
     let mut tracker;
@@ -475,12 +487,22 @@ pub fn train_offline_resumable(
             _ => registry.default_config(),
         };
         let mut state = env.reset_episode(baseline);
+        telemetry.emit(&TraceEvent::EpisodeStart {
+            episode: episode as u64,
+            warm_start: warm,
+            baseline_tps: env.initial_perf().throughput_tps,
+            baseline_p99_us: env.initial_perf().p99_latency_us,
+        });
+        let mut ep_steps = 0u64;
+        let mut ep_reward_sum = 0.0;
+        let mut ep_best_tps = 0.0f64;
         for ep_step in ep_start..cfg.steps_per_episode {
             // The first step of each post-warmup episode plays the
             // deterministic policy from the baseline state — exactly the
             // recommendation online tuning will make — and the shipped
             // model is the snapshot whose such evaluation was best.
             let evaluate = ep_step == 0 && report.total_steps >= cfg.random_warmup_steps;
+            let t_rec = std::time::Instant::now();
             let action: Vec<f32> = if evaluate {
                 agent.act(&state)
             } else if report.total_steps < cfg.random_warmup_steps {
@@ -488,6 +510,7 @@ pub fn train_offline_resumable(
             } else {
                 perturb(&agent.act(&state), &noise.sample(&mut rng))
             };
+            let recommendation_wall_us = t_rec.elapsed().as_micros() as u64;
             let out = env.step_action(&action);
             if evaluate {
                 report.actor_eval_history.push(out.perf.throughput_tps);
@@ -521,7 +544,7 @@ pub fn train_offline_resumable(
             if !out.degraded {
                 pool.push(Transition {
                     state: state.clone(),
-                    action,
+                    action: action.clone(),
                     reward: out.reward as f32 * cfg.reward_scale,
                     next_state: out.state.clone(),
                     done: out.done,
@@ -529,6 +552,9 @@ pub fn train_offline_resumable(
             }
             state = out.state;
 
+            let t_upd = std::time::Instant::now();
+            let mut is_weight_min = 1.0f64;
+            let mut is_weight_max = 1.0f64;
             if pool.len() >= cfg.batch_size {
                 for _ in 0..cfg.updates_per_step {
                     let (indices, weights, refs): (Option<Vec<usize>>, Option<Vec<f32>>, Vec<_>) = {
@@ -539,10 +565,59 @@ pub fn train_offline_resumable(
                             batch.transitions.iter().map(|t| (*t).clone()).collect(),
                         )
                     };
+                    if let Some(w) = &weights {
+                        for &x in w {
+                            is_weight_min = is_weight_min.min(f64::from(x));
+                            is_weight_max = is_weight_max.max(f64::from(x));
+                        }
+                    }
                     let refs2: Vec<&Transition> = refs.iter().collect();
                     let _ = agent.train_step(&refs2, weights.as_deref(), Some(&mut td_scratch));
                     pool.update_priorities(indices.as_deref(), &td_scratch);
                 }
+            }
+            let model_update_wall_us = t_upd.elapsed().as_micros() as u64;
+
+            ep_steps += 1;
+            ep_reward_sum += out.reward;
+            if !out.crashed && !out.degraded {
+                ep_best_tps = ep_best_tps.max(out.perf.throughput_tps);
+            }
+            if telemetry.enabled(TraceLevel::Step) {
+                let mut timing = out.timing;
+                timing.recommendation_wall_us = recommendation_wall_us;
+                timing.model_update_wall_us = model_update_wall_us;
+                let replay = match pool.replay_stats() {
+                    Some(s) => ReplayTrace {
+                        len: s.len as u64,
+                        beta: s.beta,
+                        max_priority: s.max_priority,
+                        is_weight_min,
+                        is_weight_max,
+                        fallback_hits: s.fallback_hits,
+                        tree_rebuilds: s.tree_rebuilds,
+                    },
+                    None => ReplayTrace {
+                        len: pool.len() as u64,
+                        is_weight_min,
+                        is_weight_max,
+                        ..ReplayTrace::default()
+                    },
+                };
+                telemetry.emit(&TraceEvent::Step {
+                    step: report.total_steps as u64,
+                    episode: episode as u64,
+                    action: action.iter().map(|&x| f64::from(x)).collect(),
+                    reward: out.reward_trace,
+                    throughput_tps: out.perf.throughput_tps,
+                    p99_latency_us: out.perf.p99_latency_us,
+                    crashed: out.crashed,
+                    degraded: out.degraded,
+                    replay,
+                    recovery: out.recovery,
+                    engine: env.engine_sample(),
+                    timing,
+                });
             }
 
             if let Some(dir) = &cfg.checkpoint_dir {
@@ -577,12 +652,26 @@ pub fn train_offline_resumable(
                 break;
             }
         }
+        telemetry.emit(&TraceEvent::EpisodeEnd {
+            episode: episode as u64,
+            steps: ep_steps,
+            mean_reward: if ep_steps > 0 { ep_reward_sum / ep_steps as f64 } else { 0.0 },
+            best_tps: ep_best_tps,
+        });
         noise.decay();
     }
     report.crashes += env.crash_count() - crashes0;
     report.recovery.merge(&env.recovery_stats().since(&recovery0));
     report.iterations_to_converge = tracker.converged_at();
     report.wall_seconds += start.elapsed().as_secs_f64();
+    telemetry.emit(&TraceEvent::RunEnd {
+        mode: "train".to_string(),
+        total_steps: report.total_steps as u64,
+        best_tps: report.best_throughput,
+        crashes: report.crashes,
+        wall_seconds: report.wall_seconds,
+    });
+    telemetry.flush();
 
     let (snapshot, processor) =
         best_snapshot.unwrap_or_else(|| (agent.snapshot(), env.processor().clone()));
@@ -612,6 +701,49 @@ mod tests {
         assert_eq!(model.action_indices.len(), 6);
         assert!(model.processor.observations() > 0);
         assert!(report.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn training_emits_the_golden_event_sequence() {
+        use crate::telemetry::{Telemetry, TraceEvent, TraceLevel};
+        let mut env = tiny_env();
+        env.set_telemetry(Telemetry::ring(256, TraceLevel::Debug));
+        let cfg = TrainerConfig { episodes: 1, steps_per_episode: 1, ..TrainerConfig::smoke() };
+        let (_, report) = train_offline(&mut env, &cfg, Vec::new());
+        assert_eq!(report.total_steps, 1);
+        let events = env.telemetry().drain_ring();
+        // Recovery events are fault-dependent noise; everything else is the
+        // golden sequence, in order.
+        let tags: Vec<&str> = events
+            .iter()
+            .filter(|e| !matches!(e, TraceEvent::Recovery { .. }))
+            .map(TraceEvent::type_tag)
+            .collect();
+        assert_eq!(tags, ["run_start", "episode_start", "step", "episode_end", "run_end"]);
+        let step = events
+            .iter()
+            .find(|e| matches!(e, TraceEvent::Step { .. }))
+            .expect("one step event");
+        let TraceEvent::Step {
+            step, action, reward, throughput_tps, p99_latency_us, replay, timing, ..
+        } = step
+        else {
+            unreachable!()
+        };
+        assert_eq!(*step, 1);
+        assert_eq!(action.len(), 6, "action vector matches the tuned knob count");
+        assert!(reward.is_finite(), "reward decomposition has non-finite terms: {reward:?}");
+        assert!(throughput_tps.is_finite() && p99_latency_us.is_finite());
+        assert!(replay.len >= 1, "step was pushed before the event was composed");
+        assert!(replay.is_weight_min > 0.0 && replay.is_weight_min <= replay.is_weight_max);
+        assert!(replay.is_weight_max <= 1.0 + 1e-9, "IS weights are normalized to max 1");
+        assert!(timing.stress_wall_us > 0, "stress window was timed");
+        assert!(timing.stress_simulated_sec > 0.0);
+        // Round-trip the whole sequence through the JSONL encoding: what
+        // the trainer emits is exactly what a reader gets back.
+        for ev in &events {
+            assert_eq!(&TraceEvent::from_json_line(&ev.to_json_line()).unwrap(), ev);
+        }
     }
 
     #[test]

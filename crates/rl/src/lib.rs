@@ -28,6 +28,6 @@ pub use ddpg::{Ddpg, DdpgConfig, DdpgSnapshot, TrainStats};
 pub use dqn::{Dqn, DqnConfig};
 pub use env::{Environment, StepResult, Transition};
 pub use noise::{perturb, GaussianNoise, NoiseProcess, OrnsteinUhlenbeck};
-pub use per::{PrioritizedBatch, PrioritizedReplay};
+pub use per::{PerStats, PrioritizedBatch, PrioritizedReplay};
 pub use qlearning::{discretize_state, QLearning};
 pub use replay::ReplayBuffer;

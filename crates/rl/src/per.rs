@@ -9,21 +9,47 @@
 use crate::env::Transition;
 use rand::Rng;
 
+/// How many incremental `set`s a [`SumTree`] tolerates before recomputing
+/// its internal nodes exactly. Incremental `+=` propagation accumulates
+/// float error (catastrophically so when priorities of very different
+/// magnitudes alternate on one path), and a drifted root lets `find(mass)`
+/// walk into an empty/zero-priority region. A periodic exact rebuild is
+/// O(capacity) ≈ the cost of `REBUILD_INTERVAL`·log(capacity) incremental
+/// updates' worth of work once every 4096 sets — noise in the training
+/// loop — and bounds the drift to what at most 4095 sets can produce.
+const REBUILD_INTERVAL: u32 = 4096;
+
 /// A fixed-capacity sum-tree over priorities.
 #[derive(Debug, Clone)]
 struct SumTree {
     /// Complete binary tree in an array; leaves start at `capacity - 1`.
     nodes: Vec<f64>,
     capacity: usize,
+    /// Incremental updates since the last exact rebuild.
+    sets_since_rebuild: u32,
+    /// Lifetime exact rebuilds (telemetry).
+    rebuilds: u64,
 }
 
 impl SumTree {
     fn new(capacity: usize) -> Self {
-        Self { nodes: vec![0.0; 2 * capacity - 1], capacity }
+        Self {
+            nodes: vec![0.0; 2 * capacity - 1],
+            capacity,
+            sets_since_rebuild: 0,
+            rebuilds: 0,
+        }
     }
 
     fn total(&self) -> f64 {
         self.nodes[0]
+    }
+
+    /// Exact leaf sum, bypassing the incrementally-maintained internal
+    /// nodes (test/diagnostic reference).
+    #[cfg(test)]
+    fn leaf_sum(&self) -> f64 {
+        self.nodes[self.capacity - 1..].iter().sum()
     }
 
     fn set(&mut self, leaf: usize, priority: f64) {
@@ -31,10 +57,25 @@ impl SumTree {
         let mut idx = leaf + self.capacity - 1;
         let delta = priority - self.nodes[idx];
         self.nodes[idx] = priority;
+        self.sets_since_rebuild += 1;
+        if self.sets_since_rebuild >= REBUILD_INTERVAL {
+            self.rebuild();
+            return;
+        }
         while idx > 0 {
             idx = (idx - 1) / 2;
             self.nodes[idx] += delta;
         }
+    }
+
+    /// Recomputes every internal node bottom-up from the (exact) leaves,
+    /// discarding accumulated incremental-update drift.
+    fn rebuild(&mut self) {
+        for idx in (0..self.capacity - 1).rev() {
+            self.nodes[idx] = self.nodes[2 * idx + 1] + self.nodes[2 * idx + 2];
+        }
+        self.sets_since_rebuild = 0;
+        self.rebuilds += 1;
     }
 
     fn get(&self, leaf: usize) -> f64 {
@@ -69,6 +110,26 @@ pub struct PrioritizedBatch<'a> {
     pub weights: Vec<f32>,
 }
 
+/// Observability counters of a [`PrioritizedReplay`] buffer, exposed for
+/// the telemetry layer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerStats {
+    /// Stored transitions.
+    pub len: usize,
+    /// Prioritization exponent α.
+    pub alpha: f64,
+    /// Current IS exponent β (annealed toward 1).
+    pub beta: f64,
+    /// Maximum priority seen so far.
+    pub max_priority: f64,
+    /// Proportional draws that walked into an empty leaf and were resampled
+    /// uniformly. Nonzero means the sum-tree and the stored data disagree —
+    /// the failure mode the periodic exact rebuild exists to prevent.
+    pub fallback_hits: u64,
+    /// Exact rebuilds of the sum-tree's internal nodes.
+    pub tree_rebuilds: u64,
+}
+
 /// Proportional prioritized replay buffer.
 #[derive(Debug, Clone)]
 pub struct PrioritizedReplay {
@@ -81,6 +142,7 @@ pub struct PrioritizedReplay {
     beta_increment: f64,
     max_priority: f64,
     eps: f64,
+    fallback_hits: u64,
 }
 
 impl PrioritizedReplay {
@@ -98,6 +160,7 @@ impl PrioritizedReplay {
             beta_increment: 1e-4,
             max_priority: 1.0,
             eps: 1e-3,
+            fallback_hits: 0,
         }
     }
 
@@ -121,6 +184,18 @@ impl PrioritizedReplay {
         self.beta
     }
 
+    /// Observability counters (see [`PerStats`]).
+    pub fn stats(&self) -> PerStats {
+        PerStats {
+            len: self.len,
+            alpha: self.alpha,
+            beta: self.beta,
+            max_priority: self.max_priority,
+            fallback_hits: self.fallback_hits,
+            tree_rebuilds: self.tree.rebuilds,
+        }
+    }
+
     /// Adds a transition with the maximum seen priority (new experience is
     /// always replayed at least once).
     pub fn push(&mut self, t: Transition) {
@@ -142,10 +217,18 @@ impl PrioritizedReplay {
             let lo = segment * i as f64;
             let mass = lo + rng.gen::<f64>() * segment;
             let mut leaf = self.tree.find(mass.min(total - 1e-9));
-            if self.data[leaf].is_none() {
+            let p = if self.data[leaf].is_none() {
+                // The proportional walk reached an empty leaf: the tree and
+                // the data disagree. Recover by drawing uniformly — and use
+                // the uniform probability 1/len for the IS weight (the old
+                // code kept the leaf's proportional priority, silently
+                // corrupting the weight of the fallback sample).
+                self.fallback_hits += 1;
                 leaf = rng.gen_range(0..self.len);
-            }
-            let p = (self.tree.get(leaf) / total).max(1e-12);
+                1.0 / self.len as f64
+            } else {
+                (self.tree.get(leaf) / total).max(1e-12)
+            };
             let w = (self.len as f64 * p).powf(-self.beta);
             indices.push(leaf);
             weights.push(w as f32);
@@ -271,6 +354,100 @@ mod tests {
         }
         assert!(buf.beta() > b0);
         assert!(buf.beta() <= 1.0);
+    }
+
+    #[test]
+    fn sumtree_rebuild_cancels_adversarial_drift() {
+        // Pump one leaf up to 1e17 and back down to 1.0, repeatedly. While
+        // the root sits at ~1e17 its ulp is 16, so the +1e17/-1e17 deltas
+        // flowing through `+=` round away the small leaves entirely (e.g.
+        // fl(7 + 1e17) = 1e17, then subtracting 1e17-1 leaves ~0, not 8).
+        // The true leaf sum at the end is 8.0 but the incrementally-kept
+        // root is off by O(1) — pre-rebuild code fails this assertion.
+        // 8 initial sets + the loop = exactly 2·REBUILD_INTERVAL sets, so
+        // the final down-set lands on an exact rebuild.
+        let mut s = SumTree::new(8);
+        for leaf in 0..8 {
+            s.set(leaf, 1.0);
+        }
+        let sets = u64::from(REBUILD_INTERVAL) * 2 - 8;
+        for i in 0..sets {
+            let p = if i % 2 == 0 { 1e17 } else { 1.0 };
+            s.set(0, p);
+        }
+        let drift = (s.total() - s.leaf_sum()).abs();
+        assert!(
+            drift <= 1e-6 * s.leaf_sum().max(1.0),
+            "total {} vs leaf sum {} (drift {drift})",
+            s.total(),
+            s.leaf_sum()
+        );
+        assert!(s.rebuilds >= 2, "rebuilds = {}", s.rebuilds);
+    }
+
+    #[test]
+    fn sumtree_total_matches_leaf_sum_after_1m_randomized_sets() {
+        // Property regression for the §5.1 replay path: after 1M randomized
+        // priority updates in the realistic (eps..=100)^alpha range, the
+        // root must still equal the true leaf sum to within 1e-6.
+        let mut s = SumTree::new(1024);
+        let mut rng = StdRng::seed_from_u64(0xD1F7);
+        for _ in 0..1_000_000 {
+            let leaf = rng.gen_range(0..1024);
+            let p: f64 = (1e-3 + rng.gen::<f64>() * 100.0).powf(0.6);
+            s.set(leaf, p);
+        }
+        let leaf_sum = s.leaf_sum();
+        let drift = (s.total() - leaf_sum).abs();
+        assert!(
+            drift <= 1e-6 * leaf_sum.max(1.0),
+            "total {} vs leaf sum {leaf_sum} (drift {drift})",
+            s.total()
+        );
+    }
+
+    #[test]
+    fn healthy_sampling_never_falls_back_and_rebuilds_are_counted() {
+        let mut buf = PrioritizedReplay::new(64, 0.6, 0.4);
+        for i in 0..64 {
+            buf.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let indices: Vec<usize> = (0..64).collect();
+        for round in 0..200 {
+            let _ = buf.sample(32, &mut rng);
+            let tds: Vec<f32> = (0..64).map(|i| 0.01 + ((i + round) % 7) as f32).collect();
+            buf.update_priorities(&indices, &tds);
+        }
+        let stats = buf.stats();
+        assert_eq!(
+            stats.fallback_hits, 0,
+            "an exact tree must never send a proportional draw into an empty leaf"
+        );
+        // 64 pushes + 200×64 updates = 12 864 sets → 3 rebuilds.
+        assert!(stats.tree_rebuilds >= 3, "rebuilds = {}", stats.tree_rebuilds);
+        assert_eq!(stats.len, 64);
+        assert!((stats.alpha - 0.6).abs() < 1e-12);
+        assert!(stats.beta > 0.4 && stats.max_priority >= 6.0);
+    }
+
+    #[test]
+    fn fallback_uses_uniform_is_weight() {
+        // Force the tree/data disagreement the fallback path guards:
+        // a leaf with positive priority but no stored transition.
+        let mut buf = PrioritizedReplay::new(8, 1.0, 0.5);
+        for i in 0..4 {
+            buf.push(t(i as f32));
+        }
+        buf.tree.set(6, 1000.0); // empty slot, dominant priority
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = buf.sample(16, &mut rng);
+        // Every sampled index must point at real data (the pre-fix contract),
+        // and weights stay in the normalized (0, 1] range.
+        assert!(batch.indices.iter().all(|&i| i < 4));
+        assert!(batch.weights.iter().all(|&w| w > 0.0 && w <= 1.0 + 1e-6));
+        drop(batch);
+        assert!(buf.stats().fallback_hits > 0, "dominant empty leaf must trigger fallbacks");
     }
 
     #[test]

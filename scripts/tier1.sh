@@ -9,3 +9,12 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Trace-schema round trip: a real training run must emit JSONL that the
+# bench summarizer parses back and cross-checks without issues
+# (trace_summary exits nonzero on any schema or consistency problem).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+target/release/cdbtune train --out "$tmp/model.json" --episodes 1 --steps 3 \
+    --knobs 3 --trace-out "$tmp/run.jsonl" --trace-level debug >/dev/null
+target/release/trace_summary "$tmp/run.jsonl"

@@ -1,0 +1,71 @@
+//! Offline-verification stand-in for `rand_distr` 0.4 (see README.md):
+//! Box–Muller normal sampling over the stub `rand`.
+
+pub use rand::distributions::Distribution;
+use rand::distributions::Standard;
+use rand::RngCore;
+
+/// Error from invalid `Normal` parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Float scalars `Normal` supports (mirrors rand_distr's single generic
+/// impl so `Normal::new(0.0, sigma)` infers the type from its arguments).
+pub trait Float: Copy {
+    fn to_f64(self) -> f64;
+    fn from_f64(v: f64) -> Self;
+}
+
+impl Float for f32 {
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl Float for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+impl<F: Float> Normal<F> {
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if std_dev.to_f64().is_finite() && std_dev.to_f64() >= 0.0 {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let u1: f64 = Standard.sample(rng);
+        let u2: f64 = Standard.sample(rng);
+        let z = (-2.0 * u1.max(1e-300).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}

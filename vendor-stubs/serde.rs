@@ -1,0 +1,111 @@
+//! Offline-verification stand-in for `serde` (see README.md).
+//!
+//! The trait surface the workspace uses, with every provided impl erroring
+//! at runtime. Derives come from the stub `serde_derive`.
+
+pub mod ser {
+    use std::fmt::Display;
+
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+    }
+
+    pub trait Serialize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+}
+
+pub mod de {
+    use std::fmt::Display;
+
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+    }
+
+    pub trait Deserialize<'de>: Sized {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+
+const STUB: &str = "serde stub: (de)serialization unavailable in offline verification builds";
+
+macro_rules! stub_serialize {
+    ($($t:ty),* $(,)?) => {$(
+        impl ser::Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+                Err(ser::Error::custom(STUB))
+            }
+        }
+    )*};
+}
+
+macro_rules! stub_deserialize {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> de::Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+                Err(de::Error::custom(STUB))
+            }
+        }
+    )*};
+}
+
+stub_serialize!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String, str, char);
+stub_deserialize!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String, char);
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(ser::Error::custom(STUB))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(ser::Error::custom(STUB))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(ser::Error::custom(STUB))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(ser::Error::custom(STUB))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(de::Error::custom(STUB))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(de::Error::custom(STUB))
+    }
+}
