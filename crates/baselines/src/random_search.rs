@@ -38,6 +38,37 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_reruns_are_identical() {
+        let run = || {
+            let mut env = tiny_env(12);
+            let mut rng = StdRng::seed_from_u64(3);
+            RandomSearch.tune(&mut env, 5, &mut rng)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best_action, b.best_action);
+        assert_eq!(a.best_perf.throughput_tps, b.best_perf.throughput_tps);
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.action, y.action);
+            assert_eq!(x.throughput, y.throughput);
+            assert_eq!(x.crashed, y.crashed);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_propose_distinct_actions() {
+        let run = |rng_seed: u64| {
+            let mut env = tiny_env(12);
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            RandomSearch.tune(&mut env, 5, &mut rng)
+        };
+        let (a, c) = (run(3), run(4));
+        let a_actions: Vec<_> = a.history.iter().map(|e| e.action.clone()).collect();
+        let c_actions: Vec<_> = c.history.iter().map(|e| e.action.clone()).collect();
+        assert_ne!(a_actions, c_actions, "a different seed must explore differently");
+    }
+
+    #[test]
     fn proposals_are_diverse() {
         let mut env = tiny_env(11);
         let mut tuner = RandomSearch;

@@ -1,0 +1,72 @@
+//! `svc_load` — load-generating client for the `cdbtuned` daemon.
+//!
+//! ```text
+//! cdbtuned --addr 127.0.0.1:4455 &
+//! svc_load --addr 127.0.0.1:4455 --sessions 3 --steps 3
+//! ```
+//!
+//! Opens N concurrent tuning sessions, steps each to its budget, and
+//! prints service-level throughput/latency percentiles. Exits nonzero on
+//! transport errors, or on queue rejections unless `--allow-reject true`
+//! (the tier-1 smoke uses rejections as the expected backpressure signal).
+
+use bench::svc::{run_load, LoadSpec};
+use cdbtune::cli::{shared_flags_help, Args, EnvSpec};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    format!(
+        "svc_load — concurrent-session load generator for cdbtuned
+
+USAGE:
+  svc_load --addr HOST:PORT [--sessions N] [--steps N] [--hold-ms MS]
+           [--warm-start BOOL] [--allow-reject BOOL] [--shutdown BOOL]
+
+FLAGS:
+  --addr          daemon address (required)
+  --sessions      concurrent sessions                  (default 3)
+  --steps         tuning steps per session             (default 3)
+  --hold-ms       sleep mid-session before closing     (default 0)
+  --warm-start    ask for registry warm starts         (default true)
+  --allow-reject  queue rejections are expected, not a failure
+                                                       (default false)
+  --shutdown      send a shutdown request when done    (default false)
+
+{}",
+        shared_flags_help()
+    )
+}
+
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let args = Args::parse(&argv)?;
+    let spec = LoadSpec {
+        addr: args.required("addr")?.to_string(),
+        sessions: args.get("sessions", 3usize)?,
+        steps: args.get("steps", 3usize)?,
+        spec: EnvSpec::from_args(&args)?,
+        hold_ms: args.get("hold-ms", 0u64)?,
+        warm_start: args.get("warm-start", true)?,
+        shutdown: args.get("shutdown", false)?,
+    };
+    let allow_reject = args.get("allow-reject", false)?;
+    let report = run_load(&spec);
+    print!("{}", report.render());
+    let ok = report.errors() == 0 && (allow_reject || report.rejected() == 0);
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("svc_load: {e}");
+            eprintln!("run with --help for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

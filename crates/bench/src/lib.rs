@@ -14,8 +14,10 @@
 
 pub mod harness;
 pub mod report;
+pub mod svc;
 pub mod trace;
 
 pub use harness::{ExperimentScale, Lab};
 pub use report::{print_header, print_row, write_json};
-pub use trace::{schema_round_trip, StepRow, TraceSummary};
+pub use svc::{run_load, LatencyStats, LoadReport, LoadSpec, SessionResult};
+pub use trace::{schema_round_trip, SessionRow, StepRow, TraceSummary};

@@ -26,10 +26,42 @@ pub struct TraceSummary {
     pub workers: Vec<(u64, u64, u64, u64)>,
     /// Individual recovery actions (debug-level traces only).
     pub recovery_events: u64,
+    /// Service sessions (daemon traces), closed-out in close order.
+    pub sessions: Vec<SessionRow>,
+    /// Admission-queue depth over time: (depth, busy workers) per
+    /// `service_queue` sample.
+    pub queue_series: Vec<(u64, u64)>,
+    /// Connections the daemon admitted.
+    pub admissions: u64,
+    /// Connections the bounded queue turned away.
+    pub rejections: u64,
     /// Totals from the run-end event, if present.
     pub run_end: Option<RunTotals>,
     /// Schema/consistency problems found while ingesting (empty = healthy).
     pub issues: Vec<String>,
+}
+
+/// One daemon session, assembled from its open/close event pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRow {
+    /// Session id.
+    pub session: u64,
+    /// Workload label from the open event.
+    pub workload: String,
+    /// Tuned knob count.
+    pub knobs: u64,
+    /// The session warm-started from the model registry.
+    pub warm_start: bool,
+    /// Fingerprint distance to the warm-start entry (0 when cold).
+    pub registry_distance: f64,
+    /// Tuning steps the session took.
+    pub steps: u64,
+    /// Best throughput it reached (txn/s).
+    pub best_tps: f64,
+    /// The close was forced by the shutdown drain.
+    pub drained: bool,
+    /// The fine-tuned model was published to the registry.
+    pub published: bool,
 }
 
 /// The run-end totals.
@@ -88,6 +120,7 @@ impl TraceSummary {
         let mut s = Self::default();
         let mut saw_start = false;
         let mut last_step = 0u64;
+        let mut open_sessions: Vec<SessionRow> = Vec::new();
         for (i, ev) in events.iter().enumerate() {
             match ev {
                 TraceEvent::RunStart { mode, seed, knobs, .. } => {
@@ -163,6 +196,57 @@ impl TraceSummary {
                     s.workers.push((*worker, *derived_seed, *steps, *crashes));
                 }
                 TraceEvent::Recovery { .. } => s.recovery_events += 1,
+                TraceEvent::SessionOpen {
+                    session,
+                    workload,
+                    knobs,
+                    warm_start,
+                    registry_distance,
+                } => {
+                    if open_sessions.iter().any(|o| o.session == *session) {
+                        s.issues.push(format!(
+                            "line {}: session {session} opened twice without closing",
+                            i + 1
+                        ));
+                    }
+                    open_sessions.push(SessionRow {
+                        session: *session,
+                        workload: workload.clone(),
+                        knobs: *knobs,
+                        warm_start: *warm_start,
+                        registry_distance: *registry_distance,
+                        steps: 0,
+                        best_tps: 0.0,
+                        drained: false,
+                        published: false,
+                    });
+                }
+                TraceEvent::SessionClose { session, steps, best_tps, drained, published } => {
+                    match open_sessions.iter().position(|o| o.session == *session) {
+                        Some(pos) => {
+                            let mut row = open_sessions.remove(pos);
+                            row.steps = *steps;
+                            row.best_tps = *best_tps;
+                            row.drained = *drained;
+                            row.published = *published;
+                            s.sessions.push(row);
+                        }
+                        None => s.issues.push(format!(
+                            "line {}: session {session} closed without a session_open",
+                            i + 1
+                        )),
+                    }
+                }
+                TraceEvent::Admission { accepted, .. } => {
+                    if *accepted {
+                        s.admissions += 1;
+                    } else {
+                        s.rejections += 1;
+                    }
+                }
+                TraceEvent::ServiceQueue { depth, busy_workers } => {
+                    s.queue_series.push((*depth, *busy_workers));
+                }
                 TraceEvent::RunEnd { total_steps, best_tps, crashes, wall_seconds, .. } => {
                     s.run_end = Some(RunTotals {
                         total_steps: *total_steps,
@@ -172,6 +256,12 @@ impl TraceSummary {
                     });
                 }
             }
+        }
+        for row in &open_sessions {
+            s.issues.push(format!(
+                "session {} opened but never closed (unbalanced trace)",
+                row.session
+            ));
         }
         if !saw_start {
             s.issues.push("no run_start event".into());
@@ -267,6 +357,43 @@ impl TraceSummary {
                      best {best_tps:.0} txn/s"
                 );
             }
+        }
+        if !self.sessions.is_empty() {
+            let _ = writeln!(out, "\nservice sessions:");
+            for r in &self.sessions {
+                let start = if r.warm_start {
+                    format!("warm(d={:.3})", r.registry_distance)
+                } else {
+                    "cold".to_string()
+                };
+                let mut flags = String::new();
+                if r.drained {
+                    flags.push_str(" DRAINED");
+                }
+                if r.published {
+                    flags.push_str(" published");
+                }
+                let _ = writeln!(
+                    out,
+                    "  session {:>3}  {:<12} {:>2} knobs  {:<12} {:>3} steps  best {:.0} \
+                     txn/s{}",
+                    r.session, r.workload, r.knobs, start, r.steps, r.best_tps, flags
+                );
+            }
+        }
+        if self.admissions + self.rejections > 0 || !self.queue_series.is_empty() {
+            let max_depth = self.queue_series.iter().map(|&(d, _)| d).max().unwrap_or(0);
+            let max_busy = self.queue_series.iter().map(|&(_, b)| b).max().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "\nadmission: {} accepted, {} rejected, queue depth peak {} \
+                 ({} samples), busy workers peak {}",
+                self.admissions,
+                self.rejections,
+                max_depth,
+                self.queue_series.len(),
+                max_busy
+            );
         }
         let crashes = self.steps.iter().filter(|r| r.crashed).count();
         let degraded = self.steps.iter().filter(|r| r.degraded).count();
@@ -379,6 +506,27 @@ pub fn exemplar_events() -> Vec<TraceEvent> {
         },
         TraceEvent::EpisodeEnd { episode: 0, steps: 1, mean_reward: 0.375, best_tps: 1300.0 },
         TraceEvent::CollectWorker { worker: 3, derived_seed: u64::MAX, steps: 50, crashes: 2 },
+        TraceEvent::Admission { accepted: true, reason: "ok".into(), queue_depth: 1 },
+        TraceEvent::Admission {
+            accepted: false,
+            reason: "queue_full".into(),
+            queue_depth: 4,
+        },
+        TraceEvent::ServiceQueue { depth: 3, busy_workers: 2 },
+        TraceEvent::SessionOpen {
+            session: 11,
+            workload: "sysbench-rw".into(),
+            knobs: 3,
+            warm_start: true,
+            registry_distance: 0.042,
+        },
+        TraceEvent::SessionClose {
+            session: 11,
+            steps: 5,
+            best_tps: 5200.0,
+            drained: false,
+            published: true,
+        },
         TraceEvent::RunEnd {
             mode: "train".into(),
             total_steps: 1,
@@ -409,10 +557,52 @@ mod tests {
         assert_eq!(s.episodes, vec![(0, 1, 0.375, 1300.0)]);
         assert_eq!(s.workers, vec![(3, u64::MAX, 50, 2)]);
         assert_eq!(s.recovery_events, 1);
+        assert_eq!(s.admissions, 1);
+        assert_eq!(s.rejections, 1);
+        assert_eq!(s.queue_series, vec![(3, 2)]);
+        assert_eq!(s.sessions.len(), 1);
+        let sess = &s.sessions[0];
+        assert_eq!(sess.session, 11);
+        assert!(sess.warm_start);
+        assert_eq!(sess.steps, 5);
+        assert!(sess.published && !sess.drained);
         assert!(s.issues.is_empty(), "healthy trace flagged: {:?}", s.issues);
         let rendered = s.render();
         assert!(rendered.contains("trace OK"));
         assert!(rendered.contains("mode=train"));
+        assert!(rendered.contains("service sessions:"));
+        assert!(rendered.contains("warm(d=0.042)"));
+        assert!(rendered.contains("1 accepted, 1 rejected"));
+    }
+
+    #[test]
+    fn unbalanced_session_brackets_are_issues() {
+        // An open that never closes...
+        let mut events = exemplar_events();
+        let close_at = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::SessionClose { .. }))
+            .unwrap();
+        events.remove(close_at);
+        let s = TraceSummary::from_events(&events);
+        assert!(
+            s.issues.iter().any(|i| i.contains("opened but never closed")),
+            "{:?}",
+            s.issues
+        );
+        // ...and a close with no matching open.
+        let mut events = exemplar_events();
+        let open_at = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::SessionOpen { .. }))
+            .unwrap();
+        events.remove(open_at);
+        let s = TraceSummary::from_events(&events);
+        assert!(
+            s.issues.iter().any(|i| i.contains("closed without a session_open")),
+            "{:?}",
+            s.issues
+        );
     }
 
     #[test]

@@ -11,103 +11,20 @@
 //! All commands operate on a simulated instance (`--flavor`, `--ram-gb`,
 //! `--disk-gb`) loaded with the chosen workload at `--scale`.
 
+use cdbtune::cli::{make_env, shared_flags_help, Args};
 use cdbtune::{
-    resume_from_checkpoint, tune_online, train_offline, ActionSpace, DbEnv, EnvConfig,
-    OnlineConfig, PerConfig, Telemetry, TraceLevel, TrainedModel, TrainerConfig,
-    TrainingCheckpoint,
+    resume_from_checkpoint, tune_online, train_offline, OnlineConfig, PerConfig, TrainedModel,
+    TrainerConfig, TrainingCheckpoint,
 };
-use simdb::{Engine, EngineFlavor, FaultPlan, HardwareConfig, MediaType};
-use std::collections::HashMap;
+use simdb::{EngineFlavor, HardwareConfig, MediaType};
 use std::process::ExitCode;
-use workload::{build_workload, WorkloadKind};
-
-/// Minimal `--key value` flag parser (keeps the CLI dependency-free).
-struct Args {
-    flags: HashMap<String, String>,
-}
-
-impl Args {
-    fn parse(argv: &[String]) -> Result<Self, String> {
-        let mut flags = HashMap::new();
-        let mut it = argv.iter();
-        while let Some(arg) = it.next() {
-            let Some(key) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected argument '{arg}' (flags are --key value)"));
-            };
-            let value =
-                it.next().ok_or_else(|| format!("flag --{key} is missing its value"))?;
-            flags.insert(key.to_string(), value.clone());
-        }
-        Ok(Self { flags })
-    }
-
-    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
-    where
-        T::Err: std::fmt::Display,
-    {
-        match self.flags.get(key) {
-            None => Ok(default),
-            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
-        }
-    }
-
-    fn required(&self, key: &str) -> Result<&str, String> {
-        self.flags
-            .get(key)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing required flag --{key}"))
-    }
-}
-
-fn make_env(args: &Args) -> Result<DbEnv, String> {
-    let flavor: EngineFlavor = args.get("flavor", EngineFlavor::MySqlCdb)?;
-    let workload: WorkloadKind = args.get("workload", WorkloadKind::SysbenchRw)?;
-    let ram_gb: u32 = args.get("ram-gb", 1)?;
-    let disk_gb: u32 = args.get("disk-gb", 12)?;
-    let scale: f64 = args.get("scale", 0.1)?;
-    let knobs: usize = args.get("knobs", 40)?;
-    let seed: u64 = args.get("seed", 42)?;
-
-    let hw = HardwareConfig::new(ram_gb, disk_gb, MediaType::Ssd, 12);
-    let engine = Engine::new(flavor, hw, seed);
-    let registry = flavor.registry(&hw);
-    // The catalogue lists structural knobs first, so a prefix of the
-    // tunable set is a sensible default subspace at any size.
-    let space = ActionSpace::all_tunable(&registry).truncated(knobs);
-    let cfg = EnvConfig {
-        warmup_txns: 60,
-        measure_txns: 300,
-        horizon: 20,
-        seed,
-        ..EnvConfig::default()
-    };
-    let mut env = DbEnv::new(engine, build_workload(workload, scale), space, cfg);
-    if let Some(spec) = args.flags.get("faults") {
-        let plan: FaultPlan = spec.parse().map_err(|e| format!("--faults: {e}"))?;
-        env.engine_mut().set_fault_plan(Some(plan));
-        eprintln!("fault injection armed: {spec}");
-    }
-    if let Some(path) = args.flags.get("trace-out") {
-        let level = match args.flags.get("trace-level") {
-            Some(s) => TraceLevel::parse(s).map_err(|e| format!("--trace-level: {e}"))?,
-            None => TraceLevel::Step,
-        };
-        let telemetry =
-            Telemetry::to_file(path, level).map_err(|e| format!("--trace-out {path}: {e}"))?;
-        env.set_telemetry(telemetry);
-        eprintln!("tracing {level} events to {path}");
-    } else if args.flags.contains_key("trace-level") {
-        return Err("--trace-level needs --trace-out <path>".into());
-    }
-    Ok(env)
-}
 
 fn cmd_train(args: &Args) -> Result<(), String> {
     let out = args.required("out")?.to_string();
     let episodes: usize = args.get("episodes", 20)?;
     let steps: usize = args.get("steps", 20)?;
     let seed: u64 = args.get("seed", 42)?;
-    let checkpoint_dir: Option<String> = args.flags.get("checkpoint-dir").cloned();
+    let checkpoint_dir: Option<String> = args.raw("checkpoint-dir").map(str::to_string);
     let checkpoint_every: usize = args.get("checkpoint-every", 20)?;
     let resume: bool = args.get("resume", false)?;
     let per_default = PerConfig::default();
@@ -144,6 +61,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             ck.episode, ck.ep_step, ck.report.total_steps
         );
         resume_from_checkpoint(&mut env, &trainer, ck)
+            .map_err(|e| format!("checkpoint in {dir} does not fit this session: {e}"))?
     } else {
         train_offline(&mut env, &trainer, Vec::new())
     };
@@ -257,8 +175,9 @@ fn cmd_status(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn usage() -> &'static str {
-    "cdbtune — automatic database configuration tuning (CDBTune reproduction)
+fn usage() -> String {
+    format!(
+        "cdbtune — automatic database configuration tuning (CDBTune reproduction)
 
 USAGE:
   cdbtune <command> [--flag value ...]
@@ -272,18 +191,9 @@ COMMANDS:
   status   run a window, SHOW STATUS   ([--workload rw])
   help     this text
 
-SHARED FLAGS:
-  --flavor    mysql | local-mysql | postgres | mongodb   (default mysql)
-  --workload  rw | ro | wo | tpcc | tpch | ycsb          (default rw)
-  --knobs     tuned knob count                           (default 40)
-  --ram-gb / --disk-gb                                   (default 1 / 12)
-  --scale     dataset scale vs the paper                 (default 0.1)
-  --seed                                                  (default 42)
-  --faults    inject infrastructure faults, e.g.
-              'restart=0.2,hang=0.05,crash=0.02,straggler=0.1x4,
-               fsync=0.1x8,dropout=0.05,seed=7[,from=N,until=N]'
-  --trace-out    write structured JSONL trace events to this file
-  --trace-level  off | summary | step | debug       (default step, with --trace-out)"
+{}",
+        shared_flags_help()
+    )
 }
 
 fn main() -> ExitCode {

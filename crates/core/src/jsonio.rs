@@ -1,0 +1,417 @@
+//! Hand-rolled JSON substrate shared by the trace schema
+//! ([`crate::telemetry`]) and the `cdbtuned` wire protocol.
+//!
+//! Deliberately **zero-dependency** (std only): both formats must stay
+//! stable across serde upgrades and must compile (and round-trip) in
+//! registry-less containers. The writer keeps field emission order stable
+//! so encode→decode→encode is a fixed point; the parser is a minimal
+//! recursive-descent reader covering exactly the JSON subset the schemas
+//! emit (objects, arrays, strings, numbers, booleans, null).
+
+use std::fmt::Write as _;
+
+/// Serializes an f64 so the line stays valid JSON: non-finite values
+/// (which the encoders should never produce) are written as `null` rather
+/// than `NaN`/`inf`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends a JSON string literal with the escapes the parser understands.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder for one flat JSON object; keeps field emission order stable so
+/// encode→decode→encode is a fixed point (the tier-1 round-trip check).
+pub struct Obj {
+    out: String,
+    first: bool,
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self { out: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_str(&mut self.out, k);
+        self.out.push(':');
+    }
+
+    /// Emits an unsigned-integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Emits a float field (`null` when non-finite).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        push_f64(&mut self.out, v);
+        self
+    }
+
+    /// Emits a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emits a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        push_str(&mut self.out, v);
+        self
+    }
+
+    /// Emits an array-of-floats field.
+    pub fn f64_array(&mut self, k: &str, vs: &[f64]) -> &mut Self {
+        self.key(k);
+        self.out.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            push_f64(&mut self.out, *v);
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Nested object: `build` fills the sub-object.
+    pub fn obj(&mut self, k: &str, build: impl FnOnce(&mut Obj)) -> &mut Self {
+        self.key(k);
+        let mut sub = Obj::new();
+        build(&mut sub);
+        self.out.push_str(&sub.finish());
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// A parsed JSON value (only what the line-oriented schemas need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source field order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Parser::new(s).value()
+    }
+
+    /// Field lookup on an object (`None` for other variants).
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric field, defaulting to 0 (the schemas' missing-field rule).
+    pub fn num(&self, key: &str) -> f64 {
+        match self.get(key) {
+            Some(Json::Num(n)) => *n,
+            _ => 0.0,
+        }
+    }
+
+    /// Unsigned-integer field, defaulting to 0.
+    pub fn u64(&self, key: &str) -> u64 {
+        self.num(key) as u64
+    }
+
+    /// Boolean field, defaulting to false.
+    pub fn boolean(&self, key: &str) -> bool {
+        matches!(self.get(key), Some(Json::Bool(true)))
+    }
+
+    /// String field, defaulting to empty.
+    pub fn string(&self, key: &str) -> String {
+        match self.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        }
+    }
+
+    /// Array-of-floats field, defaulting to empty (non-numeric items → 0).
+    pub fn f64_array(&self, key: &str) -> Vec<f64> {
+        match self.get(key) {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|v| if let Json::Num(n) = v { *n } else { 0.0 })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid utf8 in number"))?;
+        s.parse::<f64>().map(Json::Num).map_err(|_| self.error("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.error("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_and_parser_round_trip_an_object() {
+        let mut o = Obj::new();
+        o.u64("v", 1)
+            .str("type", "x\"y\\z")
+            .f64("pi", 3.25)
+            .bool("on", true)
+            .f64_array("xs", &[0.5, 1.0])
+            .obj("sub", |s| {
+                s.u64("k", 7);
+            });
+        let text = o.finish();
+        let j = Json::parse(&text).unwrap();
+        assert_eq!(j.u64("v"), 1);
+        assert_eq!(j.string("type"), "x\"y\\z");
+        assert_eq!(j.num("pi"), 3.25);
+        assert!(j.boolean("on"));
+        assert_eq!(j.f64_array("xs"), vec![0.5, 1.0]);
+        assert_eq!(j.get("sub").unwrap().u64("k"), 7);
+    }
+
+    #[test]
+    fn missing_fields_default_and_non_finite_writes_null() {
+        let mut o = Obj::new();
+        o.f64("bad", f64::NAN);
+        let text = o.finish();
+        assert_eq!(text, "{\"bad\":null}");
+        let j = Json::parse(&text).unwrap();
+        assert_eq!(j.num("bad"), 0.0);
+        assert_eq!(j.num("absent"), 0.0);
+        assert_eq!(j.string("absent"), "");
+        assert!(!j.boolean("absent"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["{", "{\"a\":}", "[1,", "\"open", "{\"a\" 1}", "tru"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

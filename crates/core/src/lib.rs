@@ -41,7 +41,9 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod cli;
 pub mod env;
+pub mod jsonio;
 pub mod memory_pool;
 pub mod online;
 pub mod parallel;
@@ -53,9 +55,12 @@ pub mod timing;
 pub mod trainer;
 
 pub use action::ActionSpace;
+pub use cli::{Args, EnvSpec};
 pub use env::{DbEnv, EnvConfig, EnvError, RecoveryPolicy, RecoveryStats, StepOutcome};
 pub use memory_pool::{Batch, MemoryKind, MemoryPool, PerConfig};
-pub use online::{tune_online, DegradedReason, OnlineConfig, OnlineStep, TuningOutcome};
+pub use online::{
+    tune_online, DegradedReason, OnlineConfig, OnlineSession, OnlineStep, TuningOutcome,
+};
 pub use parallel::collect_parallel;
 pub use reward::{Perf, RewardConfig, RewardKind, CRASH_REWARD};
 pub use state::StateProcessor;
@@ -66,6 +71,6 @@ pub use telemetry::{
 };
 pub use timing::{profile_step, StepTiming, TunerBudget, RESTART_SIMULATED_SEC};
 pub use trainer::{
-    resume_from_checkpoint, train_offline, train_offline_resumable, NoiseKind, TrainedModel,
-    TrainerConfig, TrainingCheckpoint, TrainingReport,
+    resume_from_checkpoint, train_offline, train_offline_resumable, CheckpointError, NoiseKind,
+    TrainedModel, TrainerConfig, TrainingCheckpoint, TrainingReport,
 };

@@ -152,93 +152,160 @@ impl TuningOutcome {
     }
 }
 
-/// Serves one online tuning request. The environment's workload should be
-/// the user's replayed trace (or the live generator standing in for it);
-/// the baseline is the instance's currently deployed configuration.
-pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) -> TuningOutcome {
-    assert_eq!(
-        model.action_indices,
-        env.space().indices(),
-        "model was trained for a different knob subset"
-    );
-    let mut agent = Ddpg::from_snapshot(&model.snapshot);
-    // A handful of online samples must refine, not replace, hours of
-    // offline training.
-    agent.scale_learning_rates(0.05);
-    env.set_processor(model.processor.clone());
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x0411));
-    let mut noise =
-        GaussianNoise::new(env.space().dim(), cfg.noise_sigma, cfg.noise_sigma * 0.2, 0.9);
-    let mut replay = ReplayBuffer::new(4096);
-    let recovery0 = *env.recovery_stats();
-    let start = std::time::Instant::now();
-    let telemetry = env.telemetry().clone();
-    telemetry.emit(&TraceEvent::RunStart {
-        mode: "tune".to_string(),
-        seed: cfg.seed,
-        knobs: env.space().dim() as u64,
-        state_dim: simdb::TOTAL_METRIC_COUNT as u64,
-    });
+/// One online tuning request as a resumable state machine. [`tune_online`]
+/// drives a session to completion in a tight loop; the `cdbtuned` daemon
+/// instead advances many interleaved sessions one [`OnlineSession::step`]
+/// at a time across its worker pool, and [`OnlineSession::finish`] closes
+/// any of them out with the same [`TuningOutcome`] the one-shot call
+/// produces.
+pub struct OnlineSession {
+    agent: Ddpg,
+    cfg: OnlineConfig,
+    reward: crate::reward::RewardConfig,
+    action_indices: Vec<usize>,
+    reward_scale: f32,
+    rng: StdRng,
+    noise: GaussianNoise,
+    replay: ReplayBuffer,
+    recovery0: RecoveryStats,
+    start: std::time::Instant,
+    telemetry: crate::telemetry::Telemetry,
+    initial_perf: PerfMetrics,
+    best_perf: PerfMetrics,
+    best_config: KnobConfig,
+    state: Vec<f32>,
+    steps: Vec<OnlineStep>,
+    degraded: Option<DegradedReason>,
+    consecutive_failures: u32,
+    finished: bool,
+    warm_action: Option<Vec<f32>>,
+}
 
-    let baseline = env.current_config().clone();
-    let mut state = match env.try_reset_episode(baseline.clone()) {
-        Ok(state) => state,
-        Err(_) => {
-            // Nothing measurable: recommend the unchanged baseline rather
-            // than deploying blind.
-            let perf = *env.last_perf();
-            return TuningOutcome {
-                best_config: baseline,
-                best_perf: perf,
-                initial_perf: perf,
-                steps: Vec::new(),
-                updated_model: model.clone(),
-                degraded: Some(DegradedReason::BaselineUnmeasurable),
-                recovery: env.recovery_stats().since(&recovery0),
-            };
-        }
-    };
-    let initial_perf = *env.initial_perf();
+impl OnlineSession {
+    /// Opens a session: loads the model, measures the baseline, and emits
+    /// the run/episode-start telemetry. A baseline that cannot be measured
+    /// leaves the session already finished with
+    /// [`DegradedReason::BaselineUnmeasurable`]; [`OnlineSession::finish`]
+    /// then recommends the unchanged configuration.
+    ///
+    /// # Panics
+    /// When the model was trained for a different knob subset than the
+    /// environment exposes.
+    pub fn begin(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) -> Self {
+        assert_eq!(
+            model.action_indices,
+            env.space().indices(),
+            "model was trained for a different knob subset"
+        );
+        let mut agent = Ddpg::from_snapshot(&model.snapshot);
+        // A handful of online samples must refine, not replace, hours of
+        // offline training.
+        agent.scale_learning_rates(0.05);
+        env.set_processor(model.processor.clone());
+        let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x0411));
+        let noise =
+            GaussianNoise::new(env.space().dim(), cfg.noise_sigma, cfg.noise_sigma * 0.2, 0.9);
+        let recovery0 = *env.recovery_stats();
+        let telemetry = env.telemetry().clone();
+        telemetry.emit(&TraceEvent::RunStart {
+            mode: "tune".to_string(),
+            seed: cfg.seed,
+            knobs: env.space().dim() as u64,
+            state_dim: simdb::TOTAL_METRIC_COUNT as u64,
+        });
 
-    let mut best_perf = initial_perf;
-    let mut best_config = baseline;
-    let mut steps = Vec::with_capacity(cfg.max_steps);
-    let mut degraded: Option<DegradedReason> = None;
-    let mut consecutive_failures = 0u32;
-
-    telemetry.emit(&TraceEvent::EpisodeStart {
-        episode: 0,
-        warm_start: true,
-        baseline_tps: initial_perf.throughput_tps,
-        baseline_p99_us: initial_perf.p99_latency_us,
-    });
-    for step in 1..=cfg.max_steps {
-        let t_rec = std::time::Instant::now();
-        let raw = agent.act(&state);
-        let recommendation_wall_us = t_rec.elapsed().as_micros() as u64;
-        // Step 1 deploys the model's recommendation verbatim; later steps
-        // explore around the (fine-tuned) policy, screening noisy
-        // candidates with the critic so only its best-scored variant is
-        // deployed on the instance.
-        let sparse_perturb = |raw: &[f32], rng: &mut StdRng, noise: &mut GaussianNoise| {
-            let dim = raw.len();
-            let k = ((dim as f32 * cfg.noise_fraction).ceil() as usize).clamp(1, dim);
-            let full = noise.sample(rng);
-            let mut sparse = vec![0.0f32; dim];
-            for _ in 0..k {
-                let i = rng.gen_range(0..dim);
-                sparse[i] = full[i];
-            }
-            perturb(raw, &sparse)
+        let baseline = env.current_config().clone();
+        let mut session = Self {
+            agent,
+            cfg: cfg.clone(),
+            reward: model.reward,
+            action_indices: model.action_indices.clone(),
+            reward_scale: model.reward_scale,
+            rng,
+            noise,
+            replay: ReplayBuffer::new(4096),
+            recovery0,
+            start: std::time::Instant::now(),
+            telemetry,
+            initial_perf: PerfMetrics::default(),
+            best_perf: PerfMetrics::default(),
+            best_config: baseline.clone(),
+            state: Vec::new(),
+            steps: Vec::with_capacity(cfg.max_steps),
+            degraded: None,
+            consecutive_failures: 0,
+            finished: false,
+            warm_action: None,
         };
+        match env.try_reset_episode(baseline) {
+            Ok(state) => {
+                session.state = state;
+                session.initial_perf = *env.initial_perf();
+                session.best_perf = session.initial_perf;
+                session.telemetry.emit(&TraceEvent::EpisodeStart {
+                    episode: 0,
+                    warm_start: true,
+                    baseline_tps: session.initial_perf.throughput_tps,
+                    baseline_p99_us: session.initial_perf.p99_latency_us,
+                });
+            }
+            Err(_) => {
+                // Nothing measurable: recommend the unchanged baseline
+                // rather than deploying blind.
+                let perf = *env.last_perf();
+                session.initial_perf = perf;
+                session.best_perf = perf;
+                session.degraded = Some(DegradedReason::BaselineUnmeasurable);
+                session.finished = true;
+            }
+        }
+        session
+    }
+
+    /// Overrides the first step's deployment with a known-good normalized
+    /// action instead of the raw actor output. The daemon's registry uses
+    /// this to replay the best configuration a near-identical fingerprint
+    /// already discovered (OtterTune-style experience reuse); later steps
+    /// explore around the warm-started policy as usual.
+    pub fn set_warm_action(&mut self, action: Vec<f32>) {
+        self.warm_action = Some(action);
+    }
+
+    fn sparse_perturb(&mut self, raw: &[f32]) -> Vec<f32> {
+        let dim = raw.len();
+        let k = ((dim as f32 * self.cfg.noise_fraction).ceil() as usize).clamp(1, dim);
+        let full = self.noise.sample(&mut self.rng);
+        let mut sparse = vec![0.0f32; dim];
+        for _ in 0..k {
+            let i = self.rng.gen_range(0..dim);
+            sparse[i] = full[i];
+        }
+        perturb(raw, &sparse)
+    }
+
+    /// Advances the session by one tuning step; `None` once the session is
+    /// finished (budget exhausted, satisfied, or aborted).
+    pub fn step(&mut self, env: &mut DbEnv) -> Option<OnlineStep> {
+        if self.finished || self.steps.len() >= self.cfg.max_steps {
+            self.finished = true;
+            return None;
+        }
+        let step = self.steps.len() + 1;
+        let t_rec = std::time::Instant::now();
+        let raw = self.agent.act(&self.state);
+        let recommendation_wall_us = t_rec.elapsed().as_micros() as u64;
+        // Step 1 deploys the model's recommendation verbatim (or the
+        // registry's warm action); later steps explore around the
+        // (fine-tuned) policy, screening noisy candidates with the critic
+        // so only its best-scored variant is deployed on the instance.
         let action = if step == 1 {
-            raw
+            self.warm_action.take().unwrap_or(raw)
         } else {
-            let mut best = sparse_perturb(&raw, &mut rng, &mut noise);
-            let mut best_q = agent.q_value(&state, &best);
-            for _ in 1..cfg.candidates.max(1) {
-                let cand = sparse_perturb(&raw, &mut rng, &mut noise);
-                let q = agent.q_value(&state, &cand);
+            let mut best = self.sparse_perturb(&raw);
+            let mut best_q = self.agent.q_value(&self.state, &best);
+            for _ in 1..self.cfg.candidates.max(1) {
+                let cand = self.sparse_perturb(&raw);
+                let q = self.agent.q_value(&self.state, &cand);
                 if q > best_q {
                     best_q = q;
                     best = cand;
@@ -247,18 +314,19 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
             best
         };
         let out = env.step_action(&action);
-        steps.push(OnlineStep {
+        let recorded = OnlineStep {
             step,
             throughput_tps: out.perf.throughput_tps,
             p99_latency_us: out.perf.p99_latency_us,
             reward: out.reward,
             crashed: out.crashed,
             degraded: out.degraded,
-        });
-        if telemetry.enabled(TraceLevel::Step) {
+        };
+        self.steps.push(recorded.clone());
+        if self.telemetry.enabled(TraceLevel::Step) {
             let mut timing = out.timing;
             timing.recommendation_wall_us = recommendation_wall_us;
-            telemetry.emit(&TraceEvent::Step {
+            self.telemetry.emit(&TraceEvent::Step {
                 step: step as u64,
                 episode: 0,
                 action: action.iter().map(|&x| f64::from(x)).collect(),
@@ -268,7 +336,7 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
                 crashed: out.crashed,
                 degraded: out.degraded,
                 replay: ReplayTrace {
-                    len: replay.len() as u64,
+                    len: self.replay.len() as u64,
                     is_weight_min: 1.0,
                     is_weight_max: 1.0,
                     ..ReplayTrace::default()
@@ -279,73 +347,159 @@ pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) ->
             });
         }
         if out.crashed || out.degraded {
-            consecutive_failures += 1;
-            if consecutive_failures >= cfg.max_consecutive_failures.max(1) {
+            self.consecutive_failures += 1;
+            if self.consecutive_failures >= self.cfg.max_consecutive_failures.max(1) {
                 // The instance (or its infrastructure) is in no state to
                 // keep experimenting on; settle for the best so far.
-                degraded = Some(DegradedReason::RepeatedStepFailures {
-                    consecutive: consecutive_failures,
+                self.degraded = Some(DegradedReason::RepeatedStepFailures {
+                    consecutive: self.consecutive_failures,
                 });
-                break;
+                self.finished = true;
+                return Some(recorded);
             }
         } else {
-            consecutive_failures = 0;
+            self.consecutive_failures = 0;
         }
-        if !out.crashed && !out.degraded && out.perf.throughput_tps > best_perf.throughput_tps {
-            best_perf = out.perf;
-            best_config = env.current_config().clone();
+        if !out.crashed && !out.degraded && out.perf.throughput_tps > self.best_perf.throughput_tps
+        {
+            self.best_perf = out.perf;
+            self.best_config = env.current_config().clone();
         }
         // Degraded steps carry no measurement to learn from.
         if !out.degraded {
-            replay.push(Transition {
-                state: state.clone(),
+            self.replay.push(Transition {
+                state: self.state.clone(),
                 action,
-                reward: out.reward as f32 * model.reward_scale,
+                reward: out.reward as f32 * self.reward_scale,
                 next_state: out.state.clone(),
                 done: out.done,
             });
         }
-        state = out.state;
+        self.state = out.state;
 
-        if cfg.fine_tune && replay.len() >= 3 {
-            for _ in 0..cfg.updates_per_step {
-                let batch = replay.sample(replay.len().min(16), &mut rng);
-                let _ = agent.train_step(&batch, None, None);
+        if self.cfg.fine_tune && self.replay.len() >= 3 {
+            for _ in 0..self.cfg.updates_per_step {
+                let batch = self.replay.sample(self.replay.len().min(16), &mut self.rng);
+                let _ = self.agent.train_step(&batch, None, None);
             }
         }
-        noise.decay();
+        self.noise.decay();
 
-        if let Some(target) = cfg.satisfaction {
-            if best_perf.throughput_tps >= initial_perf.throughput_tps * target {
-                break;
+        if let Some(target) = self.cfg.satisfaction {
+            if self.best_perf.throughput_tps >= self.initial_perf.throughput_tps * target {
+                self.finished = true;
             }
+        }
+        if self.steps.len() >= self.cfg.max_steps {
+            self.finished = true;
+        }
+        Some(recorded)
+    }
+
+    /// True once [`OnlineSession::step`] has nothing left to do.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Baseline (pre-tuning) metrics.
+    pub fn initial_perf(&self) -> PerfMetrics {
+        self.initial_perf
+    }
+
+    /// Best metrics observed so far.
+    pub fn best_perf(&self) -> PerfMetrics {
+        self.best_perf
+    }
+
+    /// The best configuration observed so far (the baseline until a step
+    /// beats it).
+    pub fn best_config(&self) -> &KnobConfig {
+        &self.best_config
+    }
+
+    /// Set when the session ended early in a degraded state.
+    pub fn degraded(&self) -> Option<DegradedReason> {
+        self.degraded
+    }
+
+    /// Snapshots the live session as a [`TrainingCheckpoint`] so the
+    /// `cdbtuned` shutdown drain persists in-flight fine-tuning work with
+    /// the same machinery (and the same atomic-write guarantees) offline
+    /// training uses. The report carries the per-step histories observed so
+    /// far; the transitions are the session's replay contents.
+    pub fn drain_checkpoint(&self, env: &DbEnv) -> crate::trainer::TrainingCheckpoint {
+        use crate::trainer::{ConvergenceTracker, TrainingCheckpoint, TrainingReport};
+        let report = TrainingReport {
+            total_steps: self.steps.len(),
+            iterations_to_converge: None,
+            reward_history: self.steps.iter().map(|s| s.reward).collect(),
+            throughput_history: self.steps.iter().map(|s| s.throughput_tps).collect(),
+            latency_history: self.steps.iter().map(|s| s.p99_latency_us).collect(),
+            best_throughput: self.best_perf.throughput_tps,
+            best_latency_us: self.best_perf.p99_latency_us,
+            best_action: env.space().from_config(&self.best_config),
+            actor_eval_history: Vec::new(),
+            crashes: self.steps.iter().filter(|s| s.crashed).count() as u64,
+            wall_seconds: self.start.elapsed().as_secs_f64(),
+            recovery: env.recovery_stats().since(&self.recovery0),
+        };
+        TrainingCheckpoint {
+            version: 1,
+            seed: self.cfg.seed,
+            episode: 0,
+            ep_step: self.steps.len(),
+            snapshot: self.agent.snapshot(),
+            processor: env.processor().clone(),
+            transitions: self.replay.iter().cloned().collect(),
+            report,
+            tracker: ConvergenceTracker::new(0.005, 5),
+            best_eval: f64::MIN,
+            best_snapshot: None,
         }
     }
 
-    let updated_model = TrainedModel {
-        snapshot: agent.snapshot(),
-        processor: env.processor().clone(),
-        reward: model.reward,
-        action_indices: model.action_indices.clone(),
-        reward_scale: model.reward_scale,
-    };
-    telemetry.emit(&TraceEvent::RunEnd {
-        mode: "tune".to_string(),
-        total_steps: steps.len() as u64,
-        best_tps: best_perf.throughput_tps,
-        crashes: steps.iter().filter(|s| s.crashed).count() as u64,
-        wall_seconds: start.elapsed().as_secs_f64(),
-    });
-    telemetry.flush();
-    TuningOutcome {
-        best_config,
-        best_perf,
-        initial_perf,
-        steps,
-        updated_model,
-        degraded,
-        recovery: env.recovery_stats().since(&recovery0),
+    /// Closes the session: emits run-end telemetry and returns the same
+    /// [`TuningOutcome`] the one-shot [`tune_online`] produces.
+    pub fn finish(self, env: &mut DbEnv) -> TuningOutcome {
+        let updated_model = TrainedModel {
+            snapshot: self.agent.snapshot(),
+            processor: env.processor().clone(),
+            reward: self.reward,
+            action_indices: self.action_indices,
+            reward_scale: self.reward_scale,
+        };
+        self.telemetry.emit(&TraceEvent::RunEnd {
+            mode: "tune".to_string(),
+            total_steps: self.steps.len() as u64,
+            best_tps: self.best_perf.throughput_tps,
+            crashes: self.steps.iter().filter(|s| s.crashed).count() as u64,
+            wall_seconds: self.start.elapsed().as_secs_f64(),
+        });
+        self.telemetry.flush();
+        TuningOutcome {
+            best_config: self.best_config,
+            best_perf: self.best_perf,
+            initial_perf: self.initial_perf,
+            steps: self.steps,
+            updated_model,
+            degraded: self.degraded,
+            recovery: env.recovery_stats().since(&self.recovery0),
+        }
     }
+}
+
+/// Serves one online tuning request. The environment's workload should be
+/// the user's replayed trace (or the live generator standing in for it);
+/// the baseline is the instance's currently deployed configuration.
+pub fn tune_online(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) -> TuningOutcome {
+    let mut session = OnlineSession::begin(env, model, cfg);
+    while session.step(env).is_some() {}
+    session.finish(env)
 }
 
 #[cfg(test)]
@@ -434,6 +588,73 @@ mod tests {
         assert!(outcome.steps.is_empty());
         assert_eq!(outcome.best_config.values().len(), before.values().len());
         assert!(outcome.recovery.retries > 0);
+    }
+
+    #[test]
+    fn stepwise_session_matches_the_one_shot_call() {
+        // The daemon drives sessions one step() at a time; interleaving
+        // must not change what a request observes or recommends, so the
+        // incremental API replays the one-shot call exactly.
+        let (mut env_a, model_a) = trained();
+        let one_shot = tune_online(&mut env_a, &model_a, &OnlineConfig::default());
+
+        let (mut env_b, model_b) = trained();
+        let mut session = OnlineSession::begin(&mut env_b, &model_b, &OnlineConfig::default());
+        let mut recorded = Vec::new();
+        while let Some(s) = session.step(&mut env_b) {
+            assert_eq!(session.steps_taken(), recorded.len() + 1);
+            recorded.push(s);
+        }
+        assert!(session.is_finished());
+        let stepwise = session.finish(&mut env_b);
+        assert_eq!(stepwise.steps.len(), one_shot.steps.len());
+        for (a, b) in one_shot.steps.iter().zip(&stepwise.steps) {
+            assert_eq!(a.throughput_tps, b.throughput_tps, "step {}", a.step);
+            assert_eq!(a.reward, b.reward, "step {}", a.step);
+        }
+        assert_eq!(stepwise.best_perf.throughput_tps, one_shot.best_perf.throughput_tps);
+        assert_eq!(stepwise.initial_perf.throughput_tps, one_shot.initial_perf.throughput_tps);
+        assert_eq!(recorded.len(), stepwise.steps.len());
+    }
+
+    #[test]
+    fn warm_action_overrides_the_first_deployment() {
+        use crate::telemetry::{Telemetry, TraceEvent, TraceLevel};
+        let (mut env, model) = trained();
+        env.set_telemetry(Telemetry::ring(64, TraceLevel::Step));
+        let warm = vec![0.75f32; env.space().dim()];
+        let mut session = OnlineSession::begin(&mut env, &model, &OnlineConfig::default());
+        session.set_warm_action(warm.clone());
+        let _ = session.step(&mut env).expect("first step runs");
+        let events = env.telemetry().drain_ring();
+        let first = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Step { step: 1, action, .. } => Some(action.clone()),
+                _ => None,
+            })
+            .expect("step 1 traced");
+        let expected: Vec<f64> = warm.iter().map(|&x| f64::from(x)).collect();
+        assert_eq!(first, expected, "step 1 deployed the warm action verbatim");
+        let _ = session.finish(&mut env);
+    }
+
+    #[test]
+    fn drained_session_state_fits_validation() {
+        let (mut env, model) = trained();
+        let mut session = OnlineSession::begin(&mut env, &model, &OnlineConfig::default());
+        let _ = session.step(&mut env);
+        let _ = session.step(&mut env);
+        let ck = session.drain_checkpoint(&env);
+        assert_eq!(ck.report.total_steps, 2);
+        assert_eq!(ck.ep_step, 2);
+        assert_eq!(ck.report.reward_history.len(), 2);
+        assert_eq!(ck.report.best_action.len(), env.space().dim());
+        // The drained state passes the same spec validation a resume would
+        // apply, so a drained session can seed later offline training.
+        ck.validate_against(simdb::TOTAL_METRIC_COUNT, env.space().dim())
+            .expect("drained checkpoint fits its own session");
+        let _ = session.finish(&mut env);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! collectors; at [`TraceLevel::Off`] an emit is a single branch — no
 //! lock, no allocation.
 
+use crate::jsonio::{Json, Obj};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write;
@@ -344,6 +345,50 @@ pub enum TraceEvent {
         /// Wall-clock seconds.
         wall_seconds: f64,
     },
+    /// A `cdbtuned` tuning session opened.
+    SessionOpen {
+        /// Server-assigned session id.
+        session: u64,
+        /// Workload label of the session's spec.
+        workload: String,
+        /// Tuned knob count (action dimension).
+        knobs: u64,
+        /// The session warm-started from a registry model instead of a
+        /// freshly initialized one.
+        warm_start: bool,
+        /// Fingerprint distance to the registry entry used (0 when cold).
+        registry_distance: f64,
+    },
+    /// A `cdbtuned` tuning session closed (or was drained at shutdown).
+    SessionClose {
+        /// Server-assigned session id.
+        session: u64,
+        /// Tuning steps the session took.
+        steps: u64,
+        /// Best throughput the session reached (txn/s).
+        best_tps: f64,
+        /// The session was closed by the shutdown drain, not the client.
+        drained: bool,
+        /// The session's fine-tuned model was published to the registry.
+        published: bool,
+    },
+    /// An admission decision on a new `cdbtuned` connection.
+    Admission {
+        /// The connection was admitted to the worker queue.
+        accepted: bool,
+        /// `"ok"` when accepted, else the rejection reason
+        /// (`"queue_full"`, `"draining"`).
+        reason: String,
+        /// Admission-queue depth at decision time.
+        queue_depth: u64,
+    },
+    /// A `cdbtuned` admission-queue sample (taken at each decision point).
+    ServiceQueue {
+        /// Connections waiting in the admission queue.
+        depth: u64,
+        /// Workers currently running a session.
+        busy_workers: u64,
+    },
 }
 
 impl TraceEvent {
@@ -357,6 +402,10 @@ impl TraceEvent {
             TraceEvent::EpisodeEnd { .. } => "episode_end",
             TraceEvent::CollectWorker { .. } => "collect_worker",
             TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::SessionOpen { .. } => "session_open",
+            TraceEvent::SessionClose { .. } => "session_close",
+            TraceEvent::Admission { .. } => "admission",
+            TraceEvent::ServiceQueue { .. } => "service_queue",
         }
     }
 
@@ -364,116 +413,17 @@ impl TraceEvent {
     pub fn level(&self) -> TraceLevel {
         match self {
             TraceEvent::Recovery { .. } => TraceLevel::Debug,
-            TraceEvent::Step { .. } => TraceLevel::Step,
+            TraceEvent::Step { .. }
+            | TraceEvent::Admission { .. }
+            | TraceEvent::ServiceQueue { .. } => TraceLevel::Step,
             _ => TraceLevel::Summary,
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// JSON encoding (hand-rolled, std only)
+// JSON encoding (via crate::jsonio — hand-rolled, std only)
 // ---------------------------------------------------------------------------
-
-/// Serializes an f64 so the line stays valid JSON: non-finite values
-/// (which the loop should never produce — the tier-1 telemetry test
-/// asserts it) are written as `null` rather than `NaN`/`inf`.
-fn push_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        // `{:?}` prints the shortest representation that round-trips.
-        out.push_str(&format!("{v:?}"));
-    } else {
-        out.push_str("null");
-    }
-}
-
-fn push_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Builder for one flat JSON object; keeps field emission order stable so
-/// encode→decode→encode is a fixed point (the tier-1 round-trip check).
-struct Obj {
-    out: String,
-    first: bool,
-}
-
-impl Obj {
-    fn new() -> Self {
-        Self { out: String::from("{"), first: true }
-    }
-
-    fn key(&mut self, k: &str) {
-        if !self.first {
-            self.out.push(',');
-        }
-        self.first = false;
-        push_str(&mut self.out, k);
-        self.out.push(':');
-    }
-
-    fn u64(&mut self, k: &str, v: u64) -> &mut Self {
-        self.key(k);
-        self.out.push_str(&v.to_string());
-        self
-    }
-
-    fn f64(&mut self, k: &str, v: f64) -> &mut Self {
-        self.key(k);
-        push_f64(&mut self.out, v);
-        self
-    }
-
-    fn bool(&mut self, k: &str, v: bool) -> &mut Self {
-        self.key(k);
-        self.out.push_str(if v { "true" } else { "false" });
-        self
-    }
-
-    fn str(&mut self, k: &str, v: &str) -> &mut Self {
-        self.key(k);
-        push_str(&mut self.out, v);
-        self
-    }
-
-    fn f64_array(&mut self, k: &str, vs: &[f64]) -> &mut Self {
-        self.key(k);
-        self.out.push('[');
-        for (i, v) in vs.iter().enumerate() {
-            if i > 0 {
-                self.out.push(',');
-            }
-            push_f64(&mut self.out, *v);
-        }
-        self.out.push(']');
-        self
-    }
-
-    /// Nested object: `build` fills the sub-object.
-    fn obj(&mut self, k: &str, build: impl FnOnce(&mut Obj)) -> &mut Self {
-        self.key(k);
-        let mut sub = Obj::new();
-        build(&mut sub);
-        self.out.push_str(&sub.finish());
-        self
-    }
-
-    fn finish(mut self) -> String {
-        self.out.push('}');
-        self.out
-    }
-}
 
 fn reward_obj(o: &mut Obj, r: &RewardTrace) {
     o.f64("reward", r.reward)
@@ -593,240 +543,36 @@ impl TraceEvent {
                     .u64("crashes", *crashes)
                     .f64("wall_seconds", *wall_seconds);
             }
+            TraceEvent::SessionOpen { session, workload, knobs, warm_start, registry_distance } => {
+                o.u64("session", *session)
+                    .str("workload", workload)
+                    .u64("knobs", *knobs)
+                    .bool("warm_start", *warm_start)
+                    .f64("registry_distance", *registry_distance);
+            }
+            TraceEvent::SessionClose { session, steps, best_tps, drained, published } => {
+                o.u64("session", *session)
+                    .u64("steps", *steps)
+                    .f64("best_tps", *best_tps)
+                    .bool("drained", *drained)
+                    .bool("published", *published);
+            }
+            TraceEvent::Admission { accepted, reason, queue_depth } => {
+                o.bool("accepted", *accepted)
+                    .str("reason", reason)
+                    .u64("queue_depth", *queue_depth);
+            }
+            TraceEvent::ServiceQueue { depth, busy_workers } => {
+                o.u64("depth", *depth).u64("busy_workers", *busy_workers);
+            }
         }
         o.finish()
     }
 }
 
 // ---------------------------------------------------------------------------
-// JSON decoding (minimal parser for the flat event schema)
+// JSON decoding (via the crate::jsonio parser)
 // ---------------------------------------------------------------------------
-
-/// A parsed JSON value (only what the event schema needs).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn num(&self, key: &str) -> f64 {
-        match self.get(key) {
-            Some(Json::Num(n)) => *n,
-            _ => 0.0,
-        }
-    }
-
-    fn u64(&self, key: &str) -> u64 {
-        self.num(key) as u64
-    }
-
-    fn boolean(&self, key: &str) -> bool {
-        matches!(self.get(key), Some(Json::Bool(true)))
-    }
-
-    fn string(&self, key: &str) -> String {
-        match self.get(key) {
-            Some(Json::Str(s)) => s.clone(),
-            _ => String::new(),
-        }
-    }
-
-    fn f64_array(&self, key: &str) -> Vec<f64> {
-        match self.get(key) {
-            Some(Json::Arr(items)) => items
-                .iter()
-                .map(|v| if let Json::Num(n) = v { *n } else { 0.0 })
-                .collect(),
-            _ => Vec::new(),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Self { bytes: s.as_bytes(), pos: 0 }
-    }
-
-    fn error(&self, msg: &str) -> String {
-        format!("{msg} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(_) => self.number(),
-            None => Err(self.error("unexpected end of input")),
-        }
-    }
-
-    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(self.error(&format!("expected '{lit}'")))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.error("invalid utf8 in number"))?;
-        s.parse::<f64>().map(Json::Num).map_err(|_| self.error("invalid number"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.error("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.error("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.error("invalid \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.error("invalid \\u escape"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.error("invalid \\u codepoint"))?,
-                            );
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.error("unknown escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 character (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.error("invalid utf8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.error("empty"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.error("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.error("expected ',' or '}'")),
-            }
-        }
-    }
-}
 
 fn reward_from(j: &Json) -> RewardTrace {
     RewardTrace {
@@ -893,8 +639,7 @@ impl TraceEvent {
     /// fields default (the schema's compatibility rule); an unknown
     /// `"type"` or a newer schema version is an error.
     pub fn from_json_line(line: &str) -> Result<Self, String> {
-        let mut p = Parser::new(line);
-        let j = p.value()?;
+        let j = Json::parse(line)?;
         let v = j.u64("v") as u32;
         if v > SCHEMA_VERSION {
             return Err(format!("trace schema v{v} is newer than supported v{SCHEMA_VERSION}"));
@@ -951,6 +696,29 @@ impl TraceEvent {
                 best_tps: j.num("best_tps"),
                 crashes: j.u64("crashes"),
                 wall_seconds: j.num("wall_seconds"),
+            }),
+            "session_open" => Ok(TraceEvent::SessionOpen {
+                session: j.u64("session"),
+                workload: j.string("workload"),
+                knobs: j.u64("knobs"),
+                warm_start: j.boolean("warm_start"),
+                registry_distance: j.num("registry_distance"),
+            }),
+            "session_close" => Ok(TraceEvent::SessionClose {
+                session: j.u64("session"),
+                steps: j.u64("steps"),
+                best_tps: j.num("best_tps"),
+                drained: j.boolean("drained"),
+                published: j.boolean("published"),
+            }),
+            "admission" => Ok(TraceEvent::Admission {
+                accepted: j.boolean("accepted"),
+                reason: j.string("reason"),
+                queue_depth: j.u64("queue_depth"),
+            }),
+            "service_queue" => Ok(TraceEvent::ServiceQueue {
+                depth: j.u64("depth"),
+                busy_workers: j.u64("busy_workers"),
             }),
             other => Err(format!("unknown trace event type '{other}'")),
         }
@@ -1258,6 +1026,22 @@ mod tests {
             },
             TraceEvent::EpisodeEnd { episode: 0, steps: 20, mean_reward: 0.8, best_tps: 5100.0 },
             TraceEvent::CollectWorker { worker: 3, derived_seed: 0xDEAD, steps: 50, crashes: 1 },
+            TraceEvent::SessionOpen {
+                session: 11,
+                workload: "sysbench-rw".into(),
+                knobs: 6,
+                warm_start: true,
+                registry_distance: 0.042,
+            },
+            TraceEvent::Admission { accepted: false, reason: "queue_full".into(), queue_depth: 4 },
+            TraceEvent::ServiceQueue { depth: 3, busy_workers: 2 },
+            TraceEvent::SessionClose {
+                session: 11,
+                steps: 5,
+                best_tps: 5200.0,
+                drained: false,
+                published: true,
+            },
             TraceEvent::RunEnd {
                 mode: "train".into(),
                 total_steps: 320,
@@ -1361,6 +1145,38 @@ mod tests {
             assert_eq!(TraceLevel::parse(s).unwrap().to_string(), s);
         }
         assert!(TraceLevel::parse("verbose").is_err());
+    }
+
+    #[test]
+    fn service_events_carry_the_expected_levels() {
+        let open = TraceEvent::SessionOpen {
+            session: 1,
+            workload: "w".into(),
+            knobs: 2,
+            warm_start: false,
+            registry_distance: 0.0,
+        };
+        let close = TraceEvent::SessionClose {
+            session: 1,
+            steps: 0,
+            best_tps: 0.0,
+            drained: true,
+            published: false,
+        };
+        let adm = TraceEvent::Admission { accepted: true, reason: "ok".into(), queue_depth: 0 };
+        let q = TraceEvent::ServiceQueue { depth: 0, busy_workers: 0 };
+        assert_eq!(open.level(), TraceLevel::Summary);
+        assert_eq!(close.level(), TraceLevel::Summary);
+        assert_eq!(adm.level(), TraceLevel::Step);
+        assert_eq!(q.level(), TraceLevel::Step);
+        // A summary-level handle keeps the session bracket but drops the
+        // per-decision queue noise.
+        let t = Telemetry::ring(16, TraceLevel::Summary);
+        for ev in [&open, &close, &adm, &q] {
+            t.emit(ev);
+        }
+        let tags: Vec<_> = t.drain_ring().iter().map(|e| e.type_tag()).collect();
+        assert_eq!(tags, vec!["session_open", "session_close"]);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use rl::{
     Transition,
 };
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Which exploration noise the trainer perturbs the actor with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -195,6 +196,23 @@ impl TrainedModel {
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
     }
+
+    /// A freshly initialized (untrained) model for the given knob subset:
+    /// Table-5 networks seeded with `seed`, an empty normalizer, and the
+    /// given reward. The `cdbtuned` daemon uses this when the registry has
+    /// no compatible entry, so cold and warm-started sessions flow through
+    /// the same fine-tuning path.
+    pub fn cold(action_indices: Vec<usize>, reward: RewardConfig, seed: u64) -> Self {
+        let mut cfg = DdpgConfig::paper(simdb::TOTAL_METRIC_COUNT, action_indices.len());
+        cfg.seed = seed;
+        Self {
+            snapshot: Ddpg::new(cfg).snapshot(),
+            processor: StateProcessor::new(),
+            reward,
+            action_indices,
+            reward_scale: default_reward_scale(),
+        }
+    }
 }
 
 /// What happened during offline training.
@@ -313,10 +331,75 @@ pub struct TrainingCheckpoint {
     pub best_snapshot: Option<(DdpgSnapshot, StateProcessor)>,
 }
 
+/// Why a [`TrainingCheckpoint`] cannot drive the current session. Before
+/// this type existed, loading a checkpoint trained against a different
+/// knob subset or metric schema silently resumed and crashed (or worse,
+/// trained garbage) deep inside the network math; the registry serving
+/// mixed fingerprints makes the explicit rejection mandatory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint's network/replay dimensions do not match the session.
+    SpecMismatch {
+        /// Knob count (action dimension) the session tunes.
+        expected_knobs: usize,
+        /// Knob count the checkpoint was trained with.
+        found_knobs: usize,
+        /// State dimension (metric count) the session observes.
+        expected_state_dim: usize,
+        /// State dimension the checkpoint was trained with.
+        found_state_dim: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::SpecMismatch {
+                expected_knobs,
+                found_knobs,
+                expected_state_dim,
+                found_state_dim,
+            } => write!(
+                f,
+                "checkpoint tunes {found_knobs} knobs over {found_state_dim} metrics, \
+                 but the session expects {expected_knobs} knobs over \
+                 {expected_state_dim} metrics"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 impl TrainingCheckpoint {
     /// The checkpoint file inside `dir`.
     pub fn path_in(dir: &str) -> std::path::PathBuf {
         std::path::Path::new(dir).join("checkpoint.json")
+    }
+
+    /// Rejects the checkpoint unless its networks and buffered transitions
+    /// match the session's state/action dimensions.
+    pub fn validate_against(
+        &self,
+        state_dim: usize,
+        action_dim: usize,
+    ) -> Result<(), CheckpointError> {
+        let found_state_dim = self.snapshot.config.state_dim;
+        let found_knobs = self.snapshot.config.action_dim;
+        let transitions_fit = self.transitions.iter().all(|t| {
+            t.state.len() == state_dim
+                && t.next_state.len() == state_dim
+                && t.action.len() == action_dim
+        });
+        if found_state_dim != state_dim || found_knobs != action_dim || !transitions_fit {
+            return Err(CheckpointError::SpecMismatch {
+                expected_knobs: action_dim,
+                found_knobs,
+                expected_state_dim: state_dim,
+                found_state_dim,
+            });
+        }
+        Ok(())
     }
 
     /// Writes atomically: serialize to `checkpoint.json.tmp`, then rename
@@ -360,13 +443,17 @@ pub fn train_offline(
 
 /// Resumes an interrupted run from a [`TrainingCheckpoint`] and trains to
 /// the step budget in `cfg`. The total step count across the interrupted
-/// run and the resume equals an uninterrupted run's.
+/// run and the resume equals an uninterrupted run's. The checkpoint is
+/// validated against the environment's dimensions first — a checkpoint
+/// from a different knob subset or metric schema is a typed
+/// [`CheckpointError`], not a silent resume.
 pub fn resume_from_checkpoint(
     env: &mut DbEnv,
     cfg: &TrainerConfig,
     checkpoint: TrainingCheckpoint,
-) -> (TrainedModel, TrainingReport) {
-    train_offline_resumable(env, cfg, Vec::new(), Some(checkpoint))
+) -> Result<(TrainedModel, TrainingReport), CheckpointError> {
+    checkpoint.validate_against(simdb::TOTAL_METRIC_COUNT, env.space().dim())?;
+    Ok(train_offline_resumable(env, cfg, Vec::new(), Some(checkpoint)))
 }
 
 /// Offline training with optional resume — the engine behind
@@ -834,7 +921,8 @@ mod tests {
         assert!(buffered > 0);
         // Resume with the full budget against a fresh environment.
         let mut env = tiny_env();
-        let (model, resumed) = resume_from_checkpoint(&mut env, &full, ck);
+        let (model, resumed) =
+            resume_from_checkpoint(&mut env, &full, ck).expect("checkpoint fits the session");
         assert_eq!(resumed.total_steps, uninterrupted.total_steps);
         assert_eq!(resumed.reward_history.len(), uninterrupted.reward_history.len());
         assert_eq!(resumed.recovery.checkpoints_loaded, 1);
@@ -843,6 +931,95 @@ mod tests {
         let final_ck = TrainingCheckpoint::load(&dir).unwrap().unwrap();
         assert!(final_ck.transitions.len() >= buffered);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn blank_report(action_dim: usize) -> TrainingReport {
+        TrainingReport {
+            total_steps: 0,
+            iterations_to_converge: None,
+            reward_history: Vec::new(),
+            throughput_history: Vec::new(),
+            latency_history: Vec::new(),
+            best_throughput: 0.0,
+            best_latency_us: f64::MAX,
+            best_action: vec![0.5; action_dim],
+            actor_eval_history: Vec::new(),
+            crashes: 0,
+            wall_seconds: 0.0,
+            recovery: RecoveryStats::default(),
+        }
+    }
+
+    fn in_memory_ck(state_dim: usize, action_dim: usize) -> TrainingCheckpoint {
+        let agent = Ddpg::new(DdpgConfig::paper(state_dim, action_dim));
+        TrainingCheckpoint {
+            version: 1,
+            seed: 0,
+            episode: 0,
+            ep_step: 1,
+            snapshot: agent.snapshot(),
+            processor: StateProcessor::new(),
+            transitions: Vec::new(),
+            report: blank_report(action_dim),
+            tracker: ConvergenceTracker::new(0.005, 5),
+            best_eval: f64::MIN,
+            best_snapshot: None,
+        }
+    }
+
+    #[test]
+    fn spec_mismatch_rejection_is_typed() {
+        // tiny_env tunes 6 knobs over the 63-metric state; a snapshot
+        // trained on 4 knobs must be rejected with the typed error, not
+        // silently resumed into dimension-mismatched network math.
+        let mut env = tiny_env();
+        let wrong_knobs = in_memory_ck(simdb::TOTAL_METRIC_COUNT, 4);
+        let err = resume_from_checkpoint(&mut env, &TrainerConfig::smoke(), wrong_knobs)
+            .expect_err("4-knob snapshot must not drive a 6-knob session");
+        assert_eq!(
+            err,
+            CheckpointError::SpecMismatch {
+                expected_knobs: 6,
+                found_knobs: 4,
+                expected_state_dim: simdb::TOTAL_METRIC_COUNT,
+                found_state_dim: simdb::TOTAL_METRIC_COUNT,
+            }
+        );
+        assert!(err.to_string().contains("4 knobs"), "{err}");
+
+        let wrong_state = in_memory_ck(10, 6);
+        assert!(resume_from_checkpoint(&mut env, &TrainerConfig::smoke(), wrong_state).is_err());
+
+        // Matching networks but a foreign replay pool is also a mismatch.
+        let mut stale_pool = in_memory_ck(simdb::TOTAL_METRIC_COUNT, 6);
+        stale_pool.transitions.push(Transition {
+            state: vec![0.0; 10],
+            action: vec![0.5; 6],
+            reward: 0.0,
+            next_state: vec![0.0; 10],
+            done: false,
+        });
+        assert!(stale_pool.validate_against(simdb::TOTAL_METRIC_COUNT, 6).is_err());
+
+        // And the well-formed case passes validation.
+        assert!(in_memory_ck(simdb::TOTAL_METRIC_COUNT, 6)
+            .validate_against(simdb::TOTAL_METRIC_COUNT, 6)
+            .is_ok());
+    }
+
+    #[test]
+    fn cold_model_matches_the_requested_subspace() {
+        let env = tiny_env();
+        let model =
+            TrainedModel::cold(env.space().indices().to_vec(), *env.reward_config(), 7);
+        assert_eq!(model.action_indices, env.space().indices());
+        assert_eq!(model.snapshot.config.action_dim, 6);
+        assert_eq!(model.snapshot.config.state_dim, simdb::TOTAL_METRIC_COUNT);
+        assert_eq!(model.processor.observations(), 0);
+        // Determinism: the same seed initializes identical networks.
+        let again =
+            TrainedModel::cold(env.space().indices().to_vec(), *env.reward_config(), 7);
+        assert_eq!(again.snapshot, model.snapshot);
     }
 
     #[test]

@@ -102,6 +102,18 @@ pub struct DdpgSnapshot {
     pub critic_target: NetState,
 }
 
+impl DdpgSnapshot {
+    /// State dimension (observation length) the networks were built for.
+    pub fn state_dim(&self) -> usize {
+        self.config.state_dim
+    }
+
+    /// Action dimension (knob count) the networks were built for.
+    pub fn action_dim(&self) -> usize {
+        self.config.action_dim
+    }
+}
+
 /// The DDPG agent.
 pub struct Ddpg {
     cfg: DdpgConfig,
@@ -369,6 +381,16 @@ mod tests {
         let a = agent.act(&[0.1, 0.5, 0.9]);
         assert_eq!(a.len(), 3);
         assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)), "{a:?}");
+    }
+
+    #[test]
+    fn frozen_weights_report_their_dimensions() {
+        // The cdbtune model registry keys compatibility off these
+        // accessors when matching persisted weights to a live session.
+        let mut agent = Ddpg::new(tiny_cfg());
+        let frozen = agent.snapshot();
+        assert_eq!(frozen.state_dim(), 3);
+        assert_eq!(frozen.action_dim(), 3);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! `cdbtuned` — the multi-session tuning daemon.
+//!
+//! Boots the service from CLI flags, prints the bound address (for
+//! scripts that request an ephemeral port with `--addr 127.0.0.1:0`),
+//! then idles until SIGTERM/SIGINT or a client `shutdown` request flips
+//! the drain flag. The drain persists every live session as a training
+//! checkpoint before the process exits 0.
+
+use cdbtune::cli::{shared_flags_help, telemetry_from_args, Args};
+use service::{spawn, ServiceConfig};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main loop.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGINT (2) and SIGTERM (15) through libc's
+/// `signal(2)` — the only wrinkle of the daemon that cannot be pure std.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal); // SIGINT
+        signal(15, on_signal); // SIGTERM
+    }
+}
+
+fn usage() -> String {
+    format!(
+        "cdbtuned — multi-session tuning daemon (JSONL over TCP)
+
+USAGE:
+  cdbtuned [--addr HOST:PORT] [--workers N] [--queue N]
+           [--registry-dir DIR] [--checkpoint-dir DIR] [--max-distance D]
+           [--trace-out FILE --trace-level LEVEL]
+
+FLAGS:
+  --addr            bind address; port 0 picks an ephemeral port
+                    (default 127.0.0.1:0)
+  --workers         worker threads = concurrent sessions   (default 2)
+  --queue           admission queue capacity; connections beyond
+                    workers+queue are rejected              (default 4)
+  --registry-dir    persist the model registry here (warm starts
+                    survive restarts); omit for in-memory only
+  --checkpoint-dir  where the shutdown drain saves live sessions as
+                    training checkpoints; omit to discard them
+  --max-distance    max fingerprint distance for a warm start
+                    (default 0.25)
+
+{}
+
+The daemon prints 'cdbtuned listening on ADDR' once ready and exits 0
+after draining on SIGTERM/SIGINT or a client shutdown request.",
+        shared_flags_help()
+    )
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let args = Args::parse(&argv)?;
+    let cfg = ServiceConfig {
+        addr: args.get("addr", "127.0.0.1:0".to_string())?,
+        workers: args.get("workers", 2usize)?,
+        queue_capacity: args.get("queue", 4usize)?,
+        registry_dir: args.raw("registry-dir").map(str::to_string),
+        checkpoint_dir: args.raw("checkpoint-dir").map(str::to_string),
+        max_distance: args.get("max-distance", 0.25f64)?,
+        telemetry: telemetry_from_args(&args)?,
+    };
+    install_signal_handlers();
+    let handle = spawn(cfg).map_err(|e| format!("binding the listener: {e}"))?;
+    println!("cdbtuned listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+
+    loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            eprintln!("cdbtuned: signal received, draining");
+            break;
+        }
+        if handle.is_draining() {
+            eprintln!("cdbtuned: shutdown requested, draining");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let stats = handle.shutdown();
+    eprintln!(
+        "cdbtuned: drained ({} sessions served, {} checkpointed, {} rejected)",
+        stats.total_sessions, stats.drained_sessions, stats.rejected
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("cdbtuned: {e}");
+        eprintln!("run with --help for usage");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,45 @@
+//! A blocking JSONL client for the `cdbtuned` wire protocol.
+//!
+//! One [`Client`] is one TCP connection, which is one session slot on the
+//! daemon. The bench load generator and the e2e tests both drive the
+//! service through this type; nothing in it is test-only.
+
+use crate::proto::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected `cdbtuned` client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer })
+    }
+
+    /// Caps how long [`Client::request`] waits for a response line.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and reads one response line. An empty read means
+    /// the daemon hung up (e.g. after draining this connection's session).
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        writeln!(self.writer, "{}", req.to_json_line())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("connection closed by the daemon".into()),
+            Ok(_) => Response::from_json_line(line.trim()),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Workload fingerprints for registry lookup.
+//!
+//! A fingerprint is what the daemon knows about a session before any
+//! tuning happens: the instance shape (flavor, RAM, disk, tuned knob
+//! count), the declared workload, and summary statistics of the raw
+//! 63-metric `SHOW STATUS` vector observed while measuring the baseline.
+//! Two sessions whose fingerprints are close are running close workloads
+//! on close instances — so the model (and best configuration) one of them
+//! discovered is a good starting point for the other. This is the
+//! reproduction's version of OtterTune's workload mapping, applied to the
+//! paper's "experience accumulates across requests" claim (§2.1.1).
+
+use cdbtune::jsonio::{Json, Obj};
+use cdbtune::{DbEnv, EnvSpec};
+use simdb::EngineFlavor;
+use workload::WorkloadKind;
+
+/// Summary statistics of one raw metric vector. Raw (not normalized)
+/// values keep the fingerprint independent of whichever model's
+/// `StateProcessor` happens to be loaded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateStats {
+    /// Mean of the metric values.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Euclidean norm.
+    pub l2: f64,
+}
+
+impl StateStats {
+    /// Computes the statistics over one metric vector.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { mean: 0.0, std: 0.0, min: 0.0, max: 0.0, l2: 0.0 };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let l2 = values.iter().map(|v| v * v).sum::<f64>().sqrt();
+        Self { mean, std: var.sqrt(), min, max, l2 }
+    }
+}
+
+/// What a session looks like before tuning: instance shape + workload +
+/// baseline behaviour. The registry keys every published model by one of
+/// these and serves nearest-fingerprint lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadFingerprint {
+    /// Engine flavor (hard compatibility gate).
+    pub flavor: EngineFlavor,
+    /// Declared workload kind.
+    pub workload: WorkloadKind,
+    /// Dataset scale.
+    pub scale: f64,
+    /// Tuned knob count (hard compatibility gate — the action dimension).
+    pub knobs: usize,
+    /// Instance RAM, GB (hard compatibility gate).
+    pub ram_gb: u32,
+    /// Instance disk, GB (hard compatibility gate).
+    pub disk_gb: u32,
+    /// Baseline throughput under the default configuration (txn/s).
+    pub baseline_tps: f64,
+    /// Baseline p99 latency (µs).
+    pub baseline_p99_us: f64,
+    /// Summary statistics of the raw 63-metric state at the baseline.
+    pub stats: StateStats,
+}
+
+/// Relative difference: |a-b| scaled by the larger magnitude, so metrics
+/// with wildly different units compare on equal footing.
+fn rel(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom < 1e-9 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+impl WorkloadFingerprint {
+    /// Measures the fingerprint of an environment whose baseline window has
+    /// just been run (i.e. after a successful episode reset on the default
+    /// configuration).
+    pub fn measure(spec: &EnvSpec, env: &DbEnv) -> Self {
+        let values: Vec<f64> = env.engine().show_status().iter().map(|(_, v)| *v).collect();
+        Self {
+            flavor: spec.flavor,
+            workload: spec.workload,
+            scale: spec.scale,
+            knobs: spec.knobs,
+            ram_gb: spec.ram_gb,
+            disk_gb: spec.disk_gb,
+            baseline_tps: env.initial_perf().throughput_tps,
+            baseline_p99_us: env.initial_perf().p99_latency_us,
+            stats: StateStats::of(&values),
+        }
+    }
+
+    /// Hard compatibility: a model only transfers between sessions tuning
+    /// the same flavor's knobs at the same action dimension on the same
+    /// instance shape.
+    pub fn compatible(&self, other: &Self) -> bool {
+        self.flavor == other.flavor
+            && self.knobs == other.knobs
+            && self.ram_gb == other.ram_gb
+            && self.disk_gb == other.disk_gb
+    }
+
+    /// Distance between fingerprints: RMS of the relative differences of
+    /// the behavioural components, plus a fixed penalty when the declared
+    /// workload kind differs (similar metrics under a different label are
+    /// still suspect). Incompatible fingerprints are infinitely far apart.
+    pub fn distance(&self, other: &Self) -> f64 {
+        if !self.compatible(other) {
+            return f64::INFINITY;
+        }
+        let pairs = [
+            (self.scale, other.scale),
+            (self.baseline_tps, other.baseline_tps),
+            (self.baseline_p99_us, other.baseline_p99_us),
+            (self.stats.mean, other.stats.mean),
+            (self.stats.std, other.stats.std),
+            (self.stats.min, other.stats.min),
+            (self.stats.max, other.stats.max),
+            (self.stats.l2, other.stats.l2),
+        ];
+        let sq_sum: f64 = pairs.iter().map(|&(a, b)| rel(a, b) * rel(a, b)).sum();
+        let rms = (sq_sum / pairs.len() as f64).sqrt();
+        let label_penalty = if self.workload == other.workload { 0.0 } else { 1.0 };
+        rms + label_penalty
+    }
+
+    /// Encodes the fingerprint as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.str("flavor", &self.flavor.to_string())
+            .str("workload", &self.workload.label().to_ascii_lowercase())
+            .f64("scale", self.scale)
+            .u64("knobs", self.knobs as u64)
+            .u64("ram_gb", u64::from(self.ram_gb))
+            .u64("disk_gb", u64::from(self.disk_gb))
+            .f64("baseline_tps", self.baseline_tps)
+            .f64("baseline_p99_us", self.baseline_p99_us)
+            .obj("stats", |s| {
+                s.f64("mean", self.stats.mean)
+                    .f64("std", self.stats.std)
+                    .f64("min", self.stats.min)
+                    .f64("max", self.stats.max)
+                    .f64("l2", self.stats.l2);
+            });
+        o.finish()
+    }
+
+    /// Decodes a fingerprint from parsed JSON.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let flavor: EngineFlavor = j.string("flavor").parse()?;
+        let workload: WorkloadKind = j.string("workload").parse()?;
+        let stats = match j.get("stats") {
+            Some(s) => StateStats {
+                mean: s.num("mean"),
+                std: s.num("std"),
+                min: s.num("min"),
+                max: s.num("max"),
+                l2: s.num("l2"),
+            },
+            None => return Err("fingerprint is missing 'stats'".into()),
+        };
+        Ok(Self {
+            flavor,
+            workload,
+            scale: j.num("scale"),
+            knobs: j.u64("knobs") as usize,
+            ram_gb: j.u64("ram_gb") as u32,
+            disk_gb: j.u64("disk_gb") as u32,
+            baseline_tps: j.num("baseline_tps"),
+            baseline_p99_us: j.num("baseline_p99_us"),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_fp() -> WorkloadFingerprint {
+        WorkloadFingerprint {
+            flavor: EngineFlavor::MySqlCdb,
+            workload: WorkloadKind::SysbenchRw,
+            scale: 0.05,
+            knobs: 6,
+            ram_gb: 1,
+            disk_gb: 12,
+            baseline_tps: 5000.0,
+            baseline_p99_us: 9000.0,
+            stats: StateStats::of(&[1.0, 2.0, 3.0, 4.0]),
+        }
+    }
+
+    #[test]
+    fn stats_summarize_a_vector() {
+        let s = StateStats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.l2 - 30f64.sqrt()).abs() < 1e-12);
+        assert!((s.std - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(StateStats::of(&[]).l2, 0.0);
+    }
+
+    #[test]
+    fn identical_fingerprints_are_at_distance_zero() {
+        let a = base_fp();
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_orders_near_before_far() {
+        let a = base_fp();
+        let mut near = base_fp();
+        near.baseline_tps = 5100.0; // 2 % off
+        let mut far = base_fp();
+        far.baseline_tps = 9000.0;
+        far.stats.l2 *= 3.0;
+        assert!(a.distance(&near) < a.distance(&far));
+        // Same metrics under a different workload label pay the penalty.
+        let mut relabeled = base_fp();
+        relabeled.workload = WorkloadKind::TpcC;
+        assert!(a.distance(&relabeled) >= 1.0);
+    }
+
+    #[test]
+    fn incompatible_shapes_are_infinitely_far() {
+        let a = base_fp();
+        for tweak in [
+            |f: &mut WorkloadFingerprint| f.flavor = EngineFlavor::Postgres,
+            |f: &mut WorkloadFingerprint| f.knobs = 8,
+            |f: &mut WorkloadFingerprint| f.ram_gb = 4,
+            |f: &mut WorkloadFingerprint| f.disk_gb = 50,
+        ] {
+            let mut b = base_fp();
+            tweak(&mut b);
+            assert!(!a.compatible(&b));
+            assert_eq!(a.distance(&b), f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn fingerprint_encoding_round_trips() {
+        let a = base_fp();
+        let j = Json::parse(&a.to_json()).unwrap();
+        let back = WorkloadFingerprint::from_json(&j).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(a.distance(&back), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! `cdbtuned` — the multi-session tuning service (the paper's Figure 2
+//! control plane, grown into a daemon).
+//!
+//! The paper describes CDBTune as a cloud service: users file tuning
+//! requests against their instances, the tuning system serves many such
+//! requests concurrently, and experience accumulated on one workload
+//! warm-starts the next similar one. This crate packages the reproduction
+//! the same way:
+//!
+//! * [`proto`] — the versioned JSONL-over-TCP wire protocol (one request or
+//!   response per line, `{"v":1,"type":...}` like the telemetry schema).
+//! * [`fingerprint`] — workload fingerprints: summary statistics of the
+//!   63-metric `SHOW STATUS` state plus the instance/workload spec, with a
+//!   relative-difference distance for nearest-neighbour lookup.
+//! * [`registry`] — the model registry: persisted actor/critic checkpoints
+//!   keyed by fingerprint; new sessions warm-start from the nearest
+//!   compatible entry (OtterTune-style workload mapping) and fine-tune
+//!   online.
+//! * [`session`] — one tuning session: environment + online tuner +
+//!   registry integration, advanced one step per request.
+//! * [`server`] — the daemon: bounded admission queue, fixed worker pool,
+//!   graceful drain persisting live sessions as [`cdbtune::TrainingCheckpoint`]s.
+//! * [`client`] — a minimal blocking client for tests and the `bench`
+//!   load generator.
+//!
+//! Everything here is **std-only** (no new external dependencies): the
+//! wire format rides on [`cdbtune::jsonio`], concurrency on
+//! `std::net`/`std::sync`/`std::thread`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod fingerprint;
+pub mod proto;
+pub mod registry;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use fingerprint::{StateStats, WorkloadFingerprint};
+pub use proto::{Request, Response, PROTO_VERSION};
+pub use registry::{ModelRegistry, RegistryEntry};
+pub use server::{spawn, ServerHandle, ServiceConfig, ShutdownStats};
+pub use session::{SessionOutcome, TuningSession};

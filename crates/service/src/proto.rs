@@ -1,0 +1,539 @@
+//! The `cdbtuned` wire protocol: JSONL over TCP.
+//!
+//! One JSON object per line in each direction, versioned exactly like the
+//! telemetry schema: every line carries `"v"` (the protocol version) and
+//! `"type"` (the variant tag). Adding fields is a compatible change —
+//! readers default missing fields; lines with `v` greater than
+//! [`PROTO_VERSION`] are rejected so an old daemon never mis-parses a
+//! newer client.
+//!
+//! A connection serves at most one session: `create_session` opens it,
+//! `step` advances it, `recommend` reads the best configuration found,
+//! `close_session` ends it (publishing the fine-tuned model to the
+//! registry). `status` and `shutdown` need no session.
+
+use cdbtune::jsonio::{Json, Obj};
+use cdbtune::EnvSpec;
+use simdb::EngineFlavor;
+use workload::WorkloadKind;
+
+/// Wire-protocol version stamped on (and checked against) every line.
+pub const PROTO_VERSION: u64 = 1;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the connection's session against a freshly built instance.
+    CreateSession {
+        /// The instance/workload the session tunes.
+        spec: EnvSpec,
+        /// Online tuning step budget (the paper's default is 5).
+        max_steps: usize,
+        /// Allow warm-starting from the model registry (`false` forces a
+        /// cold start — used by the warm-vs-cold comparison).
+        warm_start: bool,
+    },
+    /// Advances the session by one tuning step.
+    Step,
+    /// Service-level counters (no session required).
+    Status,
+    /// The session's current recommendation.
+    Recommend,
+    /// Closes the session, publishing the fine-tuned model.
+    CloseSession,
+    /// Asks the daemon to drain and exit (tests and orchestration).
+    Shutdown,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The session is open and its baseline is measured.
+    SessionCreated {
+        /// Server-assigned session id.
+        session: u64,
+        /// The session warm-started from a registry entry.
+        warm_start: bool,
+        /// Fingerprint distance to the chosen entry (0 when cold).
+        registry_distance: f64,
+        /// Baseline throughput under the default configuration (txn/s).
+        baseline_tps: f64,
+        /// Baseline p99 latency (µs).
+        baseline_p99_us: f64,
+    },
+    /// One tuning step completed.
+    StepDone {
+        /// Session id.
+        session: u64,
+        /// 1-based step index.
+        step: u64,
+        /// Measured throughput after deploying the recommendation.
+        throughput_tps: f64,
+        /// Measured p99 latency (µs).
+        p99_latency_us: f64,
+        /// Step reward.
+        reward: f64,
+        /// The recommendation crashed the instance.
+        crashed: bool,
+        /// The step could not be measured (infrastructure failure).
+        degraded: bool,
+        /// No further steps remain (budget, satisfaction, or abort).
+        finished: bool,
+    },
+    /// Service-level counters.
+    ServiceStatus {
+        /// Sessions currently open.
+        active_sessions: u64,
+        /// Sessions opened since boot.
+        total_sessions: u64,
+        /// Connections waiting in the admission queue.
+        queue_depth: u64,
+        /// Workers currently serving a connection.
+        busy_workers: u64,
+        /// Sessions that warm-started from the registry.
+        warm_hits: u64,
+        /// Sessions that cold-started.
+        warm_misses: u64,
+        /// Connections rejected by the bounded queue.
+        rejected: u64,
+        /// Models currently in the registry.
+        registry_len: u64,
+        /// The daemon is draining toward shutdown.
+        draining: bool,
+    },
+    /// The session's best configuration so far.
+    Recommendation {
+        /// Session id.
+        session: u64,
+        /// Best measured throughput (txn/s).
+        best_tps: f64,
+        /// p99 latency at the best step (µs).
+        best_p99_us: f64,
+        /// Throughput gain over the baseline (0.25 = +25 %).
+        throughput_gain: f64,
+        /// Knobs the recommendation changes from the defaults.
+        changed_knobs: u64,
+        /// Tuning steps taken so far.
+        steps: u64,
+    },
+    /// The session is closed.
+    Closed {
+        /// Session id.
+        session: u64,
+        /// Tuning steps the session took.
+        steps: u64,
+        /// The fine-tuned model was published to the registry.
+        published: bool,
+        /// The close was forced by the shutdown drain.
+        drained: bool,
+    },
+    /// Typed backpressure: the bounded admission queue had no room (or the
+    /// daemon is draining). The client should retry later or elsewhere.
+    Rejected {
+        /// `"queue_full"` or `"draining"`.
+        reason: String,
+        /// Queue depth at decision time.
+        queue_depth: u64,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+fn spec_to_obj(o: &mut Obj, spec: &EnvSpec) {
+    o.str("flavor", &spec.flavor.to_string())
+        .str("workload", &spec.workload.label().to_ascii_lowercase())
+        .u64("ram_gb", u64::from(spec.ram_gb))
+        .u64("disk_gb", u64::from(spec.disk_gb))
+        .f64("scale", spec.scale)
+        .u64("knobs", spec.knobs as u64)
+        .u64("seed", spec.seed)
+        .u64("warmup_txns", spec.warmup_txns as u64)
+        .u64("measure_txns", spec.measure_txns as u64)
+        .u64("horizon", spec.horizon as u64);
+}
+
+fn spec_from_json(j: &Json) -> Result<EnvSpec, String> {
+    let d = EnvSpec::default();
+    let flavor: EngineFlavor = match j.get("flavor") {
+        Some(Json::Str(s)) => s.parse()?,
+        _ => d.flavor,
+    };
+    let workload: WorkloadKind = match j.get("workload") {
+        Some(Json::Str(s)) => s.parse()?,
+        _ => d.workload,
+    };
+    Ok(EnvSpec {
+        flavor,
+        workload,
+        ram_gb: if j.get("ram_gb").is_some() { j.u64("ram_gb") as u32 } else { d.ram_gb },
+        disk_gb: if j.get("disk_gb").is_some() { j.u64("disk_gb") as u32 } else { d.disk_gb },
+        scale: if j.get("scale").is_some() { j.num("scale") } else { d.scale },
+        knobs: if j.get("knobs").is_some() { j.u64("knobs") as usize } else { d.knobs },
+        seed: if j.get("seed").is_some() { j.u64("seed") } else { d.seed },
+        warmup_txns: if j.get("warmup_txns").is_some() {
+            j.u64("warmup_txns") as usize
+        } else {
+            d.warmup_txns
+        },
+        measure_txns: if j.get("measure_txns").is_some() {
+            j.u64("measure_txns") as usize
+        } else {
+            d.measure_txns
+        },
+        horizon: if j.get("horizon").is_some() { j.u64("horizon") as usize } else { d.horizon },
+    })
+}
+
+fn versioned(type_tag: &str) -> Obj {
+    let mut o = Obj::new();
+    o.u64("v", PROTO_VERSION).str("type", type_tag);
+    o
+}
+
+fn check_version(j: &Json) -> Result<(), String> {
+    let v = j.u64("v");
+    if v == 0 {
+        return Err("line is missing the protocol version field 'v'".into());
+    }
+    if v > PROTO_VERSION {
+        return Err(format!(
+            "line has protocol version {v} but this build understands <= {PROTO_VERSION}"
+        ));
+    }
+    Ok(())
+}
+
+impl Request {
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Request::CreateSession { spec, max_steps, warm_start } => {
+                let mut o = versioned("create_session");
+                o.obj("spec", |s| spec_to_obj(s, spec))
+                    .u64("max_steps", *max_steps as u64)
+                    .bool("warm_start", *warm_start);
+                o.finish()
+            }
+            Request::Step => versioned("step").finish(),
+            Request::Status => versioned("status").finish(),
+            Request::Recommend => versioned("recommend").finish(),
+            Request::CloseSession => versioned("close_session").finish(),
+            Request::Shutdown => versioned("shutdown").finish(),
+        }
+    }
+
+    /// Decodes one JSON line.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let j = Json::parse(line)?;
+        check_version(&j)?;
+        match j.string("type").as_str() {
+            "create_session" => {
+                let spec = match j.get("spec") {
+                    Some(spec) => spec_from_json(spec)?,
+                    None => return Err("create_session is missing 'spec'".into()),
+                };
+                let max_steps = j.u64("max_steps") as usize;
+                Ok(Request::CreateSession {
+                    spec,
+                    max_steps: if max_steps == 0 { 5 } else { max_steps },
+                    warm_start: j.boolean("warm_start"),
+                })
+            }
+            "step" => Ok(Request::Step),
+            "status" => Ok(Request::Status),
+            "recommend" => Ok(Request::Recommend),
+            "close_session" => Ok(Request::CloseSession),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type '{other}'")),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Response::SessionCreated {
+                session,
+                warm_start,
+                registry_distance,
+                baseline_tps,
+                baseline_p99_us,
+            } => {
+                let mut o = versioned("session_created");
+                o.u64("session", *session)
+                    .bool("warm_start", *warm_start)
+                    .f64("registry_distance", *registry_distance)
+                    .f64("baseline_tps", *baseline_tps)
+                    .f64("baseline_p99_us", *baseline_p99_us);
+                o.finish()
+            }
+            Response::StepDone {
+                session,
+                step,
+                throughput_tps,
+                p99_latency_us,
+                reward,
+                crashed,
+                degraded,
+                finished,
+            } => {
+                let mut o = versioned("step_done");
+                o.u64("session", *session)
+                    .u64("step", *step)
+                    .f64("throughput_tps", *throughput_tps)
+                    .f64("p99_latency_us", *p99_latency_us)
+                    .f64("reward", *reward)
+                    .bool("crashed", *crashed)
+                    .bool("degraded", *degraded)
+                    .bool("finished", *finished);
+                o.finish()
+            }
+            Response::ServiceStatus {
+                active_sessions,
+                total_sessions,
+                queue_depth,
+                busy_workers,
+                warm_hits,
+                warm_misses,
+                rejected,
+                registry_len,
+                draining,
+            } => {
+                let mut o = versioned("service_status");
+                o.u64("active_sessions", *active_sessions)
+                    .u64("total_sessions", *total_sessions)
+                    .u64("queue_depth", *queue_depth)
+                    .u64("busy_workers", *busy_workers)
+                    .u64("warm_hits", *warm_hits)
+                    .u64("warm_misses", *warm_misses)
+                    .u64("rejected", *rejected)
+                    .u64("registry_len", *registry_len)
+                    .bool("draining", *draining);
+                o.finish()
+            }
+            Response::Recommendation {
+                session,
+                best_tps,
+                best_p99_us,
+                throughput_gain,
+                changed_knobs,
+                steps,
+            } => {
+                let mut o = versioned("recommendation");
+                o.u64("session", *session)
+                    .f64("best_tps", *best_tps)
+                    .f64("best_p99_us", *best_p99_us)
+                    .f64("throughput_gain", *throughput_gain)
+                    .u64("changed_knobs", *changed_knobs)
+                    .u64("steps", *steps);
+                o.finish()
+            }
+            Response::Closed { session, steps, published, drained } => {
+                let mut o = versioned("closed");
+                o.u64("session", *session)
+                    .u64("steps", *steps)
+                    .bool("published", *published)
+                    .bool("drained", *drained);
+                o.finish()
+            }
+            Response::Rejected { reason, queue_depth } => {
+                let mut o = versioned("rejected");
+                o.str("reason", reason).u64("queue_depth", *queue_depth);
+                o.finish()
+            }
+            Response::Error { message } => {
+                let mut o = versioned("error");
+                o.str("message", message);
+                o.finish()
+            }
+        }
+    }
+
+    /// Decodes one JSON line.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let j = Json::parse(line)?;
+        check_version(&j)?;
+        match j.string("type").as_str() {
+            "session_created" => Ok(Response::SessionCreated {
+                session: j.u64("session"),
+                warm_start: j.boolean("warm_start"),
+                registry_distance: j.num("registry_distance"),
+                baseline_tps: j.num("baseline_tps"),
+                baseline_p99_us: j.num("baseline_p99_us"),
+            }),
+            "step_done" => Ok(Response::StepDone {
+                session: j.u64("session"),
+                step: j.u64("step"),
+                throughput_tps: j.num("throughput_tps"),
+                p99_latency_us: j.num("p99_latency_us"),
+                reward: j.num("reward"),
+                crashed: j.boolean("crashed"),
+                degraded: j.boolean("degraded"),
+                finished: j.boolean("finished"),
+            }),
+            "service_status" => Ok(Response::ServiceStatus {
+                active_sessions: j.u64("active_sessions"),
+                total_sessions: j.u64("total_sessions"),
+                queue_depth: j.u64("queue_depth"),
+                busy_workers: j.u64("busy_workers"),
+                warm_hits: j.u64("warm_hits"),
+                warm_misses: j.u64("warm_misses"),
+                rejected: j.u64("rejected"),
+                registry_len: j.u64("registry_len"),
+                draining: j.boolean("draining"),
+            }),
+            "recommendation" => Ok(Response::Recommendation {
+                session: j.u64("session"),
+                best_tps: j.num("best_tps"),
+                best_p99_us: j.num("best_p99_us"),
+                throughput_gain: j.num("throughput_gain"),
+                changed_knobs: j.u64("changed_knobs"),
+                steps: j.u64("steps"),
+            }),
+            "closed" => Ok(Response::Closed {
+                session: j.u64("session"),
+                steps: j.u64("steps"),
+                published: j.boolean("published"),
+                drained: j.boolean("drained"),
+            }),
+            "rejected" => Ok(Response::Rejected {
+                reason: j.string("reason"),
+                queue_depth: j.u64("queue_depth"),
+            }),
+            "error" => Ok(Response::Error { message: j.string("message") }),
+            other => Err(format!("unknown response type '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> EnvSpec {
+        EnvSpec {
+            flavor: EngineFlavor::Postgres,
+            workload: WorkloadKind::TpcC,
+            ram_gb: 2,
+            disk_gb: 25,
+            scale: 0.05,
+            knobs: 8,
+            seed: 9,
+            warmup_txns: 30,
+            measure_txns: 120,
+            horizon: 10,
+        }
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let requests = [
+            Request::CreateSession { spec: sample_spec(), max_steps: 4, warm_start: true },
+            Request::Step,
+            Request::Status,
+            Request::Recommend,
+            Request::CloseSession,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = req.to_json_line();
+            assert!(line.contains("\"v\":1"), "unversioned line: {line}");
+            assert_eq!(Request::from_json_line(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let responses = [
+            Response::SessionCreated {
+                session: 3,
+                warm_start: true,
+                registry_distance: 0.04,
+                baseline_tps: 5100.0,
+                baseline_p99_us: 9000.5,
+            },
+            Response::StepDone {
+                session: 3,
+                step: 2,
+                throughput_tps: 6200.0,
+                p99_latency_us: 7800.25,
+                reward: 0.31,
+                crashed: false,
+                degraded: true,
+                finished: false,
+            },
+            Response::ServiceStatus {
+                active_sessions: 2,
+                total_sessions: 11,
+                queue_depth: 1,
+                busy_workers: 2,
+                warm_hits: 4,
+                warm_misses: 7,
+                rejected: 3,
+                registry_len: 5,
+                draining: false,
+            },
+            Response::Recommendation {
+                session: 3,
+                best_tps: 6200.0,
+                best_p99_us: 7800.25,
+                throughput_gain: 0.21,
+                changed_knobs: 6,
+                steps: 4,
+            },
+            Response::Closed { session: 3, steps: 4, published: true, drained: false },
+            Response::Rejected { reason: "queue_full".into(), queue_depth: 4 },
+            Response::Error { message: "no open session".into() },
+        ];
+        for resp in responses {
+            let line = resp.to_json_line();
+            assert_eq!(Response::from_json_line(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn future_versions_and_junk_are_rejected() {
+        let future = "{\"v\":99,\"type\":\"step\"}";
+        assert!(Request::from_json_line(future).unwrap_err().contains("version 99"));
+        assert!(Request::from_json_line("{\"type\":\"step\"}")
+            .unwrap_err()
+            .contains("missing the protocol version"));
+        assert!(Request::from_json_line("{\"v\":1,\"type\":\"warp\"}").is_err());
+        assert!(Response::from_json_line("not json").is_err());
+    }
+
+    #[test]
+    fn spec_labels_survive_the_wire() {
+        // Every flavor/workload pair encodes to labels FromStr accepts.
+        for flavor in
+            [EngineFlavor::MySqlCdb, EngineFlavor::LocalMySql, EngineFlavor::Postgres, EngineFlavor::MongoDb]
+        {
+            for workload in WorkloadKind::ALL {
+                let spec = EnvSpec { flavor, workload, ..EnvSpec::default() };
+                let req = Request::CreateSession { spec, max_steps: 5, warm_start: false };
+                let back = Request::from_json_line(&req.to_json_line()).unwrap();
+                assert_eq!(back, req);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_spec_fields_take_defaults() {
+        let line = "{\"v\":1,\"type\":\"create_session\",\"spec\":{\"workload\":\"tpcc\"}}";
+        let Request::CreateSession { spec, max_steps, warm_start } =
+            Request::from_json_line(line).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        let d = EnvSpec::default();
+        assert_eq!(spec.workload, WorkloadKind::TpcC);
+        assert_eq!(spec.flavor, d.flavor);
+        assert_eq!(spec.knobs, d.knobs);
+        assert_eq!(max_steps, 5, "absent budget falls back to the paper's 5");
+        assert!(!warm_start);
+    }
+}

@@ -1,0 +1,282 @@
+//! The model registry: fine-tuned models keyed by workload fingerprint.
+//!
+//! Every session that completes at least one measured tuning step
+//! publishes its fine-tuned [`TrainedModel`], the best normalized action
+//! it found, and its [`WorkloadFingerprint`]. A new session looks up the
+//! nearest compatible fingerprint and, when it is close enough,
+//! warm-starts: the registry model replaces the cold network and the
+//! stored best action is deployed at step 1 (OtterTune-style experience
+//! reuse), with online fine-tuning adapting from there.
+//!
+//! Persistence is split per entry: `entry-<id>.json` (fingerprint +
+//! lookup metadata, hand-rolled JSON) and `model-<id>.json` (the
+//! serde-encoded [`TrainedModel`], the same format `cdbtune train --out`
+//! writes). An in-memory mode backs tests and `--registry-dir`-less runs.
+
+use crate::fingerprint::WorkloadFingerprint;
+use cdbtune::jsonio::{Json, Obj};
+use cdbtune::TrainedModel;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One published model and the fingerprint it was earned under.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// Registry-assigned entry id.
+    pub id: u64,
+    /// Fingerprint of the session that published the entry.
+    pub fingerprint: WorkloadFingerprint,
+    /// The fine-tuned model.
+    pub model: TrainedModel,
+    /// Best normalized action the session deployed (warm sessions replay
+    /// it at step 1).
+    pub best_action: Vec<f32>,
+    /// Throughput that action reached (txn/s).
+    pub best_tps: f64,
+    /// Tuning steps the publishing session took.
+    pub steps: usize,
+}
+
+/// A warm-start lookup hit.
+#[derive(Debug, Clone)]
+pub struct RegistryMatch {
+    /// The matched entry (cloned; the registry keeps its own copy).
+    pub entry: RegistryEntry,
+    /// Fingerprint distance between the query and the entry.
+    pub distance: f64,
+}
+
+/// Thread-safe store of [`RegistryEntry`]s with optional disk persistence.
+pub struct ModelRegistry {
+    dir: Option<PathBuf>,
+    entries: Mutex<Vec<RegistryEntry>>,
+    next_id: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// A registry that lives only as long as the process.
+    pub fn in_memory() -> Self {
+        Self { dir: None, entries: Mutex::new(Vec::new()), next_id: AtomicU64::new(1) }
+    }
+
+    /// Opens (creating if needed) a disk-backed registry, loading every
+    /// `entry-*.json`/`model-*.json` pair already present. Unreadable
+    /// entries are skipped, not fatal — a half-written pair from a crash
+    /// must not brick the daemon.
+    pub fn open(dir: &str) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut entries = Vec::new();
+        let mut max_id = 0u64;
+        for item in std::fs::read_dir(dir)? {
+            let path = item?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some(id) = name
+                .strip_prefix("entry-")
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|r| r.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            match Self::load_entry(dir.as_ref(), id) {
+                Ok(entry) => {
+                    max_id = max_id.max(id);
+                    entries.push(entry);
+                }
+                Err(e) => eprintln!("registry: skipping entry {id}: {e}"),
+            }
+        }
+        entries.sort_by_key(|e| e.id);
+        Ok(Self {
+            dir: Some(PathBuf::from(dir)),
+            entries: Mutex::new(entries),
+            next_id: AtomicU64::new(max_id + 1),
+        })
+    }
+
+    fn load_entry(dir: &Path, id: u64) -> Result<RegistryEntry, String> {
+        let meta_path = dir.join(format!("entry-{id}.json"));
+        let text = std::fs::read_to_string(&meta_path).map_err(|e| e.to_string())?;
+        let j = Json::parse(&text)?;
+        let fingerprint = match j.get("fingerprint") {
+            Some(f) => WorkloadFingerprint::from_json(f)?,
+            None => return Err("entry is missing 'fingerprint'".into()),
+        };
+        let best_action: Vec<f32> =
+            j.f64_array("best_action").iter().map(|&x| x as f32).collect();
+        let model_path = dir.join(format!("model-{id}.json"));
+        let model_text = std::fs::read_to_string(&model_path).map_err(|e| e.to_string())?;
+        let model = TrainedModel::from_json(&model_text).map_err(|e| e.to_string())?;
+        Ok(RegistryEntry {
+            id,
+            fingerprint,
+            model,
+            best_action,
+            best_tps: j.num("best_tps"),
+            steps: j.u64("steps") as usize,
+        })
+    }
+
+    /// Published entry count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// True when no entry has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publishes a model under a fingerprint, returning the entry id. With
+    /// a disk-backed registry the entry is also written out (model first,
+    /// then metadata, so a crash between the two leaves no dangling
+    /// metadata for [`ModelRegistry::open`] to trip on).
+    pub fn publish(
+        &self,
+        fingerprint: WorkloadFingerprint,
+        model: TrainedModel,
+        best_action: Vec<f32>,
+        best_tps: f64,
+        steps: usize,
+    ) -> std::io::Result<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let entry = RegistryEntry { id, fingerprint, model, best_action, best_tps, steps };
+        if let Some(dir) = &self.dir {
+            std::fs::write(dir.join(format!("model-{id}.json")), entry.model.to_json())?;
+            let mut o = Obj::new();
+            o.u64("id", id);
+            let fp = entry.fingerprint.to_json();
+            o.f64_array(
+                "best_action",
+                &entry.best_action.iter().map(|&x| f64::from(x)).collect::<Vec<_>>(),
+            )
+            .f64("best_tps", entry.best_tps)
+            .u64("steps", entry.steps as u64);
+            // Splice the pre-encoded fingerprint in as a raw field: Obj has
+            // no raw-JSON emitter, so close the object manually.
+            let mut text = o.finish();
+            text.pop();
+            text.push_str(",\"fingerprint\":");
+            text.push_str(&fp);
+            text.push('}');
+            std::fs::write(dir.join(format!("entry-{id}.json")), text)?;
+        }
+        if let Ok(mut entries) = self.entries.lock() {
+            entries.push(entry);
+        }
+        Ok(id)
+    }
+
+    /// Nearest compatible entry within `max_distance`, or `None`. Entries
+    /// whose model tunes a different knob subset than the session expects
+    /// are skipped even when the fingerprint shape matches.
+    pub fn lookup(
+        &self,
+        fp: &WorkloadFingerprint,
+        expected_indices: &[usize],
+        max_distance: f64,
+    ) -> Option<RegistryMatch> {
+        let entries = self.entries.lock().ok()?;
+        let mut best: Option<(f64, &RegistryEntry)> = None;
+        for entry in entries.iter() {
+            if entry.model.action_indices != expected_indices {
+                continue;
+            }
+            let d = fp.distance(&entry.fingerprint);
+            if !d.is_finite() || d > max_distance {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((best_d, _)) => d < best_d,
+            };
+            if better {
+                best = Some((d, entry));
+            }
+        }
+        best.map(|(distance, entry)| RegistryMatch { entry: entry.clone(), distance })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdbtune::RewardConfig;
+    use simdb::EngineFlavor;
+    use workload::WorkloadKind;
+    use crate::fingerprint::StateStats;
+
+    fn fp(tps: f64) -> WorkloadFingerprint {
+        WorkloadFingerprint {
+            flavor: EngineFlavor::MySqlCdb,
+            workload: WorkloadKind::SysbenchRw,
+            scale: 0.05,
+            knobs: 3,
+            ram_gb: 1,
+            disk_gb: 12,
+            baseline_tps: tps,
+            baseline_p99_us: 9000.0,
+            stats: StateStats::of(&[tps, 2.0, 3.0]),
+        }
+    }
+
+    fn model(indices: &[usize], seed: u64) -> TrainedModel {
+        TrainedModel::cold(indices.to_vec(), RewardConfig::default(), seed)
+    }
+
+    #[test]
+    fn lookup_returns_the_nearest_compatible_entry() {
+        let reg = ModelRegistry::in_memory();
+        let near =
+            reg.publish(fp(5000.0), model(&[0, 1, 2], 1), vec![0.5; 3], 5200.0, 4).unwrap();
+        let _far =
+            reg.publish(fp(9500.0), model(&[0, 1, 2], 2), vec![0.9; 3], 9900.0, 5).unwrap();
+        assert_eq!(reg.len(), 2);
+        let hit = reg.lookup(&fp(5050.0), &[0, 1, 2], 0.5).expect("near entry within range");
+        assert_eq!(hit.entry.id, near);
+        assert!(hit.distance < 0.1, "distance {}", hit.distance);
+    }
+
+    #[test]
+    fn lookup_misses_when_everything_is_too_far_or_mismatched() {
+        let reg = ModelRegistry::in_memory();
+        assert!(reg.lookup(&fp(5000.0), &[0, 1, 2], 1.0).is_none(), "empty registry");
+        reg.publish(fp(5000.0), model(&[0, 1, 2], 1), vec![0.5; 3], 5200.0, 4).unwrap();
+        // Tight threshold excludes a 2x-throughput fingerprint.
+        assert!(reg.lookup(&fp(10_000.0), &[0, 1, 2], 0.05).is_none());
+        // A different knob subset never matches, whatever the distance.
+        assert!(reg.lookup(&fp(5000.0), &[0, 1, 3], 10.0).is_none());
+        // Incompatible shape (knob count) never matches either.
+        let mut other = fp(5000.0);
+        other.knobs = 8;
+        assert!(reg.lookup(&other, &[0, 1, 2], 10.0).is_none());
+    }
+
+    #[test]
+    fn disk_registry_persists_entries_across_reopen() {
+        let dir = std::env::temp_dir()
+            .join(format!("cdbtuned-registry-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let reg = ModelRegistry::open(&dir).unwrap();
+            assert!(reg.is_empty());
+            reg.publish(fp(5000.0), model(&[0, 1, 2], 1), vec![0.25, 0.5, 0.75], 5200.0, 4)
+                .unwrap();
+        }
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reg.len(), 1);
+        let hit = reg.lookup(&fp(5000.0), &[0, 1, 2], 0.5).expect("entry survived reopen");
+        assert_eq!(hit.entry.best_action, vec![0.25, 0.5, 0.75]);
+        assert_eq!(hit.entry.best_tps, 5200.0);
+        assert_eq!(hit.entry.steps, 4);
+        assert_eq!(hit.entry.model.action_indices, vec![0, 1, 2]);
+        // A fresh publish continues the id sequence instead of clobbering.
+        let id = reg
+            .publish(fp(6000.0), model(&[0, 1, 2], 3), vec![0.5; 3], 6100.0, 2)
+            .unwrap();
+        assert_eq!(id, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,497 @@
+//! The `cdbtuned` daemon: bounded admission, a fixed worker pool, and
+//! graceful drain.
+//!
+//! Threading model (all `std`):
+//!
+//! * An **acceptor** thread polls a non-blocking [`TcpListener`] and
+//!   pushes accepted connections into a bounded
+//!   [`std::sync::mpsc::sync_channel`] — the admission queue. A full
+//!   queue is typed backpressure: the acceptor answers
+//!   [`Response::Rejected`] `{reason:"queue_full"}` and drops the
+//!   connection instead of letting latency grow unboundedly.
+//! * **Workers** (fixed pool) pull connections off the queue and serve
+//!   them to completion; one connection hosts at most one
+//!   [`TuningSession`].
+//! * **Shutdown** (signal or `shutdown` request) flips one flag: the
+//!   acceptor stops, queued-but-unserved connections are turned away with
+//!   `{reason:"draining"}`, and each worker persists its live session as a
+//!   [`cdbtune::TrainingCheckpoint`] under `--checkpoint-dir` before
+//!   closing it — no in-flight fine-tuning work is lost.
+//!
+//! Every lifecycle edge is traced through the shared [`Telemetry`] handle
+//! (`session_open`/`session_close` at summary level, `admission`/
+//! `service_queue` at step level), bracketed by a `run_start`/`run_end`
+//! pair with mode `"serve"`.
+
+use crate::proto::{Request, Response};
+use crate::registry::ModelRegistry;
+use crate::session::TuningSession;
+use cdbtune::{Telemetry, TraceEvent};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often blocked reads and queue waits re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(150);
+
+/// Daemon configuration.
+pub struct ServiceConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (concurrent sessions served).
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Disk-backed model registry (`None` = in-memory only).
+    pub registry_dir: Option<String>,
+    /// Where the shutdown drain persists live sessions (`None` = drop).
+    pub checkpoint_dir: Option<String>,
+    /// Maximum fingerprint distance a warm start will accept.
+    pub max_distance: f64,
+    /// Service-level trace handle.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 4,
+            registry_dir: None,
+            checkpoint_dir: None,
+            max_distance: 0.25,
+            telemetry: Telemetry::null(),
+        }
+    }
+}
+
+/// Counters shared by the acceptor, the workers, and status requests.
+struct Shared {
+    shutdown: AtomicBool,
+    queue_depth: AtomicU64,
+    busy_workers: AtomicU64,
+    active_sessions: AtomicU64,
+    total_sessions: AtomicU64,
+    warm_hits: AtomicU64,
+    warm_misses: AtomicU64,
+    rejected: AtomicU64,
+    drained_sessions: AtomicU64,
+    next_session_id: AtomicU64,
+    registry: ModelRegistry,
+    max_distance: f64,
+    checkpoint_dir: Option<String>,
+    telemetry: Telemetry,
+}
+
+impl Shared {
+    fn status_response(&self) -> Response {
+        Response::ServiceStatus {
+            active_sessions: self.active_sessions.load(Ordering::SeqCst),
+            total_sessions: self.total_sessions.load(Ordering::SeqCst),
+            queue_depth: self.queue_depth.load(Ordering::SeqCst),
+            busy_workers: self.busy_workers.load(Ordering::SeqCst),
+            warm_hits: self.warm_hits.load(Ordering::SeqCst),
+            warm_misses: self.warm_misses.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            registry_len: self.registry.len() as u64,
+            draining: self.shutdown.load(Ordering::SeqCst),
+        }
+    }
+
+    fn emit_queue_sample(&self) {
+        self.telemetry.emit(&TraceEvent::ServiceQueue {
+            depth: self.queue_depth.load(Ordering::SeqCst),
+            busy_workers: self.busy_workers.load(Ordering::SeqCst),
+        });
+    }
+}
+
+/// What the daemon did, reported by [`ServerHandle::shutdown`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShutdownStats {
+    /// Sessions opened over the daemon's lifetime.
+    pub total_sessions: u64,
+    /// Live sessions persisted (and force-closed) by the drain.
+    pub drained_sessions: u64,
+    /// Connections the bounded queue turned away.
+    pub rejected: u64,
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads running detached.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    started: std::time::Instant,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once shutdown has been requested (signal, client `shutdown`
+    /// request, or [`ServerHandle::request_shutdown`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag without blocking (signal-handler path).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains and stops the daemon: no new connections, queued ones turned
+    /// away, live sessions checkpointed and closed, all threads joined.
+    pub fn shutdown(self) -> ShutdownStats {
+        self.request_shutdown();
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let stats = ShutdownStats {
+            total_sessions: self.shared.total_sessions.load(Ordering::SeqCst),
+            drained_sessions: self.shared.drained_sessions.load(Ordering::SeqCst),
+            rejected: self.shared.rejected.load(Ordering::SeqCst),
+        };
+        self.shared.telemetry.emit(&TraceEvent::RunEnd {
+            mode: "serve".into(),
+            total_steps: stats.total_sessions,
+            best_tps: 0.0,
+            crashes: 0,
+            wall_seconds: self.started.elapsed().as_secs_f64(),
+        });
+        self.shared.telemetry.flush();
+        stats
+    }
+}
+
+/// Boots the daemon: binds, starts the worker pool and the acceptor, and
+/// returns immediately with the handle.
+pub fn spawn(cfg: ServiceConfig) -> std::io::Result<ServerHandle> {
+    let registry = match &cfg.registry_dir {
+        Some(dir) => ModelRegistry::open(dir)?,
+        None => ModelRegistry::in_memory(),
+    };
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    cfg.telemetry.emit(&TraceEvent::RunStart {
+        mode: "serve".into(),
+        seed: 0,
+        knobs: 0,
+        state_dim: simdb::TOTAL_METRIC_COUNT as u64,
+    });
+    let shared = Arc::new(Shared {
+        shutdown: AtomicBool::new(false),
+        queue_depth: AtomicU64::new(0),
+        busy_workers: AtomicU64::new(0),
+        active_sessions: AtomicU64::new(0),
+        total_sessions: AtomicU64::new(0),
+        warm_hits: AtomicU64::new(0),
+        warm_misses: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        drained_sessions: AtomicU64::new(0),
+        next_session_id: AtomicU64::new(1),
+        registry,
+        max_distance: cfg.max_distance,
+        checkpoint_dir: cfg.checkpoint_dir.clone(),
+        telemetry: cfg.telemetry.clone(),
+    });
+    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_capacity.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<_> = (0..cfg.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("cdbtuned-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))
+                .expect("spawning a worker thread")
+        })
+        .collect();
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("cdbtuned-acceptor".into())
+            .spawn(move || acceptor_loop(&shared, &listener, &tx))
+            .expect("spawning the acceptor thread")
+    };
+    Ok(ServerHandle { addr, shared, started: std::time::Instant::now(), acceptor, workers })
+}
+
+fn acceptor_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => admit(shared, tx, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn admit(shared: &Shared, tx: &SyncSender<TcpStream>, stream: TcpStream) {
+    // Count the connection before handing it off: a worker may pick it up
+    // (and decrement) the instant try_send returns.
+    let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    match tx.try_send(stream) {
+        Ok(()) => {
+            shared.telemetry.emit(&TraceEvent::Admission {
+                accepted: true,
+                reason: "ok".into(),
+                queue_depth: depth,
+            });
+            shared.emit_queue_sample();
+        }
+        Err(TrySendError::Full(stream)) => {
+            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            reject(shared, stream, "queue_full");
+        }
+        Err(TrySendError::Disconnected(stream)) => {
+            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            reject(shared, stream, "draining");
+        }
+    }
+}
+
+/// Answers a connection the queue cannot take with a typed rejection. The
+/// client's first request line is consumed before replying so the close is
+/// a clean FIN (closing with unread input would RST and race the
+/// rejection line off the wire). Runs on a throwaway thread to keep the
+/// acceptor responsive.
+fn reject(shared: &Shared, stream: TcpStream, reason: &'static str) {
+    shared.rejected.fetch_add(1, Ordering::SeqCst);
+    let depth = shared.queue_depth.load(Ordering::SeqCst);
+    shared.telemetry.emit(&TraceEvent::Admission {
+        accepted: false,
+        reason: reason.into(),
+        queue_depth: depth,
+    });
+    let line = Response::Rejected { reason: reason.into(), queue_depth: depth }.to_json_line();
+    let _ = std::thread::Builder::new().name("cdbtuned-reject".into()).spawn(move || {
+        let mut stream = stream;
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut first = String::new();
+        let _ = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        })
+        .read_line(&mut first);
+        let _ = writeln!(stream, "{line}");
+        let _ = stream.flush();
+    });
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        let next = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            guard.recv_timeout(POLL)
+        };
+        match next {
+            Ok(stream) => {
+                shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Admitted before the drain started, never served.
+                    reject(shared, stream, "draining");
+                    continue;
+                }
+                shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+                shared.emit_queue_sample();
+                serve_connection(shared, stream);
+                shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Force-closes a live session during the drain: persist the in-flight
+/// fine-tuning state as a training checkpoint, then close (publishing to
+/// the registry) with the `drained` flag set.
+fn drain_session(shared: &Shared, session: TuningSession, writer: &mut TcpStream) {
+    if let Some(dir) = &shared.checkpoint_dir {
+        if let Err(e) = session.drain_checkpoint(dir) {
+            eprintln!("cdbtuned: checkpointing session {}: {e}", session.id());
+        }
+    }
+    let out = session.close(&shared.registry, true);
+    shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+    shared.drained_sessions.fetch_add(1, Ordering::SeqCst);
+    let resp = Response::Closed {
+        session: out.id,
+        steps: out.steps as u64,
+        published: out.published,
+        drained: true,
+    };
+    let _ = writeln!(writer, "{}", resp.to_json_line());
+    let _ = writer.flush();
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut session: Option<TuningSession> = None;
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            if let Some(s) = session.take() {
+                drain_session(shared, s, &mut writer);
+            }
+            break;
+        }
+        // A timeout mid-line leaves the partial line accumulated in `line`;
+        // the next read continues it.
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client hung up
+            Ok(_) if line.ends_with('\n') => {
+                let text = line.trim().to_string();
+                line.clear();
+                if text.is_empty() {
+                    continue;
+                }
+                let resp = dispatch(shared, &text, &mut session);
+                if writeln!(writer, "{}", resp.to_json_line()).is_err()
+                    || writer.flush().is_err()
+                {
+                    break;
+                }
+            }
+            Ok(_) => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    // The client vanished without closing: settle the session normally so
+    // the open/close trace bracket stays balanced and the work publishes.
+    if let Some(s) = session.take() {
+        shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+        let _ = s.close(&shared.registry, false);
+    }
+}
+
+fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) -> Response {
+    let req = match Request::from_json_line(text) {
+        Ok(r) => r,
+        Err(e) => return Response::Error { message: format!("bad request: {e}") },
+    };
+    match req {
+        Request::CreateSession { spec, max_steps, warm_start } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Response::Rejected {
+                    reason: "draining".into(),
+                    queue_depth: shared.queue_depth.load(Ordering::SeqCst),
+                };
+            }
+            if session.is_some() {
+                return Response::Error {
+                    message: "this connection already hosts a session".into(),
+                };
+            }
+            let id = shared.next_session_id.fetch_add(1, Ordering::SeqCst);
+            match TuningSession::create(
+                id,
+                spec,
+                max_steps,
+                warm_start,
+                &shared.registry,
+                shared.max_distance,
+                &shared.telemetry,
+            ) {
+                Ok(s) => {
+                    shared.total_sessions.fetch_add(1, Ordering::SeqCst);
+                    shared.active_sessions.fetch_add(1, Ordering::SeqCst);
+                    if s.warm_start() {
+                        shared.warm_hits.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        shared.warm_misses.fetch_add(1, Ordering::SeqCst);
+                    }
+                    let initial = s.initial_perf();
+                    let resp = Response::SessionCreated {
+                        session: id,
+                        warm_start: s.warm_start(),
+                        registry_distance: s.registry_distance(),
+                        baseline_tps: initial.throughput_tps,
+                        baseline_p99_us: initial.p99_latency_us,
+                    };
+                    *session = Some(s);
+                    resp
+                }
+                Err(e) => Response::Error { message: format!("create_session: {e}") },
+            }
+        }
+        Request::Step => match session.as_mut() {
+            None => Response::Error { message: "no open session".into() },
+            Some(s) => match s.step() {
+                Some(step) => Response::StepDone {
+                    session: s.id(),
+                    step: step.step as u64,
+                    throughput_tps: step.throughput_tps,
+                    p99_latency_us: step.p99_latency_us,
+                    reward: step.reward,
+                    crashed: step.crashed,
+                    degraded: step.degraded,
+                    finished: s.is_finished(),
+                },
+                None => Response::Error {
+                    message: "session is finished; recommend or close_session".into(),
+                },
+            },
+        },
+        Request::Status => shared.status_response(),
+        Request::Recommend => match session.as_ref() {
+            None => Response::Error { message: "no open session".into() },
+            Some(s) => Response::Recommendation {
+                session: s.id(),
+                best_tps: s.best_perf().throughput_tps,
+                best_p99_us: s.best_perf().p99_latency_us,
+                throughput_gain: s.throughput_gain(),
+                changed_knobs: s.changed_knobs() as u64,
+                steps: s.steps_taken() as u64,
+            },
+        },
+        Request::CloseSession => match session.take() {
+            None => Response::Error { message: "no open session".into() },
+            Some(s) => {
+                let out = s.close(&shared.registry, false);
+                shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+                Response::Closed {
+                    session: out.id,
+                    steps: out.steps as u64,
+                    published: out.published,
+                    drained: false,
+                }
+            }
+        },
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.status_response()
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! One tuning session inside the daemon.
+//!
+//! A [`TuningSession`] owns its simulated instance ([`DbEnv`] over
+//! `simdb`), measures a baseline, fingerprints the workload, consults the
+//! [`ModelRegistry`] for a warm start, and then advances an
+//! [`OnlineSession`] one step per client request. Closing the session
+//! publishes the fine-tuned model back to the registry; the shutdown
+//! drain instead persists the live state as a
+//! [`cdbtune::TrainingCheckpoint`].
+
+use crate::fingerprint::WorkloadFingerprint;
+use crate::registry::ModelRegistry;
+use cdbtune::{
+    DbEnv, EnvSpec, OnlineConfig, OnlineSession, OnlineStep, Telemetry, TraceEvent, TrainedModel,
+    TuningOutcome,
+};
+use simdb::PerfMetrics;
+
+/// What a closed session reported.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Session id.
+    pub id: u64,
+    /// Tuning steps taken.
+    pub steps: usize,
+    /// The fine-tuned model was published to the registry.
+    pub published: bool,
+    /// The underlying tuning outcome (recommendation, metrics, model).
+    pub outcome: TuningOutcome,
+}
+
+/// One live tuning session: environment + online tuner + registry context.
+pub struct TuningSession {
+    id: u64,
+    spec: EnvSpec,
+    env: DbEnv,
+    inner: Option<OnlineSession>,
+    fingerprint: WorkloadFingerprint,
+    warm_start: bool,
+    registry_distance: f64,
+    telemetry: Telemetry,
+}
+
+impl TuningSession {
+    /// Opens a session: builds the instance, measures the baseline under
+    /// the default configuration, fingerprints it, and warm-starts from
+    /// the registry when allowed and a near-enough entry exists.
+    pub fn create(
+        id: u64,
+        spec: EnvSpec,
+        max_steps: usize,
+        allow_warm_start: bool,
+        registry: &ModelRegistry,
+        max_distance: f64,
+        telemetry: &Telemetry,
+    ) -> Result<Self, String> {
+        let mut env = spec.build()?;
+        let defaults = env.engine().registry().default_config();
+        env.try_reset_episode(defaults)
+            .map_err(|e| format!("baseline unmeasurable: {e}"))?;
+        let fingerprint = WorkloadFingerprint::measure(&spec, &env);
+
+        let hit = if allow_warm_start {
+            registry.lookup(&fingerprint, env.space().indices(), max_distance)
+        } else {
+            None
+        };
+        let (model, warm_start, registry_distance, warm_action) = match hit {
+            Some(m) => (m.entry.model.clone(), true, m.distance, Some(m.entry.best_action)),
+            None => (
+                TrainedModel::cold(
+                    env.space().indices().to_vec(),
+                    *env.reward_config(),
+                    spec.seed,
+                ),
+                false,
+                0.0,
+                None,
+            ),
+        };
+        let cfg = OnlineConfig { max_steps, seed: spec.seed, ..OnlineConfig::default() };
+        let mut inner = OnlineSession::begin(&mut env, &model, &cfg);
+        if let Some(action) = warm_action {
+            inner.set_warm_action(action);
+        }
+        telemetry.emit(&TraceEvent::SessionOpen {
+            session: id,
+            workload: spec.workload.label().to_ascii_lowercase(),
+            knobs: env.space().dim() as u64,
+            warm_start,
+            registry_distance,
+        });
+        Ok(Self {
+            id,
+            spec,
+            env,
+            inner: Some(inner),
+            fingerprint,
+            warm_start,
+            registry_distance,
+            telemetry: telemetry.clone(),
+        })
+    }
+
+    /// Session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The spec the session was created with.
+    pub fn spec(&self) -> &EnvSpec {
+        &self.spec
+    }
+
+    /// The session warm-started from a registry entry.
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+
+    /// Fingerprint distance to the chosen registry entry (0 when cold).
+    pub fn registry_distance(&self) -> f64 {
+        self.registry_distance
+    }
+
+    /// The session's workload fingerprint.
+    pub fn fingerprint(&self) -> &WorkloadFingerprint {
+        &self.fingerprint
+    }
+
+    /// Baseline metrics under the default configuration.
+    pub fn initial_perf(&self) -> PerfMetrics {
+        self.inner.as_ref().map(|s| s.initial_perf()).unwrap_or_default()
+    }
+
+    /// Best metrics observed so far.
+    pub fn best_perf(&self) -> PerfMetrics {
+        self.inner.as_ref().map(|s| s.best_perf()).unwrap_or_default()
+    }
+
+    /// Tuning steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.inner.as_ref().map_or(0, |s| s.steps_taken())
+    }
+
+    /// True once the step budget is exhausted (or the session aborted).
+    pub fn is_finished(&self) -> bool {
+        match &self.inner {
+            Some(s) => s.is_finished(),
+            None => true,
+        }
+    }
+
+    /// Throughput gain of the current best over the baseline.
+    pub fn throughput_gain(&self) -> f64 {
+        let initial = self.initial_perf().throughput_tps;
+        if initial <= 0.0 {
+            0.0
+        } else {
+            self.best_perf().throughput_tps / initial - 1.0
+        }
+    }
+
+    /// Knobs the current best configuration changes from the defaults.
+    pub fn changed_knobs(&self) -> usize {
+        match &self.inner {
+            Some(s) => {
+                let defaults = self.env.engine().registry().default_config();
+                s.best_config().diff(&defaults).len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Advances the session one tuning step; `None` once finished.
+    pub fn step(&mut self) -> Option<OnlineStep> {
+        let inner = self.inner.as_mut()?;
+        inner.step(&mut self.env)
+    }
+
+    /// Persists the live session as a training checkpoint under
+    /// `dir/session-<id>/checkpoint.json` (the shutdown drain path).
+    pub fn drain_checkpoint(&self, dir: &str) -> std::io::Result<()> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Ok(());
+        };
+        let ck = inner.drain_checkpoint(&self.env);
+        let subdir = std::path::Path::new(dir).join(format!("session-{}", self.id));
+        ck.save_atomic(&subdir.to_string_lossy())
+    }
+
+    /// Closes the session: finishes the online tuner, publishes the
+    /// fine-tuned model to the registry when the session measured at least
+    /// one healthy step, and emits the `session_close` telemetry bracket.
+    /// `drained` marks closes forced by daemon shutdown.
+    pub fn close(mut self, registry: &ModelRegistry, drained: bool) -> SessionOutcome {
+        let inner = self.inner.take().expect("close runs once");
+        let outcome = inner.finish(&mut self.env);
+        let measured_steps =
+            outcome.steps.iter().filter(|s| !s.crashed && !s.degraded).count();
+        let mut published = false;
+        if measured_steps > 0 {
+            let best_action = self.env.space().from_config(&outcome.best_config);
+            published = registry
+                .publish(
+                    self.fingerprint.clone(),
+                    outcome.updated_model.clone(),
+                    best_action,
+                    outcome.best_perf.throughput_tps,
+                    outcome.steps.len(),
+                )
+                .is_ok();
+        }
+        self.telemetry.emit(&TraceEvent::SessionClose {
+            session: self.id,
+            steps: outcome.steps.len() as u64,
+            best_tps: outcome.best_perf.throughput_tps,
+            drained,
+            published,
+        });
+        SessionOutcome { id: self.id, steps: outcome.steps.len(), published, outcome }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdbtune::TraceLevel;
+    use workload::WorkloadKind;
+
+    fn tiny_spec(seed: u64) -> EnvSpec {
+        EnvSpec {
+            workload: WorkloadKind::SysbenchRw,
+            scale: 0.003,
+            knobs: 6,
+            seed,
+            warmup_txns: 10,
+            measure_txns: 60,
+            horizon: 8,
+            ..EnvSpec::default()
+        }
+    }
+
+    #[test]
+    fn cold_session_runs_to_budget_and_publishes() {
+        let registry = ModelRegistry::in_memory();
+        let telemetry = Telemetry::ring(32, TraceLevel::Summary);
+        let mut s = TuningSession::create(
+            1,
+            tiny_spec(7),
+            3,
+            true,
+            &registry,
+            0.25,
+            &telemetry,
+        )
+        .expect("session opens");
+        assert!(!s.warm_start(), "empty registry cannot warm-start");
+        assert!(s.initial_perf().throughput_tps > 0.0);
+        let mut steps = 0;
+        while s.step().is_some() {
+            steps += 1;
+        }
+        assert_eq!(steps, 3);
+        assert!(s.is_finished());
+        assert!(s.throughput_gain() >= 0.0);
+        let out = s.close(&registry, false);
+        assert_eq!(out.steps, 3);
+        assert!(out.published, "healthy session publishes its model");
+        assert_eq!(registry.len(), 1);
+        let events = telemetry.drain_ring();
+        let tags: Vec<&str> = events.iter().map(TraceEvent::type_tag).collect();
+        assert_eq!(tags, ["session_open", "session_close"]);
+    }
+
+    #[test]
+    fn near_identical_spec_warm_starts_from_the_registry() {
+        let registry = ModelRegistry::in_memory();
+        let telemetry = Telemetry::null();
+        let mut first =
+            TuningSession::create(1, tiny_spec(7), 3, true, &registry, 0.25, &telemetry)
+                .expect("first session opens");
+        while first.step().is_some() {}
+        let _ = first.close(&registry, false);
+
+        // Same shape, different seed: close fingerprint, must warm-start.
+        let second =
+            TuningSession::create(2, tiny_spec(8), 3, true, &registry, 0.25, &telemetry)
+                .expect("second session opens");
+        assert!(second.warm_start(), "near-identical fingerprint must hit the registry");
+        assert!(second.registry_distance() < 0.25);
+
+        // warm_start=false forces a cold start even with a perfect match.
+        let forced_cold =
+            TuningSession::create(3, tiny_spec(9), 3, false, &registry, 0.25, &telemetry)
+                .expect("cold session opens");
+        assert!(!forced_cold.warm_start());
+    }
+
+    #[test]
+    fn degenerate_spec_is_a_typed_create_error() {
+        let registry = ModelRegistry::in_memory();
+        let err = match TuningSession::create(
+            1,
+            EnvSpec { knobs: 0, ..tiny_spec(7) },
+            3,
+            true,
+            &registry,
+            0.25,
+            &Telemetry::null(),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("0 knobs cannot open"),
+        };
+        assert!(err.contains("knobs"), "{err}");
+    }
+}

@@ -58,6 +58,20 @@ impl EngineFlavor {
     }
 }
 
+impl std::fmt::Display for EngineFlavor {
+    /// Canonical lowercase label; round-trips through [`std::str::FromStr`]
+    /// (the `cdbtuned` wire protocol and registry fingerprints rely on it).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EngineFlavor::MySqlCdb => "mysql",
+            EngineFlavor::LocalMySql => "local-mysql",
+            EngineFlavor::Postgres => "postgres",
+            EngineFlavor::MongoDb => "mongodb",
+        };
+        f.write_str(s)
+    }
+}
+
 impl std::str::FromStr for EngineFlavor {
     type Err = String;
 
@@ -288,6 +302,19 @@ impl StructuralSettings {
 mod tests {
     use super::*;
     use crate::knobs::KnobValue;
+
+    #[test]
+    fn flavor_labels_round_trip_through_from_str() {
+        for flavor in [
+            EngineFlavor::MySqlCdb,
+            EngineFlavor::LocalMySql,
+            EngineFlavor::Postgres,
+            EngineFlavor::MongoDb,
+        ] {
+            let label = flavor.to_string();
+            assert_eq!(label.parse::<EngineFlavor>().unwrap(), flavor, "label {label}");
+        }
+    }
 
     #[test]
     fn mysql_settings_track_knobs() {

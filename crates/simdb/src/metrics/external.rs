@@ -6,8 +6,9 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Aggregate performance over one observation window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Aggregate performance over one observation window. The `Default` is
+/// the all-zero "nothing measured yet" window.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct PerfMetrics {
     /// Transactions (or requests) per simulated second.
     pub throughput_tps: f64,

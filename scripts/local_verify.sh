@@ -62,10 +62,15 @@ build baselines crates/baselines/src/lib.rs "${EXT_BASE[@]}" \
     --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
     --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
     --extern cdbtune="$OUT/libcdbtune.rlib"
+build service crates/service/src/lib.rs "${EXT_BASE[@]}" \
+    --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
+    --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
+    --extern cdbtune="$OUT/libcdbtune.rlib"
 build bench crates/bench/src/lib.rs "${EXT_BASE[@]}" \
     --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
     --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
-    --extern cdbtune="$OUT/libcdbtune.rlib" --extern baselines="$OUT/libbaselines.rlib"
+    --extern cdbtune="$OUT/libcdbtune.rlib" --extern baselines="$OUT/libbaselines.rlib" \
+    --extern service="$OUT/libservice.rlib"
 
 echo "== build cdbtune binary =="
 rustc $EDITION --crate-name cdbtune_bin crates/core/src/bin/cdbtune.rs \
@@ -73,6 +78,21 @@ rustc $EDITION --crate-name cdbtune_bin crates/core/src/bin/cdbtune.rs \
     --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
     --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
     --extern cdbtune="$OUT/libcdbtune.rlib" -o "$OUT/cdbtune" -Adead_code
+
+echo "== build cdbtuned + svc_load binaries =="
+rustc $EDITION --crate-name cdbtuned crates/service/src/bin/cdbtuned.rs \
+    -L "$OUT" "${EXT_BASE[@]}" \
+    --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
+    --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
+    --extern cdbtune="$OUT/libcdbtune.rlib" --extern service="$OUT/libservice.rlib" \
+    -o "$OUT/cdbtuned" -Adead_code
+rustc $EDITION --crate-name svc_load crates/bench/src/bin/svc_load.rs \
+    -L "$OUT" "${EXT_BASE[@]}" \
+    --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
+    --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
+    --extern cdbtune="$OUT/libcdbtune.rlib" --extern baselines="$OUT/libbaselines.rlib" \
+    --extern service="$OUT/libservice.rlib" --extern bench="$OUT/libbench.rlib" \
+    -o "$OUT/svc_load" -Adead_code
 
 # Skips: anything whose runtime path needs real serde/serde_json
 # (model/checkpoint persistence), per vendor-stubs/README.md — plus tests
@@ -89,10 +109,19 @@ run_tests cdbtune crates/core/src/lib.rs \
     "${EXT_BASE[@]}" \
     --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
     --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib"
+run_tests baselines crates/baselines/src/lib.rs "serde json" "${EXT_BASE[@]}" \
+    --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
+    --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
+    --extern cdbtune="$OUT/libcdbtune.rlib"
+run_tests service crates/service/src/lib.rs "persist" "${EXT_BASE[@]}" \
+    --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
+    --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
+    --extern cdbtune="$OUT/libcdbtune.rlib"
 run_tests bench crates/bench/src/lib.rs "serde json" "${EXT_BASE[@]}" \
     --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
     --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
-    --extern cdbtune="$OUT/libcdbtune.rlib" --extern baselines="$OUT/libbaselines.rlib"
+    --extern cdbtune="$OUT/libcdbtune.rlib" --extern baselines="$OUT/libbaselines.rlib" \
+    --extern service="$OUT/libservice.rlib"
 
 echo "== trace schema smoke (binary -> summarizer) =="
 rustc $EDITION --crate-name trace_summary crates/bench/src/bin/trace_summary.rs \
@@ -100,6 +129,7 @@ rustc $EDITION --crate-name trace_summary crates/bench/src/bin/trace_summary.rs 
     --extern simdb="$OUT/libsimdb.rlib" --extern workload="$OUT/libworkload.rlib" \
     --extern rl="$OUT/librl.rlib" --extern tinynn="$OUT/libtinynn.rlib" \
     --extern cdbtune="$OUT/libcdbtune.rlib" --extern baselines="$OUT/libbaselines.rlib" \
+    --extern service="$OUT/libservice.rlib" \
     --extern bench="$OUT/libbench.rlib" -o "$OUT/trace_summary" -Adead_code
 trace_tmp=$(mktemp -d)
 # `train` panics at the final model write under the serde stub; the trace
@@ -109,5 +139,32 @@ trace_tmp=$(mktemp -d)
     >/dev/null 2>&1 || true
 "$OUT/trace_summary" "$trace_tmp/run.jsonl"
 rm -rf "$trace_tmp"
+
+echo "== daemon smoke (in-memory registry, client-driven shutdown) =="
+# Disk registry/checkpoints need real serde, so the offline smoke runs the
+# daemon in-memory only: boot on an ephemeral port, run two short client
+# sessions, shut down via the protocol, and validate the daemon trace.
+svc_tmp=$(mktemp -d)
+"$OUT/cdbtuned" --addr 127.0.0.1:0 --workers 2 --queue 2 \
+    --trace-out "$svc_tmp/daemon.jsonl" --trace-level step \
+    >"$svc_tmp/stdout" 2>"$svc_tmp/stderr" &
+svc_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^cdbtuned listening on //p' "$svc_tmp/stdout")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "cdbtuned never reported its address"
+    cat "$svc_tmp/stderr"
+    kill "$svc_pid" 2>/dev/null || true
+    exit 1
+fi
+"$OUT/svc_load" --addr "$addr" --sessions 2 --steps 2 \
+    --knobs 4 --scale 0.003 --shutdown true
+wait "$svc_pid"
+"$OUT/trace_summary" "$svc_tmp/daemon.jsonl"
+rm -rf "$svc_tmp"
 
 echo "== local verify OK =="

@@ -18,3 +18,40 @@ trap 'rm -rf "$tmp"' EXIT
 target/release/cdbtune train --out "$tmp/model.json" --episodes 1 --steps 3 \
     --knobs 3 --trace-out "$tmp/run.jsonl" --trace-level debug >/dev/null
 target/release/trace_summary "$tmp/run.jsonl"
+
+# Daemon smoke: boot cdbtuned on an ephemeral port, run one short client
+# session, then SIGTERM a held session and assert the drain checkpoints it
+# and the service trace stays balanced.
+target/release/cdbtuned --addr 127.0.0.1:0 --workers 2 --queue 2 \
+    --registry-dir "$tmp/registry" --checkpoint-dir "$tmp/ckpt" \
+    --trace-out "$tmp/daemon.jsonl" --trace-level step \
+    >"$tmp/daemon.out" 2>"$tmp/daemon.err" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^cdbtuned listening on //p' "$tmp/daemon.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "tier1: cdbtuned never reported its address" >&2
+    cat "$tmp/daemon.err" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+fi
+target/release/svc_load --addr "$addr" --sessions 1 --steps 2 \
+    --knobs 4 --scale 0.003
+# Hold a session live across the SIGTERM so the drain has work to do.
+target/release/svc_load --addr "$addr" --sessions 1 --steps 1 \
+    --knobs 4 --scale 0.003 --hold-ms 10000 >/dev/null 2>&1 &
+holder_pid=$!
+sleep 1.5
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" # exit 0 = clean drain
+wait "$holder_pid" || true
+if ! ls "$tmp"/ckpt/session-*/checkpoint.json >/dev/null 2>&1; then
+    echo "tier1: drain did not checkpoint the held session" >&2
+    exit 1
+fi
+ls "$tmp"/registry/entry-*.json >/dev/null # completed session published
+target/release/trace_summary "$tmp/daemon.jsonl"

@@ -146,7 +146,8 @@ fn killed_training_resumes_to_the_same_step_count() {
         .expect("readable checkpoint")
         .expect("checkpoint written before the kill");
     let mut env = tiny_env(WorkloadKind::SysbenchRw, 12);
-    let (_, resumed) = cdbtune::resume_from_checkpoint(&mut env, &full, ck);
+    let (_, resumed) = cdbtune::resume_from_checkpoint(&mut env, &full, ck)
+        .expect("checkpoint fits the session");
     assert_eq!(resumed.total_steps, uninterrupted.total_steps);
     assert_eq!(resumed.recovery.checkpoints_loaded, 1);
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,180 @@
+//! End-to-end exercise of the `cdbtuned` service: boot the daemon on a
+//! loopback port, drive concurrent sessions through the bench client,
+//! hit the bounded-admission backpressure, and show the registry
+//! warm-start converging in fewer steps than a cold session.
+
+use bench::svc::{run_load, LoadSpec};
+use bench::TraceSummary;
+use cdbtune::{EnvSpec, Telemetry, TraceLevel};
+use service::{spawn, Client, Request, Response, ServiceConfig};
+use workload::WorkloadKind;
+
+fn tiny_spec(seed: u64) -> EnvSpec {
+    EnvSpec {
+        workload: WorkloadKind::SysbenchRw,
+        scale: 0.003,
+        knobs: 6,
+        seed,
+        warmup_txns: 10,
+        measure_txns: 60,
+        horizon: 8,
+        ..EnvSpec::default()
+    }
+}
+
+#[test]
+fn three_concurrent_sessions_run_to_completion() {
+    let telemetry = Telemetry::ring(512, TraceLevel::Step);
+    let handle = spawn(ServiceConfig {
+        workers: 3,
+        queue_capacity: 4,
+        telemetry: telemetry.clone(),
+        ..ServiceConfig::default()
+    })
+    .expect("daemon boots on a loopback port");
+    let report = run_load(&LoadSpec {
+        addr: handle.addr().to_string(),
+        sessions: 3,
+        steps: 2,
+        spec: tiny_spec(21),
+        ..LoadSpec::default()
+    });
+    assert_eq!(report.errors(), 0, "{}", report.render());
+    assert_eq!(report.rejected(), 0, "{}", report.render());
+    assert_eq!(report.completed(), 3);
+    for r in &report.results {
+        assert_eq!(r.steps, 2, "slot {} stopped early: {:?}", r.slot, r.error);
+        assert!(r.best_tps > 0.0);
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.total_sessions, 3);
+    assert_eq!(stats.drained_sessions, 0);
+
+    // The service trace is balanced and summarizable by the bench tooling.
+    let summary = TraceSummary::from_events(&telemetry.drain_ring());
+    assert!(summary.issues.is_empty(), "daemon trace flagged: {:?}", summary.issues);
+    assert_eq!(summary.mode, "serve");
+    assert_eq!(summary.sessions.len(), 3);
+    assert_eq!(summary.admissions, 3);
+    assert!(summary.sessions.iter().all(|s| s.published));
+}
+
+#[test]
+fn oversubscription_trips_the_bounded_queue() {
+    let handle = spawn(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("daemon boots");
+    let report = run_load(&LoadSpec {
+        addr: handle.addr().to_string(),
+        sessions: 8,
+        steps: 1,
+        spec: tiny_spec(31),
+        ..LoadSpec::default()
+    });
+    assert_eq!(report.errors(), 0, "{}", report.render());
+    assert!(
+        report.rejected() >= 1,
+        "8 sessions against 1 worker + queue of 1 must trip backpressure:\n{}",
+        report.render()
+    );
+    assert!(report.completed() >= 1, "{}", report.render());
+    assert!(report
+        .results
+        .iter()
+        .filter_map(|r| r.rejected.as_deref())
+        .all(|reason| reason == "queue_full"));
+    let stats = handle.shutdown();
+    assert!(stats.rejected >= 1);
+}
+
+#[test]
+fn near_identical_session_warm_starts_and_converges_faster() {
+    let handle = spawn(ServiceConfig::default()).expect("daemon boots");
+    let addr = handle.addr();
+
+    // Cold reference session: tune from scratch, note how many steps it
+    // took to first reach (98 % of) its own best throughput.
+    let mut cold = Client::connect(addr).expect("cold client connects");
+    let created = cold
+        .request(&Request::CreateSession {
+            spec: tiny_spec(7),
+            max_steps: 5,
+            warm_start: true,
+        })
+        .expect("cold create");
+    let Response::SessionCreated { warm_start, .. } = created else {
+        panic!("unexpected response: {created:?}");
+    };
+    assert!(!warm_start, "empty registry cannot warm-start");
+    let mut cold_tps = Vec::new();
+    loop {
+        match cold.request(&Request::Step).expect("cold step") {
+            Response::StepDone { throughput_tps, finished, .. } => {
+                cold_tps.push(throughput_tps);
+                if finished {
+                    break;
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    let Response::Recommendation { best_tps: cold_best, .. } =
+        cold.request(&Request::Recommend).expect("cold recommend")
+    else {
+        panic!("expected a recommendation");
+    };
+    let Response::Closed { published, .. } =
+        cold.request(&Request::CloseSession).expect("cold close")
+    else {
+        panic!("expected a close ack");
+    };
+    assert!(published, "the cold session must publish to the registry");
+    let target = 0.98 * cold_best;
+    let cold_steps_to_best =
+        cold_tps.iter().position(|&tps| tps >= target).expect("cold best is in-history") + 1;
+
+    // Near-identical fingerprint (same spec, different seed): must hit the
+    // registry and reach the cold session's best in no more steps, because
+    // the registry's best action is replayed at step 1.
+    let mut warm = Client::connect(addr).expect("warm client connects");
+    let created = warm
+        .request(&Request::CreateSession {
+            spec: tiny_spec(7),
+            max_steps: 5,
+            warm_start: true,
+        })
+        .expect("warm create");
+    let Response::SessionCreated { warm_start, registry_distance, .. } = created else {
+        panic!("unexpected response: {created:?}");
+    };
+    assert!(warm_start, "near-identical fingerprint must warm-start");
+    assert!(registry_distance < 0.25, "distance {registry_distance}");
+    let mut warm_steps_to_best = None;
+    let mut steps = 0;
+    loop {
+        match warm.request(&Request::Step).expect("warm step") {
+            Response::StepDone { throughput_tps, finished, .. } => {
+                steps += 1;
+                if warm_steps_to_best.is_none() && throughput_tps >= target {
+                    warm_steps_to_best = Some(steps);
+                }
+                if finished {
+                    break;
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    let warm_steps_to_best = warm_steps_to_best
+        .expect("the warm session replays the registry's best action and must reach target");
+    assert!(
+        warm_steps_to_best <= cold_steps_to_best,
+        "warm start took {warm_steps_to_best} steps to reach {target:.0} txn/s, \
+         cold took {cold_steps_to_best}"
+    );
+    let _ = warm.request(&Request::CloseSession).expect("warm close");
+    handle.shutdown();
+}
