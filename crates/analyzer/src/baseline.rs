@@ -1,0 +1,268 @@
+//! The baseline ratchet. Legacy findings live in a committed
+//! `analyzer/baseline.json` keyed by [`crate::Finding::fingerprint`]
+//! with a per-key count; the current run may produce *at most* that many
+//! findings per key. New keys (or higher counts) fail; keys the code no
+//! longer trips are reported as stale so the baseline gets regenerated
+//! (`tunelint --fix-baseline`) and the debt ratchets monotonically down.
+//!
+//! The file format is deliberately trivial JSON — sorted keys, one entry
+//! per line, no timestamps — so regeneration is byte-for-byte
+//! deterministic and diffs are reviewable.
+
+use crate::{Finding, Severity};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parsed baseline: fingerprint -> allowed count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Allowed findings per fingerprint.
+    pub entries: BTreeMap<String, u32>,
+}
+
+impl Baseline {
+    /// Counts fingerprints over a finding set.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<String, u32> = BTreeMap::new();
+        for f in findings {
+            *entries.entry(f.fingerprint()).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Deterministic serialization: sorted keys, stable layout, trailing
+    /// newline, no environment-dependent content.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        let last = self.entries.len().saturating_sub(1);
+        for (idx, (k, c)) in self.entries.iter().enumerate() {
+            s.push_str("    {\"key\": \"");
+            s.push_str(&escape(k));
+            s.push_str("\", \"count\": ");
+            s.push_str(&c.to_string());
+            s.push('}');
+            if idx != last {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses the format written by [`Baseline::to_json`]. Line-oriented
+    /// and tolerant of whitespace; anything else is an error (the file is
+    /// machine-generated, so surprises mean corruption).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if let Some(rest) = line.strip_prefix("{\"key\": \"") {
+                let (key, after) = read_escaped(rest)
+                    .ok_or_else(|| format!("baseline line {}: unterminated key", n + 1))?;
+                let after = after
+                    .strip_prefix(", \"count\": ")
+                    .ok_or_else(|| format!("baseline line {}: missing count", n + 1))?;
+                let digits: String =
+                    after.chars().take_while(|c| c.is_ascii_digit()).collect();
+                let count: u32 = digits
+                    .parse()
+                    .map_err(|_| format!("baseline line {}: bad count", n + 1))?;
+                entries.insert(key, count);
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Loads a baseline; `Ok(None)` when the file does not exist yet.
+    pub fn load(path: &Path) -> io::Result<Option<Baseline>> {
+        match fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes the baseline, creating parent directories as needed.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        fs::write(path, self.to_json())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reads an escaped JSON string up to its closing quote; returns the
+/// unescaped content and the remainder after the quote.
+fn read_escaped(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, e)) => out.push(e),
+                None => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Result of diffing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Findings NOT covered by the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by the baseline (legacy debt, reported only in
+    /// verbose mode).
+    pub baselined: Vec<Finding>,
+    /// `(fingerprint, unused count)` for baseline entries the tree no
+    /// longer trips: the debt went down, regenerate to lock it in.
+    pub stale: Vec<(String, u32)>,
+}
+
+impl Ratchet {
+    /// True when any un-baselined finding is deny-level.
+    pub fn failed(&self) -> bool {
+        self.new.iter().any(|f| f.severity == Severity::Deny)
+    }
+}
+
+/// Splits findings into baselined vs new and detects stale entries.
+/// Findings are matched to baseline slots in sorted order so the result
+/// is deterministic.
+pub fn apply(baseline: &Baseline, mut findings: Vec<Finding>) -> Ratchet {
+    findings.sort();
+    let mut used: BTreeMap<String, u32> = BTreeMap::new();
+    let mut r = Ratchet::default();
+    for f in findings {
+        let key = f.fingerprint();
+        let allowed = baseline.entries.get(&key).copied().unwrap_or(0);
+        let u = used.entry(key).or_insert(0);
+        if *u < allowed {
+            *u += 1;
+            r.baselined.push(f);
+        } else {
+            r.new.push(f);
+        }
+    }
+    for (k, c) in &baseline.entries {
+        let u = used.get(k).copied().unwrap_or(0);
+        if u < *c {
+            r.stale.push((k.clone(), c - u));
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, tag: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            lint: "panic-safety",
+            severity: Severity::Deny,
+            fn_name: "f".to_string(),
+            tag: tag.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_and_deterministic() {
+        let fs = vec![
+            finding("a.rs", 3, "unwrap"),
+            finding("a.rs", 9, "unwrap"),
+            finding("b.rs", 1, "index"),
+        ];
+        let b = Baseline::from_findings(&fs);
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries["panic-safety|a.rs|f:unwrap"], 2);
+        let json = b.to_json();
+        assert_eq!(Baseline::parse(&json).expect("parse"), b);
+        // Deterministic: re-serializing the parse gives identical bytes.
+        assert_eq!(Baseline::parse(&json).expect("parse").to_json(), json);
+        assert!(!json.contains("time"), "no timestamps allowed");
+    }
+
+    #[test]
+    fn keys_with_quotes_and_backslashes_survive() {
+        let mut b = Baseline::default();
+        b.entries.insert("lint|a.rs|f:weird\"key\\x".to_string(), 1);
+        let json = b.to_json();
+        assert_eq!(Baseline::parse(&json).expect("parse"), b);
+    }
+
+    #[test]
+    fn ratchet_splits_counts_per_key() {
+        let fs = vec![
+            finding("a.rs", 3, "unwrap"),
+            finding("a.rs", 9, "unwrap"),
+            finding("a.rs", 12, "unwrap"),
+        ];
+        let mut b = Baseline::default();
+        b.entries.insert(fs[0].fingerprint(), 2);
+        let r = apply(&b, fs);
+        assert_eq!(r.baselined.len(), 2);
+        assert_eq!(r.new.len(), 1);
+        // Sorted matching: the *later* line is the new one.
+        assert_eq!(r.new[0].line, 12);
+        assert!(r.failed());
+        assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let mut b = Baseline::default();
+        b.entries.insert("gone|x.rs|f:unwrap".to_string(), 3);
+        let r = apply(&b, Vec::new());
+        assert!(!r.failed());
+        assert_eq!(r.stale, vec![("gone|x.rs|f:unwrap".to_string(), 3)]);
+    }
+
+    #[test]
+    fn empty_baseline_leaves_everything_new() {
+        let r = apply(&Baseline::default(), vec![finding("a.rs", 1, "unwrap")]);
+        assert_eq!(r.new.len(), 1);
+        assert!(r.failed());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("tunelint-baseline-test");
+        let path = dir.join("nested/baseline.json");
+        let b = Baseline::from_findings(&[finding("a.rs", 1, "unwrap")]);
+        b.save(&path).expect("save");
+        assert_eq!(Baseline::load(&path).expect("load"), Some(b));
+        assert_eq!(
+            Baseline::load(&dir.join("missing.json")).expect("load missing"),
+            None
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,165 @@
+//! tunelint — the workspace's static-analysis gate.
+//!
+//! Usage: tunelint [--root DIR] [--baseline FILE] [--fix-baseline]
+//!                 [--list] [--verbose]
+//!
+//! Exit codes: 0 clean (or baselined-only), 1 new deny-level findings,
+//! 2 usage or I/O error.
+
+use analyzer::baseline::{self, Baseline};
+use analyzer::{analyze_tree, AnalysisConfig, LINT_DOCS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    fix_baseline: bool,
+    list: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        baseline: None,
+        fix_baseline: false,
+        list: false,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root requires a directory".to_string())?,
+                );
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--baseline requires a file".to_string())?,
+                ));
+            }
+            "--fix-baseline" => opts.fix_baseline = true,
+            "--list" => opts.list = true,
+            "--verbose" | "-v" => opts.verbose = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_help() {
+    println!(
+        "tunelint: token-level static analysis for the CDBTune workspace\n\
+         \n\
+         USAGE: tunelint [--root DIR] [--baseline FILE] [--fix-baseline] [--list] [--verbose]\n\
+         \n\
+         --root DIR        repo root to analyze (default: .)\n\
+         --baseline FILE   ratchet file (default: <root>/analyzer/baseline.json)\n\
+         --fix-baseline    regenerate the baseline from current findings and exit 0\n\
+         --list            print the lints and exit\n\
+         --verbose, -v     also print baselined (legacy) findings\n\
+         \n\
+         Suppress a single finding with an annotation on the same line or the\n\
+         line above:  // lint:allow(<id>) reason=<why this is sound>\n\
+         where <id> is one of: panic, determinism, lock-order, unsafe, telemetry.\n\
+         \n\
+         Exit codes: 0 clean, 1 new deny-level findings, 2 usage/I-O error."
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("tunelint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        for (id, doc) in LINT_DOCS {
+            println!("{id:<18} {doc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cfg = AnalysisConfig::default_for_repo();
+    let analysis = match analyze_tree(&opts.root, &cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tunelint: failed to analyze {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if analysis.files == 0 {
+        eprintln!(
+            "tunelint: no .rs files under {}/crates — wrong --root?",
+            opts.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let bpath = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("analyzer/baseline.json"));
+
+    if opts.fix_baseline {
+        let b = Baseline::from_findings(&analysis.findings);
+        if let Err(e) = b.save(&bpath) {
+            eprintln!("tunelint: failed to write {}: {e}", bpath.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "tunelint: wrote baseline with {} entr{} ({} finding{}) to {}",
+            b.entries.len(),
+            if b.entries.len() == 1 { "y" } else { "ies" },
+            analysis.findings.len(),
+            if analysis.findings.len() == 1 { "" } else { "s" },
+            bpath.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let base = match Baseline::load(&bpath) {
+        Ok(Some(b)) => b,
+        Ok(None) => Baseline::default(),
+        Err(e) => {
+            eprintln!("tunelint: failed to read baseline {}: {e}", bpath.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let r = baseline::apply(&base, analysis.findings);
+    if opts.verbose {
+        for f in &r.baselined {
+            println!("baselined: {f}");
+        }
+    }
+    for f in &r.new {
+        println!("{f}");
+    }
+    for (k, n) in &r.stale {
+        println!("tunelint: warn: stale baseline entry ({n} unused): {k} — run --fix-baseline");
+    }
+    println!(
+        "tunelint: {} files, {} new finding{}, {} baselined, {} stale baseline entr{}",
+        analysis.files,
+        r.new.len(),
+        if r.new.len() == 1 { "" } else { "s" },
+        r.baselined.len(),
+        r.stale.len(),
+        if r.stale.len() == 1 { "y" } else { "ies" },
+    );
+    if r.failed() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,817 @@
+//! `tunelint` — token-level static analysis for the CDBTune workspace.
+//!
+//! The workspace's correctness rests on invariants the compiler cannot
+//! check: seeded determinism (checkpoint resume, same-seed tests),
+//! panic-free resilient paths, lock acquisition order, audited `unsafe`,
+//! and a telemetry schema whose encoder and decoder must agree. This
+//! crate enforces them with a std-only lexer + lint framework so the gate
+//! runs even in registry-less containers where clippy cannot.
+//!
+//! Design: lints pattern-match the *token stream* (never raw text, so
+//! strings/comments cannot confuse them) produced by [`lexer::lex`].
+//! Findings diff against a committed `analyzer/baseline.json` ratchet:
+//! new violations fail the build, pre-existing ones are enumerated and
+//! burned down over time.
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+
+use crate::lexer::{Lexed, Tok, Token};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint ids accepted inside `// lint:allow(<id>) reason=...` annotations.
+pub const ALLOW_IDS: &[&str] = &["panic", "determinism", "lock-order", "unsafe", "telemetry"];
+
+/// `(lint id, one-line description)` pairs for `tunelint --list`.
+pub const LINT_DOCS: &[(&str, &str)] = &[
+    ("panic-safety", "unwrap()/expect()/panic!/todo!/slice-indexing in resilient hot paths"),
+    ("determinism", "wall-clock, thread_rng, or HashMap/HashSet iteration in seeded RL/replay/fingerprint code"),
+    ("lock-order", "inconsistent Mutex/RwLock acquisition order across functions (deadlock risk)"),
+    ("unsafe-audit", "unsafe blocks/fns without a `// SAFETY:` comment"),
+    ("telemetry-schema", "field-name drift between telemetry encoders and decoders"),
+    ("annotation", "malformed lint:allow annotations (unknown id or missing reason)"),
+];
+
+/// Finding severity. Only `Deny` findings fail the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported but never affects the exit code.
+    Warn,
+    /// Fails the build unless baselined or annotated.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// One lint violation. Field order matters: the derived `Ord` sorts
+/// findings by file, then line, then lint id.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line of the violating token.
+    pub line: u32,
+    /// Lint id, e.g. `panic-safety`.
+    pub lint: &'static str,
+    /// Deny or warn.
+    pub severity: Severity,
+    /// Innermost enclosing function, or `<top>` at module scope.
+    pub fn_name: String,
+    /// Short machine-stable tag (used for the baseline fingerprint and
+    /// fixture golden files), e.g. `unwrap`, `index`, `Instant::now`.
+    pub tag: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// Stable identity for the baseline ratchet. Deliberately excludes
+    /// the line number so unrelated edits shifting lines do not churn
+    /// the baseline; the enclosing fn + tag pin the site well enough.
+    pub fn fingerprint(&self) -> String {
+        format!("{}|{}|{}:{}", self.lint, self.file, self.fn_name, self.tag)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.file, self.line, self.severity, self.lint, self.message
+        )
+    }
+}
+
+/// A parsed `// lint:allow(<id>) reason=...` annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allow {
+    /// Line the annotation comment starts on. It suppresses findings on
+    /// this line and the next.
+    pub line: u32,
+    /// The id inside the parentheses, unvalidated.
+    pub lint: String,
+    /// Whether a nonempty `reason=` followed.
+    pub reason_ok: bool,
+}
+
+/// Line/token span of one `fn` item (signature through closing brace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start: u32,
+    /// 1-based line of the closing brace.
+    pub end: u32,
+    /// Index of the `fn` token.
+    pub tok_start: usize,
+    /// Index of the closing-brace token.
+    pub tok_end: usize,
+}
+
+/// A lexed source file plus the derived structure lints need: test-code
+/// line ranges, allow annotations, and function spans.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// Token stream + comments.
+    pub lexed: Lexed,
+    /// Inclusive line ranges covered by `#[test]` / `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// All `lint:allow` annotations found in comments.
+    pub allows: Vec<Allow>,
+    /// All function items (nested fns included, so spans may overlap).
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and derives test regions, annotations, and fn spans.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let lexed = lexer::lex(text);
+        let test_regions = test_regions(&lexed.tokens);
+        let allows = parse_allows(&lexed);
+        let fns = fn_spans(&lexed.tokens);
+        SourceFile { path: path.to_string(), lexed, test_regions, allows, fns }
+    }
+
+    /// True when `line` falls inside a `#[test]`/`#[cfg(test)]` item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when a well-formed `lint:allow(id)` on `line` or the line
+    /// above covers this lint.
+    pub fn allowed(&self, id: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.reason_ok && a.lint == id && (a.line == line || a.line + 1 == line)
+        })
+    }
+
+    /// Name of the innermost function containing `line`, or `<top>`.
+    pub fn enclosing_fn(&self, line: u32) -> &str {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= line && line <= f.end)
+            .min_by_key(|f| f.tok_end - f.tok_start)
+            .map(|f| f.name.as_str())
+            .unwrap_or("<top>")
+    }
+}
+
+/// Which paths each lint applies to. Matching is plain substring on the
+/// repo-relative path, which keeps fixture tests trivial to scope.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisConfig {
+    /// panic-safety fires only in these paths.
+    pub panic_hot_paths: Vec<String>,
+    /// determinism fires in these paths...
+    pub determinism_scope: Vec<String>,
+    /// ...except these (telemetry/bench wall-clock timing is fine).
+    pub determinism_allowlist: Vec<String>,
+    /// lock-order considers these paths.
+    pub lock_scope: Vec<String>,
+    /// telemetry-schema cross-checks encode/decode inside these files.
+    pub telemetry_files: Vec<String>,
+}
+
+impl AnalysisConfig {
+    /// The scoping this repo commits to (see DESIGN.md §10).
+    pub fn default_for_repo() -> AnalysisConfig {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+        AnalysisConfig {
+            panic_hot_paths: v(&[
+                "crates/core/src/env.rs",
+                "crates/core/src/online.rs",
+                "crates/core/src/trainer.rs",
+                "crates/service/src/server.rs",
+                "crates/service/src/session.rs",
+                "crates/simdb/src/engine.rs",
+                "crates/simdb/src/wal/",
+            ]),
+            determinism_scope: v(&[
+                "crates/rl/src/",
+                "crates/core/src/env.rs",
+                "crates/core/src/trainer.rs",
+                "crates/core/src/online.rs",
+                "crates/core/src/parallel.rs",
+                "crates/core/src/memory_pool.rs",
+                "crates/core/src/state.rs",
+                "crates/core/src/action.rs",
+                "crates/core/src/reward.rs",
+                "crates/service/src/fingerprint.rs",
+                "crates/simdb/src/",
+            ]),
+            determinism_allowlist: v(&["crates/core/src/timing.rs", "crates/bench/"]),
+            lock_scope: v(&["crates/simdb/", "crates/service/"]),
+            telemetry_files: v(&["crates/core/src/telemetry.rs"]),
+        }
+    }
+
+    /// Substring match of `path` against any pattern.
+    pub fn matches_any(&self, path: &str, patterns: &[String]) -> bool {
+        patterns.iter().any(|p| path.contains(p.as_str()))
+    }
+}
+
+/// Result of analyzing a tree: how many files were scanned plus the
+/// sorted findings.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Number of `.rs` files lexed and linted.
+    pub files: usize,
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+}
+
+/// Walks `root/crates` for `.rs` files, skipping `tests/`, `benches/`,
+/// `fixtures/`, and `target/` directories. Sorted for determinism.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        walk(&crates, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "tests" | "benches" | "fixtures" | ".git") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads and analyzes every source file under `root/crates`.
+pub fn analyze_tree(root: &Path, cfg: &AnalysisConfig) -> io::Result<Analysis> {
+    let files = collect_rs_files(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for f in &files {
+        let text = fs::read_to_string(f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(Analysis { files: sources.len(), findings: analyze_sources(&sources, cfg) })
+}
+
+/// Runs every lint over already-parsed sources. This is the entry point
+/// fixture tests use (no filesystem walking involved).
+pub fn analyze_sources(sources: &[SourceFile], cfg: &AnalysisConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for s in sources {
+        findings.extend(lints::panic_safety::run(s, cfg));
+        findings.extend(lints::determinism::run(s, cfg));
+        findings.extend(lints::unsafe_audit::run(s));
+        findings.extend(annotation_findings(s));
+    }
+    findings.extend(lints::lock_order::run(sources, cfg));
+    findings.extend(lints::telemetry_schema::run(sources, cfg));
+    findings.sort();
+    findings
+}
+
+/// Malformed annotations are themselves findings: a suppression without
+/// a reason (or with an unknown lint id) silently rots.
+fn annotation_findings(s: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for a in &s.allows {
+        if s.in_test(a.line) {
+            continue;
+        }
+        if !ALLOW_IDS.contains(&a.lint.as_str()) {
+            out.push(mk_finding(
+                s,
+                "annotation",
+                a.line,
+                "unknown-id",
+                format!(
+                    "unknown lint id `{}` in lint:allow (known: {})",
+                    a.lint,
+                    ALLOW_IDS.join(", ")
+                ),
+            ));
+        } else if !a.reason_ok {
+            out.push(mk_finding(
+                s,
+                "annotation",
+                a.line,
+                "missing-reason",
+                format!("lint:allow({}) requires a nonempty `reason=...`", a.lint),
+            ));
+        }
+    }
+    out
+}
+
+pub(crate) fn mk_finding(
+    s: &SourceFile,
+    lint: &'static str,
+    line: u32,
+    tag: &str,
+    message: String,
+) -> Finding {
+    Finding {
+        file: s.path.clone(),
+        line,
+        lint,
+        severity: Severity::Deny,
+        fn_name: s.enclosing_fn(line).to_string(),
+        tag: tag.to_string(),
+        message,
+    }
+}
+
+// ---- token helpers shared by the lints ----
+
+pub(crate) fn is_punct(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i), Some(t) if t.tok == Tok::Punct(c))
+}
+
+pub(crate) fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "yield",
+];
+
+pub(crate) fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Given the index of a type ident (`Mutex`, `HashMap`, ...), walks
+/// backwards over wrappers (`Arc<`, `&`, `'a`, `mut`, `dyn`) and path
+/// segments (`std::sync::`) to recover the declared binding name from
+/// `name: ...Type<...>` fields/params or `let [mut] name = Type::...`.
+pub(crate) fn decl_name_before(toks: &[Token], type_idx: usize) -> Option<String> {
+    let t = |k: isize| -> Option<&Tok> {
+        if k < 0 {
+            None
+        } else {
+            toks.get(k as usize).map(|x| &x.tok)
+        }
+    };
+    let mut j = type_idx as isize - 1;
+    loop {
+        match t(j)? {
+            Tok::Punct(':') if matches!(t(j - 1), Some(Tok::Punct(':'))) => {
+                j -= 2;
+                if matches!(t(j), Some(Tok::Ident(_))) {
+                    j -= 1;
+                } else {
+                    return None;
+                }
+            }
+            Tok::Punct('<') if matches!(t(j - 1), Some(Tok::Ident(_))) => j -= 2,
+            Tok::Punct('&') => j -= 1,
+            Tok::Lifetime(_) => j -= 1,
+            Tok::Ident(s) if s == "mut" || s == "dyn" => j -= 1,
+            _ => break,
+        }
+    }
+    match t(j)? {
+        Tok::Punct(':') => match t(j - 1) {
+            Some(Tok::Ident(name)) if !is_keyword(name) => Some(name.clone()),
+            _ => None,
+        },
+        Tok::Punct('=') => match t(j - 1) {
+            Some(Tok::Ident(name))
+                if matches!(t(j - 2), Some(Tok::Ident(k)) if k == "let" || k == "mut") =>
+            {
+                Some(name.clone())
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+// ---- derived structure: test regions, annotations, fn spans ----
+
+/// Index of the matching `}` for the `{` at `open` (token indices).
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Line ranges of items carrying a `test`-bearing attribute
+/// (`#[test]`, `#[cfg(test)]`, `#[tokio::test]`, ...). `not(test)`
+/// attributes are real code and excluded.
+fn test_regions(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_punct(toks, i, '#') && is_punct(toks, i + 1, '[') {
+            if let Some(close) = match_bracket(toks, i + 1) {
+                let attr = &toks[i + 2..close];
+                let has_test = attr.iter().any(|t| matches!(&t.tok, Tok::Ident(s) if s == "test"));
+                let negated = attr.iter().any(|t| matches!(&t.tok, Tok::Ident(s) if s == "not"));
+                if has_test && !negated {
+                    // Skip any stacked attributes after this one.
+                    let mut k = close + 1;
+                    while is_punct(toks, k, '#') && is_punct(toks, k + 1, '[') {
+                        match match_bracket(toks, k + 1) {
+                            Some(c) => k = c + 1,
+                            None => break,
+                        }
+                    }
+                    // The item body is the first `{` before any `;`.
+                    let mut body = None;
+                    let mut m = k;
+                    while m < toks.len() {
+                        match toks[m].tok {
+                            Tok::Punct('{') => {
+                                body = Some(m);
+                                break;
+                            }
+                            Tok::Punct(';') => break,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    match body {
+                        Some(b) => {
+                            let e = match_brace(toks, b);
+                            out.push((toks[i].line, toks[e].line));
+                            i = e + 1;
+                        }
+                        None => {
+                            out.push((toks[i].line, toks[close.min(toks.len() - 1)].line));
+                            i = close + 1;
+                        }
+                    }
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the matching `]` for the `[` at `open`.
+fn match_bracket(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// All `fn name ... { ... }` items, nested included.
+fn fn_spans(toks: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if ident_at(toks, i) == Some("fn") {
+            if let Some(name) = ident_at(toks, i + 1) {
+                let name = name.to_string();
+                let mut m = i + 2;
+                let mut body = None;
+                while m < toks.len() {
+                    match toks[m].tok {
+                        Tok::Punct('{') => {
+                            body = Some(m);
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                if let Some(b) = body {
+                    let e = match_brace(toks, b);
+                    out.push(FnSpan {
+                        name,
+                        start: toks[i].line,
+                        end: toks[e].line,
+                        tok_start: i,
+                        tok_end: e,
+                    });
+                }
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts `lint:allow(<id>) reason=...` from comment text.
+fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let t = c.text.trim_start();
+        if let Some(rest) = t.strip_prefix("lint:allow(") {
+            if let Some(end) = rest.find(')') {
+                let lint = rest[..end].trim().to_string();
+                let after = rest[end + 1..].trim_start();
+                let reason_ok = after
+                    .strip_prefix("reason=")
+                    .map(|r| !r.trim().is_empty())
+                    .unwrap_or(false);
+                out.push(Allow { line: c.line, lint, reason_ok });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod framework_tests {
+    use super::*;
+
+    #[test]
+    fn allow_annotation_parses_and_covers_next_line() {
+        let s = SourceFile::parse(
+            "x.rs",
+            "// lint:allow(panic) reason=init cannot fail\nlet x = 1;\n",
+        );
+        assert_eq!(s.allows.len(), 1);
+        assert!(s.allows[0].reason_ok);
+        assert!(s.allowed("panic", 1));
+        assert!(s.allowed("panic", 2));
+        assert!(!s.allowed("panic", 3));
+        assert!(!s.allowed("determinism", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_is_not_effective_and_is_a_finding() {
+        let s = SourceFile::parse("x.rs", "// lint:allow(panic)\nlet x = 1;\n");
+        assert!(!s.allowed("panic", 2));
+        let fs = annotation_findings(&s);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].tag, "missing-reason");
+    }
+
+    #[test]
+    fn allow_with_unknown_id_is_a_finding() {
+        let s = SourceFile::parse("x.rs", "// lint:allow(speling) reason=whatever\n");
+        let fs = annotation_findings(&s);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].tag, "unknown-id");
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules_and_test_fns() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = SourceFile::parse("x.rs", src);
+        assert!(!s.in_test(1));
+        assert!(s.in_test(2));
+        assert!(s.in_test(5));
+        assert!(s.in_test(6));
+        assert!(!s.in_test(7));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let s = SourceFile::parse("x.rs", "#[cfg(not(test))]\nfn real() { body(); }\n");
+        assert!(!s.in_test(2));
+    }
+
+    #[test]
+    fn fn_spans_and_enclosing_fn() {
+        let src = "fn outer() {\n  fn inner() {\n    x();\n  }\n  y();\n}\nfn other() { z(); }\n";
+        let s = SourceFile::parse("x.rs", src);
+        assert_eq!(s.enclosing_fn(3), "inner");
+        assert_eq!(s.enclosing_fn(5), "outer");
+        assert_eq!(s.enclosing_fn(7), "other");
+        assert_eq!(s.enclosing_fn(100), "<top>");
+    }
+
+    #[test]
+    fn decl_name_recovers_fields_params_and_lets() {
+        let cases: &[(&str, &str, &str)] = &[
+            ("struct A { heat: HashMap<u64, u32> }", "HashMap", "heat"),
+            ("fn f(guard: &std::sync::Mutex<u8>) {}", "Mutex", "guard"),
+            ("struct B { inner: Arc<std::sync::Mutex<Vec<u8>>> }", "Mutex", "inner"),
+            ("fn g() { let mut m = HashMap::new(); }", "HashMap", "m"),
+            ("fn h(x: &'a mut RwLock<u8>) {}", "RwLock", "x"),
+        ];
+        for (src, ty, want) in cases {
+            let l = lexer::lex(src);
+            let idx = l
+                .tokens
+                .iter()
+                .position(|t| matches!(&t.tok, Tok::Ident(s) if s == ty))
+                .expect("type token");
+            assert_eq!(
+                decl_name_before(&l.tokens, idx).as_deref(),
+                Some(*want),
+                "case: {src}"
+            );
+        }
+        // A bare import has no binding name.
+        let l = lexer::lex("use std::collections::HashMap;");
+        let idx = l
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Ident(s) if s == "HashMap"))
+            .expect("type token");
+        assert_eq!(decl_name_before(&l.tokens, idx), None);
+    }
+}
+
+#[cfg(test)]
+mod fixture_tests {
+    use super::*;
+
+    /// Locates `tests/fixtures` whether the test binary runs with CWD at
+    /// the package dir (cargo) or the repo root (offline rustc harness).
+    fn fixture_dir() -> PathBuf {
+        if let Ok(d) = std::env::var("CARGO_MANIFEST_DIR") {
+            let p = PathBuf::from(d).join("tests/fixtures");
+            if p.is_dir() {
+                return p;
+            }
+        }
+        for c in ["crates/analyzer/tests/fixtures", "tests/fixtures"] {
+            let p = PathBuf::from(c);
+            if p.is_dir() {
+                return p;
+            }
+        }
+        panic!("fixture dir not found from cwd {:?}", std::env::current_dir());
+    }
+
+    fn run_fixture(names: &[&str], cfg: &AnalysisConfig) -> Vec<String> {
+        let dir = fixture_dir();
+        let sources: Vec<SourceFile> = names
+            .iter()
+            .map(|n| {
+                let text = fs::read_to_string(dir.join(n))
+                    .unwrap_or_else(|e| panic!("read fixture {n}: {e}"));
+                SourceFile::parse(&format!("fixtures/{n}"), &text)
+            })
+            .collect();
+        analyze_sources(&sources, cfg)
+            .iter()
+            .map(|f| format!("{}:{}:{}:{}", f.lint, f.file, f.line, f.tag))
+            .collect()
+    }
+
+    fn golden(name: &str) -> Vec<String> {
+        let text = fs::read_to_string(fixture_dir().join(name))
+            .unwrap_or_else(|e| panic!("read golden {name}: {e}"));
+        text.lines()
+            .map(|l| l.trim())
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| l.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn panic_safety_fixture_matches_golden() {
+        let cfg = AnalysisConfig {
+            panic_hot_paths: vec!["panic_hot.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(run_fixture(&["panic_hot.rs"], &cfg), golden("panic_hot.expected"));
+    }
+
+    #[test]
+    fn determinism_fixture_matches_golden() {
+        let cfg = AnalysisConfig {
+            determinism_scope: vec!["determinism.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(run_fixture(&["determinism.rs"], &cfg), golden("determinism.expected"));
+    }
+
+    #[test]
+    fn determinism_allowlist_suppresses_entirely() {
+        let cfg = AnalysisConfig {
+            determinism_scope: vec!["determinism.rs".into()],
+            determinism_allowlist: vec!["determinism.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(run_fixture(&["determinism.rs"], &cfg), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lock_order_fixture_matches_golden() {
+        let cfg = AnalysisConfig {
+            lock_scope: vec!["lock_cycle.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(run_fixture(&["lock_cycle.rs"], &cfg), golden("lock_cycle.expected"));
+    }
+
+    #[test]
+    fn lock_order_clean_fixture_is_silent() {
+        let cfg = AnalysisConfig {
+            lock_scope: vec!["lock_clean.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(run_fixture(&["lock_clean.rs"], &cfg), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unsafe_audit_fixture_matches_golden() {
+        let cfg = AnalysisConfig::default();
+        assert_eq!(run_fixture(&["unsafe_audit.rs"], &cfg), golden("unsafe_audit.expected"));
+    }
+
+    #[test]
+    fn telemetry_schema_fixture_matches_golden() {
+        let cfg = AnalysisConfig {
+            telemetry_files: vec!["telemetry_drift.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(
+            run_fixture(&["telemetry_drift.rs"], &cfg),
+            golden("telemetry_drift.expected")
+        );
+    }
+
+    #[test]
+    fn baseline_ratchet_suppresses_known_and_fails_new() {
+        let cfg = AnalysisConfig {
+            panic_hot_paths: vec!["panic_hot.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        let dir = fixture_dir();
+        let text = fs::read_to_string(dir.join("panic_hot.rs")).expect("fixture");
+        let s = SourceFile::parse("fixtures/panic_hot.rs", &text);
+        let findings = analyze_sources(&[s], &cfg);
+        assert!(!findings.is_empty());
+
+        // Baseline built from the full set: everything is suppressed.
+        let b = baseline::Baseline::from_findings(&findings);
+        let r = baseline::apply(&b, findings.clone());
+        assert!(r.new.is_empty());
+        assert_eq!(r.baselined.len(), findings.len());
+        assert!(r.stale.is_empty());
+
+        // Drop one entry from the baseline: exactly that finding is new.
+        let victim = findings[0].fingerprint();
+        let mut shrunk = b.clone();
+        shrunk.entries.remove(&victim);
+        let r2 = baseline::apply(&shrunk, findings.clone());
+        let new_keys: Vec<String> = r2.new.iter().map(|f| f.fingerprint()).collect();
+        assert!(new_keys.contains(&victim));
+        assert_eq!(r2.baselined.len() + r2.new.len(), findings.len());
+
+        // An empty baseline leaves every finding new (fresh-repo mode).
+        let r3 = baseline::apply(&baseline::Baseline::default(), findings.clone());
+        assert_eq!(r3.new.len(), findings.len());
+    }
+}

@@ -1,0 +1,222 @@
+//! determinism: seeded RL/replay/fingerprint code must produce identical
+//! behavior for identical seeds (checkpoint resume and the same-seed
+//! regression tests depend on it). Flags wall-clock reads
+//! (`Instant::now`, `SystemTime::now`), `thread_rng()` calls, and
+//! iteration over `HashMap`/`HashSet` bindings (whose order is
+//! nondeterministic and must never leak into seeded behavior). Telemetry
+//! and bench timing live on a path allowlist; point fixes use
+//! `// lint:allow(determinism) reason=...`.
+
+use crate::lexer::Tok;
+use crate::{decl_name_before, ident_at, is_punct, mk_finding, AnalysisConfig, Finding, SourceFile};
+use std::collections::BTreeSet;
+
+/// Methods whose results depend on hash-iteration order.
+const ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain", "retain"];
+
+/// Runs the lint over one file (no-op outside the determinism scope or
+/// inside the allowlist).
+pub fn run(s: &SourceFile, cfg: &AnalysisConfig) -> Vec<Finding> {
+    if !cfg.matches_any(&s.path, &cfg.determinism_scope)
+        || cfg.matches_any(&s.path, &cfg.determinism_allowlist)
+    {
+        return Vec::new();
+    }
+    let toks = &s.lexed.tokens;
+    let hash_names = hash_bindings(s);
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if s.in_test(line) {
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Ident(id) if id == "now" => {
+                if i >= 3
+                    && is_punct(toks, i - 1, ':')
+                    && is_punct(toks, i - 2, ':')
+                    && matches!(ident_at(toks, i - 3), Some("Instant") | Some("SystemTime"))
+                    && !s.allowed("determinism", line)
+                {
+                    let ty = ident_at(toks, i - 3).unwrap_or("clock");
+                    out.push(mk_finding(
+                        s,
+                        "determinism",
+                        line,
+                        &format!("{ty}::now"),
+                        format!(
+                            "`{ty}::now()` in seeded code; route timing through core::timing \
+                             or annotate `// lint:allow(determinism) reason=...`"
+                        ),
+                    ));
+                }
+            }
+            Tok::Ident(id) if id == "thread_rng" => {
+                if is_punct(toks, i + 1, '(') && !s.allowed("determinism", line) {
+                    out.push(mk_finding(
+                        s,
+                        "determinism",
+                        line,
+                        "thread_rng",
+                        "`thread_rng()` breaks seeded determinism; derive a seeded rng from the \
+                         run seed instead"
+                            .to_string(),
+                    ));
+                }
+            }
+            Tok::Ident(m) if ITER_METHODS.contains(&m.as_str()) => {
+                if i >= 2
+                    && is_punct(toks, i - 1, '.')
+                    && is_punct(toks, i + 1, '(')
+                    && ident_at(toks, i - 2).is_some_and(|n| hash_names.contains(n))
+                    && !s.allowed("determinism", line)
+                {
+                    let name = ident_at(toks, i - 2).unwrap_or("?");
+                    out.push(mk_finding(
+                        s,
+                        "determinism",
+                        line,
+                        &format!("hash-iter:{name}.{m}"),
+                        format!(
+                            "iterating hash-ordered `{name}` (`.{m}()`) in seeded code; use a \
+                             BTreeMap/BTreeSet or sort the keys first"
+                        ),
+                    ));
+                }
+            }
+            Tok::Ident(id) if id == "for" => {
+                if let Some(f) = check_for_loop(s, toks, i, &hash_names) {
+                    out.push(f);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Flags `for ... in [&[mut]] <hash-binding> {`. Method-call forms like
+/// `for k in m.keys()` end in `)` before the brace and are caught by the
+/// method rule instead.
+fn check_for_loop(
+    s: &SourceFile,
+    toks: &[crate::lexer::Token],
+    for_idx: usize,
+    hash_names: &BTreeSet<String>,
+) -> Option<Finding> {
+    let mut j = for_idx + 1;
+    let mut in_idx = None;
+    while j < toks.len() && j < for_idx + 14 {
+        if ident_at(toks, j) == Some("in") {
+            in_idx = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    let in_idx = in_idx?;
+    let mut m = in_idx + 1;
+    while m < toks.len() && m < in_idx + 9 {
+        if is_punct(toks, m, '{') {
+            let name = ident_at(toks, m - 1)?;
+            let line = toks[m - 1].line;
+            if hash_names.contains(name) && !s.allowed("determinism", line) {
+                return Some(mk_finding(
+                    s,
+                    "determinism",
+                    line,
+                    &format!("hash-for:{name}"),
+                    format!(
+                        "`for .. in {name}` iterates a hash-ordered collection in seeded code; \
+                         use a BTreeMap/BTreeSet or sort the keys first"
+                    ),
+                ));
+            }
+            return None;
+        }
+        m += 1;
+    }
+    None
+}
+
+/// Names of bindings (fields, params, lets) declared with a
+/// `HashMap`/`HashSet` type in this file.
+fn hash_bindings(s: &SourceFile) -> BTreeSet<String> {
+    let toks = &s.lexed.tokens;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if matches!(ident_at(toks, i), Some("HashMap") | Some("HashSet")) {
+            if let Some(n) = decl_name_before(toks, i) {
+                names.insert(n);
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig { determinism_scope: vec!["rng.rs".into()], ..AnalysisConfig::default() }
+    }
+
+    fn tags(src: &str) -> Vec<String> {
+        let s = SourceFile::parse("rng.rs", src);
+        run(&s, &cfg()).into_iter().map(|f| f.tag).collect()
+    }
+
+    #[test]
+    fn flags_clocks_and_thread_rng() {
+        let src = "fn f() { let t = Instant::now(); let u = SystemTime::now(); let r = thread_rng(); }";
+        assert_eq!(tags(src), vec!["Instant::now", "SystemTime::now", "thread_rng"]);
+    }
+
+    #[test]
+    fn thread_rng_import_alone_is_not_flagged() {
+        assert!(tags("use rand::thread_rng;").is_empty());
+    }
+
+    #[test]
+    fn flags_hash_map_iteration_but_not_point_lookups() {
+        let src = "struct S { m: HashMap<u64, u32> }\n\
+                   fn f(s: &S) {\n\
+                     s.m.insert(1, 2); s.m.get(&1); s.m.entry(1); s.m.contains_key(&1);\n\
+                     for k in s.m.keys() { use_it(k); }\n\
+                     s.m.retain(|_, v| *v > 0);\n\
+                   }";
+        assert_eq!(tags(src), vec!["hash-iter:m.keys", "hash-iter:m.retain"]);
+    }
+
+    #[test]
+    fn flags_for_in_over_hash_binding() {
+        let src = "fn f() { let mut seen = HashSet::new(); for x in &seen { touch(x); } }";
+        assert_eq!(tags(src), vec!["hash-for:seen"]);
+    }
+
+    #[test]
+    fn vec_iteration_is_fine() {
+        let src = "fn f(v: &Vec<u32>) { for x in v.iter() { touch(x); } for y in v { touch(y); } }";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_and_annotations_suppress() {
+        let allow_cfg = AnalysisConfig {
+            determinism_scope: vec!["rng.rs".into()],
+            determinism_allowlist: vec!["rng.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        let s = SourceFile::parse("rng.rs", "fn f() { Instant::now(); }");
+        assert!(run(&s, &allow_cfg).is_empty());
+
+        let src = "fn f() {\n  // lint:allow(determinism) reason=wall time only feeds logs\n  let t = Instant::now();\n}";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn instant_elapsed_etc_not_flagged() {
+        assert!(tags("fn f(t: Instant) { t.elapsed(); }").is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! lock-order: `simdb` and `service` take multiple `Mutex`/`RwLock`
+//! guards; if two functions acquire the same pair in opposite orders, a
+//! deadlock is one unlucky interleaving away. The lint recovers lock
+//! binding names from declarations, records the order each function
+//! acquires them in, builds the union order graph across both crates,
+//! and fails on any cycle, pointing at the acquisition sites involved.
+
+use crate::{
+    decl_name_before, ident_at, is_punct, mk_finding, AnalysisConfig, Finding, SourceFile,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where an ordered acquisition edge `a -> b` was observed (the site of
+/// the *second* acquisition).
+#[derive(Debug, Clone)]
+struct EdgeSite {
+    file_idx: usize,
+    line: u32,
+    func: String,
+}
+
+/// Runs the lint across all in-scope files (cross-file by design: the
+/// cycle may span crates).
+pub fn run(sources: &[SourceFile], cfg: &AnalysisConfig) -> Vec<Finding> {
+    let in_scope: Vec<(usize, &SourceFile)> = sources
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| cfg.matches_any(&s.path, &cfg.lock_scope))
+        .collect();
+    if in_scope.is_empty() {
+        return Vec::new();
+    }
+
+    // Pass 1: every binding declared with a Mutex/RwLock type.
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for (_, s) in &in_scope {
+        let toks = &s.lexed.tokens;
+        for i in 0..toks.len() {
+            if matches!(ident_at(toks, i), Some("Mutex") | Some("RwLock")) {
+                if let Some(n) = decl_name_before(toks, i) {
+                    names.insert(n);
+                }
+            }
+        }
+    }
+
+    // Pass 2: per-function acquisition order -> edges (earlier, later).
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    for (file_idx, s) in &in_scope {
+        let toks = &s.lexed.tokens;
+        for f in &s.fns {
+            let mut acq: Vec<(String, u32)> = Vec::new();
+            for i in f.tok_start..=f.tok_end.min(toks.len().saturating_sub(1)) {
+                let line = toks[i].line;
+                // Attribute tokens inside nested fns to the nested fn only.
+                if s.enclosing_fn(line) != f.name {
+                    continue;
+                }
+                if let Some(m) = ident_at(toks, i) {
+                    if (m == "lock" || m == "read" || m == "write")
+                        && i >= 2
+                        && is_punct(toks, i - 1, '.')
+                        && is_punct(toks, i + 1, '(')
+                        && is_punct(toks, i + 2, ')')
+                    {
+                        if let Some(name) = ident_at(toks, i - 2) {
+                            if names.contains(name)
+                                && !s.in_test(line)
+                                && !s.allowed("lock-order", line)
+                            {
+                                acq.push((name.to_string(), line));
+                            }
+                        }
+                    }
+                }
+            }
+            for a in 0..acq.len() {
+                for b in (a + 1)..acq.len() {
+                    if acq[a].0 != acq[b].0 {
+                        edges
+                            .entry((acq[a].0.clone(), acq[b].0.clone()))
+                            .or_insert(EdgeSite {
+                                file_idx: *file_idx,
+                                line: acq[b].1,
+                                func: f.name.clone(),
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the union graph.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().insert(b.as_str());
+    }
+    let cycle = match find_cycle(&adj) {
+        Some(c) => c,
+        None => return Vec::new(),
+    };
+
+    let desc = {
+        let mut d = cycle.join(" -> ");
+        d.push_str(" -> ");
+        d.push_str(&cycle[0]);
+        d
+    };
+    let mut out = Vec::new();
+    for w in 0..cycle.len() {
+        let a = &cycle[w];
+        let b = &cycle[(w + 1) % cycle.len()];
+        if let Some(site) = edges.get(&(a.clone(), b.clone())) {
+            out.push(mk_finding(
+                sources.get(site.file_idx).unwrap_or(&sources[0]),
+                "lock-order",
+                site.line,
+                &format!("cycle:{a}->{b}"),
+                format!(
+                    "lock order cycle {desc}: fn `{}` acquires `{b}` while holding `{a}`; \
+                     pick one global order or annotate `// lint:allow(lock-order) reason=...`",
+                    site.func
+                ),
+            ));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Returns the node sequence of some cycle, or None. DFS with the usual
+/// white/grey/black coloring; graphs here are tiny.
+fn find_cycle<'a>(adj: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Option<Vec<String>> {
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+    let mut path: Vec<&str> = Vec::new();
+
+    fn dfs<'a>(
+        n: &'a str,
+        adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        color: &mut BTreeMap<&'a str, u8>,
+        path: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        color.insert(n, 1);
+        path.push(n);
+        if let Some(next) = adj.get(n) {
+            for &m in next {
+                match color.get(m).copied().unwrap_or(0) {
+                    0 => {
+                        if let Some(c) = dfs(m, adj, color, path) {
+                            return Some(c);
+                        }
+                    }
+                    1 => {
+                        let start = path.iter().position(|&p| p == m).unwrap_or(0);
+                        return Some(path[start..].iter().map(|s| s.to_string()).collect());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        path.pop();
+        color.insert(n, 2);
+        None
+    }
+
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for n in nodes {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            if let Some(c) = dfs(n, adj, &mut color, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig { lock_scope: vec![".rs".into()], ..AnalysisConfig::default() }
+    }
+
+    #[test]
+    fn opposite_orders_across_functions_form_a_cycle() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n\
+                   fn g(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); }\n";
+        let s = SourceFile::parse("locks.rs", src);
+        let fs = run(&[s], &cfg());
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().any(|f| f.tag == "cycle:a->b"));
+        assert!(fs.iter().any(|f| f.tag == "cycle:b->a"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "struct S { a: Mutex<u8>, b: RwLock<u8> }\n\
+                   fn f(s: &S) { s.a.lock(); s.b.read(); }\n\
+                   fn g(s: &S) { s.a.lock(); s.b.write(); }\n";
+        let s = SourceFile::parse("locks.rs", src);
+        assert!(run(&[s], &cfg()).is_empty());
+    }
+
+    #[test]
+    fn cycle_across_two_files_is_found() {
+        let s1 = SourceFile::parse(
+            "one.rs",
+            "struct S { a: Mutex<u8>, b: Mutex<u8> }\nfn f(s: &S) { s.a.lock(); s.b.lock(); }",
+        );
+        let s2 = SourceFile::parse("two.rs", "fn g(s: &S) { s.b.lock(); s.a.lock(); }");
+        assert_eq!(run(&[s1, s2], &cfg()).len(), 2);
+    }
+
+    #[test]
+    fn io_write_with_args_is_not_a_lock() {
+        let src = "struct S { file: Mutex<u8> }\n\
+                   fn f(s: &S, out: &mut W) { s.file.lock(); out.write(buf); out.read(buf); }";
+        let s = SourceFile::parse("locks.rs", src);
+        assert!(run(&[s], &cfg()).is_empty());
+    }
+
+    #[test]
+    fn same_lock_twice_is_not_an_edge() {
+        let src = "struct S { a: Mutex<u8> }\nfn f(s: &S) { s.a.lock(); s.a.lock(); }";
+        let s = SourceFile::parse("locks.rs", src);
+        assert!(run(&[s], &cfg()).is_empty());
+    }
+
+    #[test]
+    fn annotation_breaks_the_edge() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   fn f(s: &S) { s.a.lock(); s.b.lock(); }\n\
+                   fn g(s: &S) {\n\
+                     s.b.lock();\n\
+                     // lint:allow(lock-order) reason=b is released before a is taken\n\
+                     s.a.lock();\n\
+                   }\n";
+        let s = SourceFile::parse("locks.rs", src);
+        assert!(run(&[s], &cfg()).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_ignored() {
+        let s = SourceFile::parse(
+            "locks.rs",
+            "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+             fn f(s: &S) { s.a.lock(); s.b.lock(); }\n\
+             fn g(s: &S) { s.b.lock(); s.a.lock(); }\n",
+        );
+        let scoped = AnalysisConfig { lock_scope: vec!["other/".into()], ..AnalysisConfig::default() };
+        assert!(run(&[s], &scoped).is_empty());
+    }
+}

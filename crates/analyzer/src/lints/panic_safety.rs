@@ -1,0 +1,167 @@
+//! panic-safety: the resilient hot paths (env recovery loop, service
+//! request handling, WAL replay, engine stepping) must not be able to
+//! panic — a panic there tears down a worker mid-episode and defeats the
+//! typed-error recovery machinery built in PR 1. Flags `.unwrap()`,
+//! `.expect(..)`, `panic!`/`todo!`/`unimplemented!`, and slice/array
+//! indexing (which can panic on out-of-bounds) outside test code, unless
+//! annotated `// lint:allow(panic) reason=...`.
+
+use crate::lexer::Tok;
+use crate::{is_keyword, is_punct, mk_finding, AnalysisConfig, Finding, SourceFile};
+
+/// Runs the lint over one file (no-op outside the configured hot paths).
+pub fn run(s: &SourceFile, cfg: &AnalysisConfig) -> Vec<Finding> {
+    if !cfg.matches_any(&s.path, &cfg.panic_hot_paths) {
+        return Vec::new();
+    }
+    let toks = &s.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if s.in_test(line) {
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Ident(id) if id == "unwrap" => {
+                if i > 0
+                    && is_punct(toks, i - 1, '.')
+                    && is_punct(toks, i + 1, '(')
+                    && is_punct(toks, i + 2, ')')
+                    && !s.allowed("panic", line)
+                {
+                    out.push(mk_finding(
+                        s,
+                        "panic-safety",
+                        line,
+                        "unwrap",
+                        "`.unwrap()` in a resilient hot path; return a typed error or annotate \
+                         `// lint:allow(panic) reason=...`"
+                            .to_string(),
+                    ));
+                }
+            }
+            Tok::Ident(id) if id == "expect" => {
+                if i > 0
+                    && is_punct(toks, i - 1, '.')
+                    && is_punct(toks, i + 1, '(')
+                    && !s.allowed("panic", line)
+                {
+                    out.push(mk_finding(
+                        s,
+                        "panic-safety",
+                        line,
+                        "expect",
+                        "`.expect(..)` in a resilient hot path; return a typed error or annotate \
+                         `// lint:allow(panic) reason=...`"
+                            .to_string(),
+                    ));
+                }
+            }
+            Tok::Ident(id) if id == "panic" || id == "todo" || id == "unimplemented" => {
+                if is_punct(toks, i + 1, '!') && !s.allowed("panic", line) {
+                    out.push(mk_finding(
+                        s,
+                        "panic-safety",
+                        line,
+                        &format!("{id}!"),
+                        format!("`{id}!` in a resilient hot path; return a typed error instead"),
+                    ));
+                }
+            }
+            Tok::Punct('[') if i > 0 && is_index_receiver(toks, i - 1) => {
+                if !s.allowed("panic", line) {
+                    out.push(mk_finding(
+                        s,
+                        "panic-safety",
+                        line,
+                        "index",
+                        "slice/array indexing can panic on out-of-bounds in a hot path; \
+                         use `.get()` / iterators or annotate `// lint:allow(panic) reason=...`"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// True when the token before `[` makes it an *indexing* expression:
+/// an identifier (`buf[i]`), a call result (`f()[i]`), or a prior index
+/// (`m[i][j]`). Attributes (`#[..]`), macro brackets (`vec![..]`), array
+/// types/literals (`[u8; 4]`, `= [a, b]`) all have different predecessors
+/// and are excluded; keywords (`return [x]`) are array literals.
+fn is_index_receiver(toks: &[crate::lexer::Token], prev: usize) -> bool {
+    match &toks[prev].tok {
+        Tok::Punct(')') | Tok::Punct(']') => true,
+        Tok::Ident(s) => !is_keyword(s) || s == "self",
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig { panic_hot_paths: vec!["hot.rs".into()], ..AnalysisConfig::default() }
+    }
+
+    fn tags(src: &str) -> Vec<String> {
+        let s = SourceFile::parse("hot.rs", src);
+        run(&s, &cfg()).into_iter().map(|f| f.tag).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "fn f() { a.unwrap(); b.expect(\"msg\"); panic!(\"x\"); todo!(); }";
+        assert_eq!(tags(src), vec!["unwrap", "expect", "panic!", "todo!"]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f() { a.unwrap_or(0); a.unwrap_or_else(|| 1); a.unwrap_or_default(); }";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn flags_indexing_but_not_attrs_macros_or_array_literals() {
+        let src = "#[derive(Debug)]\nfn f() { let a = vec![1]; let b = [0u8; 4]; return [1, 2]; }\nfn g(xs: &[u8]) -> u8 { xs[0] }";
+        assert_eq!(tags(src), vec!["index"]);
+    }
+
+    #[test]
+    fn chained_and_call_result_indexing_flagged() {
+        let src = "fn f() { m[i][j]; f()[0]; self.buf[k]; }";
+        assert_eq!(tags(src), vec!["index", "index", "index", "index"]);
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_with_reason() {
+        let src = "fn f() {\n  // lint:allow(panic) reason=checked above\n  a.unwrap();\n  b.unwrap();\n}";
+        // Only the un-annotated second unwrap fires.
+        let s = SourceFile::parse("hot.rs", src);
+        let fs = run(&s, &cfg());
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 4);
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); x[0]; panic!(); } }";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_file_is_skipped() {
+        let s = SourceFile::parse("cold.rs", "fn f() { a.unwrap(); }");
+        assert!(run(&s, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn strings_mentioning_unwrap_are_not_code() {
+        let src = "fn f() { log(\"please .unwrap() later\"); }";
+        assert!(tags(src).is_empty());
+    }
+}

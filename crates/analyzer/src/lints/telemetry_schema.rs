@@ -1,0 +1,215 @@
+//! telemetry-schema: the JSONL trace schema is hand-rolled — encoders
+//! write fields via `Obj` builder calls (`o.u64("step", v)`) and the
+//! decoder reads them back via `Json` accessors (`j.u64("step")`). A
+//! typo'd or renamed key on one side silently drops data. The lint
+//! cross-checks the two key sets inside `core::telemetry` (arity after
+//! the string literal distinguishes emit from decode) and also diffs the
+//! event-type tags between `type_tag` and `from_json_line`.
+
+use crate::lexer::Tok;
+use crate::{ident_at, is_punct, mk_finding, AnalysisConfig, Finding, SourceFile};
+use std::collections::BTreeMap;
+
+/// Builder methods that *write* a field: `o.<m>("key", value)`.
+const EMIT_METHODS: &[&str] = &["u64", "f64", "bool", "str", "f64_array", "obj"];
+
+/// Accessors that *read* a field: `j.<m>("key")`.
+const DECODE_METHODS: &[&str] = &["u64", "num", "boolean", "string", "f64_array", "get", "sub"];
+
+/// Runs the lint over every configured telemetry file.
+pub fn run(sources: &[SourceFile], cfg: &AnalysisConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for s in sources {
+        if cfg.matches_any(&s.path, &cfg.telemetry_files) {
+            out.extend(check_file(s));
+        }
+    }
+    out
+}
+
+fn check_file(s: &SourceFile) -> Vec<Finding> {
+    let toks = &s.lexed.tokens;
+    // key -> first line seen.
+    let mut emits: BTreeMap<String, u32> = BTreeMap::new();
+    let mut decodes: BTreeMap<String, u32> = BTreeMap::new();
+
+    for i in 0..toks.len() {
+        let m = match ident_at(toks, i) {
+            Some(m) => m,
+            None => continue,
+        };
+        if !is_punct(toks, i + 1, '(') {
+            continue;
+        }
+        let (key, line) = match toks.get(i + 2) {
+            Some(t) => match &t.tok {
+                Tok::Str(k) => (k.clone(), t.line),
+                _ => continue,
+            },
+            None => continue,
+        };
+        if s.in_test(line) || s.allowed("telemetry", line) {
+            continue;
+        }
+        let dotted = i > 0 && is_punct(toks, i - 1, '.');
+        // Emits must be builder method calls (`o.u64("k", v)`); decodes
+        // may also be free helper calls (`sub("k")` closing over the Json).
+        if dotted && is_punct(toks, i + 3, ',') && EMIT_METHODS.contains(&m) {
+            emits.entry(key).or_insert(line);
+        } else if is_punct(toks, i + 3, ')') && DECODE_METHODS.contains(&m) {
+            decodes.entry(key).or_insert(line);
+        }
+    }
+
+    let mut out = Vec::new();
+    for (k, line) in &emits {
+        if !decodes.contains_key(k) {
+            out.push(mk_finding(
+                s,
+                "telemetry-schema",
+                *line,
+                &format!("emit-only:{k}"),
+                format!("field `{k}` is emitted but never decoded; the summarizer drops it \
+                         silently — read it back or remove it"),
+            ));
+        }
+    }
+    for (k, line) in &decodes {
+        if !emits.contains_key(k) {
+            out.push(mk_finding(
+                s,
+                "telemetry-schema",
+                *line,
+                &format!("decode-only:{k}"),
+                format!("field `{k}` is decoded but never emitted; the read always misses — \
+                         emit it or drop the accessor"),
+            ));
+        }
+    }
+
+    out.extend(check_tags(s));
+    out
+}
+
+/// Diffs the event-type tags: every string in `type_tag`'s body must be
+/// matched by a `"tag" =>` arm in `from_json_line`, and vice versa.
+fn check_tags(s: &SourceFile) -> Vec<Finding> {
+    let toks = &s.lexed.tokens;
+    let span_of = |name: &str| s.fns.iter().find(|f| f.name == name);
+    let (enc, dec) = match (span_of("type_tag"), span_of("from_json_line")) {
+        (Some(e), Some(d)) => (e, d),
+        _ => return Vec::new(),
+    };
+
+    let mut enc_tags: BTreeMap<String, u32> = BTreeMap::new();
+    for t in &toks[enc.tok_start..=enc.tok_end] {
+        if let Tok::Str(tag) = &t.tok {
+            enc_tags.entry(tag.clone()).or_insert(t.line);
+        }
+    }
+    let mut dec_tags: BTreeMap<String, u32> = BTreeMap::new();
+    for i in dec.tok_start..=dec.tok_end {
+        if let Tok::Str(tag) = &toks[i].tok {
+            // Match-arm pattern: "tag" => ...  (also `"a" | "b" =>`).
+            let arm = (is_punct(toks, i + 1, '=') && is_punct(toks, i + 2, '>'))
+                || is_punct(toks, i + 1, '|');
+            if arm {
+                dec_tags.entry(tag.clone()).or_insert(toks[i].line);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (tag, line) in &enc_tags {
+        if !dec_tags.contains_key(tag) {
+            out.push(mk_finding(
+                s,
+                "telemetry-schema",
+                *line,
+                &format!("tag-encode-only:{tag}"),
+                format!("event tag `{tag}` is produced by type_tag but has no from_json_line \
+                         arm; decoding such events fails"),
+            ));
+        }
+    }
+    for (tag, line) in &dec_tags {
+        if !enc_tags.contains_key(tag) {
+            out.push(mk_finding(
+                s,
+                "telemetry-schema",
+                *line,
+                &format!("tag-decode-only:{tag}"),
+                format!("event tag `{tag}` has a from_json_line arm but type_tag never \
+                         produces it; dead decode path"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig { telemetry_files: vec!["tel.rs".into()], ..AnalysisConfig::default() }
+    }
+
+    fn tags(src: &str) -> Vec<String> {
+        let s = SourceFile::parse("tel.rs", src);
+        run(&[s], &cfg()).into_iter().map(|f| f.tag).collect()
+    }
+
+    #[test]
+    fn matched_emit_decode_pairs_are_clean() {
+        let src = "fn enc(o: &mut Obj) { o.u64(\"step\", 1); o.str(\"kind\", k); }\n\
+                   fn dec(j: &Json) { j.u64(\"step\"); j.string(\"kind\"); }";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn drift_both_ways_is_flagged() {
+        let src = "fn enc(o: &mut Obj) { o.u64(\"step\", 1); o.f64(\"reward\", r); }\n\
+                   fn dec(j: &Json) { j.u64(\"step\"); j.num(\"rewrad\"); }";
+        let mut got = tags(src);
+        got.sort();
+        assert_eq!(got, vec!["decode-only:rewrad", "emit-only:reward"]);
+    }
+
+    #[test]
+    fn obj_and_sub_share_the_key_space() {
+        let src = "fn enc(o: &mut Obj) { o.obj(\"reward\", enc_r(r)); }\n\
+                   fn dec(j: &Json) { j.sub(\"reward\"); }";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn tag_sets_are_cross_checked() {
+        let src = "fn type_tag(e: &E) -> &str { match e { E::A => \"a\", E::B => \"b\" } }\n\
+                   fn from_json_line(t: &str) { match t { \"a\" => go_a(), \"c\" => go_c(), _ => err(t) } }";
+        let mut got = tags(src);
+        got.sort();
+        assert_eq!(got, vec!["tag-decode-only:c", "tag-encode-only:b"]);
+    }
+
+    #[test]
+    fn free_helper_decode_calls_count() {
+        // The real decoder binds `let sub = |k| ...` and calls it bare.
+        let src = "fn enc(o: &mut Obj) { o.obj(\"replay\", enc_r(r)); }\n\
+                   fn dec(j: &Json) { let x = replay_from(&sub(\"replay\")); }";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn non_telemetry_files_are_ignored() {
+        let s = SourceFile::parse("other.rs", "fn enc(o: &mut Obj) { o.u64(\"x\", 1); }");
+        assert!(run(&[s], &cfg()).is_empty());
+    }
+
+    #[test]
+    fn error_strings_in_decoder_are_not_tags() {
+        let src = "fn type_tag(e: &E) -> &str { match e { E::A => \"a\" } }\n\
+                   fn from_json_line(t: &str) { match t { \"a\" => go_a(), _ => fail(\"unknown tag\") } }";
+        assert!(tags(src).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! unsafe-audit: every `unsafe` block, fn, or impl must carry a
+//! `// SAFETY:` comment (on the same line or within the three lines
+//! above) stating the invariant that makes it sound. No allowlist — an
+//! unsafe without a written justification is always a finding.
+
+use crate::lexer::Tok;
+use crate::{mk_finding, Finding, SourceFile};
+
+/// Runs the lint (applies to every file in the tree).
+pub fn run(s: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in &s.lexed.tokens {
+        if !matches!(&t.tok, Tok::Ident(id) if id == "unsafe") {
+            continue;
+        }
+        let line = t.line;
+        if s.in_test(line) {
+            continue;
+        }
+        let documented = s.lexed.comments.iter().any(|c| {
+            c.line <= line
+                && line - c.line <= 3
+                && c.text.trim_start().starts_with("SAFETY:")
+        });
+        if !documented {
+            out.push(mk_finding(
+                s,
+                "unsafe-audit",
+                line,
+                "unsafe",
+                "`unsafe` without a `// SAFETY:` comment; document the invariant that makes \
+                 this sound (within 3 lines above)"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(src: &str) -> Vec<u32> {
+        let s = SourceFile::parse("x.rs", src);
+        run(&s).into_iter().map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        assert_eq!(tags("fn f() { unsafe { do_it() } }"), vec![1]);
+    }
+
+    #[test]
+    fn safety_comment_above_suppresses() {
+        let src = "fn f() {\n  // SAFETY: ptr is valid for the whole call\n  unsafe { do_it() }\n}";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_too_far_above_does_not_count() {
+        let src = "// SAFETY: stale\n\n\n\n\nfn f() { unsafe { do_it() } }";
+        assert_eq!(tags(src), vec![6]);
+    }
+
+    #[test]
+    fn unsafe_impl_needs_a_comment_too() {
+        assert_eq!(tags("unsafe impl Send for X {}"), vec![1]);
+        let src = "// SAFETY: X owns no thread-affine state\nunsafe impl Send for X {}";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn the_word_unsafe_in_a_string_is_not_flagged() {
+        assert!(tags("fn f() { log(\"unsafe config rejected\"); }").is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { unsafe { poke() } } }";
+        assert!(tags(src).is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: determinism violations in seeded code — wall clocks, ambient
+//! randomness, and hash-order iteration.
+
+use std::collections::{HashMap, HashSet};
+
+struct Replay {
+    weights: HashMap<u64, f64>,
+}
+
+fn seeded_update(r: &mut Replay) -> f64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let mut rng = thread_rng();
+    let mut acc = 0.0;
+    for (_k, v) in r.weights.iter() {
+        acc += *v;
+    }
+    let _ = (t0, wall, rng);
+    acc
+}
+
+fn order_leak(seen: &HashSet<u64>) -> u64 {
+    let mut sum = 0;
+    for x in seen {
+        sum += *x;
+    }
+    sum
+}
+
+fn annotated_timing() {
+    // lint:allow(determinism) reason=wall time feeds the log line only
+    let t = Instant::now();
+    let _ = t;
+}
+
+fn point_lookups(r: &Replay) -> f64 {
+    r.weights.get(&1).copied().unwrap_or(0.0)
+}

@@ -1,0 +1,26 @@
+//! Fixture: every function acquires the locks in the same global order —
+//! no cycle, no findings.
+
+use std::sync::Mutex;
+
+struct Shared {
+    journal: Mutex<Vec<u8>>,
+    index: Mutex<u64>,
+}
+
+fn writer(s: &Shared) {
+    let j = s.journal.lock();
+    let i = s.index.lock();
+    drop((j, i));
+}
+
+fn compactor(s: &Shared) {
+    let j = s.journal.lock();
+    let i = s.index.lock();
+    drop((j, i));
+}
+
+fn single(s: &Shared) {
+    let i = s.index.lock();
+    drop(i);
+}

@@ -1,0 +1,21 @@
+//! Fixture: two functions acquire the same pair of locks in opposite
+//! orders — the classic deadlock shape the lock-order lint must catch.
+
+use std::sync::{Mutex, RwLock};
+
+struct Shared {
+    journal: Mutex<Vec<u8>>,
+    index: RwLock<u64>,
+}
+
+fn writer(s: &Shared) {
+    let j = s.journal.lock();
+    let i = s.index.write();
+    drop((j, i));
+}
+
+fn reader(s: &Shared) {
+    let i = s.index.read();
+    let j = s.journal.lock();
+    drop((i, j));
+}

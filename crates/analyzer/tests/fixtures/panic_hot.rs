@@ -1,0 +1,38 @@
+//! Fixture: panic-safety violations in a hot path. Line numbers matter —
+//! the golden file (`panic_hot.expected`) pins each finding.
+
+fn hot_step(xs: &[f64], opt: Option<u32>) -> u32 {
+    let v = opt.unwrap();
+    let w = opt.expect("present");
+    if xs.is_empty() {
+        panic!("empty input");
+    }
+    let first = xs[0];
+    let _ = (v, w, first);
+    todo!()
+}
+
+fn annotated(opt: Option<u32>) -> u32 {
+    // lint:allow(panic) reason=validated by the caller contract above
+    opt.unwrap()
+}
+
+fn malformed_allow(opt: Option<u32>) -> u32 {
+    // lint:allow(panic)
+    opt.unwrap()
+}
+
+fn safe(xs: &[f64]) -> f64 {
+    xs.get(0).copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let x: Option<u32> = Some(1);
+        x.unwrap();
+        let v = vec![1];
+        let _ = v[0];
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: telemetry schema drift — one emit-only field, one
+//! decode-only field, and one mismatched event tag on each side.
+
+fn encode(o: &mut Obj, e: &Event) {
+    o.u64("step", e.step);
+    o.f64("reward_total", e.reward);
+    o.str("phase", &e.phase);
+    o.bool("degraded", e.degraded);
+}
+
+fn decode(j: &Json) -> Event {
+    Event {
+        step: j.u64("step"),
+        reward: j.num("reward_total"),
+        phase: j.string("phase"),
+        latency: j.num("latency_p99"),
+    }
+}
+
+fn type_tag(e: &Event) -> &'static str {
+    match e.kind {
+        Kind::Step => "step",
+        Kind::Recovery => "recovery",
+    }
+}
+
+fn from_json_line(tag: &str) -> Result<Event, String> {
+    match tag {
+        "step" => Ok(step()),
+        "episode_end" => Ok(end()),
+        other => Err(format!("unknown tag {other}")),
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: unsafe with and without SAFETY comments.
+
+struct Token(u8);
+
+fn documented(ptr: *const u8) -> u8 {
+    // SAFETY: ptr is non-null and valid for reads per the caller contract.
+    unsafe { *ptr }
+}
+
+fn undocumented(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+fn mentions_unsafe_in_a_string() {
+    log("unsafe config rejected");
+}
+
+unsafe impl Sync for Token {}
+
+// SAFETY: Token owns no thread-affine state.
+unsafe impl Send for Token {}

@@ -527,9 +527,11 @@ impl DbEnv {
         let warmup: Vec<Txn> = self.workload.window(self.cfg.warmup_txns, &mut self.rng);
         let measure: Vec<Txn> = self.workload.window(self.cfg.measure_txns, &mut self.rng);
         let before = self.engine.metrics();
+        // lint:allow(determinism) reason=wall-clock feeds telemetry timings only, never seeded state
         let t0 = Instant::now();
         let perf = self.engine.stress_test(&warmup, &measure, self.clients)?;
         let stress_wall_us = t0.elapsed().as_micros() as u64;
+        // lint:allow(determinism) reason=wall-clock feeds telemetry timings only, never seeded state
         let t0 = Instant::now();
         let mut delta = self.engine.collect_window_delta(&before);
         self.stats.imputed_metrics += self.processor.sanitize(&mut delta);
@@ -705,6 +707,7 @@ impl DbEnv {
         }
 
         let config = self.space.to_config(&self.last_good, action);
+        // lint:allow(determinism) reason=wall-clock feeds telemetry timings only, never seeded state
         let t0 = Instant::now();
         let deployed = self.deploy_with_retry(&config);
         let mut timing =

@@ -225,6 +225,7 @@ impl OnlineSession {
             noise,
             replay: ReplayBuffer::new(4096),
             recovery0,
+            // lint:allow(determinism) reason=wall-clock feeds telemetry timings only, never seeded state
             start: std::time::Instant::now(),
             telemetry,
             initial_perf: PerfMetrics::default(),
@@ -278,6 +279,7 @@ impl OnlineSession {
         let mut sparse = vec![0.0f32; dim];
         for _ in 0..k {
             let i = self.rng.gen_range(0..dim);
+            // lint:allow(panic) reason=i < dim by the gen_range bound and both vecs have len dim
             sparse[i] = full[i];
         }
         perturb(raw, &sparse)
@@ -291,6 +293,7 @@ impl OnlineSession {
             return None;
         }
         let step = self.steps.len() + 1;
+        // lint:allow(determinism) reason=wall-clock feeds telemetry timings only, never seeded state
         let t_rec = std::time::Instant::now();
         let raw = self.agent.act(&self.state);
         let recommendation_wall_us = t_rec.elapsed().as_micros() as u64;

@@ -25,6 +25,9 @@ fn install_signal_handlers() {
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
+    // SAFETY: signal(2) is async-signal-safe to install; `on_signal` is a
+    // static extern "C" fn that only stores to an AtomicBool with SeqCst,
+    // which is async-signal-safe. The handler outlives the process.
     unsafe {
         signal(2, on_signal); // SIGINT
         signal(15, on_signal); // SIGTERM

@@ -238,6 +238,26 @@ mod tests {
     }
 
     #[test]
+    fn lookup_ties_resolve_to_the_lowest_id_deterministically() {
+        // Two entries with *identical* fingerprints are exactly
+        // equidistant from any query. The entries vec is id-ordered
+        // (publish appends ascending ids; open() sorts by id) and lookup
+        // only replaces its candidate on a strictly smaller distance, so
+        // a tie always resolves to the lowest id — the warm-start choice
+        // cannot depend on scan or load order.
+        let reg = ModelRegistry::in_memory();
+        let first =
+            reg.publish(fp(5000.0), model(&[0, 1, 2], 1), vec![0.1; 3], 5100.0, 3).unwrap();
+        let second =
+            reg.publish(fp(5000.0), model(&[0, 1, 2], 2), vec![0.9; 3], 5300.0, 6).unwrap();
+        assert!(first < second);
+        for _ in 0..10 {
+            let hit = reg.lookup(&fp(5000.0), &[0, 1, 2], 0.5).expect("tie within range");
+            assert_eq!(hit.entry.id, first, "tie must resolve to the lowest id");
+        }
+    }
+
+    #[test]
     fn lookup_misses_when_everything_is_too_far_or_mismatched() {
         let reg = ModelRegistry::in_memory();
         assert!(reg.lookup(&fp(5000.0), &[0, 1, 2], 1.0).is_none(), "empty registry");

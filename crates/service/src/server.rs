@@ -207,22 +207,21 @@ pub fn spawn(cfg: ServiceConfig) -> std::io::Result<ServerHandle> {
     });
     let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_capacity.max(1));
     let rx = Arc::new(Mutex::new(rx));
-    let workers: Vec<_> = (0..cfg.workers.max(1))
-        .map(|i| {
-            let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&rx);
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for i in 0..cfg.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        let rx = Arc::clone(&rx);
+        workers.push(
             std::thread::Builder::new()
                 .name(format!("cdbtuned-worker-{i}"))
-                .spawn(move || worker_loop(&shared, &rx))
-                .expect("spawning a worker thread")
-        })
-        .collect();
+                .spawn(move || worker_loop(&shared, &rx))?,
+        );
+    }
     let acceptor = {
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("cdbtuned-acceptor".into())
-            .spawn(move || acceptor_loop(&shared, &listener, &tx))
-            .expect("spawning the acceptor thread")
+            .spawn(move || acceptor_loop(&shared, &listener, &tx))?
     };
     Ok(ServerHandle { addr, shared, started: std::time::Instant::now(), acceptor, workers })
 }

@@ -193,6 +193,7 @@ impl TuningSession {
     /// one healthy step, and emits the `session_close` telemetry bracket.
     /// `drained` marks closes forced by daemon shutdown.
     pub fn close(mut self, registry: &ModelRegistry, drained: bool) -> SessionOutcome {
+        // lint:allow(panic) reason=inner is Some from construction until close(), which consumes self
         let inner = self.inner.take().expect("close runs once");
         let outcome = inner.finish(&mut self.env);
         let measured_steps =

@@ -210,6 +210,32 @@ mod tests {
     }
 
     #[test]
+    fn heat_map_insertion_order_cannot_leak_into_seeded_outcomes() {
+        // The heat map is a HashMap, but only per-key counts are ever read
+        // — never iteration order (tunelint's determinism lint enforces
+        // that no iteration is added). Regression: pre-warming *other*
+        // keys in opposite orders must leave a probe of the same key
+        // bit-identical under the same fresh seeded rng.
+        let probe = |warm_keys: &[u64]| {
+            let mut lm = LockManager::new(1_000_000.0);
+            let mut warm_rng = StdRng::seed_from_u64(99);
+            for &k in warm_keys {
+                lm.acquire_write(0, k, 500.0, 1e9, 64, true, &mut warm_rng);
+            }
+            let mut rng = StdRng::seed_from_u64(1234);
+            (0..256)
+                .map(|_| lm.acquire_write(0, 7, 2_000.0, 1e9, 512, true, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let forward: Vec<u64> = (0..100).collect();
+        let reverse: Vec<u64> = (0..100).rev().collect();
+        let a = probe(&forward);
+        let b = probe(&reverse);
+        assert_eq!(a, b, "hash insertion order leaked into lock outcomes");
+        assert!(a.iter().any(|o| o.wait_us > 0.0), "probe must exercise conflicts");
+    }
+
+    #[test]
     fn window_reset_clears_heat() {
         let mut lm = LockManager::new(1_000_000.0);
         let mut rng = StdRng::seed_from_u64(3);

@@ -72,6 +72,15 @@ build bench crates/bench/src/lib.rs "${EXT_BASE[@]}" \
     --extern cdbtune="$OUT/libcdbtune.rlib" --extern baselines="$OUT/libbaselines.rlib" \
     --extern service="$OUT/libservice.rlib"
 
+echo "== static analysis (tunelint) =="
+# The analyzer is deliberately zero-dependency so the lint gate works even
+# in this registry-less harness: plain rustc, no stubs, no externs.
+build analyzer crates/analyzer/src/lib.rs
+run_tests analyzer crates/analyzer/src/lib.rs ""
+rustc $EDITION --crate-name tunelint crates/analyzer/src/bin/tunelint.rs \
+    -L "$OUT" --extern analyzer="$OUT/libanalyzer.rlib" -o "$OUT/tunelint"
+"$OUT/tunelint" --root .
+
 echo "== build cdbtune binary =="
 rustc $EDITION --crate-name cdbtune_bin crates/core/src/bin/cdbtune.rs \
     -L "$OUT" "${EXT_BASE[@]}" \

@@ -10,6 +10,13 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Static-analysis gate: tunelint walks every crates/**/*.rs with the five
+# project lints (panic-safety, determinism, lock-order, unsafe-audit,
+# telemetry-schema) and fails on any deny finding not covered by the
+# committed ratchet baseline. Regenerate with `tunelint --fix-baseline`
+# after deliberately burning down (or accepting) findings.
+cargo run --release -p analyzer --bin tunelint -- --root .
+
 # Trace-schema round trip: a real training run must emit JSONL that the
 # bench summarizer parses back and cross-checks without issues
 # (trace_summary exits nonzero on any schema or consistency problem).
