@@ -274,7 +274,7 @@ fn lex_raw_string(cur: &mut Cursor) -> Option<String> {
         cur.bump();
     }
     let start = cur.pos;
-    let fence: String = std::iter::once('"').chain(std::iter::repeat('#').take(hashes)).collect();
+    let fence: String = std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
     loop {
         if cur.starts_with(&fence) {
             let end = cur.pos;

@@ -214,7 +214,14 @@ impl AnalysisConfig {
                 "crates/service/src/fingerprint.rs",
                 "crates/simdb/src/",
             ]),
-            determinism_allowlist: v(&["crates/core/src/timing.rs", "crates/bench/"]),
+            // timing.rs and the bench crate (including the perf-regression
+            // suite in crates/bench/src/perf.rs) measure wall-clock time by
+            // design; their RNG use is still seeded.
+            determinism_allowlist: v(&[
+                "crates/core/src/timing.rs",
+                "crates/bench/",
+                "crates/bench/src/perf.rs",
+            ]),
             lock_scope: v(&["crates/simdb/", "crates/service/"]),
             telemetry_files: v(&["crates/core/src/telemetry.rs"]),
         }
@@ -635,6 +642,26 @@ mod framework_tests {
         assert_eq!(s.enclosing_fn(5), "outer");
         assert_eq!(s.enclosing_fn(7), "other");
         assert_eq!(s.enclosing_fn(100), "<top>");
+    }
+
+    #[test]
+    fn repo_config_allowlists_perf_harness_timing() {
+        // The perf-regression suite times hot loops with `Instant`; the
+        // repo config must keep it (and timing.rs) off the determinism
+        // lint while leaving the RL core in scope.
+        let cfg = AnalysisConfig::default_for_repo();
+        for path in [
+            "crates/bench/src/perf.rs",
+            "crates/bench/src/bin/perf.rs",
+            "crates/core/src/timing.rs",
+        ] {
+            assert!(
+                cfg.matches_any(path, &cfg.determinism_allowlist),
+                "{path} must be determinism-allowlisted"
+            );
+        }
+        assert!(!cfg.matches_any("crates/rl/src/ddpg.rs", &cfg.determinism_allowlist));
+        assert!(cfg.matches_any("crates/rl/src/ddpg.rs", &cfg.determinism_scope));
     }
 
     #[test]

@@ -32,58 +32,60 @@ pub fn run(s: &SourceFile, cfg: &AnalysisConfig) -> Vec<Finding> {
             continue;
         }
         match &toks[i].tok {
-            Tok::Ident(id) if id == "now" => {
-                if i >= 3
+            Tok::Ident(id)
+                if id == "now"
+                    && i >= 3
                     && is_punct(toks, i - 1, ':')
                     && is_punct(toks, i - 2, ':')
                     && matches!(ident_at(toks, i - 3), Some("Instant") | Some("SystemTime"))
-                    && !s.allowed("determinism", line)
-                {
-                    let ty = ident_at(toks, i - 3).unwrap_or("clock");
-                    out.push(mk_finding(
-                        s,
-                        "determinism",
-                        line,
-                        &format!("{ty}::now"),
-                        format!(
-                            "`{ty}::now()` in seeded code; route timing through core::timing \
-                             or annotate `// lint:allow(determinism) reason=...`"
-                        ),
-                    ));
-                }
+                    && !s.allowed("determinism", line) =>
+            {
+                let ty = ident_at(toks, i - 3).unwrap_or("clock");
+                out.push(mk_finding(
+                    s,
+                    "determinism",
+                    line,
+                    &format!("{ty}::now"),
+                    format!(
+                        "`{ty}::now()` in seeded code; route timing through core::timing \
+                         or annotate `// lint:allow(determinism) reason=...`"
+                    ),
+                ));
             }
-            Tok::Ident(id) if id == "thread_rng" => {
-                if is_punct(toks, i + 1, '(') && !s.allowed("determinism", line) {
-                    out.push(mk_finding(
-                        s,
-                        "determinism",
-                        line,
-                        "thread_rng",
-                        "`thread_rng()` breaks seeded determinism; derive a seeded rng from the \
-                         run seed instead"
-                            .to_string(),
-                    ));
-                }
+            Tok::Ident(id)
+                if id == "thread_rng"
+                    && is_punct(toks, i + 1, '(')
+                    && !s.allowed("determinism", line) =>
+            {
+                out.push(mk_finding(
+                    s,
+                    "determinism",
+                    line,
+                    "thread_rng",
+                    "`thread_rng()` breaks seeded determinism; derive a seeded rng from the \
+                     run seed instead"
+                        .to_string(),
+                ));
             }
-            Tok::Ident(m) if ITER_METHODS.contains(&m.as_str()) => {
-                if i >= 2
+            Tok::Ident(m)
+                if ITER_METHODS.contains(&m.as_str())
+                    && i >= 2
                     && is_punct(toks, i - 1, '.')
                     && is_punct(toks, i + 1, '(')
                     && ident_at(toks, i - 2).is_some_and(|n| hash_names.contains(n))
-                    && !s.allowed("determinism", line)
-                {
-                    let name = ident_at(toks, i - 2).unwrap_or("?");
-                    out.push(mk_finding(
-                        s,
-                        "determinism",
-                        line,
-                        &format!("hash-iter:{name}.{m}"),
-                        format!(
-                            "iterating hash-ordered `{name}` (`.{m}()`) in seeded code; use a \
-                             BTreeMap/BTreeSet or sort the keys first"
-                        ),
-                    ));
-                }
+                    && !s.allowed("determinism", line) =>
+            {
+                let name = ident_at(toks, i - 2).unwrap_or("?");
+                out.push(mk_finding(
+                    s,
+                    "determinism",
+                    line,
+                    &format!("hash-iter:{name}.{m}"),
+                    format!(
+                        "iterating hash-ordered `{name}` (`.{m}()`) in seeded code; use a \
+                         BTreeMap/BTreeSet or sort the keys first"
+                    ),
+                ));
             }
             Tok::Ident(id) if id == "for" => {
                 if let Some(f) = check_for_loop(s, toks, i, &hash_names) {

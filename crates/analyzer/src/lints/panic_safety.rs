@@ -22,64 +22,66 @@ pub fn run(s: &SourceFile, cfg: &AnalysisConfig) -> Vec<Finding> {
             continue;
         }
         match &toks[i].tok {
-            Tok::Ident(id) if id == "unwrap" => {
-                if i > 0
+            Tok::Ident(id)
+                if id == "unwrap"
+                    && i > 0
                     && is_punct(toks, i - 1, '.')
                     && is_punct(toks, i + 1, '(')
                     && is_punct(toks, i + 2, ')')
-                    && !s.allowed("panic", line)
-                {
-                    out.push(mk_finding(
-                        s,
-                        "panic-safety",
-                        line,
-                        "unwrap",
-                        "`.unwrap()` in a resilient hot path; return a typed error or annotate \
-                         `// lint:allow(panic) reason=...`"
-                            .to_string(),
-                    ));
-                }
+                    && !s.allowed("panic", line) =>
+            {
+                out.push(mk_finding(
+                    s,
+                    "panic-safety",
+                    line,
+                    "unwrap",
+                    "`.unwrap()` in a resilient hot path; return a typed error or annotate \
+                     `// lint:allow(panic) reason=...`"
+                        .to_string(),
+                ));
             }
-            Tok::Ident(id) if id == "expect" => {
-                if i > 0
+            Tok::Ident(id)
+                if id == "expect"
+                    && i > 0
                     && is_punct(toks, i - 1, '.')
                     && is_punct(toks, i + 1, '(')
-                    && !s.allowed("panic", line)
-                {
-                    out.push(mk_finding(
-                        s,
-                        "panic-safety",
-                        line,
-                        "expect",
-                        "`.expect(..)` in a resilient hot path; return a typed error or annotate \
-                         `// lint:allow(panic) reason=...`"
-                            .to_string(),
-                    ));
-                }
+                    && !s.allowed("panic", line) =>
+            {
+                out.push(mk_finding(
+                    s,
+                    "panic-safety",
+                    line,
+                    "expect",
+                    "`.expect(..)` in a resilient hot path; return a typed error or annotate \
+                     `// lint:allow(panic) reason=...`"
+                        .to_string(),
+                ));
             }
-            Tok::Ident(id) if id == "panic" || id == "todo" || id == "unimplemented" => {
-                if is_punct(toks, i + 1, '!') && !s.allowed("panic", line) {
-                    out.push(mk_finding(
-                        s,
-                        "panic-safety",
-                        line,
-                        &format!("{id}!"),
-                        format!("`{id}!` in a resilient hot path; return a typed error instead"),
-                    ));
-                }
+            Tok::Ident(id)
+                if (id == "panic" || id == "todo" || id == "unimplemented")
+                    && is_punct(toks, i + 1, '!')
+                    && !s.allowed("panic", line) =>
+            {
+                out.push(mk_finding(
+                    s,
+                    "panic-safety",
+                    line,
+                    &format!("{id}!"),
+                    format!("`{id}!` in a resilient hot path; return a typed error instead"),
+                ));
             }
-            Tok::Punct('[') if i > 0 && is_index_receiver(toks, i - 1) => {
-                if !s.allowed("panic", line) {
-                    out.push(mk_finding(
-                        s,
-                        "panic-safety",
-                        line,
-                        "index",
-                        "slice/array indexing can panic on out-of-bounds in a hot path; \
-                         use `.get()` / iterators or annotate `// lint:allow(panic) reason=...`"
-                            .to_string(),
-                    ));
-                }
+            Tok::Punct('[')
+                if i > 0 && is_index_receiver(toks, i - 1) && !s.allowed("panic", line) =>
+            {
+                out.push(mk_finding(
+                    s,
+                    "panic-safety",
+                    line,
+                    "index",
+                    "slice/array indexing can panic on out-of-bounds in a hot path; \
+                     use `.get()` / iterators or annotate `// lint:allow(panic) reason=...`"
+                        .to_string(),
+                ));
             }
             _ => {}
         }

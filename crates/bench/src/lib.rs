@@ -13,11 +13,13 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod perf;
 pub mod report;
 pub mod svc;
 pub mod trace;
 
 pub use harness::{ExperimentScale, Lab};
+pub use perf::{PerfOptions, PerfReport};
 pub use report::{print_header, print_row, write_json};
 pub use svc::{run_load, LatencyStats, LoadReport, LoadSpec, SessionResult};
 pub use trace::{schema_round_trip, SessionRow, StepRow, TraceSummary};

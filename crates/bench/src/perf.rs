@@ -1,0 +1,591 @@
+//! Deterministic perf-regression suite backing the `perf` binary.
+//!
+//! Four microbenchmarks cover the training stack's hot paths at the paper's
+//! shapes (63-metric state, 64 knobs, batch 64):
+//!
+//! 1. **matmul** — the blocked microkernels ([`tinynn::kernels`]) against
+//!    the retained naive loops, at the actor input shape (`64x63 · 63x64`)
+//!    and the critic first-layer shape (`64x127 · 127x256`).
+//! 2. **train_step** — steady-state DDPG updates: the fast leg runs
+//!    [`rl::Ddpg::train_step_batch`] over a reused [`rl::TransitionBatch`]
+//!    with blocked kernels; the naive leg runs the slice-of-clones
+//!    `train_step` path with [`KernelMode::Naive`], reproducing the
+//!    pre-overhaul cost model. Their ratio is the headline `≥ 3x` gate.
+//! 3. **collect_parallel** — multi-worker seed collection throughput.
+//! 4. **simdb workload** — single-environment tuning-iteration throughput.
+//!
+//! Every benchmark is seeded, warmed up, and reported as the median of
+//! several repetitions. [`run_suite`] returns a [`PerfReport`] that
+//! serializes to the committed `BENCH_PERF.json` baseline (hand-rolled
+//! writer/parser so the suite works in registry-less containers);
+//! [`check`] compares a fresh run against that baseline: absolute
+//! throughputs may not regress past a tolerance, and ratio gates (which are
+//! machine-independent) must always hold.
+
+use crate::{ExperimentScale, Lab};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rl::{Ddpg, DdpgConfig, ReplayBuffer, Transition, TransitionBatch};
+use simdb::{EngineFlavor, HardwareConfig};
+use std::time::Instant;
+use tinynn::{set_kernel_mode, KernelMode, Matrix};
+use workload::WorkloadKind;
+
+/// Schema version stamped into `BENCH_PERF.json`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The headline acceptance gate: steady-state train-step throughput with
+/// blocked kernels + packed batches must beat the retained naive path by
+/// at least this factor.
+pub const TRAIN_SPEEDUP_MIN: f64 = 3.0;
+
+/// Knobs tuned in the environment-backed benchmarks (collect/workload).
+const ENV_KNOBS: usize = 8;
+
+/// Options for one suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfOptions {
+    /// Shrink iteration counts for CI / offline smoke runs. Absolute
+    /// numbers are noisier; ratios remain meaningful.
+    pub quick: bool,
+    /// Base seed for every benchmark's data and RNG.
+    pub seed: u64,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        Self { quick: false, seed: 42 }
+    }
+}
+
+/// One absolute-throughput measurement (median of repetitions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable benchmark name (the `--check` join key).
+    pub name: String,
+    /// Unit of `value`, e.g. `ops_per_sec`.
+    pub unit: String,
+    /// Median throughput.
+    pub value: f64,
+}
+
+/// One machine-independent ratio with its acceptance floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioResult {
+    /// Stable ratio name.
+    pub name: String,
+    /// Measured ratio.
+    pub value: f64,
+    /// Hard floor: `value < min` fails `--check` regardless of tolerance.
+    pub min: f64,
+}
+
+/// A full suite run; serializes to/from `BENCH_PERF.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub version: u32,
+    /// Whether the run used the reduced `--quick` iteration counts.
+    pub quick: bool,
+    /// Absolute throughput benches.
+    pub benches: Vec<BenchResult>,
+    /// Ratio gates.
+    pub ratios: Vec<RatioResult>,
+}
+
+// ---- measurement helpers ----
+
+/// Runs `f` `reps` times and returns the median of its returned values.
+fn median_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut vals: Vec<f64> = (0..reps.max(1)).map(|_| f()).collect();
+    vals.sort_by(f64::total_cmp);
+    vals[vals.len() / 2]
+}
+
+/// Times `iters` calls of `op` and returns ops/sec.
+fn ops_per_sec(iters: usize, mut op: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    iters as f64 / secs
+}
+
+fn fill_random(m: &mut Matrix, rng: &mut StdRng) {
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-1.0..1.0);
+    }
+}
+
+// ---- benchmark 1: matmul kernels ----
+
+/// Median ops/sec of an `m x k · k x n` product under `mode`.
+fn matmul_throughput(
+    mode: KernelMode,
+    m: usize,
+    k: usize,
+    n: usize,
+    opts: &PerfOptions,
+) -> f64 {
+    let (reps, iters) = if opts.quick { (3, 60) } else { (5, 600) };
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x6d61_746d);
+    let mut a = Matrix::zeros(m, k);
+    let mut b = Matrix::zeros(k, n);
+    fill_random(&mut a, &mut rng);
+    fill_random(&mut b, &mut rng);
+    let mut out = Matrix::zeros(m, n);
+    set_kernel_mode(mode);
+    a.matmul_into(&b, &mut out); // warmup
+    let measured = median_of(reps, || ops_per_sec(iters, || a.matmul_into(&b, &mut out)));
+    set_kernel_mode(KernelMode::Blocked);
+    measured
+}
+
+// ---- benchmark 2: DDPG train-step legs ----
+
+fn synthetic_replay(cfg: &DdpgConfig, seed: u64, n: usize) -> ReplayBuffer {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = ReplayBuffer::new(n);
+    for i in 0..n {
+        let state: Vec<f32> = (0..cfg.state_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let action: Vec<f32> = (0..cfg.action_dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let next_state: Vec<f32> =
+            (0..cfg.state_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        buf.push(Transition {
+            state,
+            action,
+            reward: rng.gen_range(-1.0..1.0),
+            next_state,
+            done: i % 19 == 18,
+        });
+    }
+    buf
+}
+
+fn paper_agent(opts: &PerfOptions) -> (Ddpg, ReplayBuffer) {
+    // The paper's shapes: 63 metrics, 64 tunable knobs, minibatch 64.
+    let cfg = DdpgConfig {
+        batch_size: 64,
+        seed: opts.seed,
+        ..DdpgConfig::paper(63, 64)
+    };
+    let replay = synthetic_replay(&cfg, opts.seed ^ 0x7265_706c, 1024);
+    (Ddpg::new(cfg), replay)
+}
+
+/// Steady-state steps/sec of the zero-allocation path: blocked kernels,
+/// `sample_into` a reused [`TransitionBatch`], `train_step_batch`.
+fn train_fast_throughput(opts: &PerfOptions) -> f64 {
+    let (reps, iters, warmup) = if opts.quick { (3, 8, 2) } else { (5, 40, 10) };
+    let (mut agent, replay) = paper_agent(opts);
+    let batch_size = agent.config().batch_size;
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x6661_7374);
+    let mut batch = TransitionBatch::new();
+    set_kernel_mode(KernelMode::Blocked);
+    for _ in 0..warmup {
+        replay.sample_into(batch_size, &mut rng, &mut batch);
+        let _ = agent.train_step_batch(&batch, None, None);
+    }
+    median_of(reps, || {
+        ops_per_sec(iters, || {
+            replay.sample_into(batch_size, &mut rng, &mut batch);
+            let _ = agent.train_step_batch(&batch, None, None);
+        })
+    })
+}
+
+/// Steps/sec of the retained pre-overhaul cost model: naive kernels plus
+/// the allocating slice path (per-step transition clones, as the trainer
+/// used to do before packed batches).
+fn train_naive_throughput(opts: &PerfOptions) -> f64 {
+    let (reps, iters, warmup) = if opts.quick { (3, 4, 1) } else { (5, 12, 3) };
+    let (mut agent, replay) = paper_agent(opts);
+    let batch_size = agent.config().batch_size;
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x6e61_6976);
+    set_kernel_mode(KernelMode::Naive);
+    let step = |agent: &mut Ddpg, rng: &mut StdRng| {
+        let cloned: Vec<Transition> =
+            replay.sample(batch_size, rng).into_iter().cloned().collect();
+        let refs: Vec<&Transition> = cloned.iter().collect();
+        let _ = agent.train_step(&refs, None, None);
+    };
+    for _ in 0..warmup {
+        step(&mut agent, &mut rng);
+    }
+    let measured =
+        median_of(reps, || ops_per_sec(iters, || step(&mut agent, &mut rng)));
+    set_kernel_mode(KernelMode::Blocked);
+    measured
+}
+
+// ---- benchmarks 3 & 4: environment throughput ----
+
+fn quick_lab(seed: u64) -> Lab {
+    Lab { scale: ExperimentScale::quick(), seed }
+}
+
+/// Transitions/sec of multi-worker seed collection (§5.1's parallel
+/// training-server analogue).
+fn collect_throughput(opts: &PerfOptions) -> f64 {
+    let (reps, workers, steps) = if opts.quick { (1, 2, 4) } else { (3, 4, 8) };
+    let seed = opts.seed;
+    median_of(reps, || {
+        let make_env = |w: usize| {
+            quick_lab(seed + 1 + w as u64).env(
+                EngineFlavor::MySqlCdb,
+                HardwareConfig::cdb_a(),
+                WorkloadKind::SysbenchRw,
+                Some(ENV_KNOBS),
+            )
+        };
+        let start = Instant::now();
+        let out = cdbtune::collect_parallel(make_env, workers, steps, seed);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        out.len() as f64 / secs
+    })
+}
+
+/// Tuning-iterations/sec of a single simdb-backed environment (deploy +
+/// stress window + metric collection per step).
+fn workload_throughput(opts: &PerfOptions) -> f64 {
+    let (reps, steps) = if opts.quick { (1, 4) } else { (3, 12) };
+    let lab = quick_lab(opts.seed);
+    let mut env = lab.env(
+        EngineFlavor::MySqlCdb,
+        HardwareConfig::cdb_a(),
+        WorkloadKind::SysbenchRw,
+        Some(ENV_KNOBS),
+    );
+    let baseline = env.engine().registry().default_config();
+    let action = vec![0.5f32; ENV_KNOBS];
+    median_of(reps, || {
+        let _ = env.reset_episode(baseline.clone());
+        ops_per_sec(steps, || {
+            let _ = env.step_action(&action);
+        })
+    })
+}
+
+// ---- the suite ----
+
+/// Runs every benchmark and assembles the report. Leaves the process-wide
+/// kernel mode at [`KernelMode::Blocked`] (the default) on return.
+pub fn run_suite(opts: &PerfOptions) -> PerfReport {
+    let shapes: &[(usize, usize, usize)] = &[(64, 63, 64), (64, 127, 256)];
+    let mut benches = Vec::new();
+    let mut ratios = Vec::new();
+
+    for &(m, k, n) in shapes {
+        let blocked = matmul_throughput(KernelMode::Blocked, m, k, n, opts);
+        let naive = matmul_throughput(KernelMode::Naive, m, k, n, opts);
+        let stem = format!("matmul_{m}x{k}x{n}");
+        benches.push(BenchResult {
+            name: format!("{stem}_blocked"),
+            unit: "ops_per_sec".into(),
+            value: blocked,
+        });
+        benches.push(BenchResult {
+            name: format!("{stem}_naive"),
+            unit: "ops_per_sec".into(),
+            value: naive,
+        });
+        // Soft floor: blocked kernels must never be materially slower than
+        // the loops they replaced.
+        ratios.push(RatioResult {
+            name: format!("{stem}_speedup"),
+            value: blocked / naive.max(1e-9),
+            min: 0.8,
+        });
+    }
+
+    let fast = train_fast_throughput(opts);
+    let naive = train_naive_throughput(opts);
+    benches.push(BenchResult {
+        name: "train_step_fast".into(),
+        unit: "steps_per_sec".into(),
+        value: fast,
+    });
+    benches.push(BenchResult {
+        name: "train_step_naive".into(),
+        unit: "steps_per_sec".into(),
+        value: naive,
+    });
+    ratios.push(RatioResult {
+        name: "train_step_speedup".into(),
+        value: fast / naive.max(1e-9),
+        min: TRAIN_SPEEDUP_MIN,
+    });
+
+    benches.push(BenchResult {
+        name: "collect_parallel".into(),
+        unit: "transitions_per_sec".into(),
+        value: collect_throughput(opts),
+    });
+    benches.push(BenchResult {
+        name: "simdb_workload".into(),
+        unit: "steps_per_sec".into(),
+        value: workload_throughput(opts),
+    });
+
+    PerfReport { version: SCHEMA_VERSION, quick: opts.quick, benches, ratios }
+}
+
+// ---- baseline comparison ----
+
+/// Compares `current` against a committed `baseline`. Returns one message
+/// per failure (empty = pass).
+///
+/// Two classes of check:
+/// - **Ratio floors and regressions** (always): every current ratio must
+///   meet its own `min`, and must not fall below the baseline's measured
+///   ratio by more than `tolerance` (fractional, e.g. `0.5` = may halve).
+/// - **Absolute throughput** (skipped when `ratios_only`): every baseline
+///   bench must exist in `current` with
+///   `value >= baseline * (1 - tolerance)`. Skip these on hardware unlike
+///   the one that produced the baseline.
+pub fn check(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: f64,
+    ratios_only: bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let frac = tolerance.clamp(0.0, 1.0);
+
+    for r in &current.ratios {
+        if r.value < r.min {
+            failures.push(format!(
+                "ratio {}: {:.3} is below its hard floor {:.3}",
+                r.name, r.value, r.min
+            ));
+        }
+        if let Some(b) = baseline.ratios.iter().find(|b| b.name == r.name) {
+            let floor = b.value * (1.0 - frac);
+            if r.value < floor {
+                failures.push(format!(
+                    "ratio {}: {:.3} regressed past baseline {:.3} (floor {:.3} at tolerance {:.2})",
+                    r.name, r.value, b.value, floor, frac
+                ));
+            }
+        }
+    }
+
+    if !ratios_only {
+        for b in &baseline.benches {
+            match current.benches.iter().find(|c| c.name == b.name) {
+                None => failures.push(format!("bench {} missing from current run", b.name)),
+                Some(c) => {
+                    let floor = b.value * (1.0 - frac);
+                    if c.value < floor {
+                        failures.push(format!(
+                            "bench {}: {:.1} {} regressed past baseline {:.1} (floor {:.1} at tolerance {:.2})",
+                            b.name, c.value, c.unit, b.value, floor, frac
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    failures
+}
+
+// ---- JSON writer / parser ----
+//
+// Hand-rolled so the suite runs in registry-less containers (no serde
+// derive needed for this one flat schema). The writer emits exactly one
+// object per line inside the `benches` / `ratios` arrays, and the parser
+// relies on that shape — both live here so they cannot drift apart.
+
+/// Serializes a report in the committed `BENCH_PERF.json` layout.
+pub fn to_json(report: &PerfReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"version\": {},\n", report.version));
+    s.push_str(&format!("  \"quick\": {},\n", report.quick));
+    s.push_str("  \"benches\": [\n");
+    for (i, b) in report.benches.iter().enumerate() {
+        let comma = if i + 1 < report.benches.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"unit\": \"{}\", \"value\": {:.3} }}{comma}\n",
+            b.name, b.unit, b.value
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ratios\": [\n");
+    for (i, r) in report.ratios.iter().enumerate() {
+        let comma = if i + 1 < report.ratios.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"value\": {:.3}, \"min\": {:.3} }}{comma}\n",
+            r.name, r.value, r.min
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the layout [`to_json`] writes. Returns a message on any line the
+/// parser cannot make sense of.
+pub fn parse_json(text: &str) -> Result<PerfReport, String> {
+    let mut report =
+        PerfReport { version: 0, quick: false, benches: Vec::new(), ratios: Vec::new() };
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Benches,
+        Ratios,
+    }
+    let mut section = Section::None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if let Some(v) = field_num(line, "version") {
+            if section == Section::None {
+                report.version = v as u32;
+            }
+        }
+        if line.starts_with("\"quick\"") {
+            report.quick = line.contains("true");
+        }
+        if line.starts_with("\"benches\"") {
+            section = Section::Benches;
+            continue;
+        }
+        if line.starts_with("\"ratios\"") {
+            section = Section::Ratios;
+            continue;
+        }
+        if !line.starts_with('{') || section == Section::None {
+            continue;
+        }
+        let name = field_str(line, "name")
+            .ok_or_else(|| format!("line {}: entry without a name: {line}", ln + 1))?;
+        let value = field_num(line, "value")
+            .ok_or_else(|| format!("line {}: entry without a value: {line}", ln + 1))?;
+        match section {
+            Section::Benches => {
+                let unit = field_str(line, "unit")
+                    .ok_or_else(|| format!("line {}: bench without a unit: {line}", ln + 1))?;
+                report.benches.push(BenchResult { name, unit, value });
+            }
+            Section::Ratios => {
+                let min = field_num(line, "min")
+                    .ok_or_else(|| format!("line {}: ratio without a min: {line}", ln + 1))?;
+                report.ratios.push(RatioResult { name, value, min });
+            }
+            Section::None => unreachable!(),
+        }
+    }
+    if report.version == 0 {
+        return Err("missing or zero schema version".into());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            version: SCHEMA_VERSION,
+            quick: true,
+            benches: vec![
+                BenchResult {
+                    name: "train_step_fast".into(),
+                    unit: "steps_per_sec".into(),
+                    value: 400.0,
+                },
+                BenchResult {
+                    name: "train_step_naive".into(),
+                    unit: "steps_per_sec".into(),
+                    value: 100.0,
+                },
+            ],
+            ratios: vec![RatioResult {
+                name: "train_step_speedup".into(),
+                value: 4.0,
+                min: TRAIN_SPEEDUP_MIN,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample_report();
+        let parsed = parse_json(&to_json(&r)).expect("parse own output");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn check_passes_against_itself() {
+        let r = sample_report();
+        assert!(check(&r, &r, 0.25, false).is_empty());
+        assert!(check(&r, &r, 0.0, true).is_empty());
+    }
+
+    #[test]
+    fn check_flags_absolute_regression_but_ratios_only_ignores_it() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.benches[0].value = 100.0; // fast leg collapsed 4x...
+        cur.benches[1].value = 25.0; // ...and so did naive: ratio holds.
+        let failures = check(&cur, &base, 0.25, false);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(check(&cur, &base, 0.25, true).is_empty());
+    }
+
+    #[test]
+    fn check_enforces_ratio_floor_even_ratios_only() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.ratios[0].value = 2.0; // below the 3.0 hard floor
+        let failures = check(&cur, &base, 0.9, true);
+        assert!(
+            failures.iter().any(|f| f.contains("hard floor")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn check_flags_ratio_regression_vs_baseline() {
+        let mut base = sample_report();
+        base.ratios[0].value = 10.0;
+        let cur = sample_report(); // 4.0: above the floor, far below 10*(1-0.25)
+        let failures = check(&cur, &base, 0.25, true);
+        assert!(
+            failures.iter().any(|f| f.contains("regressed past baseline")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("not json").is_err());
+        assert!(parse_json("{\n  \"benches\": [\n    { \"nope\": 1 }\n  ]\n}\n").is_err());
+    }
+
+    #[test]
+    fn quick_matmul_bench_runs_and_is_positive() {
+        let opts = PerfOptions { quick: true, seed: 7 };
+        let v = matmul_throughput(KernelMode::Blocked, 8, 8, 8, &opts);
+        assert!(v > 0.0);
+    }
+}

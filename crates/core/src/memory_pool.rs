@@ -5,7 +5,7 @@
 //! uniform replay, and the prioritized replay \[38\] that §5.1 adds to halve
 //! convergence time.
 
-use rl::{PerStats, PrioritizedReplay, ReplayBuffer, Transition};
+use rl::{PerStats, PrioritizedReplay, ReplayBuffer, Transition, TransitionBatch};
 use serde::{Deserialize, Serialize};
 
 /// Which replay backend to use.
@@ -42,6 +42,44 @@ pub struct Batch<'a> {
     pub indices: Option<Vec<usize>>,
     /// Importance weights (prioritized only).
     pub weights: Option<Vec<f32>>,
+}
+
+/// Reusable minibatch buffers for [`MemoryPool::sample_into`]. Owned by the
+/// training loop and refilled in place each update, so steady-state sampling
+/// performs zero heap allocations regardless of backend.
+#[derive(Default)]
+pub struct BatchScratch {
+    /// The packed minibatch tensors.
+    pub batch: TransitionBatch,
+    indices: Vec<usize>,
+    weights: Vec<f32>,
+    prioritized: bool,
+}
+
+impl BatchScratch {
+    /// Creates empty scratch; buffers grow on first sample and are reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Importance weights of the last sample (`None` for uniform replay).
+    pub fn is_weights(&self) -> Option<&[f32]> {
+        if self.prioritized {
+            Some(&self.weights)
+        } else {
+            None
+        }
+    }
+
+    /// Buffer slots of the last sample (`None` for uniform replay); feed TD
+    /// errors back through [`MemoryPool::update_priorities`].
+    pub fn sampled_indices(&self) -> Option<&[usize]> {
+        if self.prioritized {
+            Some(&self.indices)
+        } else {
+            None
+        }
+    }
 }
 
 /// The memory pool.
@@ -114,6 +152,23 @@ impl MemoryPool {
                     indices: Some(batch.indices),
                     weights: Some(batch.weights),
                 }
+            }
+        }
+    }
+
+    /// Samples a minibatch into caller-owned scratch buffers (the zero-
+    /// allocation path the training loop uses; see DESIGN.md §11).
+    pub fn sample_into(&mut self, n: usize, rng: &mut impl rand::Rng, out: &mut BatchScratch) {
+        match self {
+            MemoryPool::Uniform(b) => {
+                b.sample_into(n, rng, &mut out.batch);
+                out.indices.clear();
+                out.weights.clear();
+                out.prioritized = false;
+            }
+            MemoryPool::Prioritized(p) => {
+                p.sample_into(n, rng, &mut out.batch, &mut out.indices, &mut out.weights);
+                out.prioritized = true;
             }
         }
     }
@@ -219,6 +274,36 @@ mod tests {
         let d = default_pool.replay_stats().unwrap();
         assert!((d.alpha - 0.6).abs() < 1e-12 && (d.beta - 0.4).abs() < 1e-12);
         assert!(MemoryPool::new(MemoryKind::Uniform, 8).replay_stats().is_none());
+    }
+
+    #[test]
+    fn sample_into_reports_backend_metadata() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut scratch = BatchScratch::new();
+
+        let mut uni = MemoryPool::new(MemoryKind::Uniform, 8);
+        for i in 0..8 {
+            uni.push(t(i as f32));
+        }
+        uni.sample_into(4, &mut rng, &mut scratch);
+        assert_eq!(scratch.batch.len(), 4);
+        assert!(scratch.is_weights().is_none());
+        assert!(scratch.sampled_indices().is_none());
+
+        let mut pri = MemoryPool::new(MemoryKind::Prioritized, 8);
+        for i in 0..8 {
+            pri.push(t(i as f32));
+        }
+        pri.sample_into(4, &mut rng, &mut scratch);
+        assert_eq!(scratch.batch.len(), 4);
+        assert_eq!(scratch.is_weights().map(<[f32]>::len), Some(4));
+        let idx = scratch.sampled_indices().map(<[usize]>::to_vec);
+        assert_eq!(idx.as_ref().map(Vec::len), Some(4));
+        pri.update_priorities(idx.as_deref(), &[1.0; 4]);
+
+        // A later uniform sample must clear the prioritized metadata.
+        uni.sample_into(4, &mut rng, &mut scratch);
+        assert!(scratch.is_weights().is_none());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::telemetry::{ReplayTrace, TraceEvent, TraceLevel};
 use crate::trainer::TrainedModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rl::{perturb, Ddpg, GaussianNoise, NoiseProcess, ReplayBuffer, Transition};
+use rl::{perturb, Ddpg, GaussianNoise, NoiseProcess, ReplayBuffer, Transition, TransitionBatch};
 use serde::{Deserialize, Serialize};
 use simdb::{KnobConfig, PerfMetrics};
 
@@ -167,6 +167,7 @@ pub struct OnlineSession {
     rng: StdRng,
     noise: GaussianNoise,
     replay: ReplayBuffer,
+    batch: TransitionBatch,
     recovery0: RecoveryStats,
     start: std::time::Instant,
     telemetry: crate::telemetry::Telemetry,
@@ -224,6 +225,7 @@ impl OnlineSession {
             rng,
             noise,
             replay: ReplayBuffer::new(4096),
+            batch: TransitionBatch::new(),
             recovery0,
             // lint:allow(determinism) reason=wall-clock feeds telemetry timings only, never seeded state
             start: std::time::Instant::now(),
@@ -382,8 +384,9 @@ impl OnlineSession {
 
         if self.cfg.fine_tune && self.replay.len() >= 3 {
             for _ in 0..self.cfg.updates_per_step {
-                let batch = self.replay.sample(self.replay.len().min(16), &mut self.rng);
-                let _ = self.agent.train_step(&batch, None, None);
+                // Reusable packed minibatch: no per-update allocations.
+                self.replay.sample_into(self.replay.len().min(16), &mut self.rng, &mut self.batch);
+                let _ = self.agent.train_step_batch(&self.batch, None, None);
             }
         }
         self.noise.decay();

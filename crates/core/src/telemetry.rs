@@ -246,6 +246,11 @@ pub struct EngineSample {
 // ---------------------------------------------------------------------------
 
 /// One typed trace event (one JSONL line).
+//
+// `Step` dwarfs the other variants by design: it is the workhorse event and
+// carries the full per-step decomposition. Boxing it would trade one stack
+// copy for a heap allocation on every tuning step, so the asymmetry stays.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// A run began (training, tuning request, or parallel collection).

@@ -10,7 +10,7 @@
 //! convergence step is reported (Figs. 8, 14, Table 6 plot it).
 
 use crate::env::{DbEnv, RecoveryStats};
-use crate::memory_pool::{MemoryKind, MemoryPool, PerConfig};
+use crate::memory_pool::{BatchScratch, MemoryKind, MemoryPool, PerConfig};
 use crate::reward::RewardConfig;
 use crate::state::StateProcessor;
 use crate::telemetry::{ReplayTrace, TraceEvent, TraceLevel};
@@ -562,6 +562,7 @@ pub fn train_offline_resumable(
         cfg.seed.wrapping_add(0x7157).wrapping_add(report.total_steps as u64),
     );
     let mut td_scratch = Vec::new();
+    let mut batch_scratch = BatchScratch::new();
 
     for episode in start_episode..cfg.episodes {
         let ep_start = if episode == start_episode { resume_ep_step } else { 0 };
@@ -648,23 +649,22 @@ pub fn train_offline_resumable(
             let mut is_weight_max = 1.0f64;
             if pool.len() >= cfg.batch_size {
                 for _ in 0..cfg.updates_per_step {
-                    let (indices, weights, refs): (Option<Vec<usize>>, Option<Vec<f32>>, Vec<_>) = {
-                        let batch = pool.sample(cfg.batch_size, &mut rng);
-                        (
-                            batch.indices.clone(),
-                            batch.weights.clone(),
-                            batch.transitions.iter().map(|t| (*t).clone()).collect(),
-                        )
-                    };
-                    if let Some(w) = &weights {
+                    // Sample straight into the reusable scratch tensors and
+                    // train on them in place — no transition clones, no
+                    // per-update allocations (DESIGN.md §11).
+                    pool.sample_into(cfg.batch_size, &mut rng, &mut batch_scratch);
+                    if let Some(w) = batch_scratch.is_weights() {
                         for &x in w {
                             is_weight_min = is_weight_min.min(f64::from(x));
                             is_weight_max = is_weight_max.max(f64::from(x));
                         }
                     }
-                    let refs2: Vec<&Transition> = refs.iter().collect();
-                    let _ = agent.train_step(&refs2, weights.as_deref(), Some(&mut td_scratch));
-                    pool.update_priorities(indices.as_deref(), &td_scratch);
+                    let _ = agent.train_step_batch(
+                        &batch_scratch.batch,
+                        batch_scratch.is_weights(),
+                        Some(&mut td_scratch),
+                    );
+                    pool.update_priorities(batch_scratch.sampled_indices(), &td_scratch);
                 }
             }
             let model_update_wall_us = t_upd.elapsed().as_micros() as u64;

@@ -1,0 +1,153 @@
+//! Struct-of-arrays minibatch storage for the DDPG hot path.
+//!
+//! [`crate::ddpg::Ddpg::train_step_batch`] consumes state/action tensors
+//! directly, so sampling into a [`TransitionBatch`] skips the
+//! `Vec<&Transition>` indirection *and* the per-step matrix assembly the
+//! old slice-of-refs API paid. The batch owns its buffers and is reshaped
+//! in place by [`TransitionBatch::begin`], so a steady-state
+//! sample → train cycle touches no allocator.
+
+use crate::env::Transition;
+use tinynn::Matrix;
+
+/// A minibatch of transitions laid out as dense row-major tensors:
+/// one row per transition.
+#[derive(Debug, Clone, Default)]
+pub struct TransitionBatch {
+    states: Matrix,
+    actions: Matrix,
+    next_states: Matrix,
+    rewards: Vec<f32>,
+    done: Vec<bool>,
+    len: usize,
+}
+
+impl TransitionBatch {
+    /// Creates an empty batch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the batch and shapes it for `n` transitions of the given
+    /// state/action widths, reusing existing capacity.
+    pub fn begin(&mut self, n: usize, state_dim: usize, action_dim: usize) {
+        self.states.resize(n, state_dim);
+        self.actions.resize(n, action_dim);
+        self.next_states.resize(n, state_dim);
+        self.rewards.clear();
+        self.done.clear();
+        self.rewards.reserve(n);
+        self.done.reserve(n);
+        self.len = 0;
+    }
+
+    /// Appends one transition. Widths must match the [`Self::begin`] call.
+    ///
+    /// # Panics
+    /// Panics when the batch is already full or the transition's
+    /// state/action widths disagree with `begin`'s.
+    pub fn push(&mut self, t: &Transition) {
+        let i = self.len;
+        assert!(i < self.states.rows(), "transition batch is full");
+        self.states.row_mut(i).copy_from_slice(&t.state);
+        self.actions.row_mut(i).copy_from_slice(&t.action);
+        self.next_states.row_mut(i).copy_from_slice(&t.next_state);
+        self.rewards.push(t.reward);
+        self.done.push(t.done);
+        self.len = i + 1;
+    }
+
+    /// Number of transitions pushed since the last [`Self::begin`].
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no transitions have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of rows the batch was shaped for by [`Self::begin`].
+    pub fn rows(&self) -> usize {
+        self.states.rows()
+    }
+
+    /// States, one row per transition.
+    pub fn states(&self) -> &Matrix {
+        &self.states
+    }
+
+    /// Actions, one row per transition.
+    pub fn actions(&self) -> &Matrix {
+        &self.actions
+    }
+
+    /// Next states, one row per transition.
+    pub fn next_states(&self) -> &Matrix {
+        &self.next_states
+    }
+
+    /// Rewards, one per transition.
+    pub fn rewards(&self) -> &[f32] {
+        &self.rewards
+    }
+
+    /// Terminal flags, one per transition.
+    pub fn done(&self) -> &[bool] {
+        &self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(r: f32, done: bool) -> Transition {
+        Transition {
+            state: vec![r, r + 1.0],
+            action: vec![r * 0.1],
+            reward: r,
+            next_state: vec![r + 2.0, r + 3.0],
+            done,
+        }
+    }
+
+    #[test]
+    fn packs_transitions_row_major() {
+        let mut b = TransitionBatch::new();
+        b.begin(2, 2, 1);
+        b.push(&t(1.0, false));
+        b.push(&t(5.0, true));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.states().row(0), &[1.0, 2.0]);
+        assert_eq!(b.states().row(1), &[5.0, 6.0]);
+        assert_eq!(b.next_states().row(1), &[7.0, 8.0]);
+        assert_eq!(b.actions().row(0), &[0.1]);
+        assert_eq!(b.rewards(), &[1.0, 5.0]);
+        assert_eq!(b.done(), &[false, true]);
+    }
+
+    #[test]
+    fn begin_resets_and_reuses() {
+        let mut b = TransitionBatch::new();
+        b.begin(2, 2, 1);
+        b.push(&t(1.0, false));
+        b.push(&t(2.0, false));
+        b.begin(1, 2, 1);
+        assert!(b.is_empty());
+        b.push(&t(9.0, true));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.rows(), 1);
+        assert_eq!(b.rewards(), &[9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overfilling_panics() {
+        let mut b = TransitionBatch::new();
+        b.begin(1, 2, 1);
+        b.push(&t(1.0, false));
+        b.push(&t(2.0, false));
+    }
+}

@@ -17,6 +17,7 @@
 //! output saturates irrecoverably when early critic gradients are large,
 //! which kills exactly the high-dimensional knob spaces the paper targets.
 
+use crate::batch::TransitionBatch;
 use crate::env::Transition;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -114,6 +115,34 @@ impl DdpgSnapshot {
     }
 }
 
+/// Reusable per-step tensors owned by the agent so a steady-state
+/// [`Ddpg::train_step_batch`] performs zero heap allocations. All buffers
+/// are resized in place; see DESIGN.md §11.
+#[derive(Default)]
+struct DdpgScratch {
+    /// `[state | action]` critic input (also reused for the actor phase
+    /// with the action columns overwritten in place).
+    sa: Matrix,
+    /// `[next_state | target_action]` target-critic input.
+    s2a2: Matrix,
+    /// Smoothed target action, copied out of the target actor's arena.
+    a2: Matrix,
+    /// Current-policy action, copied out of the actor's arena.
+    a_pred: Matrix,
+    /// Bootstrap targets `y` (b x 1).
+    y: Matrix,
+    /// Critic loss gradient (b x 1).
+    grad: Matrix,
+    /// Policy-gradient seed `-1/b` (b x 1).
+    up: Matrix,
+    /// Inverting-gradients actor seed (b x action_dim).
+    g_action: Matrix,
+    /// One-row input staging for [`Ddpg::act`] / [`Ddpg::q_value`].
+    one_row: Matrix,
+    /// Staging batch for the slice-of-refs [`Ddpg::train_step`] wrapper.
+    compat: TransitionBatch,
+}
+
 /// The DDPG agent.
 pub struct Ddpg {
     cfg: DdpgConfig,
@@ -124,6 +153,7 @@ pub struct Ddpg {
     actor_opt: Adam,
     critic_opt: Adam,
     smoothing_rng: StdRng,
+    scratch: DdpgScratch,
 }
 
 fn build_actor(cfg: &DdpgConfig, rng: &mut StdRng, seed_salt: u64) -> Mlp {
@@ -168,36 +198,37 @@ fn build_critic(cfg: &DdpgConfig, rng: &mut StdRng, seed_salt: u64) -> Mlp {
     Mlp::new(layers)
 }
 
-fn to_matrix(rows: usize, cols: usize, it: impl Iterator<Item = f32>) -> Matrix {
-    let data: Vec<f32> = it.collect();
-    Matrix::from_vec(rows, cols, data)
-}
-
-fn hconcat(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows(), b.rows(), "hconcat row mismatch");
-    let mut out = Matrix::zeros(a.rows(), a.cols() + b.cols());
-    for r in 0..a.rows() {
-        out.row_mut(r)[..a.cols()].copy_from_slice(a.row(r));
-        out.row_mut(r)[a.cols()..].copy_from_slice(b.row(r));
-    }
-    out
-}
-
 impl Ddpg {
     /// Builds an agent (all four networks, with targets initialized to the
-    /// online networks).
+    /// online networks). Network and agent scratch arenas are pre-sized for
+    /// `cfg.batch_size` minibatches so the first step already runs warm.
     pub fn new(cfg: DdpgConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let actor = build_actor(&cfg, &mut rng, 0xA0);
-        let critic = build_critic(&cfg, &mut rng, 0xB0);
+        let mut actor = build_actor(&cfg, &mut rng, 0xA0);
+        let mut critic = build_critic(&cfg, &mut rng, 0xB0);
         let mut actor_target = build_actor(&cfg, &mut rng, 0xA1);
         let mut critic_target = build_critic(&cfg, &mut rng, 0xB1);
         actor_target.copy_from(&actor);
         critic_target.copy_from(&critic);
+        let b = cfg.batch_size.max(1);
+        actor.prewarm(b, cfg.state_dim);
+        actor_target.prewarm(b, cfg.state_dim);
+        critic.prewarm(b, cfg.state_dim + cfg.action_dim);
+        critic_target.prewarm(b, cfg.state_dim + cfg.action_dim);
         let actor_opt = Adam::new(cfg.actor_lr);
         let critic_opt = Adam::new(cfg.critic_lr);
         let smoothing_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A5A);
-        Self { cfg, actor, actor_target, critic, critic_target, actor_opt, critic_opt, smoothing_rng }
+        Self {
+            cfg,
+            actor,
+            actor_target,
+            critic,
+            critic_target,
+            actor_opt,
+            critic_opt,
+            smoothing_rng,
+            scratch: DdpgScratch::default(),
+        }
     }
 
     /// Configuration.
@@ -216,105 +247,160 @@ impl Ddpg {
     /// "recommendation time" of Table 2).
     pub fn act(&mut self, state: &[f32]) -> Vec<f32> {
         assert_eq!(state.len(), self.cfg.state_dim, "state width mismatch");
-        let s = to_matrix(1, self.cfg.state_dim, state.iter().copied());
-        self.actor.predict(&s).row(0).iter().map(|x| x.clamp(0.0, 1.0)).collect()
+        self.scratch.one_row.resize(1, self.cfg.state_dim);
+        self.scratch.one_row.as_mut_slice().copy_from_slice(state);
+        self.actor
+            .forward_ref(&self.scratch.one_row, false)
+            .row(0)
+            .iter()
+            .map(|x| x.clamp(0.0, 1.0))
+            .collect()
     }
 
     /// Critic score of a `(state, action)` pair (diagnostic).
     pub fn q_value(&mut self, state: &[f32], action: &[f32]) -> f32 {
-        let s = to_matrix(1, self.cfg.state_dim, state.iter().copied());
-        let a = to_matrix(1, self.cfg.action_dim, action.iter().copied());
-        self.critic.predict(&hconcat(&s, &a))[(0, 0)]
+        let (ds, da) = (self.cfg.state_dim, self.cfg.action_dim);
+        assert_eq!(state.len(), ds, "state width mismatch");
+        assert_eq!(action.len(), da, "action width mismatch");
+        self.scratch.one_row.resize(1, ds + da);
+        let row = self.scratch.one_row.row_mut(0);
+        row[..ds].copy_from_slice(state);
+        row[ds..].copy_from_slice(action);
+        self.critic.forward_ref(&self.scratch.one_row, false)[(0, 0)]
     }
 
-    /// One Algorithm-1 training step on a minibatch. `is_weights` are
-    /// importance weights from prioritized replay (uniform if `None`).
-    /// Returns stats plus per-sample TD errors via `td_out` when provided.
+    /// One Algorithm-1 training step on a slice of borrowed transitions.
+    ///
+    /// Compatibility wrapper: stages the slice into an internal
+    /// [`TransitionBatch`] and delegates to [`Ddpg::train_step_batch`],
+    /// which is the allocation-free path replay buffers sample into
+    /// directly.
     pub fn train_step(
         &mut self,
         batch: &[&Transition],
+        is_weights: Option<&[f32]>,
+        td_out: Option<&mut Vec<f32>>,
+    ) -> TrainStats {
+        // Take the staging batch out of the agent so filling it and then
+        // borrowing the agent mutably for the step do not conflict.
+        let mut staged = std::mem::take(&mut self.scratch.compat);
+        staged.begin(batch.len(), self.cfg.state_dim, self.cfg.action_dim);
+        for t in batch {
+            staged.push(t);
+        }
+        let stats = self.train_step_batch(&staged, is_weights, td_out);
+        self.scratch.compat = staged;
+        stats
+    }
+
+    /// One Algorithm-1 training step on a packed minibatch. `is_weights`
+    /// are importance weights from prioritized replay (uniform if `None`).
+    /// Returns stats plus per-sample TD errors via `td_out` when provided.
+    ///
+    /// This is the hot path: every intermediate tensor lives in the agent's
+    /// scratch arena or the networks' own arenas, so a steady-state call
+    /// performs zero heap allocations (enforced by
+    /// `crates/rl/tests/zero_alloc.rs`).
+    pub fn train_step_batch(
+        &mut self,
+        batch: &TransitionBatch,
         is_weights: Option<&[f32]>,
         mut td_out: Option<&mut Vec<f32>>,
     ) -> TrainStats {
         let b = batch.len();
         assert!(b > 0, "empty minibatch");
+        assert_eq!(b, batch.rows(), "partially filled minibatch");
         let ds = self.cfg.state_dim;
         let da = self.cfg.action_dim;
-        let s = to_matrix(b, ds, batch.iter().flat_map(|t| t.state.iter().copied()));
-        let a = to_matrix(b, da, batch.iter().flat_map(|t| t.action.iter().copied()));
-        let s2 = to_matrix(b, ds, batch.iter().flat_map(|t| t.next_state.iter().copied()));
+        assert_eq!(batch.states().cols(), ds, "state width mismatch");
+        assert_eq!(batch.actions().cols(), da, "action width mismatch");
 
         // Steps 2–4: bootstrap target values through the target networks,
         // with target-policy smoothing (clipped noise on the target action)
         // to damp critic over-estimation at out-of-distribution actions.
-        let mut a2 = self.actor_target.predict(&s2);
-        for x in a2.as_mut_slice() {
+        self.scratch.a2.copy_from(self.actor_target.forward_ref(batch.next_states(), false));
+        for x in self.scratch.a2.as_mut_slice() {
             let noise: f32 = (self.smoothing_rng.gen::<f32>() - 0.5) * 0.1;
             *x = (*x + noise.clamp(-0.05, 0.05)).clamp(0.0, 1.0);
         }
-        let q2 = self.critic_target.predict(&hconcat(&s2, &a2));
-        let mut y = Matrix::zeros(b, 1);
-        for (i, t) in batch.iter().enumerate() {
-            let bootstrap = if t.done { 0.0 } else { self.cfg.gamma * q2[(i, 0)] };
-            y[(i, 0)] = t.reward + bootstrap;
+        Matrix::hconcat_into(batch.next_states(), &self.scratch.a2, &mut self.scratch.s2a2);
+        self.scratch.y.resize(b, 1);
+        {
+            let q2 = self.critic_target.forward_ref(&self.scratch.s2a2, false);
+            for i in 0..b {
+                let bootstrap =
+                    if batch.done()[i] { 0.0 } else { self.cfg.gamma * q2[(i, 0)] };
+                self.scratch.y[(i, 0)] = batch.rewards()[i] + bootstrap;
+            }
         }
 
         // Steps 5–6: critic regression toward y (importance-weighted MSE).
-        let q = self.critic.forward(&hconcat(&s, &a), true);
-        let mut grad = Matrix::zeros(b, 1);
+        Matrix::hconcat_into(batch.states(), batch.actions(), &mut self.scratch.sa);
+        self.scratch.grad.resize(b, 1);
         let mut loss = 0.0f32;
         let mut td_sum = 0.0f32;
         if let Some(out) = td_out.as_deref_mut() {
             out.clear();
         }
-        for i in 0..b {
-            let w = is_weights.map(|ws| ws[i]).unwrap_or(1.0);
-            let td = q[(i, 0)] - y[(i, 0)];
-            loss += w * td * td;
-            grad[(i, 0)] = 2.0 * w * td / b as f32;
-            td_sum += td.abs();
-            if let Some(out) = td_out.as_deref_mut() {
-                out.push(td);
+        {
+            let q = self.critic.forward_ref(&self.scratch.sa, true);
+            for i in 0..b {
+                let w = is_weights.map(|ws| ws[i]).unwrap_or(1.0);
+                let td = q[(i, 0)] - self.scratch.y[(i, 0)];
+                loss += w * td * td;
+                self.scratch.grad[(i, 0)] = 2.0 * w * td / b as f32;
+                td_sum += td.abs();
+                if let Some(out) = td_out.as_deref_mut() {
+                    out.push(td);
+                }
             }
         }
         loss /= b as f32;
         self.critic.zero_grad();
-        let _ = self.critic.backward(&grad);
+        let _ = self.critic.backward_ref(&self.scratch.grad);
         self.critic.clip_grad_norm(5.0);
         self.critic_opt.step(&mut self.critic);
 
         // Step 7: policy gradient — push the actor toward actions the
         // critic scores higher. dJ/dθ = ∇a Q(s, a)|a=µ(s) · ∇θ µ(s).
-        let a_pred = self.actor.forward(&s, true);
-        let a_box = a_pred.map(|x| x.clamp(0.0, 1.0));
-        let q_pi = self.critic.forward(&hconcat(&s, &a_box), true);
-        let mean_q = q_pi.mean();
-        let up = Matrix::filled(b, 1, -1.0 / b as f32); // maximize mean Q
+        // The [state | action] buffer still holds the batch states, so only
+        // the action columns need rewriting with the clamped policy output.
+        self.scratch.a_pred.copy_from(self.actor.forward_ref(batch.states(), true));
+        for r in 0..b {
+            for (c, dst) in self.scratch.sa.row_mut(r)[ds..].iter_mut().enumerate() {
+                *dst = self.scratch.a_pred[(r, c)].clamp(0.0, 1.0);
+            }
+        }
+        let mean_q;
+        {
+            let q_pi = self.critic.forward_ref(&self.scratch.sa, true);
+            mean_q = q_pi.mean();
+        }
+        self.scratch.up.resize(b, 1);
+        self.scratch.up.fill(-1.0 / b as f32); // maximize mean Q
         self.critic.zero_grad();
-        let g_input = self.critic.backward(&up);
+        let g_input = self.critic.backward_ref(&self.scratch.up);
         // Split off the action columns of the critic's input gradient and
         // apply inverting gradients: scale by the remaining headroom toward
         // the boundary the gradient pushes at, reversing once the
         // (unclamped) output leaves the box. Keeps actions in [0, 1]
         // without a saturating activation.
-        let mut g_action = Matrix::zeros(b, da);
+        self.scratch.g_action.resize(b, da);
         for r in 0..b {
-            for (c, (dst, &src)) in
-                g_action.row_mut(r).iter_mut().zip(&g_input.row(r)[ds..]).enumerate()
-            {
-                let a = a_pred[(r, c)];
-                let g = src.clamp(-1.0, 1.0);
+            for (c, dst) in self.scratch.g_action.row_mut(r).iter_mut().enumerate() {
+                let a = self.scratch.a_pred[(r, c)];
+                let g = g_input[(r, ds + c)].clamp(-1.0, 1.0);
                 // Minimizing L = -Q: g < 0 increases a, g > 0 decreases it.
                 *dst = if g < 0.0 { g * (1.0 - a) } else { g * a };
             }
         }
         self.critic.zero_grad(); // discard actor-pass critic gradients
         self.actor.zero_grad();
-        let _ = self.actor.backward(&g_action);
+        let _ = self.actor.backward_ref(&self.scratch.g_action);
         self.actor.clip_grad_norm(5.0);
         self.actor_opt.step(&mut self.actor);
 
-        // Target tracking.
+        // Target tracking (layer-pairwise Polyak blend, no snapshots).
         self.actor_target.soft_update_from(&self.actor, self.cfg.tau);
         self.critic_target.soft_update_from(&self.critic, self.cfg.tau);
 
@@ -387,7 +473,7 @@ mod tests {
     fn frozen_weights_report_their_dimensions() {
         // The cdbtune model registry keys compatibility off these
         // accessors when matching persisted weights to a live session.
-        let mut agent = Ddpg::new(tiny_cfg());
+        let agent = Ddpg::new(tiny_cfg());
         let frozen = agent.snapshot();
         assert_eq!(frozen.state_dim(), 3);
         assert_eq!(frozen.action_dim(), 3);
@@ -497,6 +583,39 @@ mod tests {
             final_dist < initial_dist * 0.7 && final_dist < 0.32,
             "policy did not move toward target: {initial_dist} -> {final_dist} ({final_action:?})"
         );
+    }
+
+    #[test]
+    fn batch_path_matches_slice_path() {
+        // The slice-of-refs wrapper and the packed-batch hot path must be
+        // bit-identical: same networks, same RNG draws, same arithmetic.
+        let mut a1 = Ddpg::new(tiny_cfg());
+        let mut a2 = Ddpg::new(tiny_cfg());
+        let batch: Vec<Transition> = (0..8)
+            .map(|i| {
+                let x = (i as f32) / 8.0;
+                Transition {
+                    state: vec![x, 1.0 - x, 0.5],
+                    action: vec![x, 0.5, 1.0 - x],
+                    reward: x - 0.5,
+                    next_state: vec![1.0 - x, x, 0.5],
+                    done: i % 3 == 0,
+                }
+            })
+            .collect();
+        let refs: Vec<&Transition> = batch.iter().collect();
+        let mut packed = crate::batch::TransitionBatch::new();
+        packed.begin(batch.len(), 3, 3);
+        for t in &batch {
+            packed.push(t);
+        }
+        for _ in 0..5 {
+            let s1 = a1.train_step(&refs, None, None);
+            let s2 = a2.train_step_batch(&packed, None, None);
+            assert_eq!(s1, s2);
+        }
+        let probe = [0.3, 0.7, 0.1];
+        assert_eq!(a1.act(&probe), a2.act(&probe));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod ddpg;
 pub mod dqn;
 pub mod env;
@@ -24,6 +25,7 @@ pub mod per;
 pub mod qlearning;
 pub mod replay;
 
+pub use batch::TransitionBatch;
 pub use ddpg::{Ddpg, DdpgConfig, DdpgSnapshot, TrainStats};
 pub use dqn::{Dqn, DqnConfig};
 pub use env::{Environment, StepResult, Transition};

@@ -6,6 +6,7 @@
 //! with a sum-tree for O(log n) proportional sampling and importance
 //! weights annealed by β.
 
+use crate::batch::TransitionBatch;
 use crate::env::Transition;
 use rand::Rng;
 
@@ -206,12 +207,22 @@ impl PrioritizedReplay {
         self.len = (self.len + 1).min(self.data.len());
     }
 
-    /// Samples `n` transitions proportionally to priority, with IS weights.
-    pub fn sample(&mut self, n: usize, rng: &mut impl Rng) -> PrioritizedBatch<'_> {
+    /// Proportional draw shared by [`Self::sample`] and
+    /// [`Self::sample_into`]: fills `indices`/`weights` (cleared first) and
+    /// anneals β. Caller-owned vectors make the hot path allocation-free.
+    fn draw(
+        &mut self,
+        n: usize,
+        rng: &mut impl Rng,
+        indices: &mut Vec<usize>,
+        weights: &mut Vec<f32>,
+    ) {
         assert!(self.len > 0, "cannot sample an empty prioritized buffer");
+        indices.clear();
+        weights.clear();
+        indices.reserve(n);
+        weights.reserve(n);
         let total = self.tree.total().max(1e-12);
-        let mut indices = Vec::with_capacity(n);
-        let mut weights = Vec::with_capacity(n);
         let segment = total / n as f64;
         for i in 0..n {
             let lo = segment * i as f64;
@@ -234,15 +245,46 @@ impl PrioritizedReplay {
             weights.push(w as f32);
         }
         let max_w = weights.iter().cloned().fold(f32::MIN, f32::max).max(1e-12);
-        for w in &mut weights {
+        for w in weights.iter_mut() {
             *w /= max_w;
         }
         self.beta = (self.beta + self.beta_increment).min(1.0);
+    }
+
+    /// Samples `n` transitions proportionally to priority, with IS weights.
+    pub fn sample(&mut self, n: usize, rng: &mut impl Rng) -> PrioritizedBatch<'_> {
+        let mut indices = Vec::new();
+        let mut weights = Vec::new();
+        self.draw(n, rng, &mut indices, &mut weights);
         let transitions = indices
             .iter()
             .map(|&i| self.data[i].as_ref().expect("sampled slot is filled"))
             .collect();
         PrioritizedBatch { transitions, indices, weights }
+    }
+
+    /// Samples `n` transitions proportionally to priority directly into
+    /// caller-owned buffers: the packed minibatch plus the slot indices and
+    /// IS weights needed for [`Self::update_priorities`]. Steady state
+    /// touches no allocator.
+    pub fn sample_into(
+        &mut self,
+        n: usize,
+        rng: &mut impl Rng,
+        batch: &mut TransitionBatch,
+        indices: &mut Vec<usize>,
+        weights: &mut Vec<f32>,
+    ) {
+        assert!(n > 0, "cannot sample an empty minibatch");
+        self.draw(n, rng, indices, weights);
+        let (ds, da) = {
+            let t = self.data[indices[0]].as_ref().expect("sampled slot is filled");
+            (t.state.len(), t.action.len())
+        };
+        batch.begin(n, ds, da);
+        for &i in indices.iter() {
+            batch.push(self.data[i].as_ref().expect("sampled slot is filled"));
+        }
     }
 
     /// Updates priorities from fresh TD errors after a training step.
@@ -448,6 +490,38 @@ mod tests {
         assert!(batch.weights.iter().all(|&w| w > 0.0 && w <= 1.0 + 1e-6));
         drop(batch);
         assert!(buf.stats().fallback_hits > 0, "dominant empty leaf must trigger fallbacks");
+    }
+
+    #[test]
+    fn sample_into_matches_sample_semantics() {
+        let mut buf = PrioritizedReplay::new(64, 0.6, 0.4);
+        for i in 0..64 {
+            buf.push(t(i as f32));
+        }
+        let mut tds = vec![0.01f32; 64];
+        tds[7] = 50.0;
+        buf.update_priorities(&(0..64).collect::<Vec<_>>(), &tds);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut batch = TransitionBatch::new();
+        let mut indices = Vec::new();
+        let mut weights = Vec::new();
+        let mut hot = 0;
+        for _ in 0..50 {
+            buf.sample_into(16, &mut rng, &mut batch, &mut indices, &mut weights);
+            assert_eq!(batch.len(), 16);
+            assert_eq!(indices.len(), 16);
+            assert_eq!(weights.len(), 16);
+            assert!(weights.iter().all(|&w| w > 0.0 && w <= 1.0 + 1e-6));
+            // The packed rows must be the transitions the indices point at.
+            for (row, &slot) in indices.iter().enumerate() {
+                assert_eq!(
+                    batch.rewards()[row],
+                    buf.data[slot].as_ref().unwrap().reward
+                );
+            }
+            hot += batch.rewards().iter().filter(|&&r| r == 7.0).count();
+        }
+        assert!(hot > 300, "hot item sampled {hot}/800 times");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! the model in order to eliminate the correlations between samples" — a
 //! bounded ring buffer with uniform sampling.
 
+use crate::batch::TransitionBatch;
 use crate::env::Transition;
 use rand::Rng;
 
@@ -51,6 +52,17 @@ impl ReplayBuffer {
     pub fn sample(&self, n: usize, rng: &mut impl Rng) -> Vec<&Transition> {
         assert!(!self.data.is_empty(), "cannot sample an empty replay buffer");
         (0..n).map(|_| &self.data[rng.gen_range(0..self.data.len())]).collect()
+    }
+
+    /// Samples `n` transitions uniformly with replacement, packing them
+    /// into a caller-owned [`TransitionBatch`] (no per-step allocation).
+    pub fn sample_into(&self, n: usize, rng: &mut impl Rng, out: &mut TransitionBatch) {
+        assert!(!self.data.is_empty(), "cannot sample an empty replay buffer");
+        let (ds, da) = (self.data[0].state.len(), self.data[0].action.len());
+        out.begin(n, ds, da);
+        for _ in 0..n {
+            out.push(&self.data[rng.gen_range(0..self.data.len())]);
+        }
     }
 
     /// Iterates over stored transitions (oldest-first is not guaranteed).
@@ -109,6 +121,23 @@ mod tests {
             seen.insert(s.reward as i32);
         }
         assert!(seen.len() >= 14, "uniform sampling should hit most slots: {}", seen.len());
+    }
+
+    #[test]
+    fn sample_into_packs_stored_transitions() {
+        let mut b = ReplayBuffer::new(8);
+        for i in 0..8 {
+            b.push(t(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut batch = TransitionBatch::new();
+        b.sample_into(16, &mut rng, &mut batch);
+        assert_eq!(batch.len(), 16);
+        for i in 0..16 {
+            let r = batch.rewards()[i];
+            assert_eq!(batch.states().row(i), &[r]);
+            assert_eq!(batch.next_states().row(i), &[r + 1.0]);
+        }
     }
 
     #[test]

@@ -125,11 +125,11 @@ fn default_fsync_retries() -> f64 {
 }
 
 // Per-fault-kind salts keep the hash streams independent.
-const SALT_RESTART_FAIL: u64 = 0x52465F46_41494C;
-const SALT_RESTART_HANG: u64 = 0x52465F48_414E47;
-const SALT_CRASH: u64 = 0x43524153_48;
-const SALT_STRAGGLER: u64 = 0x53545241_47;
-const SALT_FSYNC: u64 = 0x4653594E_43;
+const SALT_RESTART_FAIL: u64 = 0x52465F4641494C;
+const SALT_RESTART_HANG: u64 = 0x52465F48414E47;
+const SALT_CRASH: u64 = 0x4352415348;
+const SALT_STRAGGLER: u64 = 0x5354524147;
+const SALT_FSYNC: u64 = 0x4653594E43;
 const SALT_DROPOUT: u64 = 0x44524F50;
 
 /// Splitmix64 finalizer over `(seed, salt, tick)` mapped to `[0, 1)`.

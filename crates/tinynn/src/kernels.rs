@@ -1,0 +1,890 @@
+//! Matmul and activation microkernels over flat row-major `f32` slices.
+//!
+//! Three product shapes cover every matmul call site in the training stack
+//! (`Y = X·W`, `dW = Xᵀ·dY`, `dX = dY·Wᵀ`), and each gets a cache-blocked,
+//! 4×-unrolled kernel with independent accumulators so the compiler can keep
+//! fused multiply-add chains in flight instead of serializing on one sum.
+//! All kernels **accumulate** (`out += …`): callers that want overwrite
+//! semantics zero `out` first, callers that want `+=` (gradient
+//! accumulation) skip the zeroing — that is how `Matrix::*_into` and
+//! `Matrix::*_acc` share these loops.
+//!
+//! On x86-64 every kernel additionally carries an AVX2+FMA specialization:
+//! the same loop nest compiled under `#[target_feature(enable = "avx2,fma")]`
+//! so the unrolled zip chains lower to 256-bit `vfmadd` instead of the
+//! baseline-SSE2 codegen rustc emits by default. Dispatch is a one-time
+//! runtime probe ([`simd_ok`]) cached in an atomic; non-x86 targets compile
+//! only the portable bodies. The [`tanh`] kernel replaces the per-element
+//! libm call (~16 ns/element, the single hottest non-matmul instruction in a
+//! DDPG step) with a branchless exp2-based polynomial that vectorizes.
+//!
+//! The original unblocked loops are retained verbatim in [`naive`] (including
+//! the `a == 0.0` sparsity shortcut the blocked kernels deliberately drop —
+//! it made ReLU-sparse backward passes take a data-dependent branch per
+//! element, and the scalar-libm `tanh`). They are the reference for the
+//! differential tests below and the baseline leg of the `bench::perf`
+//! harness; [`set_kernel_mode`] flips the whole crate between the two
+//! families at runtime.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel family [`crate::Matrix`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Cache-blocked, 4×-unrolled kernels with runtime AVX2+FMA
+    /// specialization (the default).
+    Blocked,
+    /// The original unblocked reference loops (for differential testing and
+    /// the perf harness's baseline leg).
+    Naive,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the kernel family used by every subsequent `Matrix` product.
+///
+/// Process-global; intended for the perf harness and differential tests,
+/// not for concurrent toggling mid-training.
+pub fn set_kernel_mode(mode: KernelMode) {
+    MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The currently selected kernel family.
+pub fn kernel_mode() -> KernelMode {
+    if MODE.load(Ordering::Relaxed) == KernelMode::Naive as u8 {
+        KernelMode::Naive
+    } else {
+        KernelMode::Blocked
+    }
+}
+
+/// Cached result of the AVX2+FMA probe: 0 = not probed, 1 = available,
+/// 2 = unavailable. Probing once keeps the per-call cost at one relaxed load.
+#[cfg(target_arch = "x86_64")]
+static SIMD: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the AVX2+FMA specializations may be dispatched on this host.
+#[cfg(target_arch = "x86_64")]
+fn simd_ok() -> bool {
+    match SIMD.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let ok = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            SIMD.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
+            ok
+        }
+    }
+}
+
+/// Rows of the shared operand processed per panel: a `KC x NC` panel of `b`
+/// is at most 128 KiB, comfortably inside L2 next to the `out` rows it feeds.
+const KC: usize = 128;
+/// Columns per panel (f32 lanes), sized so four unrolled `b` rows plus the
+/// output row stay resident in L1 while a panel is being consumed.
+const NC: usize = 512;
+
+/// `out += a · b` where `a` is `m x k`, `b` is `k x n`, `out` is `m x n`.
+///
+/// Blocked over (k, n) panels; within a panel the k-loop is unrolled 4× so
+/// each pass over the output row folds four `b` rows with independent
+/// multiply-add chains.
+pub fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul: a length");
+    assert_eq!(b.len(), k * n, "matmul: b length");
+    assert_eq!(out.len(), m * n, "matmul: out length");
+    #[cfg(target_arch = "x86_64")]
+    if simd_ok() {
+        // SAFETY: `simd_ok` confirmed AVX2+FMA; the asserts above establish
+        // the slice-length contract the microkernel's pointer walks rely on.
+        unsafe { avx2::matmul(m, k, n, a, b, out) };
+        return;
+    }
+    matmul_body(m, k, n, a, b, out)
+}
+
+#[inline(always)]
+fn matmul_body(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = NC.min(n - j0);
+            for i in 0..m {
+                let a_row = &a[i * k + k0..i * k + k0 + kb];
+                let out_row = &mut out[i * n + j0..i * n + j0 + jb];
+                let mut kk = 0;
+                while kk + 4 <= kb {
+                    let a0 = a_row[kk];
+                    let a1 = a_row[kk + 1];
+                    let a2 = a_row[kk + 2];
+                    let a3 = a_row[kk + 3];
+                    let base = (k0 + kk) * n + j0;
+                    let b0 = &b[base..base + jb];
+                    let b1 = &b[base + n..base + n + jb];
+                    let b2 = &b[base + 2 * n..base + 2 * n + jb];
+                    let b3 = &b[base + 3 * n..base + 3 * n + jb];
+                    for ((((o, &v0), &v1), &v2), &v3) in
+                        out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                    }
+                    kk += 4;
+                }
+                while kk < kb {
+                    let av = a_row[kk];
+                    let base = (k0 + kk) * n + j0;
+                    let b_row = &b[base..base + jb];
+                    for (o, &v) in out_row.iter_mut().zip(b_row) {
+                        *o += av * v;
+                    }
+                    kk += 1;
+                }
+            }
+            j0 += jb;
+        }
+        k0 += kb;
+    }
+}
+
+/// `out += aᵀ · b` where `a` is `r x c`, `b` is `r x n`, `out` is `c x n`.
+///
+/// Processes four `a`/`b` row pairs per sweep so each output row is loaded
+/// and stored once per four scatter contributions.
+pub fn t_matmul(r: usize, c: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), r * c, "t_matmul: a length");
+    assert_eq!(b.len(), r * n, "t_matmul: b length");
+    assert_eq!(out.len(), c * n, "t_matmul: out length");
+    #[cfg(target_arch = "x86_64")]
+    if simd_ok() {
+        // SAFETY: `simd_ok` confirmed AVX2+FMA; the asserts above establish
+        // the slice-length contract the microkernel's pointer walks rely on.
+        unsafe { avx2::t_matmul(r, c, n, a, b, out) };
+        return;
+    }
+    t_matmul_body(r, c, n, a, b, out)
+}
+
+#[inline(always)]
+fn t_matmul_body(r: usize, c: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), r * c);
+    debug_assert_eq!(b.len(), r * n);
+    debug_assert_eq!(out.len(), c * n);
+    let mut rr = 0;
+    while rr + 4 <= r {
+        let a0 = &a[rr * c..(rr + 1) * c];
+        let a1 = &a[(rr + 1) * c..(rr + 2) * c];
+        let a2 = &a[(rr + 2) * c..(rr + 3) * c];
+        let a3 = &a[(rr + 3) * c..(rr + 4) * c];
+        let b0 = &b[rr * n..(rr + 1) * n];
+        let b1 = &b[(rr + 1) * n..(rr + 2) * n];
+        let b2 = &b[(rr + 2) * n..(rr + 3) * n];
+        let b3 = &b[(rr + 3) * n..(rr + 4) * n];
+        for i in 0..c {
+            let (x0, x1, x2, x3) = (a0[i], a1[i], a2[i], a3[i]);
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for ((((o, &v0), &v1), &v2), &v3) in
+                out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o += x0 * v0 + x1 * v1 + x2 * v2 + x3 * v3;
+            }
+        }
+        rr += 4;
+    }
+    while rr < r {
+        let a_row = &a[rr * c..(rr + 1) * c];
+        let b_row = &b[rr * n..(rr + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &v) in out_row.iter_mut().zip(b_row) {
+                *o += av * v;
+            }
+        }
+        rr += 1;
+    }
+}
+
+/// `out += a · bᵀ` where `a` is `m x k`, `b` is `n x k`, `out` is `m x n`.
+///
+/// Four output columns share one streaming pass over the `a` row; each
+/// column accumulates into an 8-lane array so the reduction runs as four
+/// independent vector FMA chains (a scalar `s += a*b` dot product cannot be
+/// vectorized under strict FP semantics — the lane split makes the
+/// reassociation explicit) and is horizontally summed once at the end.
+pub fn matmul_t(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_t: a length");
+    assert_eq!(b.len(), n * k, "matmul_t: b length");
+    assert_eq!(out.len(), m * n, "matmul_t: out length");
+    #[cfg(target_arch = "x86_64")]
+    if simd_ok() {
+        // SAFETY: `simd_ok` confirmed AVX2+FMA; the asserts above establish
+        // the slice-length contract the microkernel's pointer walks rely on.
+        unsafe { avx2::matmul_t(m, k, n, a, b, out) };
+        return;
+    }
+    matmul_t_body(m, k, n, a, b, out)
+}
+
+/// f32 lanes per dot-product accumulator; one AVX2 register.
+const DOT_LANES: usize = 8;
+
+#[inline(always)]
+fn matmul_t_body(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let mut acc = [[0.0f32; DOT_LANES]; 4];
+            let mut kk = 0;
+            while kk + DOT_LANES <= k {
+                let av = &a_row[kk..kk + DOT_LANES];
+                let v0 = &b0[kk..kk + DOT_LANES];
+                let v1 = &b1[kk..kk + DOT_LANES];
+                let v2 = &b2[kk..kk + DOT_LANES];
+                let v3 = &b3[kk..kk + DOT_LANES];
+                for l in 0..DOT_LANES {
+                    acc[0][l] += av[l] * v0[l];
+                    acc[1][l] += av[l] * v1[l];
+                    acc[2][l] += av[l] * v2[l];
+                    acc[3][l] += av[l] * v3[l];
+                }
+                kk += DOT_LANES;
+            }
+            let mut s = [0.0f32; 4];
+            for (sc, lanes) in s.iter_mut().zip(&acc) {
+                *sc = lanes.iter().sum();
+            }
+            while kk < k {
+                let av = a_row[kk];
+                s[0] += av * b0[kk];
+                s[1] += av * b1[kk];
+                s[2] += av * b2[kk];
+                s[3] += av * b3[kk];
+                kk += 1;
+            }
+            out_row[j] += s[0];
+            out_row[j + 1] += s[1];
+            out_row[j + 2] += s[2];
+            out_row[j + 3] += s[3];
+            j += 4;
+        }
+        while j < n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = [0.0f32; DOT_LANES];
+            let mut kk = 0;
+            while kk + DOT_LANES <= k {
+                let av = &a_row[kk..kk + DOT_LANES];
+                let bv = &b_row[kk..kk + DOT_LANES];
+                for l in 0..DOT_LANES {
+                    acc[l] += av[l] * bv[l];
+                }
+                kk += DOT_LANES;
+            }
+            let mut s: f32 = acc.iter().sum();
+            while kk < k {
+                s += a_row[kk] * b_row[kk];
+                kk += 1;
+            }
+            out_row[j] += s;
+            j += 1;
+        }
+    }
+}
+
+/// Element-wise `out[i] = tanh(xs[i])`, branchless and vectorizable.
+///
+/// Uses the identity `tanh(|x|) = 1 − 2/(e^{2|x|} + 1)` with `e^{2|x|}`
+/// computed as `2^y` (`y = 2|x|·log₂e`): the integer part of `y` becomes the
+/// float exponent via bit assembly, the fractional part (in `[-0.5, 0.5]`,
+/// split off with the `+1.5·2²³` round-to-nearest trick so no `round`/`floor`
+/// libcall is emitted) feeds a degree-6 Taylor polynomial for `2^f`. `|x|` is
+/// saturated at 12 where `tanh` is 1 to within f32 resolution. Absolute error
+/// vs libm is ≤ 2e-6 (differential-tested below) — far below the noise the
+/// stochastic DDPG minibatch already injects.
+pub fn tanh(xs: &[f32], out: &mut [f32]) {
+    assert_eq!(xs.len(), out.len(), "tanh: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_ok() {
+        // SAFETY: `simd_ok` confirmed AVX2+FMA, the only precondition of the
+        // wrapper (its body is safe code recompiled with wider codegen).
+        unsafe { avx2::tanh(xs, out) };
+        return;
+    }
+    tanh_body(xs, out)
+}
+
+#[inline(always)]
+fn tanh_body(xs: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(xs.len(), out.len());
+    // Taylor coefficients of 2^f around 0: (ln 2)^i / i!.
+    const C1: f32 = std::f32::consts::LN_2;
+    const C2: f32 = 0.240_226_5;
+    const C3: f32 = 0.055_504_11;
+    const C4: f32 = 0.009_618_129;
+    const C5: f32 = 0.001_333_355_8;
+    const C6: f32 = 0.000_154_035_3;
+    // 1.5·2²³: adding then subtracting rounds an f32 in [0, 2²²) to the
+    // nearest integer without a `round` libcall.
+    const ROUND: f32 = 12_582_912.0;
+    // tanh(12) is within a quarter-ulp of 1.0f32 even after the ~2e-6
+    // polynomial error; saturating keeps the exponent bits in range.
+    const SAT: f32 = 12.0;
+    let two_log2_e = 2.0 * std::f32::consts::LOG2_E;
+    for (o, &x) in out.iter_mut().zip(xs) {
+        let y = two_log2_e * x.abs().min(SAT); // e^{2|x|} = 2^y, y ∈ [0, 35]
+        let nf = (y + ROUND) - ROUND;
+        let f = y - nf; // ∈ [-0.5, 0.5]
+        let p = 1.0 + f * (C1 + f * (C2 + f * (C3 + f * (C4 + f * (C5 + f * C6)))));
+        let e = p * f32::from_bits((((nf as i32) + 127) << 23) as u32);
+        let t = 1.0 - 2.0 / (e + 1.0); // tanh(|x|)
+        *o = t.copysign(x);
+    }
+}
+
+/// Explicit AVX2+FMA microkernels (x86-64 only), dispatched after
+/// [`simd_ok`] confirms the features at runtime.
+///
+/// Rustc's autovectorizer handles the streaming `out += α·b_row` update but
+/// will not reassociate dot-product reductions under strict FP semantics and
+/// spills multi-row accumulator tiles to the stack; writing the tiles with
+/// intrinsics keeps eight independent fused-multiply-add chains resident in
+/// ymm registers, which is what it takes to approach single-core FMA
+/// throughput at DDPG layer shapes (64-row minibatches, 16–256-wide layers).
+/// Semantics are identical to the portable bodies: accumulate into `out`,
+/// panel-order float summation (differential-tested against [`naive`]).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// `o0/o1[0..32] += Σ_t a0/a1[t·sa] · b[t·n + 0..32]` — a 2-row ×
+    /// 32-column register tile walked down a shared depth axis. `W` is the
+    /// tile width in 8-lane vectors (4 ⇒ 32 columns, 1 ⇒ 8 columns).
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    // SAFETY: caller guarantees AVX2+FMA and in-bounds pointers — a0/a1 for
+    // d reads at stride sa, b for d rows of ≥ 8·W floats at stride n, and
+    // o0/o1 for 8·W floats each.
+    unsafe fn tile2<const W: usize>(
+        d: usize,
+        n: usize,
+        a0: *const f32,
+        a1: *const f32,
+        sa: usize,
+        b: *const f32,
+        o0: *mut f32,
+        o1: *mut f32,
+    ) {
+        let mut c0 = [_mm256_setzero_ps(); W];
+        let mut c1 = [_mm256_setzero_ps(); W];
+        for w in 0..W {
+            c0[w] = _mm256_loadu_ps(o0.add(8 * w));
+            c1[w] = _mm256_loadu_ps(o1.add(8 * w));
+        }
+        let (mut pa0, mut pa1, mut pb) = (a0, a1, b);
+        for _ in 0..d {
+            let v0 = _mm256_set1_ps(*pa0);
+            let v1 = _mm256_set1_ps(*pa1);
+            for w in 0..W {
+                let bw = _mm256_loadu_ps(pb.add(8 * w));
+                c0[w] = _mm256_fmadd_ps(v0, bw, c0[w]);
+                c1[w] = _mm256_fmadd_ps(v1, bw, c1[w]);
+            }
+            pa0 = pa0.add(sa);
+            pa1 = pa1.add(sa);
+            pb = pb.add(n);
+        }
+        for w in 0..W {
+            _mm256_storeu_ps(o0.add(8 * w), c0[w]);
+            _mm256_storeu_ps(o1.add(8 * w), c1[w]);
+        }
+    }
+
+    /// Single-row variant of [`tile2`] for odd trailing rows.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    // SAFETY: caller guarantees AVX2+FMA and in-bounds pointers — a0 for d
+    // reads at stride sa, b for d rows of ≥ 8·W floats at stride n, o0 for
+    // 8·W floats.
+    unsafe fn tile1<const W: usize>(
+        d: usize,
+        n: usize,
+        a0: *const f32,
+        sa: usize,
+        b: *const f32,
+        o0: *mut f32,
+    ) {
+        let mut c0 = [_mm256_setzero_ps(); W];
+        for (w, c) in c0.iter_mut().enumerate() {
+            *c = _mm256_loadu_ps(o0.add(8 * w));
+        }
+        let (mut pa0, mut pb) = (a0, b);
+        for _ in 0..d {
+            let v0 = _mm256_set1_ps(*pa0);
+            for (w, c) in c0.iter_mut().enumerate() {
+                *c = _mm256_fmadd_ps(v0, _mm256_loadu_ps(pb.add(8 * w)), *c);
+            }
+            pa0 = pa0.add(sa);
+            pb = pb.add(n);
+        }
+        for (w, c) in c0.iter().enumerate() {
+            _mm256_storeu_ps(o0.add(8 * w), *c);
+        }
+    }
+
+    /// Shared driver for `matmul` / `t_matmul`: both are
+    /// `out[i][j] += Σ_t a(i, t) · b[t][j]` with `a(i, t) = a[i·ra + t·sa]`
+    /// (row-major reads for `matmul`: ra = k, sa = 1; column reads for
+    /// `t_matmul`: ra = 1, sa = c). Tiles 2 rows × 32 columns, then narrows
+    /// to 8-column strips and a scalar column tail.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    // SAFETY: caller guarantees AVX2+FMA; `a` must hold every index
+    // `i·ra + t·sa` (i < rows, t < d), `b` d rows of n floats, `out` rows·n.
+    unsafe fn gaxpy(
+        rows: usize,
+        d: usize,
+        n: usize,
+        a: *const f32,
+        ra: usize,
+        sa: usize,
+        b: *const f32,
+        out: *mut f32,
+    ) {
+        let mut j = 0;
+        while j + 32 <= n {
+            let mut i = 0;
+            while i + 2 <= rows {
+                tile2::<4>(
+                    d,
+                    n,
+                    a.add(i * ra),
+                    a.add((i + 1) * ra),
+                    sa,
+                    b.add(j),
+                    out.add(i * n + j),
+                    out.add((i + 1) * n + j),
+                );
+                i += 2;
+            }
+            if i < rows {
+                tile1::<4>(d, n, a.add(i * ra), sa, b.add(j), out.add(i * n + j));
+            }
+            j += 32;
+        }
+        while j + 8 <= n {
+            let mut i = 0;
+            while i + 2 <= rows {
+                tile2::<1>(
+                    d,
+                    n,
+                    a.add(i * ra),
+                    a.add((i + 1) * ra),
+                    sa,
+                    b.add(j),
+                    out.add(i * n + j),
+                    out.add((i + 1) * n + j),
+                );
+                i += 2;
+            }
+            if i < rows {
+                tile1::<1>(d, n, a.add(i * ra), sa, b.add(j), out.add(i * n + j));
+            }
+            j += 8;
+        }
+        if j < n {
+            for i in 0..rows {
+                for t in 0..d {
+                    let av = *a.add(i * ra + t * sa);
+                    for jj in j..n {
+                        *out.add(i * n + jj) += av * *b.add(t * n + jj);
+                    }
+                }
+            }
+        }
+    }
+
+    /// AVX2 `out += a · b` (see [`super::matmul`] for the shape contract).
+    #[target_feature(enable = "avx2,fma")]
+    // SAFETY: caller guarantees AVX2+FMA and asserts the slice lengths
+    // (a: m·k, b: k·n, out: m·n), which bound every pointer in `gaxpy`.
+    pub(super) unsafe fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        gaxpy(m, k, n, a.as_ptr(), k, 1, b.as_ptr(), out.as_mut_ptr())
+    }
+
+    /// AVX2 `out += aᵀ · b` (see [`super::t_matmul`] for the shape contract).
+    #[target_feature(enable = "avx2,fma")]
+    // SAFETY: caller guarantees AVX2+FMA and asserts the slice lengths
+    // (a: r·c, b: r·n, out: c·n), which bound every pointer in `gaxpy`.
+    pub(super) unsafe fn t_matmul(r: usize, c: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        gaxpy(c, r, n, a.as_ptr(), 1, c, b.as_ptr(), out.as_mut_ptr())
+    }
+
+    /// Horizontal sum of one 8-lane vector.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    // SAFETY: register-only ops; caller guarantees AVX2.
+    unsafe fn hsum(v: __m256) -> f32 {
+        let q = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+        let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        _mm_cvtss_f32(_mm_add_ss(d, _mm_shuffle_ps(d, d, 1)))
+    }
+
+    /// Four simultaneous k-length dot products of one `a` row against four
+    /// `b` rows, accumulated into `o[0..4]`.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    // SAFETY: caller guarantees AVX2+FMA; a and b0..b3 valid for k reads,
+    // o for 4 read-writes.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn dot4(
+        k: usize,
+        a: *const f32,
+        b0: *const f32,
+        b1: *const f32,
+        b2: *const f32,
+        b3: *const f32,
+        o: *mut f32,
+    ) {
+        let mut c0 = _mm256_setzero_ps();
+        let mut c1 = _mm256_setzero_ps();
+        let mut c2 = _mm256_setzero_ps();
+        let mut c3 = _mm256_setzero_ps();
+        let mut kk = 0;
+        while kk + 8 <= k {
+            let av = _mm256_loadu_ps(a.add(kk));
+            c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0.add(kk)), c0);
+            c1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1.add(kk)), c1);
+            c2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2.add(kk)), c2);
+            c3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3.add(kk)), c3);
+            kk += 8;
+        }
+        let mut s = [hsum(c0), hsum(c1), hsum(c2), hsum(c3)];
+        while kk < k {
+            let av = *a.add(kk);
+            s[0] += av * *b0.add(kk);
+            s[1] += av * *b1.add(kk);
+            s[2] += av * *b2.add(kk);
+            s[3] += av * *b3.add(kk);
+            kk += 1;
+        }
+        for (idx, sv) in s.iter().enumerate() {
+            *o.add(idx) += sv;
+        }
+    }
+
+    /// One k-length dot product (two interleaved chains), accumulated into
+    /// `*o`; the tail form of [`dot4`].
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    // SAFETY: caller guarantees AVX2+FMA; a and b valid for k reads, o for
+    // one read-write.
+    unsafe fn dot1(k: usize, a: *const f32, b: *const f32, o: *mut f32) {
+        let mut c0 = _mm256_setzero_ps();
+        let mut c1 = _mm256_setzero_ps();
+        let mut kk = 0;
+        while kk + 16 <= k {
+            c0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(kk)), _mm256_loadu_ps(b.add(kk)), c0);
+            c1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(kk + 8)),
+                _mm256_loadu_ps(b.add(kk + 8)),
+                c1,
+            );
+            kk += 16;
+        }
+        if kk + 8 <= k {
+            c0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(kk)), _mm256_loadu_ps(b.add(kk)), c0);
+            kk += 8;
+        }
+        let mut s = hsum(_mm256_add_ps(c0, c1));
+        while kk < k {
+            s += *a.add(kk) * *b.add(kk);
+            kk += 1;
+        }
+        *o += s;
+    }
+
+    /// AVX2 `out += a · bᵀ` (see [`super::matmul_t`] for the shape
+    /// contract): per output row, four columns resolve as simultaneous dot
+    /// products so the reduction runs in four register chains.
+    #[target_feature(enable = "avx2,fma")]
+    // SAFETY: caller guarantees AVX2+FMA and asserts the slice lengths
+    // (a: m·k, b: n·k, out: m·n), which bound every dot-product pointer.
+    pub(super) unsafe fn matmul_t(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        for i in 0..m {
+            let ar = a.as_ptr().add(i * k);
+            let or = out.as_mut_ptr().add(i * n);
+            let bp = b.as_ptr();
+            let mut j = 0;
+            while j + 4 <= n {
+                dot4(
+                    k,
+                    ar,
+                    bp.add(j * k),
+                    bp.add((j + 1) * k),
+                    bp.add((j + 2) * k),
+                    bp.add((j + 3) * k),
+                    or.add(j),
+                );
+                j += 4;
+            }
+            while j < n {
+                dot1(k, ar, bp.add(j * k), or.add(j));
+                j += 1;
+            }
+        }
+    }
+
+    /// AVX2 `tanh` — the portable polynomial body recompiled with AVX2+FMA
+    /// codegen (it is branchless and lane-independent, so the
+    /// autovectorizer handles it once wide FMA is available).
+    #[target_feature(enable = "avx2,fma")]
+    // SAFETY: no unsafe operations inside — the attribute only changes
+    // codegen; callers must (and do, via `simd_ok`) verify AVX2+FMA.
+    pub(super) unsafe fn tanh(xs: &[f32], out: &mut [f32]) {
+        super::tanh_body(xs, out)
+    }
+}
+
+/// The pre-optimization reference loops, kept for differential testing and
+/// as the baseline leg of the perf harness. Semantics (accumulate into
+/// `out`) and argument order match the blocked kernels above.
+pub mod naive {
+    /// `out += a · b` — the original i-k-j loop, including its data-dependent
+    /// `a == 0.0` skip.
+    pub fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// `out += aᵀ · b` — the original per-row scatter loop.
+    pub fn t_matmul(r: usize, c: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), r * c);
+        debug_assert_eq!(b.len(), r * n);
+        debug_assert_eq!(out.len(), c * n);
+        for rr in 0..r {
+            let a_row = &a[rr * c..(rr + 1) * c];
+            let b_row = &b[rr * n..(rr + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// `out += a · bᵀ` — the original single-accumulator dot-product loop.
+    pub fn matmul_t(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *o += acc;
+            }
+        }
+    }
+
+    /// `out[i] = tanh(xs[i])` — the original per-element libm call.
+    pub fn tanh(xs: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(xs.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = x.tanh();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Differential tests: the blocked kernels must agree with the retained
+    //! naive loops within 1e-5 relative error across randomized shapes,
+    //! including degenerate (1-row/1-column) and non-multiple-of-block
+    //! sizes, and including ReLU-style sparse inputs that exercised the old
+    //! `a == 0.0` shortcut.
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_close(fast: &[f32], reference: &[f32], what: &str) {
+        assert_eq!(fast.len(), reference.len());
+        for (idx, (&f, &r)) in fast.iter().zip(reference).enumerate() {
+            let tol = 1e-5 * (1.0 + r.abs());
+            assert!(
+                (f - r).abs() <= tol,
+                "{what}: element {idx} diverged: blocked {f} vs naive {r}"
+            );
+        }
+    }
+
+    fn random_vec(rng: &mut StdRng, len: usize, sparsity: f64) -> Vec<f32> {
+        (0..len)
+            .map(|_| {
+                if rng.gen_bool(sparsity) {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0f32..2.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Shape set: degenerate 1s, odd remainders around the 4× unroll, and
+    /// sizes straddling the KC/NC panel boundaries.
+    fn shapes() -> Vec<(usize, usize, usize)> {
+        vec![
+            (1, 1, 1),
+            (1, 7, 5),
+            (5, 1, 3),
+            (3, 4, 1),
+            (2, 3, 2),
+            (4, 4, 4),
+            (7, 9, 11),
+            (13, 17, 6),
+            (32, 63, 64),
+            (64, 63, 128),
+            (5, 129, 7),
+            (3, 130, 515),
+            (2, 257, 9),
+        ]
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        for (m, k, n) in shapes() {
+            for sparsity in [0.0, 0.6] {
+                let a = random_vec(&mut rng, m * k, sparsity);
+                let b = random_vec(&mut rng, k * n, sparsity);
+
+                let mut fast = vec![0.0f32; m * n];
+                let mut slow = vec![0.0f32; m * n];
+                matmul(m, k, n, &a, &b, &mut fast);
+                naive::matmul(m, k, n, &a, &b, &mut slow);
+                assert_close(&fast, &slow, &format!("matmul {m}x{k}x{n} sp{sparsity}"));
+
+                // Aᵀ·B with A reinterpreted as k x m so shapes agree.
+                let mut fast = vec![0.0f32; m * n];
+                let mut slow = vec![0.0f32; m * n];
+                let at = random_vec(&mut rng, k * m, sparsity);
+                t_matmul(k, m, n, &at, &b, &mut fast);
+                naive::t_matmul(k, m, n, &at, &b, &mut slow);
+                assert_close(&fast, &slow, &format!("t_matmul {k}x{m}x{n} sp{sparsity}"));
+
+                // A·Bᵀ with B reinterpreted as n x k.
+                let mut fast = vec![0.0f32; m * n];
+                let mut slow = vec![0.0f32; m * n];
+                let bt = random_vec(&mut rng, n * k, sparsity);
+                matmul_t(m, k, n, &a, &bt, &mut fast);
+                naive::matmul_t(m, k, n, &a, &bt, &mut slow);
+                assert_close(&fast, &slow, &format!("matmul_t {m}x{k}x{n} sp{sparsity}"));
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_accumulate_rather_than_overwrite() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut out = [10.0f32];
+        // 1x2 · 2x1 = [11]; accumulated on top of 10.
+        matmul(1, 2, 1, &a, &b, &mut out);
+        assert_eq!(out, [21.0]);
+        let mut out = [10.0f32];
+        naive::matmul(1, 2, 1, &a, &b, &mut out);
+        assert_eq!(out, [21.0]);
+    }
+
+    #[test]
+    fn fast_tanh_matches_libm_within_2e6() {
+        // Dense sweep across the active region plus deep saturation.
+        let xs: Vec<f32> = (-4800..=4800).map(|i| i as f32 * 0.0025).collect();
+        let mut fast = vec![0.0f32; xs.len()];
+        tanh(&xs, &mut fast);
+        let mut worst = 0.0f32;
+        for (&x, &t) in xs.iter().zip(&fast) {
+            let r = x.tanh();
+            worst = worst.max((t - r).abs());
+            assert!((t - r).abs() <= 2e-6, "tanh({x}): fast {t} vs libm {r}");
+        }
+        assert!(worst > 0.0, "sweep should exercise inexact values");
+        assert!(fast.iter().all(|t| t.abs() <= 1.0));
+    }
+
+    #[test]
+    fn fast_tanh_handles_edge_values() {
+        let mut out = [0.0f32; 5];
+        tanh(&[0.0, -0.0, 30.0, -30.0, 1e-20], &mut out);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 1.0);
+        assert_eq!(out[3], -1.0);
+        assert!(out[4].abs() <= 1e-19);
+        // Odd symmetry: tanh(-x) == -tanh(x) exactly (sign is a bit op).
+        let xs: Vec<f32> = (1..50).map(|i| i as f32 * 0.17).collect();
+        let neg: Vec<f32> = xs.iter().map(|x| -x).collect();
+        let mut pos_out = vec![0.0f32; xs.len()];
+        let mut neg_out = vec![0.0f32; xs.len()];
+        tanh(&xs, &mut pos_out);
+        tanh(&neg, &mut neg_out);
+        for (p, n) in pos_out.iter().zip(&neg_out) {
+            assert_eq!(*p, -*n);
+        }
+    }
+
+    #[test]
+    fn naive_tanh_is_libm() {
+        let xs = [-2.0f32, -0.5, 0.0, 0.5, 2.0];
+        let mut out = [0.0f32; 5];
+        naive::tanh(&xs, &mut out);
+        for (&x, &t) in xs.iter().zip(&out) {
+            assert_eq!(t, x.tanh());
+        }
+    }
+
+    #[test]
+    fn mode_switch_round_trips() {
+        assert_eq!(kernel_mode(), KernelMode::Blocked);
+        set_kernel_mode(KernelMode::Naive);
+        assert_eq!(kernel_mode(), KernelMode::Naive);
+        set_kernel_mode(KernelMode::Blocked);
+        assert_eq!(kernel_mode(), KernelMode::Blocked);
+    }
+}

@@ -18,18 +18,17 @@ pub enum ActivationKind {
     Sigmoid,
 }
 
-/// A stateless element-wise activation. The forward output is cached so the
-/// backward pass can compute the local derivative without re-evaluating.
+/// A stateless element-wise activation. The backward pass derives the local
+/// derivative from the forward input/output the network lends back, so the
+/// layer keeps no cache of its own.
 pub struct Activation {
     kind: ActivationKind,
-    cached_output: Option<Matrix>,
-    cached_input: Option<Matrix>,
 }
 
 impl Activation {
     /// Creates an activation layer of the given kind.
     pub fn new(kind: ActivationKind) -> Self {
-        Self { kind, cached_output: None, cached_input: None }
+        Self { kind }
     }
 }
 
@@ -58,49 +57,44 @@ pub fn Sigmoid() -> Activation {
 }
 
 impl Layer for Activation {
-    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
-        let out = match self.kind {
-            ActivationKind::Relu => input.map(|x| x.max(0.0)),
-            ActivationKind::LeakyRelu(alpha) => input.map(|x| if x > 0.0 { x } else { alpha * x }),
-            ActivationKind::Tanh => input.map(f32::tanh),
-            ActivationKind::Sigmoid => input.map(|x| 1.0 / (1.0 + (-x).exp())),
-        };
-        self.cached_input = Some(input.clone());
-        self.cached_output = Some(out.clone());
-        out
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix, _train: bool) {
+        match self.kind {
+            ActivationKind::Relu => input.map_into(out, |x| x.max(0.0)),
+            ActivationKind::LeakyRelu(alpha) => {
+                input.map_into(out, |x| if x > 0.0 { x } else { alpha * x })
+            }
+            ActivationKind::Tanh => input.tanh_into(out),
+            ActivationKind::Sigmoid => input.map_into(out, |x| 1.0 / (1.0 + (-x).exp())),
+        }
     }
 
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+    fn backward_into(
+        &mut self,
+        input: &Matrix,
+        output: &Matrix,
+        grad_out: &Matrix,
+        grad_in: &mut Matrix,
+    ) {
         match self.kind {
+            // ReLU variants derive from the input sign…
             ActivationKind::Relu => {
-                let input = self
-                    .cached_input
-                    .as_ref()
-                    .expect("Activation::backward before forward");
-                grad_out.zip_map(input, |g, x| if x > 0.0 { g } else { 0.0 })
+                grad_out.zip_map_into(input, grad_in, |g, x| if x > 0.0 { g } else { 0.0 })
             }
             ActivationKind::LeakyRelu(alpha) => {
-                let input = self
-                    .cached_input
-                    .as_ref()
-                    .expect("Activation::backward before forward");
-                grad_out.zip_map(input, |g, x| if x > 0.0 { g } else { alpha * g })
+                grad_out.zip_map_into(input, grad_in, |g, x| if x > 0.0 { g } else { alpha * g })
             }
+            // …while the squashers reuse the forward output.
             ActivationKind::Tanh => {
-                let out = self
-                    .cached_output
-                    .as_ref()
-                    .expect("Activation::backward before forward");
-                grad_out.zip_map(out, |g, y| g * (1.0 - y * y))
+                grad_out.zip_map_into(output, grad_in, |g, y| g * (1.0 - y * y))
             }
             ActivationKind::Sigmoid => {
-                let out = self
-                    .cached_output
-                    .as_ref()
-                    .expect("Activation::backward before forward");
-                grad_out.zip_map(out, |g, y| g * y * (1.0 - y))
+                grad_out.zip_map_into(output, grad_in, |g, y| g * y * (1.0 - y))
             }
         }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn name(&self) -> &'static str {
@@ -116,7 +110,7 @@ impl Layer for Activation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::gradcheck::check_input_gradient;
+    use crate::layers::gradcheck::{bwd, check_input_gradient, fwd};
     use crate::init::Init;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -125,7 +119,7 @@ mod tests {
     fn relu_clamps_negative() {
         let mut a = Relu();
         let x = Matrix::from_vec(1, 4, vec![-2.0, -0.1, 0.0, 3.0]);
-        let y = a.forward(&x, false);
+        let y = fwd(&mut a, &x, false);
         assert_eq!(y.as_slice(), &[0.0, 0.0, 0.0, 3.0]);
     }
 
@@ -133,7 +127,7 @@ mod tests {
     fn tanh_bounded() {
         let mut a = Tanh();
         let x = Matrix::from_vec(1, 3, vec![-100.0, 0.0, 100.0]);
-        let y = a.forward(&x, false);
+        let y = fwd(&mut a, &x, false);
         assert!((y.as_slice()[0] + 1.0).abs() < 1e-6);
         assert_eq!(y.as_slice()[1], 0.0);
         assert!((y.as_slice()[2] - 1.0).abs() < 1e-6);
@@ -143,7 +137,7 @@ mod tests {
     fn sigmoid_midpoint() {
         let mut a = Sigmoid();
         let x = Matrix::from_vec(1, 1, vec![0.0]);
-        assert_eq!(a.forward(&x, false).as_slice(), &[0.5]);
+        assert_eq!(fwd(&mut a, &x, false).as_slice(), &[0.5]);
     }
 
     #[test]
@@ -168,7 +162,17 @@ mod tests {
     fn leaky_relu_passes_scaled_negatives() {
         let mut a = LeakyRelu(0.2);
         let x = Matrix::from_vec(1, 3, vec![-5.0, 0.0, 5.0]);
-        let y = a.forward(&x, false);
+        let y = fwd(&mut a, &x, false);
         assert_eq!(y.as_slice(), &[-1.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_masks_by_forward_input() {
+        let mut a = Relu();
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.5, 2.0]);
+        let y = fwd(&mut a, &x, true);
+        let g = Matrix::filled(1, 3, 1.0);
+        let dx = bwd(&mut a, &x, &y, &g);
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0]);
     }
 }

@@ -6,10 +6,12 @@ use crate::matrix::Matrix;
 use rand::Rng;
 
 /// Fully-connected layer with weights `W (in x out)` and bias `b (1 x out)`.
+///
+/// Holds no forward cache: the owning network lends the forward input back
+/// to [`Layer::backward_into`], so a training step never clones activations.
 pub struct Dense {
     weight: Param,
     bias: Param,
-    cached_input: Option<Matrix>,
 }
 
 impl Dense {
@@ -18,7 +20,6 @@ impl Dense {
         Self {
             weight: Param::new(weight_init.sample(in_dim, out_dim, rng)),
             bias: Param::new(Matrix::zeros(1, out_dim)),
-            cached_input: None,
         }
     }
 
@@ -34,23 +35,40 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix, _train: bool) {
         debug_assert_eq!(input.cols(), self.in_dim(), "dense input width mismatch");
-        let mut out = input.matmul(&self.weight.value);
+        input.matmul_into(&self.weight.value, out);
         out.add_row_broadcast(&self.bias.value);
-        self.cached_input = Some(input.clone());
-        out
     }
 
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Dense::backward called before forward");
-        // dW = Xᵀ·dY, db = colsum(dY), dX = dY·Wᵀ
-        self.weight.grad.add_assign(&input.t_matmul(grad_out));
-        self.bias.grad.add_assign(&grad_out.col_sum());
-        grad_out.matmul_t(&self.weight.value)
+    fn backward_into(
+        &mut self,
+        input: &Matrix,
+        _output: &Matrix,
+        grad_out: &Matrix,
+        grad_in: &mut Matrix,
+    ) {
+        // dW += Xᵀ·dY, db += colsum(dY), dX = dY·Wᵀ
+        input.t_matmul_acc(grad_out, &mut self.weight.grad);
+        grad_out.col_sum_acc(&mut self.bias.grad);
+        grad_out.matmul_t_into(&self.weight.value, grad_in);
+    }
+
+    fn out_width(&self, _in_width: usize) -> usize {
+        self.out_dim()
+    }
+
+    fn soft_update_from(&mut self, source: &dyn Layer, tau: f32) {
+        let src = source
+            .as_any()
+            .downcast_ref::<Dense>()
+            .expect("soft update source must be a Dense layer");
+        self.weight.value.polyak_from(&src.weight.value, tau);
+        self.bias.value.polyak_from(&src.bias.value, tau);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -82,7 +100,7 @@ impl Layer for Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::gradcheck::check_input_gradient;
+    use crate::layers::gradcheck::{bwd, check_input_gradient, fwd};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -95,7 +113,7 @@ mod tests {
             Matrix::row_vector(vec![1.5, -0.5]),
         ]);
         let x = Matrix::from_vec(2, 3, vec![1.0; 6]);
-        let y = d.forward(&x, false);
+        let y = fwd(&mut d, &x, false);
         assert_eq!((y.rows(), y.cols()), (2, 2));
         assert_eq!(y.row(0), &[1.5, -0.5]);
     }
@@ -115,10 +133,10 @@ mod tests {
         let x = Init::Uniform(1.0).sample(3, 2, &mut rng);
 
         // loss = sum(forward(x)); dL/dY = ones
-        let y = d.forward(&x, true);
+        let y = fwd(&mut d, &x, true);
         let ones = Matrix::filled(y.rows(), y.cols(), 1.0);
         d.zero_grad();
-        let _ = d.backward(&ones);
+        let _ = bwd(&mut d, &x, &y, &ones);
         let mut analytic = Vec::new();
         d.visit_params(&mut |p| analytic.push(p.grad.clone()));
 
@@ -131,12 +149,12 @@ mod tests {
                 let mut plus = base_state.clone();
                 plus[pi].as_mut_slice()[idx] += eps;
                 d.load_state(&plus);
-                let lp: f32 = d.forward(&x, true).as_slice().iter().sum();
+                let lp: f32 = fwd(&mut d, &x, true).as_slice().iter().sum();
 
                 let mut minus = base_state.clone();
                 minus[pi].as_mut_slice()[idx] -= eps;
                 d.load_state(&minus);
-                let lm: f32 = d.forward(&x, true).as_slice().iter().sum();
+                let lm: f32 = fwd(&mut d, &x, true).as_slice().iter().sum();
 
                 let numeric = (lp - lm) / (2.0 * eps);
                 let a = analytic[pi].as_slice()[idx];
@@ -154,16 +172,25 @@ mod tests {
         let mut d = Dense::new(2, 2, Init::Uniform(0.5), &mut rng);
         let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
         let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
-        let _ = d.forward(&x, true);
-        let _ = d.backward(&g);
+        let y = fwd(&mut d, &x, true);
+        let _ = bwd(&mut d, &x, &y, &g);
         let mut first = Matrix::zeros(1, 1);
         d.visit_params(&mut |p| first = p.grad.clone());
-        let _ = d.forward(&x, true);
-        let _ = d.backward(&g);
+        let y = fwd(&mut d, &x, true);
+        let _ = bwd(&mut d, &x, &y, &g);
         let mut second = Matrix::zeros(1, 1);
         d.visit_params(&mut |p| second = p.grad.clone());
         assert!(second.as_slice()[0] > first.as_slice()[0] - 1e-9);
         d.zero_grad();
         d.visit_params(&mut |p| assert!(p.grad.as_slice().iter().all(|&x| x == 0.0)));
+    }
+
+    #[test]
+    fn soft_update_blends_toward_source() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut dst = Dense::new(2, 2, Init::Zeros, &mut rng);
+        let src = Dense::new(2, 2, Init::Uniform(0.5), &mut rng);
+        dst.soft_update_from(&src, 1.0);
+        assert_eq!(dst.state(), src.state());
     }
 }

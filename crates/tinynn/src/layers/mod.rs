@@ -1,10 +1,13 @@
 //! Network layers.
 //!
-//! Every layer caches whatever it needs during `forward` and consumes that
-//! cache in `backward`, so a training step is always the strict sequence
-//! `forward(train = true)` → loss gradient → `backward`. The layer set is
-//! exactly what Table 5 of the paper requires: fully-connected layers, ReLU
-//! and Tanh activations, batch normalization, and dropout.
+//! Layers are driven through caller-owned buffers: [`Layer::forward_into`]
+//! writes the output into a buffer the [`crate::Mlp`] scratch arena owns, and
+//! [`Layer::backward_into`] receives the forward input *and* output back by
+//! borrow, so layers no longer clone their inputs into per-layer caches. A
+//! training step is always the strict sequence `forward_into(train = true)` →
+//! loss gradient → `backward_into` with the same arena tensors. The layer
+//! set is exactly what Table 5 of the paper requires: fully-connected
+//! layers, ReLU and Tanh activations, batch normalization, and dropout.
 
 mod activation;
 mod batchnorm;
@@ -37,14 +40,48 @@ impl Param {
 
 /// A differentiable network layer.
 pub trait Layer: Send {
-    /// Computes the layer output for a batch (`rows` = batch size).
-    ///
-    /// `train` switches batch-norm to batch statistics and enables dropout.
-    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
+    /// Computes the layer output for a batch (`rows` = batch size) into a
+    /// caller-owned buffer (resized and overwritten; allocation-free once
+    /// warm). `train` switches batch-norm to batch statistics and enables
+    /// dropout.
+    fn forward_into(&mut self, input: &Matrix, out: &mut Matrix, train: bool);
 
     /// Backpropagates `grad_out` (dL/d output), accumulating parameter
-    /// gradients and returning dL/d input.
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+    /// gradients and writing dL/d input into `grad_in` (resized and
+    /// overwritten). `input` and `output` are the tensors of the matching
+    /// `forward_into` call, lent back by the network's scratch arena so the
+    /// layer never has to clone them.
+    fn backward_into(
+        &mut self,
+        input: &Matrix,
+        output: &Matrix,
+        grad_out: &Matrix,
+        grad_in: &mut Matrix,
+    );
+
+    /// Output width this layer produces for a given input width — used to
+    /// size the scratch arena at build time. Shape-preserving layers keep
+    /// the default.
+    fn out_width(&self, in_width: usize) -> usize {
+        in_width
+    }
+
+    /// Pre-sizes any layer-internal scratch (masks, normalization caches)
+    /// for a `rows x in_width` batch so steady-state training never grows a
+    /// buffer. Layers without internal scratch keep the default no-op.
+    fn prewarm(&mut self, _rows: usize, _in_width: usize) {}
+
+    /// Polyak-blends this layer's persistent state toward `source`
+    /// (`self = tau * source + (1 - tau) * self`) without allocating.
+    /// Stateless layers keep the default no-op.
+    ///
+    /// # Panics
+    /// Implementations panic when `source` is a different layer type.
+    fn soft_update_from(&mut self, _source: &dyn Layer, _tau: f32) {}
+
+    /// Self as `Any`, so [`Layer::soft_update_from`] implementations can
+    /// downcast their source to the concrete layer type.
+    fn as_any(&self) -> &dyn std::any::Any;
 
     /// Visits every learnable parameter in a stable order.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -72,17 +109,31 @@ pub trait Layer: Send {
 
 #[cfg(test)]
 pub(crate) mod gradcheck {
-    //! Finite-difference gradient checking shared by the layer tests.
+    //! Finite-difference gradient checking plus allocating convenience
+    //! wrappers over the `_into` layer API, shared by the layer tests.
     use super::*;
+
+    /// Allocating wrapper over [`Layer::forward_into`] for tests that drive
+    /// a layer outside an [`crate::Mlp`].
+    pub fn fwd(layer: &mut dyn Layer, input: &Matrix, train: bool) -> Matrix {
+        let mut out = Matrix::default();
+        layer.forward_into(input, &mut out, train);
+        out
+    }
+
+    /// Allocating wrapper over [`Layer::backward_into`].
+    pub fn bwd(layer: &mut dyn Layer, input: &Matrix, output: &Matrix, grad_out: &Matrix) -> Matrix {
+        let mut grad_in = Matrix::default();
+        layer.backward_into(input, output, grad_out, &mut grad_in);
+        grad_in
+    }
 
     /// Checks dL/d input of `layer` against central finite differences,
     /// where the loss is `sum(output * seed)` for a fixed random-ish seed.
     pub fn check_input_gradient(layer: &mut dyn Layer, input: &Matrix, tol: f32) {
         let seed = input_seed(layer, input);
-        let out = layer.forward(input, true);
-        let grad_out = seed.clone();
-        let analytic = layer.backward(&grad_out);
-        let _ = out;
+        let out = fwd(layer, input, true);
+        let analytic = bwd(layer, input, &out, &seed);
 
         let eps = 1e-3f32;
         for idx in 0..input.as_slice().len() {
@@ -103,7 +154,7 @@ pub(crate) mod gradcheck {
     }
 
     fn input_seed(layer: &mut dyn Layer, input: &Matrix) -> Matrix {
-        let out = layer.forward(input, true);
+        let out = fwd(layer, input, true);
         let mut seed = Matrix::zeros(out.rows(), out.cols());
         for (i, x) in seed.as_mut_slice().iter_mut().enumerate() {
             *x = ((i % 7) as f32 - 3.0) * 0.31;
@@ -112,7 +163,7 @@ pub(crate) mod gradcheck {
     }
 
     fn loss_of(layer: &mut dyn Layer, input: &Matrix, seed: &Matrix) -> f32 {
-        let out = layer.forward(input, true);
+        let out = fwd(layer, input, true);
         out.as_slice().iter().zip(seed.as_slice()).map(|(&o, &s)| o * s).sum()
     }
 }

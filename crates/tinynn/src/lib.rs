@@ -7,7 +7,10 @@
 //! loss. This crate provides exactly those pieces plus the Cholesky-based
 //! solvers the Gaussian-Process (OtterTune) baseline needs:
 //!
-//! * [`matrix::Matrix`] — dense row-major `f32` matrices,
+//! * [`matrix::Matrix`] — dense row-major `f32` matrices with `_into`
+//!   variants that write into caller-owned buffers,
+//! * [`kernels`] — cache-blocked matmul microkernels (plus the naive
+//!   reference loops, switchable at runtime for differential benchmarks),
 //! * [`layers`] — `Dense`, `Relu`/`Tanh`/`Sigmoid`, `BatchNorm`, `Dropout`,
 //! * [`net::Mlp`] — a sequential network with manual backprop, snapshots,
 //!   and Polyak soft updates for DDPG target networks,
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod linalg;
 pub mod loss;
@@ -52,6 +56,7 @@ pub mod net;
 pub mod optim;
 
 pub use init::{Init, PAPER_PARAM_INIT, PAPER_WEIGHT_INIT};
+pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};
 pub use layers::{
     Activation, ActivationKind, BatchNorm, Dense, Dropout, Layer, LeakyRelu, Param, Relu,
     Sigmoid, Tanh,

@@ -2,10 +2,13 @@
 //! routines backing the Gaussian-Process baseline.
 //!
 //! The matrix is deliberately small and concrete: the networks in the paper
-//! (Table 5) are MLPs with at most a few hundred units per layer, so a naive
-//! but cache-friendly `i-k-j` matmul is more than fast enough and keeps the
-//! crate dependency-free.
+//! (Table 5) are MLPs with at most a few hundred units per layer. Products
+//! dispatch to the blocked microkernels in [`crate::kernels`] (the original
+//! loops survive there as `kernels::naive` for differential testing), and
+//! every allocating op has a `*_into` twin that writes into a caller-owned
+//! buffer so hot loops can run allocation-free (see DESIGN.md §11).
 
+use crate::kernels::{self, KernelMode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -97,89 +100,147 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self * other` (naive i-k-j matmul, good locality for row-major data).
+    /// Reshapes the matrix to `rows x cols`, reusing the existing
+    /// allocation when the capacity suffices. Element contents are
+    /// unspecified afterwards; callers are expected to overwrite them.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an element-wise copy of `src`, resizing as needed
+    /// (allocation-free once the capacity has grown to fit).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Fills every element with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// `self * other`.
     ///
     /// # Panics
     /// Panics if inner dimensions do not agree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self * other` written into `out` (resized and overwritten).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        out.resize(self.rows, other.cols);
+        out.fill(0.0);
+        match kernels::kernel_mode() {
+            KernelMode::Blocked => kernels::matmul(
+                self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data,
+            ),
+            KernelMode::Naive => kernels::naive::matmul(
+                self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data,
+            ),
         }
-        out
     }
 
     /// `selfᵀ * other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.t_matmul_acc(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ * other` written into `out` (resized and overwritten).
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        out.resize(self.cols, other.cols);
+        out.fill(0.0);
+        self.t_matmul_acc(other, out);
+    }
+
+    /// `out += selfᵀ * other` — the accumulating form gradient updates use
+    /// (`dW += Xᵀ·dY`). `out` must already have shape `cols x other.cols`.
+    pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul dimension mismatch: ({}x{})ᵀ * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "t_matmul_acc output shape mismatch"
+        );
+        match kernels::kernel_mode() {
+            KernelMode::Blocked => kernels::t_matmul(
+                self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data,
+            ),
+            KernelMode::Naive => kernels::naive::t_matmul(
+                self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data,
+            ),
         }
-        out
     }
 
     /// `self * otherᵀ` without materializing the transpose.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// `self * otherᵀ` written into `out` (resized and overwritten).
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t dimension mismatch: {}x{} * ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        out.resize(self.rows, other.rows);
+        out.fill(0.0);
+        match kernels::kernel_mode() {
+            KernelMode::Blocked => kernels::matmul_t(
+                self.rows, self.cols, other.rows, &self.data, &other.data, &mut out.data,
+            ),
+            KernelMode::Naive => kernels::naive::matmul_t(
+                self.rows, self.cols, other.rows, &self.data, &other.data, &mut out.data,
+            ),
         }
-        out
     }
 
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
-            }
-        }
+        self.transpose_into(&mut out);
         out
+    }
+
+    /// Transpose written into `out` (resized and overwritten), tiled so both
+    /// the source and destination are walked in cache-line-sized blocks.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        const TILE: usize = 32;
+        out.resize(self.cols, self.rows);
+        let (r, c) = (self.rows, self.cols);
+        let mut i0 = 0;
+        while i0 < r {
+            let ib = TILE.min(r - i0);
+            let mut j0 = 0;
+            while j0 < c {
+                let jb = TILE.min(c - j0);
+                for i in i0..i0 + ib {
+                    for j in j0..j0 + jb {
+                        out.data[j * r + i] = self.data[i * c + j];
+                    }
+                }
+                j0 += jb;
+            }
+            i0 += ib;
+        }
     }
 
     /// Element-wise map, returning a new matrix.
@@ -205,6 +266,52 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Element-wise `tanh` written into `out` (resized and overwritten).
+    ///
+    /// Dispatches with the rest of the kernel family: the blocked mode uses
+    /// the vectorized polynomial kernel, the naive mode the original scalar
+    /// libm loop (see DESIGN.md §11).
+    pub fn tanh_into(&self, out: &mut Matrix) {
+        out.resize(self.rows, self.cols);
+        match kernels::kernel_mode() {
+            KernelMode::Blocked => kernels::tanh(&self.data, &mut out.data),
+            KernelMode::Naive => kernels::naive::tanh(&self.data, &mut out.data),
+        }
+    }
+
+    /// Element-wise map written into `out` (resized and overwritten).
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+        out.resize(self.rows, self.cols);
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
+    }
+
+    /// Element-wise binary op written into `out` (resized and overwritten).
+    pub fn zip_map_into(&self, other: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "zip_map_into shape mismatch"
+        );
+        out.resize(self.rows, self.cols);
+        for (o, (&a, &b)) in out.data.iter_mut().zip(self.data.iter().zip(&other.data)) {
+            *o = f(a, b);
+        }
+    }
+
+    /// Polyak blend toward `source`: `self = tau * source + (1 - tau) * self`.
+    pub fn polyak_from(&mut self, source: &Matrix, tau: f32) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (source.rows, source.cols),
+            "polyak_from shape mismatch"
+        );
+        for (d, &s) in self.data.iter_mut().zip(&source.data) {
+            *d = tau * s + (1.0 - tau) * *d;
         }
     }
 
@@ -244,6 +351,31 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Column sums written into `out` (resized to `1 x cols`, overwritten).
+    pub fn col_sum_into(&self, out: &mut Matrix) {
+        out.resize(1, self.cols);
+        out.fill(0.0);
+        self.col_sum_acc(out);
+    }
+
+    /// `out += colsum(self)` — the accumulating form bias gradients use.
+    /// `out` must already be `1 x cols`.
+    pub fn col_sum_acc(&self, out: &mut Matrix) {
+        assert_eq!((out.rows, out.cols), (1, self.cols), "col_sum_acc shape mismatch");
+        for r in 0..self.rows {
+            for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+    }
+
+    /// Column means written into `out` (resized to `1 x cols`, overwritten).
+    pub fn col_mean_into(&self, out: &mut Matrix) {
+        self.col_sum_into(out);
+        let n = self.rows.max(1) as f32;
+        out.map_inplace(|x| x / n);
     }
 
     /// Mean of each column as a 1 x cols row vector.
@@ -289,6 +421,21 @@ impl Matrix {
         out
     }
 
+    /// Horizontal concatenation `[a | b]` written into `out` (resized and
+    /// overwritten) — the critic's `[state | action]` assembly.
+    ///
+    /// # Panics
+    /// Panics if row counts disagree.
+    pub fn hconcat_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.rows, b.rows, "hconcat row mismatch");
+        out.resize(a.rows, a.cols + b.cols);
+        for r in 0..a.rows {
+            let dst = out.row_mut(r);
+            dst[..a.cols].copy_from_slice(a.row(r));
+            dst[a.cols..].copy_from_slice(b.row(r));
+        }
+    }
+
     /// Vertically stacks a list of row-compatible matrices.
     ///
     /// # Panics
@@ -303,6 +450,14 @@ impl Matrix {
             data.extend_from_slice(&m.data);
         }
         Matrix { rows, cols, data }
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the idiomatic starting state for reusable
+    /// scratch buffers that grow on first use via [`Matrix::resize`].
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -402,5 +557,95 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 0.0, -1.5]);
+        let b = Matrix::from_vec(3, 2, vec![2.0, 1.0, -1.0, 0.5, 3.0, -2.0]);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let c = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        a.t_matmul_into(&c, &mut out);
+        assert_eq!(out, a.t_matmul(&c));
+
+        let d = Matrix::from_vec(4, 3, vec![0.5; 12]);
+        a.matmul_t_into(&d, &mut out);
+        assert_eq!(out, a.matmul_t(&d));
+
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+
+        a.map_into(&mut out, |x| x * 2.0);
+        assert_eq!(out, a.map(|x| x * 2.0));
+
+        let e = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        a.zip_map_into(&e, &mut out, |x, y| x + y);
+        assert_eq!(out, a.zip_map(&e, |x, y| x + y));
+
+        a.col_sum_into(&mut out);
+        assert_eq!(out, a.col_sum());
+        a.col_mean_into(&mut out);
+        assert_eq!(out, a.col_mean());
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_across_shape_changes() {
+        // A scratch buffer sized for the largest shape must absorb smaller
+        // results without reallocating and still be exactly the right shape.
+        let big = Matrix::filled(8, 8, 1.0);
+        let mut out = Matrix::default();
+        big.matmul_into(&big, &mut out);
+        assert_eq!((out.rows(), out.cols()), (8, 8));
+        let small = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        small.matmul_into(&small, &mut out);
+        assert_eq!((out.rows(), out.cols()), (2, 2));
+        assert_eq!(out.as_slice(), &[7.0, 10.0, 15.0, 22.0]);
+    }
+
+    #[test]
+    fn accumulating_forms_add_on_top() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let g = Matrix::from_vec(2, 2, vec![0.5, -0.5, 1.0, 1.0]);
+        let mut acc = Matrix::filled(2, 2, 100.0);
+        x.t_matmul_acc(&g, &mut acc);
+        let expected = x.t_matmul(&g);
+        for (a, e) in acc.as_slice().iter().zip(expected.as_slice()) {
+            assert!((a - (100.0 + e)).abs() < 1e-5);
+        }
+        let mut bias = Matrix::filled(1, 2, 10.0);
+        g.col_sum_acc(&mut bias);
+        assert_eq!(bias.as_slice(), &[11.5, 10.5]);
+    }
+
+    #[test]
+    fn hconcat_into_concatenates_columns() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 1, vec![9.0, 8.0]);
+        let mut out = Matrix::default();
+        Matrix::hconcat_into(&a, &b, &mut out);
+        assert_eq!((out.rows(), out.cols()), (2, 3));
+        assert_eq!(out.row(0), &[1.0, 2.0, 9.0]);
+        assert_eq!(out.row(1), &[3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn polyak_from_blends_toward_source() {
+        let mut dst = Matrix::filled(2, 2, 0.0);
+        let src = Matrix::filled(2, 2, 10.0);
+        dst.polyak_from(&src, 0.25);
+        assert!(dst.as_slice().iter().all(|&x| (x - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn resize_and_copy_from_track_shapes() {
+        let mut m = Matrix::default();
+        m.resize(3, 4);
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        let src = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 }

@@ -1,13 +1,30 @@
 //! A sequential multi-layer perceptron with manual backpropagation, plus the
 //! soft-update and parameter-blending utilities DDPG target networks need.
+//!
+//! The network owns a [`Scratch`] arena: one activation matrix per layer
+//! boundary plus two ping-pong gradient buffers, all resized in place. A
+//! steady-state `forward_ref` → `backward_ref` cycle therefore performs zero
+//! heap allocations — see DESIGN.md §11 for the ownership rules.
 
 use crate::layers::{Layer, Param};
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
+/// Reusable forward/backward tensors owned by an [`Mlp`].
+///
+/// `acts[i]` is the input of layer `i`; `acts[i + 1]` its output; the
+/// gradient flows backward alternating between the two ping-pong buffers so
+/// a layer always reads one while writing the other.
+struct Scratch {
+    acts: Vec<Matrix>,
+    g_a: Matrix,
+    g_b: Matrix,
+}
+
 /// A feed-forward network: an ordered stack of [`Layer`]s.
 pub struct Mlp {
     layers: Vec<Box<dyn Layer>>,
+    scratch: Scratch,
 }
 
 /// Serializable snapshot of an [`Mlp`]'s learnable state (parameters and
@@ -21,7 +38,26 @@ pub struct NetState {
 impl Mlp {
     /// Creates an MLP from a layer stack.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
-        Self { layers }
+        let acts = (0..layers.len() + 1).map(|_| Matrix::default()).collect();
+        Self { layers, scratch: Scratch { acts, g_a: Matrix::default(), g_b: Matrix::default() } }
+    }
+
+    /// Pre-sizes the scratch arena (and every layer's internal scratch) for
+    /// batches of `rows x in_width`, so the first training step already runs
+    /// allocation-free. Optional: buffers also grow lazily on first use.
+    pub fn prewarm(&mut self, rows: usize, in_width: usize) {
+        let Self { layers, scratch } = self;
+        scratch.acts[0].resize(rows, in_width);
+        let mut width = in_width;
+        let mut max_width = in_width;
+        for (i, layer) in layers.iter_mut().enumerate() {
+            layer.prewarm(rows, width);
+            width = layer.out_width(width);
+            max_width = max_width.max(width);
+            scratch.acts[i + 1].resize(rows, width);
+        }
+        scratch.g_a.resize(rows, max_width);
+        scratch.g_b.resize(rows, max_width);
     }
 
     /// Number of layers.
@@ -34,13 +70,24 @@ impl Mlp {
         self.layers.is_empty()
     }
 
-    /// Runs the network forward. `train` enables dropout and batch statistics.
-    pub fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, train);
+    /// Runs the network forward through the scratch arena and returns a
+    /// borrow of the output activation. Zero allocations once the arena is
+    /// warm; the borrow is invalidated by the next forward/backward call.
+    pub fn forward_ref(&mut self, input: &Matrix, train: bool) -> &Matrix {
+        let Self { layers, scratch } = self;
+        scratch.acts[0].copy_from(input);
+        for (i, layer) in layers.iter_mut().enumerate() {
+            let (lo, hi) = scratch.acts.split_at_mut(i + 1);
+            layer.forward_into(&lo[i], &mut hi[0], train);
         }
-        x
+        &scratch.acts[layers.len()]
+    }
+
+    /// Runs the network forward. `train` enables dropout and batch
+    /// statistics. Clones the output activation out of the scratch arena;
+    /// hot paths use [`Mlp::forward_ref`] instead.
+    pub fn forward(&mut self, input: &Matrix, train: bool) -> Matrix {
+        self.forward_ref(input, train).clone()
     }
 
     /// Convenience: forward in evaluation mode.
@@ -48,14 +95,43 @@ impl Mlp {
         self.forward(input, false)
     }
 
-    /// Backpropagates `grad_out` through the stack (must follow a `forward`),
-    /// accumulating parameter gradients. Returns dL/d input.
-    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+    /// Backpropagates `grad_out` through the stack (must follow a forward
+    /// pass), accumulating parameter gradients. Returns a borrow of
+    /// dL/d input inside the scratch arena; zero allocations once warm.
+    pub fn backward_ref(&mut self, grad_out: &Matrix) -> &Matrix {
+        let Self { layers, scratch } = self;
+        let n = layers.len();
+        if n == 0 {
+            scratch.g_a.copy_from(grad_out);
+            return &scratch.g_a;
         }
-        g
+        let Scratch { acts, g_a, g_b } = scratch;
+        let mut from_a = false;
+        for (i, layer) in layers.iter_mut().enumerate().rev() {
+            let input = &acts[i];
+            let output = &acts[i + 1];
+            if i == n - 1 {
+                layer.backward_into(input, output, grad_out, g_a);
+                from_a = true;
+            } else if from_a {
+                layer.backward_into(input, output, g_a, g_b);
+                from_a = false;
+            } else {
+                layer.backward_into(input, output, g_b, g_a);
+                from_a = true;
+            }
+        }
+        if from_a {
+            g_a
+        } else {
+            g_b
+        }
+    }
+
+    /// Backpropagates `grad_out`, cloning dL/d input out of the scratch
+    /// arena; hot paths use [`Mlp::backward_ref`] instead.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        self.backward_ref(grad_out).clone()
     }
 
     /// Zeroes every parameter gradient.
@@ -116,23 +192,21 @@ impl Mlp {
 
     /// Polyak soft update: `self = tau * source + (1 - tau) * self`, applied
     /// to every state matrix (parameters and buffers alike). This is the
-    /// target-network update used by DDPG.
+    /// target-network update used by DDPG. Runs layer-pairwise in place —
+    /// unlike a snapshot round trip, it allocates nothing, which matters
+    /// because DDPG calls it on every training step.
     ///
     /// # Panics
     /// Panics if architectures differ.
     pub fn soft_update_from(&mut self, source: &Mlp, tau: f32) {
-        let src = source.state();
-        let mut dst = self.state();
-        assert_eq!(src.layers.len(), dst.layers.len(), "soft update layer count mismatch");
-        for (d_layer, s_layer) in dst.layers.iter_mut().zip(&src.layers) {
-            assert_eq!(d_layer.len(), s_layer.len(), "soft update state count mismatch");
-            for (d, s) in d_layer.iter_mut().zip(s_layer) {
-                for (dv, &sv) in d.as_mut_slice().iter_mut().zip(s.as_slice()) {
-                    *dv = tau * sv + (1.0 - tau) * *dv;
-                }
-            }
+        assert_eq!(
+            self.layers.len(),
+            source.layers.len(),
+            "soft update layer count mismatch"
+        );
+        for (dst, src) in self.layers.iter_mut().zip(&source.layers) {
+            dst.soft_update_from(src.as_ref(), tau);
         }
-        self.load_state(&dst);
     }
 
     /// Hard copy of all state from `source` (equivalent to `tau = 1`).

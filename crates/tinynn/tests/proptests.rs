@@ -8,6 +8,23 @@ fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
+/// Asserts elementwise agreement within a relative tolerance. The blocked
+/// kernels group partial sums differently from the naive loops, so fused
+/// products are compared approximately, never bit-for-bit.
+fn assert_close(
+    a: &Matrix,
+    b: &Matrix,
+    rel: f32,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.rows(), b.rows());
+    prop_assert_eq!(a.cols(), b.cols());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        let scale = 1.0f32.max(x.abs()).max(y.abs());
+        prop_assert!((x - y).abs() <= rel * scale, "{x} vs {y}");
+    }
+    Ok(())
+}
+
 proptest! {
     /// A·I = I·A = A.
     #[test]
@@ -18,13 +35,66 @@ proptest! {
     }
 
     /// (Aᵀ)ᵀ = A, and the fused transpose-multiplies agree with the
-    /// explicit ones.
+    /// explicit ones (approximately: summation order differs).
     #[test]
     fn transpose_identities(a in matrix_strategy(3, 5), b in matrix_strategy(3, 4)) {
         prop_assert_eq!(a.transpose().transpose(), a.clone());
-        prop_assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+        assert_close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-5)?;
         let c = Matrix::from_vec(2, 5, vec![1.0; 10]);
-        prop_assert_eq!(c.matmul_t(&a), c.matmul(&a.transpose()));
+        assert_close(&c.matmul_t(&a), &c.matmul(&a.transpose()), 1e-5)?;
+    }
+
+    /// The blocked microkernels agree with the retained naive loops on
+    /// randomized shapes, for all three product forms (see DESIGN.md §11).
+    #[test]
+    fn blocked_kernels_match_naive(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        use tinynn::kernels;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut mat = |r: usize, c: usize| {
+            Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+        };
+
+        // matmul: (m x k) · (k x n)
+        let (a, b) = (mat(m, k), mat(k, n));
+        let mut fast = vec![0.0f32; m * n];
+        let mut slow = vec![0.0f32; m * n];
+        kernels::matmul(m, k, n, a.as_slice(), b.as_slice(), &mut fast);
+        kernels::naive::matmul(m, k, n, a.as_slice(), b.as_slice(), &mut slow);
+        assert_close(
+            &Matrix::from_vec(m, n, fast),
+            &Matrix::from_vec(m, n, slow),
+            1e-5,
+        )?;
+
+        // t_matmul: (k x m)ᵀ · (k x n)
+        let at = mat(k, m);
+        let mut fast = vec![0.0f32; m * n];
+        let mut slow = vec![0.0f32; m * n];
+        kernels::t_matmul(k, m, n, at.as_slice(), b.as_slice(), &mut fast);
+        kernels::naive::t_matmul(k, m, n, at.as_slice(), b.as_slice(), &mut slow);
+        assert_close(
+            &Matrix::from_vec(m, n, fast),
+            &Matrix::from_vec(m, n, slow),
+            1e-5,
+        )?;
+
+        // matmul_t: (m x k) · (n x k)ᵀ
+        let bt = mat(n, k);
+        let mut fast = vec![0.0f32; m * n];
+        let mut slow = vec![0.0f32; m * n];
+        kernels::matmul_t(m, k, n, a.as_slice(), bt.as_slice(), &mut fast);
+        kernels::naive::matmul_t(m, k, n, a.as_slice(), bt.as_slice(), &mut slow);
+        assert_close(
+            &Matrix::from_vec(m, n, fast),
+            &Matrix::from_vec(m, n, slow),
+            1e-5,
+        )?;
     }
 
     /// Matmul distributes over addition: A(B + C) = AB + AC.

@@ -132,6 +132,56 @@ run_tests bench crates/bench/src/lib.rs "serde json" "${EXT_BASE[@]}" \
     --extern cdbtune="$OUT/libcdbtune.rlib" --extern baselines="$OUT/libbaselines.rlib" \
     --extern service="$OUT/libservice.rlib"
 
+echo "== perf harness (optimized rebuild, ratio gates; DESIGN.md §11) =="
+# The perf gate needs optimized code: rebuild the hot-path crates with -O
+# into a sibling tree (debug rlibs and stubs link fine across opt levels).
+# Only the machine-independent ratio floors are checked here — absolute
+# throughputs in BENCH_PERF.json belong to the reference host.
+OPT=target/stub-verify-opt
+mkdir -p "$OPT"
+opt_build() {
+    local name="$1" path="$2"
+    shift 2
+    rustc $EDITION -O --crate-type rlib --crate-name "$name" "$path" \
+        -L "$OUT" -L "$OPT" "$@" --out-dir "$OPT" -Adead_code
+}
+opt_build tinynn crates/tinynn/src/lib.rs "${EXT_BASE[@]}"
+opt_build simdb crates/simdb/src/lib.rs "${EXT_BASE[@]}"
+opt_build workload crates/workload/src/lib.rs "${EXT_BASE[@]}" \
+    --extern simdb="$OPT/libsimdb.rlib"
+opt_build rl crates/rl/src/lib.rs "${EXT_BASE[@]}" --extern tinynn="$OPT/libtinynn.rlib"
+opt_build cdbtune crates/core/src/lib.rs "${EXT_BASE[@]}" \
+    --extern simdb="$OPT/libsimdb.rlib" --extern workload="$OPT/libworkload.rlib" \
+    --extern rl="$OPT/librl.rlib" --extern tinynn="$OPT/libtinynn.rlib"
+opt_build baselines crates/baselines/src/lib.rs "${EXT_BASE[@]}" \
+    --extern simdb="$OPT/libsimdb.rlib" --extern workload="$OPT/libworkload.rlib" \
+    --extern rl="$OPT/librl.rlib" --extern tinynn="$OPT/libtinynn.rlib" \
+    --extern cdbtune="$OPT/libcdbtune.rlib"
+opt_build service crates/service/src/lib.rs "${EXT_BASE[@]}" \
+    --extern simdb="$OPT/libsimdb.rlib" --extern workload="$OPT/libworkload.rlib" \
+    --extern rl="$OPT/librl.rlib" --extern tinynn="$OPT/libtinynn.rlib" \
+    --extern cdbtune="$OPT/libcdbtune.rlib"
+opt_build bench crates/bench/src/lib.rs "${EXT_BASE[@]}" \
+    --extern simdb="$OPT/libsimdb.rlib" --extern workload="$OPT/libworkload.rlib" \
+    --extern rl="$OPT/librl.rlib" --extern tinynn="$OPT/libtinynn.rlib" \
+    --extern cdbtune="$OPT/libcdbtune.rlib" --extern baselines="$OPT/libbaselines.rlib" \
+    --extern service="$OPT/libservice.rlib"
+rustc $EDITION -O --crate-name perf crates/bench/src/bin/perf.rs \
+    -L "$OUT" -L "$OPT" "${EXT_BASE[@]}" \
+    --extern simdb="$OPT/libsimdb.rlib" --extern workload="$OPT/libworkload.rlib" \
+    --extern rl="$OPT/librl.rlib" --extern tinynn="$OPT/libtinynn.rlib" \
+    --extern cdbtune="$OPT/libcdbtune.rlib" --extern baselines="$OPT/libbaselines.rlib" \
+    --extern service="$OPT/libservice.rlib" --extern bench="$OPT/libbench.rlib" \
+    -o "$OPT/perf" -Adead_code
+"$OPT/perf" --quick --check --ratios-only --tolerance 0.6
+
+echo "== zero-allocation steady-state gate =="
+rustc $EDITION -O --test --crate-name zero_alloc crates/rl/tests/zero_alloc.rs \
+    -L "$OUT" -L "$OPT" "${EXT_BASE[@]}" \
+    --extern rl="$OPT/librl.rlib" --extern tinynn="$OPT/libtinynn.rlib" \
+    -o "$OPT/zero_alloc" -Adead_code
+"$OPT/zero_alloc" --test-threads 1
+
 echo "== trace schema smoke (binary -> summarizer) =="
 rustc $EDITION --crate-name trace_summary crates/bench/src/bin/trace_summary.rs \
     -L "$OUT" "${EXT_BASE[@]}" \

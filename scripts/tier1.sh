@@ -17,6 +17,14 @@ cargo clippy --all-targets -- -D warnings
 # after deliberately burning down (or accepting) findings.
 cargo run --release -p analyzer --bin tunelint -- --root .
 
+# Perf-regression gate (DESIGN.md §11): re-runs the microbench suite and
+# compares against the committed BENCH_PERF.json. The machine-independent
+# ratio floors (blocked-vs-naive kernel speedups, the >=3x train_step gate)
+# are always enforced; absolute throughputs are host-specific, so CI checks
+# --ratios-only. Regenerate the baseline on the reference host with
+# `cargo run --release -p bench --bin perf -- --out BENCH_PERF.json`.
+cargo run --release -p bench --bin perf -- --quick --check --ratios-only --tolerance 0.6
+
 # Trace-schema round trip: a real training run must emit JSONL that the
 # bench summarizer parses back and cross-checks without issues
 # (trace_summary exits nonzero on any schema or consistency problem).
