@@ -20,7 +20,8 @@ fn usage() -> String {
 
 USAGE:
   svc_load --addr HOST:PORT [--sessions N] [--steps N] [--hold-ms MS]
-           [--warm-start BOOL] [--allow-reject BOOL] [--shutdown BOOL]
+           [--warm-start BOOL] [--safe BOOL] [--allow-reject BOOL]
+           [--shutdown BOOL]
 
 FLAGS:
   --addr          daemon address (required)
@@ -28,6 +29,7 @@ FLAGS:
   --steps         tuning steps per session             (default 3)
   --hold-ms       sleep mid-session before closing     (default 0)
   --warm-start    ask for registry warm starts         (default true)
+  --safe          ask for the safe-tuning layer        (default false)
   --allow-reject  queue rejections are expected, not a failure
                                                        (default false)
   --shutdown      send a shutdown request when done    (default false)
@@ -51,6 +53,7 @@ fn run() -> Result<ExitCode, String> {
         spec: EnvSpec::from_args(&args)?,
         hold_ms: args.get("hold-ms", 0u64)?,
         warm_start: args.get("warm-start", true)?,
+        safe: args.get("safe", false)?,
         shutdown: args.get("shutdown", false)?,
     };
     let allow_reject = args.get("allow-reject", false)?;

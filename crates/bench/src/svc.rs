@@ -64,6 +64,9 @@ pub struct LoadSpec {
     pub hold_ms: u64,
     /// Ask the daemon to warm-start from its registry.
     pub warm_start: bool,
+    /// Ask the daemon for the safe-tuning layer (trust region + drift
+    /// detection + rollback) on every session.
+    pub safe: bool,
     /// Send a `shutdown` request after the sessions finish.
     pub shutdown: bool,
 }
@@ -77,6 +80,7 @@ impl Default for LoadSpec {
             spec: EnvSpec::default(),
             hold_ms: 0,
             warm_start: true,
+            safe: false,
             shutdown: false,
         }
     }
@@ -226,6 +230,7 @@ fn run_session(spec: &LoadSpec, slot: usize) -> SessionResult {
         spec: env_spec,
         max_steps: spec.steps,
         warm_start: spec.warm_start,
+        safe: spec.safe,
     };
     // One session = create, N steps, a hold (optionally), recommend, close.
     // A Rejected or drained Closed response at any point ends the session

@@ -35,6 +35,14 @@ pub struct TraceSummary {
     pub admissions: u64,
     /// Connections the bounded queue turned away.
     pub rejections: u64,
+    /// Drift-detector firings: (step, distance, threshold, reference age).
+    pub drift_events: Vec<(u64, f64, f64, u64)>,
+    /// Safety rollbacks: (step, from tps, to tps, drop fraction, quarantined).
+    pub rollbacks: Vec<(u64, f64, f64, f64, bool)>,
+    /// Trust-region clamps the safety layer applied (step-level traces).
+    pub safety_clamps: u64,
+    /// Closed regret windows: (window, regret, budget, over budget, radius).
+    pub regret_windows: Vec<(u64, f64, f64, bool, f64)>,
     /// Totals from the run-end event, if present.
     pub run_end: Option<RunTotals>,
     /// Schema/consistency problems found while ingesting (empty = healthy).
@@ -247,6 +255,36 @@ impl TraceSummary {
                 TraceEvent::ServiceQueue { depth, busy_workers } => {
                     s.queue_series.push((*depth, *busy_workers));
                 }
+                TraceEvent::DriftDetected { step, distance, threshold, reference_age } => {
+                    if distance < threshold {
+                        s.issues.push(format!(
+                            "line {}: drift fired at distance {distance:.3} below its \
+                             threshold {threshold:.3}",
+                            i + 1
+                        ));
+                    }
+                    s.drift_events.push((*step, *distance, *threshold, *reference_age));
+                }
+                TraceEvent::Rollback { step, from_tps, to_tps, drop_frac, quarantined } => {
+                    if !drop_frac.is_finite() {
+                        s.issues.push(format!(
+                            "line {}: rollback at step {step} has a non-finite drop fraction",
+                            i + 1
+                        ));
+                    }
+                    s.rollbacks.push((*step, *from_tps, *to_tps, *drop_frac, *quarantined));
+                }
+                TraceEvent::SafetyClamp { .. } => s.safety_clamps += 1,
+                TraceEvent::RegretWindow { window, regret, budget, over_budget, radius } => {
+                    if *over_budget != (regret > budget) {
+                        s.issues.push(format!(
+                            "line {}: regret window {window} says over_budget={over_budget} \
+                             but regret {regret:.3} vs budget {budget:.3}",
+                            i + 1
+                        ));
+                    }
+                    s.regret_windows.push((*window, *regret, *budget, *over_budget, *radius));
+                }
                 TraceEvent::RunEnd { total_steps, best_tps, crashes, wall_seconds, .. } => {
                     s.run_end = Some(RunTotals {
                         total_steps: *total_steps,
@@ -290,6 +328,20 @@ impl TraceSummary {
     /// the sum-tree disagreed with the stored data at some point).
     pub fn final_fallback_hits(&self) -> u64 {
         self.steps.last().map_or(0, |r| r.fallback_hits)
+    }
+
+    /// Worst regret ratio (regret / budget) across closed windows; 0 when
+    /// the trace carries no regret accounting.
+    pub fn worst_regret_ratio(&self) -> f64 {
+        self.regret_windows
+            .iter()
+            .map(|&(_, regret, budget, _, _)| if budget > 0.0 { regret / budget } else { 0.0 })
+            .fold(0.0, f64::max)
+    }
+
+    /// Regret windows that overran their budget.
+    pub fn over_budget_windows(&self) -> u64 {
+        self.regret_windows.iter().filter(|&&(_, _, _, over, _)| over).count() as u64
     }
 
     /// Renders the step-by-step regression summary.
@@ -393,6 +445,46 @@ impl TraceSummary {
                 max_depth,
                 self.queue_series.len(),
                 max_busy
+            );
+        }
+        if !self.drift_events.is_empty()
+            || !self.rollbacks.is_empty()
+            || !self.regret_windows.is_empty()
+            || self.safety_clamps > 0
+        {
+            let _ = writeln!(out, "\nsafety layer:");
+            for (step, distance, threshold, age) in &self.drift_events {
+                let _ = writeln!(
+                    out,
+                    "  drift at step {step:>4}: distance {distance:.3} > {threshold:.3} \
+                     (reference {age} steps old)"
+                );
+            }
+            for (step, from, to, drop, quarantined) in &self.rollbacks {
+                let q = if *quarantined { ", quarantined" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  rollback at step {step:>4}: {from:.0} -> {to:.0} txn/s \
+                     (drop {:.0} %{q})",
+                    drop * 100.0
+                );
+            }
+            for (window, regret, budget, over, radius) in &self.regret_windows {
+                let flag = if *over { "  OVER BUDGET" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  regret window {window:>3}: {regret:.3} / {budget:.3} \
+                     radius {radius:.3}{flag}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  {} clamps, {} drift events, {} rollbacks, {}/{} windows over budget",
+                self.safety_clamps,
+                self.drift_events.len(),
+                self.rollbacks.len(),
+                self.over_budget_windows(),
+                self.regret_windows.len()
             );
         }
         let crashes = self.steps.iter().filter(|r| r.crashed).count();
@@ -527,6 +619,27 @@ pub fn exemplar_events() -> Vec<TraceEvent> {
             drained: false,
             published: true,
         },
+        TraceEvent::DriftDetected {
+            step: 12,
+            distance: 0.61,
+            threshold: 0.35,
+            reference_age: 7,
+        },
+        TraceEvent::Rollback {
+            step: 13,
+            from_tps: 2400.0,
+            to_tps: 5100.0,
+            drop_frac: 0.53,
+            quarantined: true,
+        },
+        TraceEvent::SafetyClamp { step: 14, clamped_knobs: 3, max_delta: 0.22, radius: 0.15 },
+        TraceEvent::RegretWindow {
+            window: 2,
+            regret: 0.4,
+            budget: 0.75,
+            over_budget: false,
+            radius: 0.18,
+        },
         TraceEvent::RunEnd {
             mode: "train".into(),
             total_steps: 1,
@@ -566,6 +679,12 @@ mod tests {
         assert!(sess.warm_start);
         assert_eq!(sess.steps, 5);
         assert!(sess.published && !sess.drained);
+        assert_eq!(s.drift_events, vec![(12, 0.61, 0.35, 7)]);
+        assert_eq!(s.rollbacks, vec![(13, 2400.0, 5100.0, 0.53, true)]);
+        assert_eq!(s.safety_clamps, 1);
+        assert_eq!(s.regret_windows, vec![(2, 0.4, 0.75, false, 0.18)]);
+        assert_eq!(s.over_budget_windows(), 0);
+        assert!((s.worst_regret_ratio() - 0.4 / 0.75).abs() < 1e-12);
         assert!(s.issues.is_empty(), "healthy trace flagged: {:?}", s.issues);
         let rendered = s.render();
         assert!(rendered.contains("trace OK"));
@@ -573,6 +692,26 @@ mod tests {
         assert!(rendered.contains("service sessions:"));
         assert!(rendered.contains("warm(d=0.042)"));
         assert!(rendered.contains("1 accepted, 1 rejected"));
+        assert!(rendered.contains("safety layer:"));
+        assert!(rendered.contains("drift at step   12"));
+        assert!(rendered.contains("rollback at step   13"));
+    }
+
+    #[test]
+    fn inconsistent_safety_events_are_issues() {
+        // A drift event below its own threshold and a regret window whose
+        // over_budget flag disagrees with its numbers are both schema bugs.
+        let mut events = exemplar_events();
+        for ev in &mut events {
+            match ev {
+                TraceEvent::DriftDetected { distance, .. } => *distance = 0.1,
+                TraceEvent::RegretWindow { over_budget, .. } => *over_budget = true,
+                _ => {}
+            }
+        }
+        let s = TraceSummary::from_events(&events);
+        assert!(s.issues.iter().any(|i| i.contains("below its")), "{:?}", s.issues);
+        assert!(s.issues.iter().any(|i| i.contains("over_budget=true")), "{:?}", s.issues);
     }
 
     #[test]

@@ -13,9 +13,10 @@
 
 use cdbtune::cli::{make_env, shared_flags_help, Args};
 use cdbtune::{
-    resume_from_checkpoint, tune_online, train_offline, OnlineConfig, PerConfig, TrainedModel,
-    TrainerConfig, TrainingCheckpoint,
+    resume_from_checkpoint, tune_online, train_offline, OnlineConfig, PerConfig, SafetyConfig,
+    TrainedModel, TrainerConfig, TrainingCheckpoint,
 };
+use workload::{DynamicSpec, DynamicWorkload};
 use simdb::{EngineFlavor, HardwareConfig, MediaType};
 use std::process::ExitCode;
 
@@ -85,7 +86,13 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let json =
         std::fs::read_to_string(&model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
     let model = TrainedModel::from_json(&json).map_err(|e| format!("parsing model: {e}"))?;
+    let safe: bool = args.get("safe", false)?;
     let mut env = make_env(args)?;
+    if let Some(dspec) = args.raw("dynamic") {
+        let spec: DynamicSpec = dspec.parse().map_err(|e| format!("--dynamic: {e}"))?;
+        eprintln!("dynamic workload trace armed: {}", spec.to_spec_string());
+        env.install_workload(Box::new(DynamicWorkload::new(spec)), None);
+    }
     if env.space().indices() != model.action_indices {
         return Err(format!(
             "model tunes {} knobs but the environment exposes {} — pass the same \
@@ -94,7 +101,11 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
             env.space().dim()
         ));
     }
-    let cfg = OnlineConfig { max_steps: steps, ..OnlineConfig::default() };
+    let cfg = OnlineConfig {
+        max_steps: steps,
+        safety: safe.then(SafetyConfig::default),
+        ..OnlineConfig::default()
+    };
     let outcome = tune_online(&mut env, &model, &cfg);
     println!(
         "baseline:    {:>10.0} txn/s   p99 {:>8.1} ms",
@@ -122,6 +133,18 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let rec = outcome.recovery;
     if rec != cdbtune::RecoveryStats::default() {
         println!("recovery:    {}", rec.summary());
+    }
+    if let Some(s) = &outcome.safety {
+        println!(
+            "safety:      {} rollbacks, {} clamped steps, {} drift events, \
+             worst window regret {:.2}/{:.2}, final radius {:.3}",
+            s.rollbacks,
+            s.clamped_steps,
+            s.drift_events,
+            s.worst_window_regret,
+            s.regret_budget,
+            s.final_radius
+        );
     }
     println!(
         "recommended: {:>10.0} txn/s   p99 {:>8.1} ms   ({:+.1}% / {:+.1}%)",
@@ -186,7 +209,9 @@ COMMANDS:
   train    train a model offline       (--out model.json [--episodes 20] [--steps 20]
                                         [--checkpoint-dir d] [--checkpoint-every 20]
                                         [--resume true] [--per-alpha 0.6] [--per-beta 0.4])
-  tune     serve a tuning request      (--model model.json [--steps 5])
+  tune     serve a tuning request      (--model model.json [--steps 5] [--safe true]
+                                        [--dynamic 'base=rw,scale=0.02,diurnal=16x0.4,
+                                         flash=12+3x2.5,shift=10:wo'])
   knobs    list an engine's knobs      ([--flavor mysql] [--ranked true] = tunable only)
   status   run a window, SHOW STATUS   ([--workload rw])
   help     this text

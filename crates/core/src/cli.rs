@@ -90,6 +90,11 @@ pub struct EnvSpec {
     pub measure_txns: usize,
     /// Steps per episode.
     pub horizon: usize,
+    /// Fault-injection spec (same grammar as `--faults`), armed on the
+    /// engine at build time. `None` runs on healthy infrastructure. Kept
+    /// as the raw spec string so it ships over the `cdbtuned` wire
+    /// unchanged and round-trips through [`simdb::FaultPlan`]'s parser.
+    pub faults: Option<String>,
 }
 
 impl Default for EnvSpec {
@@ -105,6 +110,7 @@ impl Default for EnvSpec {
             warmup_txns: 60,
             measure_txns: 300,
             horizon: 20,
+            faults: None,
         }
     }
 }
@@ -125,6 +131,7 @@ impl EnvSpec {
             warmup_txns: d.warmup_txns,
             measure_txns: d.measure_txns,
             horizon: d.horizon,
+            faults: args.raw("faults").map(str::to_string),
         })
     }
 
@@ -137,7 +144,11 @@ impl EnvSpec {
             return Err(format!("--scale must be positive (got {})", self.scale));
         }
         let hw = HardwareConfig::new(self.ram_gb, self.disk_gb, MediaType::Ssd, 12);
-        let engine = Engine::new(self.flavor, hw, self.seed);
+        let mut engine = Engine::new(self.flavor, hw, self.seed);
+        if let Some(spec) = &self.faults {
+            let plan: FaultPlan = spec.parse().map_err(|e| format!("--faults: {e}"))?;
+            engine.set_fault_plan(Some(plan));
+        }
         let registry = self.flavor.registry(&hw);
         // The catalogue lists structural knobs first, so a prefix of the
         // tunable set is a sensible default subspace at any size.
@@ -178,10 +189,8 @@ pub fn telemetry_from_args(args: &Args) -> Result<Telemetry, String> {
 pub fn make_env(args: &Args) -> Result<DbEnv, String> {
     let spec = EnvSpec::from_args(args)?;
     let mut env = spec.build()?;
-    if let Some(spec) = args.raw("faults") {
-        let plan: FaultPlan = spec.parse().map_err(|e| format!("--faults: {e}"))?;
-        env.engine_mut().set_fault_plan(Some(plan));
-        eprintln!("fault injection armed: {spec}");
+    if let Some(faults) = &spec.faults {
+        eprintln!("fault injection armed: {faults}");
     }
     let telemetry = telemetry_from_args(args)?;
     if telemetry.level() != TraceLevel::Off {
@@ -254,6 +263,20 @@ mod tests {
         assert_eq!(spec.seed, 7);
         let env = spec.build().unwrap();
         assert_eq!(env.space().dim(), 6);
+    }
+
+    #[test]
+    fn faults_flag_lands_in_the_spec_and_is_validated_at_build() {
+        let a = args(&[("faults", "straggler=1.0x4,seed=7")]);
+        let spec = EnvSpec::from_args(&a).unwrap();
+        assert_eq!(spec.faults.as_deref(), Some("straggler=1.0x4,seed=7"));
+        assert!(spec.build().is_ok());
+        let bad = EnvSpec { faults: Some("bogus=1".into()), ..EnvSpec::default() };
+        let err = match bad.build() {
+            Err(e) => e,
+            Ok(_) => panic!("a bogus --faults spec must fail validation"),
+        };
+        assert!(err.contains("--faults"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Workload drift detection over the 63-metric stream.
+//!
+//! The paper tunes one static workload; a long-lived tuning session sees
+//! traffic drift under it (OnlineTune's motivating observation). This
+//! module watches the per-step `SHOW STATUS` state and measured
+//! performance, summarizes them into sliding-window fingerprints, and
+//! fires when the current window moves away from the reference window by
+//! more than a hysteresis threshold. The distance is the same
+//! relative-difference RMS the service registry uses for fingerprint
+//! lookup ([`rel_rms`] is shared with `service::fingerprint`), so "drift"
+//! here means exactly "far enough that the registry would no longer call
+//! it the same workload".
+//!
+//! Hysteresis: after a detection the detector re-baselines on the new
+//! behaviour and disarms until a full fresh window accumulates, so one
+//! shift produces one event instead of a burst.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Relative difference: `|a-b|` scaled by the larger magnitude, so
+/// metrics with wildly different units compare on equal footing. Zero
+/// when both values are (near) zero.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom < 1e-9 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// RMS of the pairwise relative differences — the fingerprint distance
+/// kernel shared with the service registry's workload mapping.
+pub fn rel_rms(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let sq_sum: f64 = pairs.iter().map(|&(a, b)| rel_diff(a, b) * rel_diff(a, b)).sum();
+    (sq_sum / pairs.len() as f64).sqrt()
+}
+
+/// Drift-detector tuning. Defaults are deliberately conservative: the
+/// static-trace control run must stay silent (zero false positives)
+/// while a read/write mix shift or flash crowd clears the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Sliding-window length in observed steps.
+    pub window: usize,
+    /// Fingerprint distance at which drift fires.
+    pub threshold: f64,
+    /// Re-arm ratio in `(0, 1]`: after a firing, the detector stays
+    /// disarmed until distance falls below `threshold * rearm_ratio`.
+    pub rearm_ratio: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { window: 5, threshold: 0.35, rearm_ratio: 0.6 }
+    }
+}
+
+/// One detection: emitted at most once per sustained shift.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftEvent {
+    /// Observation index (steps seen so far) at which drift fired.
+    pub step: u64,
+    /// Fingerprint distance between reference and current windows.
+    pub distance: f64,
+    /// The configured threshold it exceeded.
+    pub threshold: f64,
+    /// Observations since the reference window was (re)baselined.
+    pub reference_age: u64,
+}
+
+/// Summary of one observation window: the behavioural components of a
+/// workload fingerprint that are available every step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct WindowSummary {
+    tps: f64,
+    p99_us: f64,
+    metric_mean: f64,
+    metric_std: f64,
+    metric_l2: f64,
+}
+
+impl WindowSummary {
+    fn distance(&self, other: &WindowSummary) -> f64 {
+        rel_rms(&[
+            (self.tps, other.tps),
+            (self.p99_us, other.p99_us),
+            (self.metric_mean, other.metric_mean),
+            (self.metric_std, other.metric_std),
+            (self.metric_l2, other.metric_l2),
+        ])
+    }
+}
+
+/// One step's observation, pre-aggregated so the detector never stores
+/// full 63-metric vectors.
+#[derive(Debug, Clone, Copy)]
+struct StepObs {
+    tps: f64,
+    p99_us: f64,
+    metric_mean: f64,
+    metric_std: f64,
+    metric_l2: f64,
+}
+
+fn summarize(obs: &VecDeque<StepObs>) -> WindowSummary {
+    let n = obs.len().max(1) as f64;
+    let mut s = WindowSummary::default();
+    for o in obs {
+        s.tps += o.tps;
+        s.p99_us += o.p99_us;
+        s.metric_mean += o.metric_mean;
+        s.metric_std += o.metric_std;
+        s.metric_l2 += o.metric_l2;
+    }
+    s.tps /= n;
+    s.p99_us /= n;
+    s.metric_mean /= n;
+    s.metric_std /= n;
+    s.metric_l2 /= n;
+    s
+}
+
+/// Sliding-window drift detector with hysteresis.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    reference: Option<WindowSummary>,
+    current: VecDeque<StepObs>,
+    armed: bool,
+    steps_seen: u64,
+    reference_at: u64,
+    last_distance: f64,
+    detections: u64,
+}
+
+impl DriftDetector {
+    /// Creates a detector; the first full window becomes the reference.
+    pub fn new(cfg: DriftConfig) -> Self {
+        let cfg = DriftConfig { window: cfg.window.max(2), ..cfg };
+        DriftDetector {
+            cfg,
+            reference: None,
+            current: VecDeque::with_capacity(cfg.window),
+            armed: true,
+            steps_seen: 0,
+            reference_at: 0,
+            last_distance: 0.0,
+            detections: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Distance computed at the most recent observation.
+    pub fn last_distance(&self) -> f64 {
+        self.last_distance
+    }
+
+    /// Total detections fired so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Feeds one step: the raw (or normalized — only consistency matters)
+    /// metric vector plus the measured performance. Returns a
+    /// [`DriftEvent`] when a sustained shift is detected.
+    pub fn observe(&mut self, metrics: &[f64], tps: f64, p99_us: f64) -> Option<DriftEvent> {
+        let n = metrics.len().max(1) as f64;
+        let mean = metrics.iter().sum::<f64>() / n;
+        let var = metrics.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let l2 = metrics.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let obs = StepObs { tps, p99_us, metric_mean: mean, metric_std: var.sqrt(), metric_l2: l2 };
+
+        self.steps_seen += 1;
+        if self.current.len() == self.cfg.window {
+            self.current.pop_front();
+        }
+        self.current.push_back(obs);
+        if self.current.len() < self.cfg.window {
+            return None;
+        }
+
+        let summary = summarize(&self.current);
+        let Some(reference) = self.reference else {
+            self.reference = Some(summary);
+            self.reference_at = self.steps_seen;
+            return None;
+        };
+
+        self.last_distance = summary.distance(&reference);
+        if !self.armed {
+            if self.last_distance < self.cfg.threshold * self.cfg.rearm_ratio {
+                self.armed = true;
+            }
+            return None;
+        }
+        if self.last_distance <= self.cfg.threshold {
+            return None;
+        }
+
+        // Fired: drop the stale reference so the next full window — pure
+        // post-shift behaviour, not the mixed transition — becomes the new
+        // baseline, and disarm until the distance settles back under the
+        // hysteresis band.
+        let event = DriftEvent {
+            step: self.steps_seen,
+            distance: self.last_distance,
+            threshold: self.cfg.threshold,
+            reference_age: self.steps_seen - self.reference_at,
+        };
+        self.detections += 1;
+        self.reference = None;
+        self.current.clear();
+        self.armed = false;
+        Some(event)
+    }
+
+    /// Forgets everything and restarts from scratch (e.g. after an
+    /// explicit re-tune replaced the baseline).
+    pub fn reset(&mut self) {
+        self.reference = None;
+        self.current.clear();
+        self.armed = true;
+        self.last_distance = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stable_metrics(seed: u64) -> Vec<f64> {
+        // Deterministic small jitter around a fixed profile.
+        (0..63)
+            .map(|i| {
+                let base = 100.0 + i as f64 * 3.0;
+                let jitter = (((seed.wrapping_mul(2654435761).wrapping_add(i)) % 17) as f64 - 8.0) * 0.05;
+                base + jitter
+            })
+            .collect()
+    }
+
+    fn shifted_metrics(seed: u64) -> Vec<f64> {
+        stable_metrics(seed).iter().map(|v| v * 4.0 + 50.0).collect()
+    }
+
+    #[test]
+    fn rel_rms_matches_the_fingerprint_kernel() {
+        assert_eq!(rel_rms(&[]), 0.0);
+        assert_eq!(rel_rms(&[(1.0, 1.0), (5.0, 5.0)]), 0.0);
+        let d = rel_rms(&[(1.0, 2.0)]);
+        assert!((d - 0.5).abs() < 1e-12);
+        assert_eq!(rel_diff(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn stable_stream_never_fires() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        for i in 0..200 {
+            let m = stable_metrics(i);
+            assert!(det.observe(&m, 900.0 + (i % 7) as f64, 4000.0).is_none(), "step {i}");
+        }
+        assert_eq!(det.detections(), 0);
+        assert!(det.last_distance() < 0.05, "distance {}", det.last_distance());
+    }
+
+    #[test]
+    fn sustained_shift_fires_exactly_once() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        for i in 0..20 {
+            det.observe(&stable_metrics(i), 900.0, 4000.0);
+        }
+        let mut events = Vec::new();
+        for i in 0..20 {
+            if let Some(e) = det.observe(&shifted_metrics(i), 300.0, 15000.0) {
+                events.push(e);
+            }
+        }
+        assert_eq!(events.len(), 1, "hysteresis must collapse a shift to one event");
+        assert!(events[0].distance > events[0].threshold);
+        assert_eq!(det.detections(), 1);
+    }
+
+    #[test]
+    fn detector_rearms_and_catches_a_second_shift() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        for i in 0..20 {
+            det.observe(&stable_metrics(i), 900.0, 4000.0);
+        }
+        let mut total = 0;
+        for i in 0..20 {
+            total += det.observe(&shifted_metrics(i), 300.0, 15000.0).is_some() as u32;
+        }
+        for i in 0..20 {
+            total += det.observe(&stable_metrics(i), 900.0, 4000.0).is_some() as u32;
+        }
+        assert_eq!(total, 2, "shift there and back = two events");
+    }
+
+    #[test]
+    fn reset_forgets_the_reference() {
+        let mut det = DriftDetector::new(DriftConfig { window: 3, ..DriftConfig::default() });
+        for i in 0..6 {
+            det.observe(&stable_metrics(i), 900.0, 4000.0);
+        }
+        det.reset();
+        // A shifted stream right after reset becomes the new reference
+        // instead of firing.
+        for i in 0..3 {
+            assert!(det.observe(&shifted_metrics(i), 300.0, 15000.0).is_none());
+        }
+    }
+
+    #[test]
+    fn config_json_round_trips() {
+        let cfg = DriftConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: DriftConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

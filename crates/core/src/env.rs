@@ -439,6 +439,57 @@ impl DbEnv {
         self.quarantined.len()
     }
 
+    /// The quarantined configuration-cell keys, sorted (stable for
+    /// checkpoint persistence).
+    pub fn quarantined_keys(&self) -> Vec<u64> {
+        // lint:allow(determinism) reason=the collected keys are sorted on the next line
+        let mut keys: Vec<u64> = self.quarantined.iter().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Restores quarantined cells drained into a checkpoint, so a resumed
+    /// run never re-explores a region a previous run already proved
+    /// poisonous. Counters are left untouched — the cells were already
+    /// counted by the run that quarantined them.
+    pub fn restore_quarantine(&mut self, keys: &[u64]) {
+        self.quarantined.extend(keys.iter().copied());
+    }
+
+    /// Quarantines the cell containing `action` directly (the safety
+    /// layer marks rolled-back regions off-limits without waiting for a
+    /// crash streak). Returns `true` when the cell was newly quarantined.
+    pub fn quarantine_action(&mut self, action: &[f32]) -> bool {
+        let inserted = self.quarantined.insert(quantize_action_key(action));
+        if inserted {
+            self.stats.quarantined_configs += 1;
+            self.emit_recovery("quarantine", "safety", 0, 0);
+        }
+        inserted
+    }
+
+    /// True when `action` falls in a quarantined cell.
+    pub fn is_quarantined(&self, action: &[f32]) -> bool {
+        self.quarantined.contains(&quantize_action_key(action))
+    }
+
+    /// Reverts the live instance to `action`'s configuration through the
+    /// rollback-with-restart escalation path: deploy with retry, and if
+    /// even that fails, force a restart that boots the target config. The
+    /// restored configuration becomes the new last-good. Used by the
+    /// safety layer when a step degrades beyond its threshold.
+    pub fn rollback_to_action(&mut self, action: &[f32]) {
+        let config = self.space.to_config(&self.last_good, action);
+        self.stats.rollbacks += 1;
+        self.emit_recovery("rollback", "safety", 0, 0);
+        if self.deploy_with_retry(&config).is_err() {
+            self.engine.restart();
+            self.stats.forced_restarts += 1;
+            self.emit_recovery("forced_restart", "safety", 0, 0);
+        }
+        self.last_good = config;
+    }
+
     /// The state processor (ship it with the trained model).
     pub fn processor(&self) -> &StateProcessor {
         &self.processor
@@ -463,6 +514,17 @@ impl DbEnv {
     pub fn set_workload(&mut self, workload: Box<dyn Workload>, clients: Option<u32>) {
         self.clients = clients.unwrap_or_else(|| workload.default_clients());
         self.workload = workload;
+    }
+
+    /// Swaps the workload *and* runs its `setup` against the engine first.
+    /// Unlike [`DbEnv::set_workload`], this is for workloads whose
+    /// generators own their table universe — e.g. a
+    /// [`workload::DynamicWorkload`] drift trace whose per-kind generators
+    /// were never loaded into this engine and would otherwise panic on
+    /// their first window.
+    pub fn install_workload(&mut self, mut workload: Box<dyn Workload>, clients: Option<u32>) {
+        workload.setup(&mut self.engine);
+        self.set_workload(workload, clients);
     }
 
     /// Deploys with retry + exponential (simulated) backoff for transient
@@ -972,6 +1034,64 @@ pub(crate) mod tests {
         assert_eq!(env.crash_count(), 3, "no real crash on a quarantine hit");
         assert_eq!(env.recovery_stats().quarantine_hits, 1);
         assert_eq!(env.engine().restart_count(), restarts_before, "no deploy happened");
+    }
+
+    #[test]
+    fn explicit_quarantine_short_circuits_like_a_crash_loop() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        let bad = [0.9, 0.1, 0.9, 0.1, 0.9, 0.1];
+        assert!(!env.is_quarantined(&bad));
+        assert!(env.quarantine_action(&bad));
+        assert!(!env.quarantine_action(&bad), "second insert is a no-op");
+        assert!(env.is_quarantined(&bad));
+        assert_eq!(env.recovery_stats().quarantined_configs, 1);
+        let out = env.step_action(&bad);
+        assert!(out.crashed, "quarantined cells are punished without deploying");
+        assert_eq!(env.recovery_stats().quarantine_hits, 1);
+    }
+
+    #[test]
+    fn quarantine_keys_round_trip_between_environments() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        env.quarantine_action(&[0.9, 0.1, 0.9, 0.1, 0.9, 0.1]);
+        env.quarantine_action(&[0.2; 6]);
+        let keys = env.quarantined_keys();
+        assert_eq!(keys.len(), 2);
+
+        let mut resumed = tiny_env();
+        let _ = resumed.reset();
+        resumed.restore_quarantine(&keys);
+        assert_eq!(resumed.quarantined_count(), 2);
+        assert!(resumed.is_quarantined(&[0.9, 0.1, 0.9, 0.1, 0.9, 0.1]));
+        let out = resumed.step_action(&[0.2; 6]);
+        assert!(out.crashed, "restored cells short-circuit without a deploy");
+        assert_eq!(
+            resumed.recovery_stats().quarantined_configs,
+            0,
+            "restored cells were counted by the original run"
+        );
+    }
+
+    #[test]
+    fn rollback_to_action_restores_the_target_config() {
+        let mut env = tiny_env();
+        let _ = env.reset();
+        let safe = [0.5f32; 6];
+        let out = env.step_action(&safe);
+        assert!(!out.crashed && !out.degraded);
+        let safe_config = env.current_config().clone();
+        // Wander somewhere else, then roll back.
+        let out = env.step_action(&[0.3f32; 6]);
+        assert!(!out.crashed && !out.degraded);
+        let rollbacks_before = env.recovery_stats().rollbacks;
+        env.rollback_to_action(&safe);
+        assert_eq!(env.recovery_stats().rollbacks, rollbacks_before + 1);
+        assert_eq!(env.current_config().values(), safe_config.values());
+        // The environment keeps stepping normally afterwards.
+        let out = env.step_action(&[0.5f32; 6]);
+        assert!(!out.crashed && !out.degraded);
     }
 
     #[test]

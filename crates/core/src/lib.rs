@@ -42,12 +42,14 @@
 
 pub mod action;
 pub mod cli;
+pub mod drift;
 pub mod env;
 pub mod jsonio;
 pub mod memory_pool;
 pub mod online;
 pub mod parallel;
 pub mod reward;
+pub mod safety;
 pub mod state;
 pub mod system;
 pub mod telemetry;
@@ -56,6 +58,7 @@ pub mod trainer;
 
 pub use action::ActionSpace;
 pub use cli::{Args, EnvSpec};
+pub use drift::{DriftConfig, DriftDetector, DriftEvent};
 pub use env::{DbEnv, EnvConfig, EnvError, RecoveryPolicy, RecoveryStats, StepOutcome};
 pub use memory_pool::{Batch, MemoryKind, MemoryPool, PerConfig};
 pub use online::{
@@ -63,6 +66,7 @@ pub use online::{
 };
 pub use parallel::collect_parallel;
 pub use reward::{Perf, RewardConfig, RewardKind, CRASH_REWARD};
+pub use safety::{RegretWindowReport, SafetyConfig, SafetyController, SafetyReport};
 pub use state::StateProcessor;
 pub use system::CdbTune;
 pub use telemetry::{

@@ -7,8 +7,19 @@
 //! *fine-tuned* on the transitions observed during the request so it adapts
 //! to the real workload, and the configuration with the best observed
 //! performance is recommended.
+//!
+//! With [`OnlineConfig::safety`] set, the loop runs under the safety
+//! layer: proposals are clamped to a trust region around the
+//! best-known-safe action ([`crate::safety`]), a per-window regret budget
+//! adapts the region, steps that degrade throughput beyond the threshold
+//! roll the instance back and quarantine the offending region, and a
+//! drift detector over the metric stream ([`crate::drift`]) flags
+//! workload shifts for re-tuning. Safety is off by default so the plain
+//! paper behaviour (and its determinism guarantees) is unchanged.
 
+use crate::drift::DriftDetector;
 use crate::env::{DbEnv, RecoveryStats};
+use crate::safety::{SafetyConfig, SafetyController, SafetyReport};
 use crate::telemetry::{ReplayTrace, TraceEvent, TraceLevel};
 use crate::trainer::TrainedModel;
 use rand::rngs::StdRng;
@@ -53,6 +64,11 @@ pub struct OnlineConfig {
     /// known so far instead of risking further deploys.
     #[serde(default = "default_max_consecutive_failures")]
     pub max_consecutive_failures: u32,
+    /// Safety layer for live instances: trust-region clamping, regret
+    /// budgeting, degradation rollback, and drift detection. `None`
+    /// (default) reproduces the paper's unguarded loop.
+    #[serde(default)]
+    pub safety: Option<SafetyConfig>,
 }
 
 fn default_max_consecutive_failures() -> u32 {
@@ -71,6 +87,7 @@ impl Default for OnlineConfig {
             satisfaction: None,
             seed: 0,
             max_consecutive_failures: default_max_consecutive_failures(),
+            safety: None,
         }
     }
 }
@@ -109,6 +126,10 @@ pub struct OnlineStep {
     /// configuration's fault); its metrics repeat the previous step's.
     #[serde(default)]
     pub degraded: bool,
+    /// The safety layer reverted this step's configuration after measuring
+    /// it (throughput dropped beyond the rollback threshold).
+    #[serde(default)]
+    pub rolled_back: bool,
 }
 
 /// Result of one tuning request.
@@ -130,6 +151,8 @@ pub struct TuningOutcome {
     pub degraded: Option<DegradedReason>,
     /// Recovery actions taken while serving this request.
     pub recovery: RecoveryStats,
+    /// Safety-layer activity (`None` when the request ran unguarded).
+    pub safety: Option<SafetyReport>,
 }
 
 impl TuningOutcome {
@@ -180,6 +203,9 @@ pub struct OnlineSession {
     consecutive_failures: u32,
     finished: bool,
     warm_action: Option<Vec<f32>>,
+    safety: Option<SafetyController>,
+    drift: Option<DriftDetector>,
+    best_action: Vec<f32>,
 }
 
 impl OnlineSession {
@@ -216,6 +242,11 @@ impl OnlineSession {
         });
 
         let baseline = env.current_config().clone();
+        let baseline_action = env.space().from_config(&baseline);
+        let safety = cfg
+            .safety
+            .map(|s| SafetyController::new(s, baseline_action.clone()));
+        let drift = cfg.safety.map(|s| DriftDetector::new(s.drift));
         let mut session = Self {
             agent,
             cfg: cfg.clone(),
@@ -239,6 +270,9 @@ impl OnlineSession {
             consecutive_failures: 0,
             finished: false,
             warm_action: None,
+            safety,
+            drift,
+            best_action: baseline_action,
         };
         match env.try_reset_episode(baseline) {
             Ok(state) => {
@@ -303,7 +337,7 @@ impl OnlineSession {
         // registry's warm action); later steps explore around the
         // (fine-tuned) policy, screening noisy candidates with the critic
         // so only its best-scored variant is deployed on the instance.
-        let action = if step == 1 {
+        let mut action = if step == 1 {
             self.warm_action.take().unwrap_or(raw)
         } else {
             let mut best = self.sparse_perturb(&raw);
@@ -318,7 +352,68 @@ impl OnlineSession {
             }
             best
         };
+        // Trust region: pull the proposal back toward the best-known-safe
+        // action before it touches the instance.
+        if let Some(safety) = self.safety.as_mut() {
+            let clamp = safety.clamp(&mut action);
+            if clamp.clamped_knobs > 0 && self.telemetry.enabled(TraceLevel::Step) {
+                self.telemetry.emit(&TraceEvent::SafetyClamp {
+                    step: step as u64,
+                    clamped_knobs: clamp.clamped_knobs as u64,
+                    max_delta: clamp.max_delta,
+                    radius: clamp.radius,
+                });
+            }
+        }
         let out = env.step_action(&action);
+        let mut rolled_back = false;
+        if let Some(safety) = self.safety.as_mut() {
+            let best_safe_tps = self.best_perf.throughput_tps;
+            let verdict =
+                safety.assess(out.perf.throughput_tps, best_safe_tps, out.crashed, out.degraded);
+            if verdict.rollback {
+                // Degraded beyond the threshold without crashing: revert to
+                // the best-known-safe config through the escalation path
+                // and mark the offending region off-limits.
+                env.rollback_to_action(&self.best_action);
+                env.quarantine_action(&action);
+                rolled_back = true;
+                self.telemetry.emit(&TraceEvent::Rollback {
+                    step: step as u64,
+                    from_tps: out.perf.throughput_tps,
+                    to_tps: best_safe_tps,
+                    drop_frac: verdict.drop_frac,
+                    quarantined: true,
+                });
+            }
+            if let Some(w) = verdict.window {
+                self.telemetry.emit(&TraceEvent::RegretWindow {
+                    window: w.window,
+                    regret: w.regret,
+                    budget: w.budget,
+                    over_budget: w.over_budget,
+                    radius: safety.radius(),
+                });
+            }
+        }
+        if let Some(drift) = self.drift.as_mut() {
+            let metrics: Vec<f64> = out.state.iter().map(|&x| f64::from(x)).collect();
+            if let Some(ev) =
+                drift.observe(&metrics, out.perf.throughput_tps, out.perf.p99_latency_us)
+            {
+                self.telemetry.emit(&TraceEvent::DriftDetected {
+                    step: step as u64,
+                    distance: ev.distance,
+                    threshold: ev.threshold,
+                    reference_age: ev.reference_age,
+                });
+                if let Some(safety) = self.safety.as_mut() {
+                    // The workload moved under us: the old optimum no
+                    // longer binds, so widen exploration to re-adapt.
+                    safety.note_drift();
+                }
+            }
+        }
         let recorded = OnlineStep {
             step,
             throughput_tps: out.perf.throughput_tps,
@@ -326,6 +421,7 @@ impl OnlineSession {
             reward: out.reward,
             crashed: out.crashed,
             degraded: out.degraded,
+            rolled_back,
         };
         self.steps.push(recorded.clone());
         if self.telemetry.enabled(TraceLevel::Step) {
@@ -365,10 +461,16 @@ impl OnlineSession {
         } else {
             self.consecutive_failures = 0;
         }
-        if !out.crashed && !out.degraded && out.perf.throughput_tps > self.best_perf.throughput_tps
+        if !out.crashed && !out.degraded && !rolled_back
+            && out.perf.throughput_tps > self.best_perf.throughput_tps
         {
             self.best_perf = out.perf;
             self.best_config = env.current_config().clone();
+            self.best_action.clear();
+            self.best_action.extend_from_slice(&action);
+            if let Some(safety) = self.safety.as_mut() {
+                safety.recenter(&action);
+            }
         }
         // Degraded steps carry no measurement to learn from.
         if !out.degraded {
@@ -433,6 +535,16 @@ impl OnlineSession {
         self.degraded
     }
 
+    /// Safety-layer activity so far (`None` when running unguarded).
+    pub fn safety_report(&self) -> Option<SafetyReport> {
+        self.safety.as_ref().map(|s| s.report())
+    }
+
+    /// Drift detections fired so far (0 when no detector is configured).
+    pub fn drift_detections(&self) -> u64 {
+        self.drift.as_ref().map_or(0, |d| d.detections())
+    }
+
     /// Snapshots the live session as a [`TrainingCheckpoint`] so the
     /// `cdbtuned` shutdown drain persists in-flight fine-tuning work with
     /// the same machinery (and the same atomic-write guarantees) offline
@@ -466,6 +578,7 @@ impl OnlineSession {
             tracker: ConvergenceTracker::new(0.005, 5),
             best_eval: f64::MIN,
             best_snapshot: None,
+            quarantined: env.quarantined_keys(),
         }
     }
 
@@ -495,6 +608,7 @@ impl OnlineSession {
             updated_model,
             degraded: self.degraded,
             recovery: env.recovery_stats().since(&self.recovery0),
+            safety: self.safety.as_ref().map(|s| s.report()),
         }
     }
 }
@@ -669,5 +783,152 @@ mod tests {
         let (mut env, mut model) = trained();
         model.action_indices.pop();
         let _ = tune_online(&mut env, &model, &OnlineConfig::default());
+    }
+
+    fn safe_cfg() -> OnlineConfig {
+        OnlineConfig {
+            max_steps: 8,
+            safety: Some(crate::safety::SafetyConfig {
+                regret_window: 4,
+                ..crate::safety::SafetyConfig::default()
+            }),
+            ..OnlineConfig::default()
+        }
+    }
+
+    #[test]
+    fn guarded_run_reports_safety_activity_and_stays_safe() {
+        let (mut env, model) = trained();
+        let outcome = tune_online(&mut env, &model, &safe_cfg());
+        let report = outcome.safety.expect("guarded run carries a safety report");
+        assert!(report.regret_windows >= 1, "8 steps close at least one window of 4");
+        assert!(report.final_radius > 0.0);
+        assert_eq!(report.regret_budget, crate::safety::SafetyConfig::default().regret_budget);
+        // The recommendation is still never worse than the baseline.
+        assert!(outcome.throughput_gain() >= 0.0);
+        // Unguarded runs carry no report.
+        let (mut env2, model2) = trained();
+        let plain = tune_online(&mut env2, &model2, &OnlineConfig::default());
+        assert!(plain.safety.is_none());
+    }
+
+    #[test]
+    fn trust_region_keeps_deployments_near_the_safe_center() {
+        use crate::telemetry::{Telemetry, TraceLevel};
+        let (mut env, model) = trained();
+        env.set_telemetry(Telemetry::ring(256, TraceLevel::Step));
+        // A tight region forces clamping of essentially every exploration.
+        let cfg = OnlineConfig {
+            max_steps: 6,
+            noise_sigma: 0.6,
+            noise_fraction: 1.0,
+            safety: Some(crate::safety::SafetyConfig {
+                trust_radius: 0.05,
+                min_radius: 0.05,
+                max_radius: 0.05,
+                ..crate::safety::SafetyConfig::default()
+            }),
+            ..OnlineConfig::default()
+        };
+        let mut session = OnlineSession::begin(&mut env, &model, &cfg);
+        let baseline_action = env.space().from_config(env.current_config());
+        while session.step(&mut env).is_some() {}
+        let report = session.safety_report().unwrap();
+        let _ = session.finish(&mut env);
+        let events = env.telemetry().drain_ring();
+        let mut clamp_events = 0u64;
+        for e in &events {
+            match e {
+                TraceEvent::SafetyClamp { radius, .. } => {
+                    clamp_events += 1;
+                    assert!((radius - 0.05).abs() < 1e-9);
+                }
+                TraceEvent::Step { step, action, crashed, degraded, .. } => {
+                    // Every deployed action sits inside the region around
+                    // the center in force at deploy time; with a frozen
+                    // radius the center only moves onto measured-safe
+                    // actions, so distance from the *baseline* center can
+                    // only grow radius-by-radius. Step 1 deploys the raw
+                    // recommendation clamped to the baseline center.
+                    if *step == 1 && !crashed && !degraded {
+                        for (a, c) in action.iter().zip(&baseline_action) {
+                            assert!(
+                                (a - f64::from(*c)).abs() <= 0.05 + 1e-6,
+                                "step 1 escaped the trust region: |{a} - {c}|"
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(clamp_events > 0, "aggressive noise under a tight region must clamp");
+        assert_eq!(report.clamped_steps, clamp_events);
+    }
+
+    #[test]
+    fn rollback_fires_within_k_steps_of_injected_degradation() {
+        let (mut env, model) = trained();
+        // Healthy baseline, then a straggler fault slows every window by
+        // 4x from engine tick 6 onward — throughput craters without a
+        // crash, which is exactly the case rollback exists for.
+        env.engine_mut().set_fault_plan(Some(
+            simdb::FaultPlan::new(3).with_straggler(1.0, 4.0).in_window(6, u64::MAX),
+        ));
+        // The trained() env already burned fault ticks during offline
+        // training; re-base so the window counts from this request.
+        env.engine_mut().reset_fault_clock();
+        let cfg = OnlineConfig {
+            max_steps: 8,
+            safety: Some(crate::safety::SafetyConfig {
+                rollback_threshold: 0.3,
+                ..crate::safety::SafetyConfig::default()
+            }),
+            ..OnlineConfig::default()
+        };
+        let outcome = tune_online(&mut env, &model, &cfg);
+        let report = outcome.safety.unwrap();
+        assert!(report.rollbacks >= 1, "a 4x slowdown must trigger rollback");
+        let first_slow = outcome
+            .steps
+            .iter()
+            .position(|s| s.throughput_tps < outcome.initial_perf.throughput_tps * 0.7);
+        let first_rollback = outcome.steps.iter().position(|s| s.rolled_back);
+        let (slow, rb) = (first_slow.expect("degradation visible"), first_rollback.unwrap());
+        assert!(
+            rb <= slow + 1,
+            "rollback within K=2 steps of degradation (slow at {slow}, rollback at {rb})"
+        );
+        assert!(env.recovery_stats().rollbacks >= 1);
+        assert!(env.quarantined_count() >= 1, "the offending region is quarantined");
+    }
+
+    #[test]
+    fn drift_detection_surfaces_in_the_outcome() {
+        use crate::telemetry::{Telemetry, TraceLevel};
+        let (mut env, model) = trained();
+        env.set_telemetry(Telemetry::ring(256, TraceLevel::Summary));
+        // Shift the workload mid-run: read-write -> write-only at window 8
+        // with a flash crowd, driven by the dynamic trace.
+        let spec = workload::DynamicSpec::steady(workload::WorkloadKind::SysbenchRw, 0.005)
+            .with_shift(8, workload::WorkloadKind::SysbenchWo)
+            .with_flash(8, 1000, 2.5);
+        env.install_workload(Box::new(workload::DynamicWorkload::new(spec)), None);
+        let cfg = OnlineConfig {
+            max_steps: 12,
+            safety: Some(crate::safety::SafetyConfig {
+                drift: crate::drift::DriftConfig { window: 3, ..Default::default() },
+                ..crate::safety::SafetyConfig::default()
+            }),
+            ..OnlineConfig::default()
+        };
+        let outcome = tune_online(&mut env, &model, &cfg);
+        let report = outcome.safety.unwrap();
+        assert!(report.drift_events >= 1, "the mix shift + flash crowd must register");
+        let events = env.telemetry().drain_ring();
+        assert!(
+            events.iter().any(|e| matches!(e, TraceEvent::DriftDetected { .. })),
+            "drift telemetry emitted"
+        );
     }
 }

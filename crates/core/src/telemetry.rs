@@ -394,6 +394,55 @@ pub enum TraceEvent {
         /// Workers currently running a session.
         busy_workers: u64,
     },
+    /// The drift detector flagged a sustained workload shift.
+    DriftDetected {
+        /// Global step index at which drift fired.
+        step: u64,
+        /// Fingerprint distance between reference and current windows.
+        distance: f64,
+        /// The configured threshold it exceeded.
+        threshold: f64,
+        /// Steps since the reference window was (re)baselined.
+        reference_age: u64,
+    },
+    /// The safety layer reverted to the best-known-safe configuration.
+    Rollback {
+        /// Global step index of the degrading step.
+        step: u64,
+        /// Throughput measured under the degrading config (txn/s).
+        from_tps: f64,
+        /// Throughput of the best-known-safe config being restored (txn/s).
+        to_tps: f64,
+        /// Fractional throughput drop that triggered the revert.
+        drop_frac: f64,
+        /// The degrading action was quarantined.
+        quarantined: bool,
+    },
+    /// The trust region pulled a proposed action back toward the
+    /// best-known-safe configuration.
+    SafetyClamp {
+        /// Global step index of the clamped proposal.
+        step: u64,
+        /// Knobs pulled back inside the region.
+        clamped_knobs: u64,
+        /// Largest single-knob correction applied.
+        max_delta: f64,
+        /// Trust-region radius in force.
+        radius: f64,
+    },
+    /// A regret-accounting window closed.
+    RegretWindow {
+        /// Zero-based window index.
+        window: u64,
+        /// Cumulative relative regret accumulated over the window.
+        regret: f64,
+        /// The budget it was measured against.
+        budget: f64,
+        /// The window overran its budget.
+        over_budget: bool,
+        /// Trust-region radius after the window's adaptation.
+        radius: f64,
+    },
 }
 
 impl TraceEvent {
@@ -411,6 +460,10 @@ impl TraceEvent {
             TraceEvent::SessionClose { .. } => "session_close",
             TraceEvent::Admission { .. } => "admission",
             TraceEvent::ServiceQueue { .. } => "service_queue",
+            TraceEvent::DriftDetected { .. } => "drift_detected",
+            TraceEvent::Rollback { .. } => "rollback",
+            TraceEvent::SafetyClamp { .. } => "safety_clamp",
+            TraceEvent::RegretWindow { .. } => "regret_window",
         }
     }
 
@@ -420,7 +473,8 @@ impl TraceEvent {
             TraceEvent::Recovery { .. } => TraceLevel::Debug,
             TraceEvent::Step { .. }
             | TraceEvent::Admission { .. }
-            | TraceEvent::ServiceQueue { .. } => TraceLevel::Step,
+            | TraceEvent::ServiceQueue { .. }
+            | TraceEvent::SafetyClamp { .. } => TraceLevel::Step,
             _ => TraceLevel::Summary,
         }
     }
@@ -569,6 +623,32 @@ impl TraceEvent {
             }
             TraceEvent::ServiceQueue { depth, busy_workers } => {
                 o.u64("depth", *depth).u64("busy_workers", *busy_workers);
+            }
+            TraceEvent::DriftDetected { step, distance, threshold, reference_age } => {
+                o.u64("step", *step)
+                    .f64("distance", *distance)
+                    .f64("threshold", *threshold)
+                    .u64("reference_age", *reference_age);
+            }
+            TraceEvent::Rollback { step, from_tps, to_tps, drop_frac, quarantined } => {
+                o.u64("step", *step)
+                    .f64("from_tps", *from_tps)
+                    .f64("to_tps", *to_tps)
+                    .f64("drop_frac", *drop_frac)
+                    .bool("quarantined", *quarantined);
+            }
+            TraceEvent::SafetyClamp { step, clamped_knobs, max_delta, radius } => {
+                o.u64("step", *step)
+                    .u64("clamped_knobs", *clamped_knobs)
+                    .f64("max_delta", *max_delta)
+                    .f64("radius", *radius);
+            }
+            TraceEvent::RegretWindow { window, regret, budget, over_budget, radius } => {
+                o.u64("window", *window)
+                    .f64("regret", *regret)
+                    .f64("budget", *budget)
+                    .bool("over_budget", *over_budget)
+                    .f64("radius", *radius);
             }
         }
         o.finish()
@@ -724,6 +804,32 @@ impl TraceEvent {
             "service_queue" => Ok(TraceEvent::ServiceQueue {
                 depth: j.u64("depth"),
                 busy_workers: j.u64("busy_workers"),
+            }),
+            "drift_detected" => Ok(TraceEvent::DriftDetected {
+                step: j.u64("step"),
+                distance: j.num("distance"),
+                threshold: j.num("threshold"),
+                reference_age: j.u64("reference_age"),
+            }),
+            "rollback" => Ok(TraceEvent::Rollback {
+                step: j.u64("step"),
+                from_tps: j.num("from_tps"),
+                to_tps: j.num("to_tps"),
+                drop_frac: j.num("drop_frac"),
+                quarantined: j.boolean("quarantined"),
+            }),
+            "safety_clamp" => Ok(TraceEvent::SafetyClamp {
+                step: j.u64("step"),
+                clamped_knobs: j.u64("clamped_knobs"),
+                max_delta: j.num("max_delta"),
+                radius: j.num("radius"),
+            }),
+            "regret_window" => Ok(TraceEvent::RegretWindow {
+                window: j.u64("window"),
+                regret: j.num("regret"),
+                budget: j.num("budget"),
+                over_budget: j.boolean("over_budget"),
+                radius: j.num("radius"),
             }),
             other => Err(format!("unknown trace event type '{other}'")),
         }
@@ -1040,6 +1146,27 @@ mod tests {
             },
             TraceEvent::Admission { accepted: false, reason: "queue_full".into(), queue_depth: 4 },
             TraceEvent::ServiceQueue { depth: 3, busy_workers: 2 },
+            TraceEvent::DriftDetected {
+                step: 12,
+                distance: 0.61,
+                threshold: 0.35,
+                reference_age: 7,
+            },
+            TraceEvent::Rollback {
+                step: 13,
+                from_tps: 2400.0,
+                to_tps: 5100.0,
+                drop_frac: 0.53,
+                quarantined: true,
+            },
+            TraceEvent::SafetyClamp { step: 14, clamped_knobs: 3, max_delta: 0.22, radius: 0.15 },
+            TraceEvent::RegretWindow {
+                window: 2,
+                regret: 0.4,
+                budget: 0.75,
+                over_budget: false,
+                radius: 0.18,
+            },
             TraceEvent::SessionClose {
                 session: 11,
                 steps: 5,

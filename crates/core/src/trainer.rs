@@ -330,6 +330,12 @@ pub struct TrainingCheckpoint {
     pub best_eval: f64,
     /// Best (networks, normalizer) pair so far — the shipped model.
     pub best_snapshot: Option<(DdpgSnapshot, StateProcessor)>,
+    /// Quarantined configuration-cell keys at checkpoint time. A resumed
+    /// run restores these into the environment so it never re-explores a
+    /// region the interrupted run already proved crash-prone. Defaults to
+    /// empty so pre-existing checkpoints still load.
+    #[serde(default)]
+    pub quarantined: Vec<u64>,
 }
 
 /// Why a [`TrainingCheckpoint`] cannot drive the current session. Before
@@ -493,6 +499,7 @@ pub fn train_offline_resumable(
     match resume {
         Some(ck) => {
             agent = Ddpg::from_snapshot(&ck.snapshot);
+            env.restore_quarantine(&ck.quarantined);
             env.set_processor(ck.processor);
             for t in ck.transitions {
                 pool.push(t);
@@ -733,6 +740,7 @@ pub fn train_offline_resumable(
                         tracker: tracker.clone(),
                         best_eval,
                         best_snapshot: best_snapshot.clone(),
+                        quarantined: env.quarantined_keys(),
                     };
                     if ck.save_atomic(dir).is_err() {
                         report.recovery.checkpoints_written -= 1;
@@ -968,7 +976,30 @@ mod tests {
             tracker: ConvergenceTracker::new(0.005, 5),
             best_eval: f64::MIN,
             best_snapshot: None,
+            quarantined: Vec::new(),
         }
+    }
+
+    #[test]
+    fn resumed_checkpoint_restores_quarantine_state() {
+        // Quarantine a region in one session, checkpoint it, and resume
+        // into a fresh environment: the resumed run must not re-explore
+        // the cell — stepping it short-circuits as a crash, exactly as it
+        // would have in the interrupted run.
+        let mut env = tiny_env();
+        let bad = [0.9, 0.1, 0.9, 0.1, 0.9, 0.1];
+        assert!(env.quarantine_action(&bad));
+        let mut ck = in_memory_ck(simdb::TOTAL_METRIC_COUNT, 6);
+        ck.quarantined = env.quarantined_keys();
+        assert!(!ck.quarantined.is_empty());
+
+        let mut fresh = tiny_env();
+        assert!(!fresh.is_quarantined(&bad));
+        let cfg = TrainerConfig { episodes: 1, steps_per_episode: 2, ..TrainerConfig::smoke() };
+        resume_from_checkpoint(&mut fresh, &cfg, ck).expect("checkpoint fits the session");
+        assert!(fresh.is_quarantined(&bad), "resume must restore quarantined cells");
+        let out = fresh.step_action(&bad);
+        assert!(out.crashed, "a quarantined cell must stay fenced off after resume");
     }
 
     #[test]

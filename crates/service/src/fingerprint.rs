@@ -10,6 +10,7 @@
 //! reproduction's version of OtterTune's workload mapping, applied to the
 //! paper's "experience accumulates across requests" claim (§2.1.1).
 
+use cdbtune::drift::rel_rms;
 use cdbtune::jsonio::{Json, Obj};
 use cdbtune::{DbEnv, EnvSpec};
 use simdb::EngineFlavor;
@@ -73,17 +74,6 @@ pub struct WorkloadFingerprint {
     pub stats: StateStats,
 }
 
-/// Relative difference: |a-b| scaled by the larger magnitude, so metrics
-/// with wildly different units compare on equal footing.
-fn rel(a: f64, b: f64) -> f64 {
-    let denom = a.abs().max(b.abs());
-    if denom < 1e-9 {
-        0.0
-    } else {
-        (a - b).abs() / denom
-    }
-}
-
 impl WorkloadFingerprint {
     /// Measures the fingerprint of an environment whose baseline window has
     /// just been run (i.e. after a successful episode reset on the default
@@ -113,10 +103,12 @@ impl WorkloadFingerprint {
             && self.disk_gb == other.disk_gb
     }
 
-    /// Distance between fingerprints: RMS of the relative differences of
-    /// the behavioural components, plus a fixed penalty when the declared
-    /// workload kind differs (similar metrics under a different label are
-    /// still suspect). Incompatible fingerprints are infinitely far apart.
+    /// Distance between fingerprints: relative-RMS over the behavioural
+    /// components (the same [`cdbtune::drift::rel_rms`] kernel the online
+    /// drift detector scores metric windows with), plus a fixed penalty
+    /// when the declared workload kind differs (similar metrics under a
+    /// different label are still suspect). Incompatible fingerprints are
+    /// infinitely far apart.
     pub fn distance(&self, other: &Self) -> f64 {
         if !self.compatible(other) {
             return f64::INFINITY;
@@ -131,10 +123,8 @@ impl WorkloadFingerprint {
             (self.stats.max, other.stats.max),
             (self.stats.l2, other.stats.l2),
         ];
-        let sq_sum: f64 = pairs.iter().map(|&(a, b)| rel(a, b) * rel(a, b)).sum();
-        let rms = (sq_sum / pairs.len() as f64).sqrt();
         let label_penalty = if self.workload == other.workload { 0.0 } else { 1.0 };
-        rms + label_penalty
+        rel_rms(&pairs) + label_penalty
     }
 
     /// Encodes the fingerprint as one JSON object.

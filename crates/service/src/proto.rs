@@ -32,6 +32,10 @@ pub enum Request {
         /// Allow warm-starting from the model registry (`false` forces a
         /// cold start — used by the warm-vs-cold comparison).
         warm_start: bool,
+        /// Enable the safe-tuning layer for this session: trust-region
+        /// clamping, drift detection, and automatic rollback. Absent on
+        /// the wire means `false` (unguarded, the pre-safety behaviour).
+        safe: bool,
     },
     /// Advances the session by one tuning step.
     Step,
@@ -100,6 +104,13 @@ pub enum Response {
         registry_len: u64,
         /// The daemon is draining toward shutdown.
         draining: bool,
+        /// Workload-drift detections across all sessions.
+        drift_events: u64,
+        /// Recovery rollbacks (crash- and safety-triggered) across all
+        /// sessions.
+        recovery_rollbacks: u64,
+        /// Re-tune epochs entered after drift detections, all sessions.
+        retune_epochs: u64,
     },
     /// The session's best configuration so far.
     Recommendation {
@@ -115,6 +126,15 @@ pub enum Response {
         changed_knobs: u64,
         /// Tuning steps taken so far.
         steps: u64,
+        /// Workload-drift detections in this session.
+        drift_events: u64,
+        /// Recovery rollbacks over the whole session — cumulative from
+        /// baseline measurement onward, crash- and safety-triggered alike.
+        rollbacks: u64,
+        /// Re-tune epochs the session entered after drift detections.
+        retune_epochs: u64,
+        /// Rollbacks within the current re-tune epoch (resets on drift).
+        epoch_rollbacks: u64,
     },
     /// The session is closed.
     Closed {
@@ -153,6 +173,9 @@ fn spec_to_obj(o: &mut Obj, spec: &EnvSpec) {
         .u64("warmup_txns", spec.warmup_txns as u64)
         .u64("measure_txns", spec.measure_txns as u64)
         .u64("horizon", spec.horizon as u64);
+    if let Some(faults) = &spec.faults {
+        o.str("faults", faults);
+    }
 }
 
 fn spec_from_json(j: &Json) -> Result<EnvSpec, String> {
@@ -184,6 +207,10 @@ fn spec_from_json(j: &Json) -> Result<EnvSpec, String> {
             d.measure_txns
         },
         horizon: if j.get("horizon").is_some() { j.u64("horizon") as usize } else { d.horizon },
+        faults: match j.get("faults") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => d.faults,
+        },
     })
 }
 
@@ -210,11 +237,12 @@ impl Request {
     /// Encodes the request as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         match self {
-            Request::CreateSession { spec, max_steps, warm_start } => {
+            Request::CreateSession { spec, max_steps, warm_start, safe } => {
                 let mut o = versioned("create_session");
                 o.obj("spec", |s| spec_to_obj(s, spec))
                     .u64("max_steps", *max_steps as u64)
-                    .bool("warm_start", *warm_start);
+                    .bool("warm_start", *warm_start)
+                    .bool("safe", *safe);
                 o.finish()
             }
             Request::Step => versioned("step").finish(),
@@ -240,6 +268,7 @@ impl Request {
                     spec,
                     max_steps: if max_steps == 0 { 5 } else { max_steps },
                     warm_start: j.boolean("warm_start"),
+                    safe: j.boolean("safe"),
                 })
             }
             "step" => Ok(Request::Step),
@@ -302,6 +331,9 @@ impl Response {
                 rejected,
                 registry_len,
                 draining,
+                drift_events,
+                recovery_rollbacks,
+                retune_epochs,
             } => {
                 let mut o = versioned("service_status");
                 o.u64("active_sessions", *active_sessions)
@@ -312,7 +344,10 @@ impl Response {
                     .u64("warm_misses", *warm_misses)
                     .u64("rejected", *rejected)
                     .u64("registry_len", *registry_len)
-                    .bool("draining", *draining);
+                    .bool("draining", *draining)
+                    .u64("drift_events", *drift_events)
+                    .u64("recovery_rollbacks", *recovery_rollbacks)
+                    .u64("retune_epochs", *retune_epochs);
                 o.finish()
             }
             Response::Recommendation {
@@ -322,6 +357,10 @@ impl Response {
                 throughput_gain,
                 changed_knobs,
                 steps,
+                drift_events,
+                rollbacks,
+                retune_epochs,
+                epoch_rollbacks,
             } => {
                 let mut o = versioned("recommendation");
                 o.u64("session", *session)
@@ -329,7 +368,11 @@ impl Response {
                     .f64("best_p99_us", *best_p99_us)
                     .f64("throughput_gain", *throughput_gain)
                     .u64("changed_knobs", *changed_knobs)
-                    .u64("steps", *steps);
+                    .u64("steps", *steps)
+                    .u64("drift_events", *drift_events)
+                    .u64("rollbacks", *rollbacks)
+                    .u64("retune_epochs", *retune_epochs)
+                    .u64("epoch_rollbacks", *epoch_rollbacks);
                 o.finish()
             }
             Response::Closed { session, steps, published, drained } => {
@@ -385,6 +428,9 @@ impl Response {
                 rejected: j.u64("rejected"),
                 registry_len: j.u64("registry_len"),
                 draining: j.boolean("draining"),
+                drift_events: j.u64("drift_events"),
+                recovery_rollbacks: j.u64("recovery_rollbacks"),
+                retune_epochs: j.u64("retune_epochs"),
             }),
             "recommendation" => Ok(Response::Recommendation {
                 session: j.u64("session"),
@@ -393,6 +439,10 @@ impl Response {
                 throughput_gain: j.num("throughput_gain"),
                 changed_knobs: j.u64("changed_knobs"),
                 steps: j.u64("steps"),
+                drift_events: j.u64("drift_events"),
+                rollbacks: j.u64("rollbacks"),
+                retune_epochs: j.u64("retune_epochs"),
+                epoch_rollbacks: j.u64("epoch_rollbacks"),
             }),
             "closed" => Ok(Response::Closed {
                 session: j.u64("session"),
@@ -426,13 +476,19 @@ mod tests {
             warmup_txns: 30,
             measure_txns: 120,
             horizon: 10,
+            faults: Some("straggler=0.5x3,seed=1".into()),
         }
     }
 
     #[test]
     fn every_request_round_trips() {
         let requests = [
-            Request::CreateSession { spec: sample_spec(), max_steps: 4, warm_start: true },
+            Request::CreateSession {
+                spec: sample_spec(),
+                max_steps: 4,
+                warm_start: true,
+                safe: true,
+            },
             Request::Step,
             Request::Status,
             Request::Recommend,
@@ -476,6 +532,9 @@ mod tests {
                 rejected: 3,
                 registry_len: 5,
                 draining: false,
+                drift_events: 2,
+                recovery_rollbacks: 1,
+                retune_epochs: 2,
             },
             Response::Recommendation {
                 session: 3,
@@ -484,6 +543,10 @@ mod tests {
                 throughput_gain: 0.21,
                 changed_knobs: 6,
                 steps: 4,
+                drift_events: 1,
+                rollbacks: 2,
+                retune_epochs: 1,
+                epoch_rollbacks: 0,
             },
             Response::Closed { session: 3, steps: 4, published: true, drained: false },
             Response::Rejected { reason: "queue_full".into(), queue_depth: 4 },
@@ -514,7 +577,12 @@ mod tests {
         {
             for workload in WorkloadKind::ALL {
                 let spec = EnvSpec { flavor, workload, ..EnvSpec::default() };
-                let req = Request::CreateSession { spec, max_steps: 5, warm_start: false };
+                let req = Request::CreateSession {
+                    spec,
+                    max_steps: 5,
+                    warm_start: false,
+                    safe: false,
+                };
                 let back = Request::from_json_line(&req.to_json_line()).unwrap();
                 assert_eq!(back, req);
             }
@@ -524,7 +592,7 @@ mod tests {
     #[test]
     fn missing_spec_fields_take_defaults() {
         let line = "{\"v\":1,\"type\":\"create_session\",\"spec\":{\"workload\":\"tpcc\"}}";
-        let Request::CreateSession { spec, max_steps, warm_start } =
+        let Request::CreateSession { spec, max_steps, warm_start, safe } =
             Request::from_json_line(line).unwrap()
         else {
             panic!("wrong variant");
@@ -533,7 +601,35 @@ mod tests {
         assert_eq!(spec.workload, WorkloadKind::TpcC);
         assert_eq!(spec.flavor, d.flavor);
         assert_eq!(spec.knobs, d.knobs);
+        assert_eq!(spec.faults, None, "absent faults means healthy infrastructure");
         assert_eq!(max_steps, 5, "absent budget falls back to the paper's 5");
         assert!(!warm_start);
+        assert!(!safe, "absent safe flag means the unguarded pre-safety path");
+    }
+
+    #[test]
+    fn safety_fields_default_to_zero_on_old_wire_lines() {
+        // A status/recommendation line from a pre-safety daemon decodes
+        // with the new counters at zero — adding fields stays compatible.
+        let status = "{\"v\":1,\"type\":\"service_status\",\"active_sessions\":1,\
+                      \"total_sessions\":2,\"queue_depth\":0,\"busy_workers\":1,\
+                      \"warm_hits\":1,\"warm_misses\":1,\"rejected\":0,\
+                      \"registry_len\":1,\"draining\":false}";
+        let Response::ServiceStatus { drift_events, recovery_rollbacks, retune_epochs, .. } =
+            Response::from_json_line(status).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!((drift_events, recovery_rollbacks, retune_epochs), (0, 0, 0));
+
+        let rec = "{\"v\":1,\"type\":\"recommendation\",\"session\":3,\"best_tps\":10.0,\
+                   \"best_p99_us\":20.0,\"throughput_gain\":0.1,\"changed_knobs\":2,\
+                   \"steps\":4}";
+        let Response::Recommendation { drift_events, rollbacks, retune_epochs, epoch_rollbacks, .. } =
+            Response::from_json_line(rec).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!((drift_events, rollbacks, retune_epochs, epoch_rollbacks), (0, 0, 0, 0));
     }
 }

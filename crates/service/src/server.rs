@@ -80,6 +80,9 @@ struct Shared {
     warm_misses: AtomicU64,
     rejected: AtomicU64,
     drained_sessions: AtomicU64,
+    drift_events: AtomicU64,
+    recovery_rollbacks: AtomicU64,
+    retune_epochs: AtomicU64,
     next_session_id: AtomicU64,
     registry: ModelRegistry,
     max_distance: f64,
@@ -99,6 +102,24 @@ impl Shared {
             rejected: self.rejected.load(Ordering::SeqCst),
             registry_len: self.registry.len() as u64,
             draining: self.shutdown.load(Ordering::SeqCst),
+            drift_events: self.drift_events.load(Ordering::SeqCst),
+            recovery_rollbacks: self.recovery_rollbacks.load(Ordering::SeqCst),
+            retune_epochs: self.retune_epochs.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Folds a session's fresh drift/rollback/epoch activity into the
+    /// service-wide counters; each increment is absorbed exactly once.
+    fn absorb_session_deltas(&self, s: &mut TuningSession) {
+        let (drift, rollbacks, epochs) = s.take_status_deltas();
+        if drift > 0 {
+            self.drift_events.fetch_add(drift, Ordering::SeqCst);
+        }
+        if rollbacks > 0 {
+            self.recovery_rollbacks.fetch_add(rollbacks, Ordering::SeqCst);
+        }
+        if epochs > 0 {
+            self.retune_epochs.fetch_add(epochs, Ordering::SeqCst);
         }
     }
 
@@ -199,6 +220,9 @@ pub fn spawn(cfg: ServiceConfig) -> std::io::Result<ServerHandle> {
         warm_misses: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
         drained_sessions: AtomicU64::new(0),
+        drift_events: AtomicU64::new(0),
+        recovery_rollbacks: AtomicU64::new(0),
+        retune_epochs: AtomicU64::new(0),
         next_session_id: AtomicU64::new(1),
         registry,
         max_distance: cfg.max_distance,
@@ -325,7 +349,8 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
 /// Force-closes a live session during the drain: persist the in-flight
 /// fine-tuning state as a training checkpoint, then close (publishing to
 /// the registry) with the `drained` flag set.
-fn drain_session(shared: &Shared, session: TuningSession, writer: &mut TcpStream) {
+fn drain_session(shared: &Shared, mut session: TuningSession, writer: &mut TcpStream) {
+    shared.absorb_session_deltas(&mut session);
     if let Some(dir) = &shared.checkpoint_dir {
         if let Err(e) = session.drain_checkpoint(dir) {
             eprintln!("cdbtuned: checkpointing session {}: {e}", session.id());
@@ -389,7 +414,8 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     }
     // The client vanished without closing: settle the session normally so
     // the open/close trace bracket stays balanced and the work publishes.
-    if let Some(s) = session.take() {
+    if let Some(mut s) = session.take() {
+        shared.absorb_session_deltas(&mut s);
         shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
         let _ = s.close(&shared.registry, false);
     }
@@ -401,7 +427,7 @@ fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) ->
         Err(e) => return Response::Error { message: format!("bad request: {e}") },
     };
     match req {
-        Request::CreateSession { spec, max_steps, warm_start } => {
+        Request::CreateSession { spec, max_steps, warm_start, safe } => {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return Response::Rejected {
                     reason: "draining".into(),
@@ -419,6 +445,7 @@ fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) ->
                 spec,
                 max_steps,
                 warm_start,
+                safe,
                 &shared.registry,
                 shared.max_distance,
                 &shared.telemetry,
@@ -448,16 +475,19 @@ fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) ->
         Request::Step => match session.as_mut() {
             None => Response::Error { message: "no open session".into() },
             Some(s) => match s.step() {
-                Some(step) => Response::StepDone {
-                    session: s.id(),
-                    step: step.step as u64,
-                    throughput_tps: step.throughput_tps,
-                    p99_latency_us: step.p99_latency_us,
-                    reward: step.reward,
-                    crashed: step.crashed,
-                    degraded: step.degraded,
-                    finished: s.is_finished(),
-                },
+                Some(step) => {
+                    shared.absorb_session_deltas(s);
+                    Response::StepDone {
+                        session: s.id(),
+                        step: step.step as u64,
+                        throughput_tps: step.throughput_tps,
+                        p99_latency_us: step.p99_latency_us,
+                        reward: step.reward,
+                        crashed: step.crashed,
+                        degraded: step.degraded,
+                        finished: s.is_finished(),
+                    }
+                }
                 None => Response::Error {
                     message: "session is finished; recommend or close_session".into(),
                 },
@@ -473,11 +503,16 @@ fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) ->
                 throughput_gain: s.throughput_gain(),
                 changed_knobs: s.changed_knobs() as u64,
                 steps: s.steps_taken() as u64,
+                drift_events: s.drift_events(),
+                rollbacks: s.rollbacks(),
+                retune_epochs: s.retune_epochs(),
+                epoch_rollbacks: s.recovery_epoch().rollbacks,
             },
         },
         Request::CloseSession => match session.take() {
             None => Response::Error { message: "no open session".into() },
-            Some(s) => {
+            Some(mut s) => {
+                shared.absorb_session_deltas(&mut s);
                 let out = s.close(&shared.registry, false);
                 shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
                 Response::Closed {

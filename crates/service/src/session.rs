@@ -11,8 +11,8 @@
 use crate::fingerprint::WorkloadFingerprint;
 use crate::registry::ModelRegistry;
 use cdbtune::{
-    DbEnv, EnvSpec, OnlineConfig, OnlineSession, OnlineStep, Telemetry, TraceEvent, TrainedModel,
-    TuningOutcome,
+    DbEnv, EnvSpec, OnlineConfig, OnlineSession, OnlineStep, RecoveryStats, SafetyConfig,
+    Telemetry, TraceEvent, TrainedModel, TuningOutcome,
 };
 use simdb::PerfMetrics;
 
@@ -39,6 +39,17 @@ pub struct TuningSession {
     warm_start: bool,
     registry_distance: f64,
     telemetry: Telemetry,
+    /// Re-tune epochs entered: bumped every time the drift detector fires
+    /// mid-session (the tuner keeps running, but recovery accounting and
+    /// the trust region restart against the new workload regime).
+    epoch: u64,
+    /// Recovery counters at the start of the current epoch — the per-epoch
+    /// view is `env.recovery_stats().since(&epoch_base)`.
+    epoch_base: RecoveryStats,
+    seen_drifts: u64,
+    /// (drift, rollback, epoch) counts already absorbed into the daemon's
+    /// service-wide counters; see `take_status_deltas`.
+    reported: (u64, u64, u64),
 }
 
 impl TuningSession {
@@ -50,6 +61,7 @@ impl TuningSession {
         spec: EnvSpec,
         max_steps: usize,
         allow_warm_start: bool,
+        safe: bool,
         registry: &ModelRegistry,
         max_distance: f64,
         telemetry: &Telemetry,
@@ -78,7 +90,12 @@ impl TuningSession {
                 None,
             ),
         };
-        let cfg = OnlineConfig { max_steps, seed: spec.seed, ..OnlineConfig::default() };
+        let cfg = OnlineConfig {
+            max_steps,
+            seed: spec.seed,
+            safety: safe.then(SafetyConfig::default),
+            ..OnlineConfig::default()
+        };
         let mut inner = OnlineSession::begin(&mut env, &model, &cfg);
         if let Some(action) = warm_action {
             inner.set_warm_action(action);
@@ -90,6 +107,7 @@ impl TuningSession {
             warm_start,
             registry_distance,
         });
+        let epoch_base = *env.recovery_stats();
         Ok(Self {
             id,
             spec,
@@ -99,6 +117,10 @@ impl TuningSession {
             warm_start,
             registry_distance,
             telemetry: telemetry.clone(),
+            epoch: 0,
+            epoch_base,
+            seen_drifts: 0,
+            reported: (0, 0, 0),
         })
     }
 
@@ -171,10 +193,61 @@ impl TuningSession {
         }
     }
 
-    /// Advances the session one tuning step; `None` once finished.
+    /// Advances the session one tuning step; `None` once finished. When
+    /// the step's drift detector fired, the session enters a new re-tune
+    /// epoch: recovery accounting restarts from the current counters while
+    /// the tuner (whose trust region has already re-opened around the
+    /// last safe configuration) adapts to the new workload regime.
     pub fn step(&mut self) -> Option<OnlineStep> {
         let inner = self.inner.as_mut()?;
-        inner.step(&mut self.env)
+        let out = inner.step(&mut self.env);
+        let drifts = inner.drift_detections();
+        if drifts > self.seen_drifts {
+            self.seen_drifts = drifts;
+            self.epoch += 1;
+            self.epoch_base = *self.env.recovery_stats();
+        }
+        out
+    }
+
+    /// Workload-drift detections so far (0 when `safe` is off).
+    pub fn drift_events(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |s| s.drift_detections())
+    }
+
+    /// Recovery rollbacks over the whole session — crash-triggered and
+    /// safety-triggered alike.
+    pub fn rollbacks(&self) -> u64 {
+        self.env.recovery_stats().rollbacks
+    }
+
+    /// Re-tune epochs entered after drift detections.
+    pub fn retune_epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Recovery counters accumulated over the whole session, including
+    /// the baseline measurement before the online loop began.
+    pub fn recovery_session(&self) -> RecoveryStats {
+        *self.env.recovery_stats()
+    }
+
+    /// Recovery counters accumulated in the current re-tune epoch.
+    pub fn recovery_epoch(&self) -> RecoveryStats {
+        self.env.recovery_stats().since(&self.epoch_base)
+    }
+
+    /// Counter increases since the last call, for the daemon's
+    /// service-wide totals: `(drift_events, rollbacks, retune_epochs)`.
+    pub fn take_status_deltas(&mut self) -> (u64, u64, u64) {
+        let now = (self.drift_events(), self.rollbacks(), self.retune_epochs());
+        let delta = (
+            now.0.saturating_sub(self.reported.0),
+            now.1.saturating_sub(self.reported.1),
+            now.2.saturating_sub(self.reported.2),
+        );
+        self.reported = now;
+        delta
     }
 
     /// Persists the live session as a training checkpoint under
@@ -195,7 +268,12 @@ impl TuningSession {
     pub fn close(mut self, registry: &ModelRegistry, drained: bool) -> SessionOutcome {
         // lint:allow(panic) reason=inner is Some from construction until close(), which consumes self
         let inner = self.inner.take().expect("close runs once");
-        let outcome = inner.finish(&mut self.env);
+        let mut outcome = inner.finish(&mut self.env);
+        // The environment lives exactly as long as the session, so its
+        // lifetime counters ARE the session-cumulative recovery stats —
+        // including retries spent measuring the baseline before the online
+        // loop began, which the loop-relative delta in `finish` drops.
+        outcome.recovery = *self.env.recovery_stats();
         let measured_steps =
             outcome.steps.iter().filter(|s| !s.crashed && !s.degraded).count();
         let mut published = false;
@@ -250,6 +328,7 @@ mod tests {
             tiny_spec(7),
             3,
             true,
+            false,
             &registry,
             0.25,
             &telemetry,
@@ -278,23 +357,82 @@ mod tests {
         let registry = ModelRegistry::in_memory();
         let telemetry = Telemetry::null();
         let mut first =
-            TuningSession::create(1, tiny_spec(7), 3, true, &registry, 0.25, &telemetry)
+            TuningSession::create(1, tiny_spec(7), 3, true, false, &registry, 0.25, &telemetry)
                 .expect("first session opens");
         while first.step().is_some() {}
         let _ = first.close(&registry, false);
 
         // Same shape, different seed: close fingerprint, must warm-start.
         let second =
-            TuningSession::create(2, tiny_spec(8), 3, true, &registry, 0.25, &telemetry)
+            TuningSession::create(2, tiny_spec(8), 3, true, false, &registry, 0.25, &telemetry)
                 .expect("second session opens");
         assert!(second.warm_start(), "near-identical fingerprint must hit the registry");
         assert!(second.registry_distance() < 0.25);
 
         // warm_start=false forces a cold start even with a perfect match.
         let forced_cold =
-            TuningSession::create(3, tiny_spec(9), 3, false, &registry, 0.25, &telemetry)
+            TuningSession::create(3, tiny_spec(9), 3, false, false, &registry, 0.25, &telemetry)
                 .expect("cold session opens");
         assert!(!forced_cold.warm_start());
+    }
+
+    #[test]
+    fn safe_session_runs_and_status_deltas_drain_exactly_once() {
+        let registry = ModelRegistry::in_memory();
+        let mut s = TuningSession::create(
+            4,
+            tiny_spec(11),
+            3,
+            false,
+            true,
+            &registry,
+            0.25,
+            &Telemetry::null(),
+        )
+        .expect("safe session opens");
+        while s.step().is_some() {}
+        let totals = (s.drift_events(), s.rollbacks(), s.retune_epochs());
+        let first = s.take_status_deltas();
+        assert_eq!(first, totals, "first drain reports everything");
+        assert_eq!(s.take_status_deltas(), (0, 0, 0), "second drain is empty");
+        // Per-epoch recovery never exceeds the session-cumulative view.
+        assert!(s.recovery_epoch().rollbacks <= s.recovery_session().rollbacks);
+        let out = s.close(&registry, false);
+        assert_eq!(out.steps, 3);
+    }
+
+    #[test]
+    fn faulty_spec_sessions_report_session_cumulative_recovery() {
+        // The spec's fault plan rides into the engine, and the outcome's
+        // recovery counters cover the whole session — including retries
+        // spent measuring the baseline, which predate the online loop.
+        let registry = ModelRegistry::in_memory();
+        let spec = EnvSpec {
+            faults: Some("restart=0.5,seed=3".into()),
+            ..tiny_spec(13)
+        };
+        let mut s = TuningSession::create(
+            5,
+            spec,
+            3,
+            false,
+            false,
+            &registry,
+            0.25,
+            &Telemetry::null(),
+        )
+        .expect("faulty session opens");
+        let baseline_retries = s.recovery_session().retries;
+        while s.step().is_some() {}
+        let out = s.close(&registry, false);
+        assert!(
+            out.outcome.recovery.retries >= baseline_retries,
+            "cumulative accounting keeps the baseline's {baseline_retries} retries"
+        );
+        assert!(
+            out.outcome.recovery.retries > 0,
+            "a 50% deploy-failure plan must force at least one retry"
+        );
     }
 
     #[test]
@@ -305,6 +443,7 @@ mod tests {
             EnvSpec { knobs: 0, ..tiny_spec(7) },
             3,
             true,
+            false,
             &registry,
             0.25,
             &Telemetry::null(),

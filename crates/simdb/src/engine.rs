@@ -126,6 +126,14 @@ impl Engine {
         self.faults = plan;
     }
 
+    /// Re-bases the fault clock to zero, so an `in_window` range on a
+    /// freshly installed plan counts ticks from "now" rather than from
+    /// engine boot. Use when arming a windowed plan on an engine that has
+    /// already run (e.g. injecting degradation after offline training).
+    pub fn reset_fault_clock(&mut self) {
+        self.fault_tick = 0;
+    }
+
     /// The active fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod replay;
 pub mod spec;
 pub mod sysbench;
@@ -35,6 +36,7 @@ pub mod tpch;
 pub mod ycsb;
 pub mod zipf;
 
+pub use dynamic::{Diurnal, DynamicSpec, DynamicWorkload, FlashCrowd, MixShift};
 pub use replay::WorkloadTrace;
 pub use spec::{build_workload, scaled_hardware, WorkloadKind};
 pub use sysbench::{KeyDistribution, SysbenchMode, SysbenchWorkload};

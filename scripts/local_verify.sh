@@ -220,8 +220,11 @@ if [ -z "$addr" ]; then
     kill "$svc_pid" 2>/dev/null || true
     exit 1
 fi
+# --safe exercises the guarded loop (trust region + drift detector) end
+# to end through the wire; the safety layer is runtime-only, so it works
+# under the serde stub.
 "$OUT/svc_load" --addr "$addr" --sessions 2 --steps 2 \
-    --knobs 4 --scale 0.003 --shutdown true
+    --knobs 4 --scale 0.003 --safe true --shutdown true
 wait "$svc_pid"
 "$OUT/trace_summary" "$svc_tmp/daemon.jsonl"
 rm -rf "$svc_tmp"

@@ -10,6 +10,12 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Safe-online-tuning acceptance (DESIGN.md §12): bounded per-window regret
+# and prompt rollback under a flash crowd with injected degradation, plus
+# the drift detector's precision/recall check (flags the injected mix
+# shift, zero false positives on the static control trace).
+cargo test -q --test safety_e2e
+
 # Static-analysis gate: tunelint walks every crates/**/*.rs with the five
 # project lints (panic-safety, determinism, lock-order, unsafe-audit,
 # telemetry-schema) and fails on any deny finding not covered by the
@@ -34,6 +40,13 @@ target/release/cdbtune train --out "$tmp/model.json" --episodes 1 --steps 3 \
     --knobs 3 --trace-out "$tmp/run.jsonl" --trace-level debug >/dev/null
 target/release/trace_summary "$tmp/run.jsonl"
 
+# Safe-tuning CLI smoke: the freshly trained model tunes under the safety
+# layer against a drifting trace (flash crowd + mix shift); the guarded
+# run must exit cleanly and print its safety summary line.
+target/release/cdbtune tune --model "$tmp/model.json" --knobs 3 --scale 0.003 \
+    --steps 4 --safe true --dynamic "base=rw,scale=0.003,flash=3+3x2.0,shift=4:wo" \
+    | grep -q "^safety:"
+
 # Daemon smoke: boot cdbtuned on an ephemeral port, run one short client
 # session, then SIGTERM a held session and assert the drain checkpoints it
 # and the service trace stays balanced.
@@ -54,8 +67,9 @@ if [ -z "$addr" ]; then
     kill "$daemon_pid" 2>/dev/null || true
     exit 1
 fi
+# One guarded session (--safe threads through the wire) and one plain.
 target/release/svc_load --addr "$addr" --sessions 1 --steps 2 \
-    --knobs 4 --scale 0.003
+    --knobs 4 --scale 0.003 --safe true
 # Hold a session live across the SIGTERM so the drain has work to do.
 target/release/svc_load --addr "$addr" --sessions 1 --steps 1 \
     --knobs 4 --scale 0.003 --hold-ms 10000 >/dev/null 2>&1 &

@@ -103,6 +103,7 @@ fn near_identical_session_warm_starts_and_converges_faster() {
             spec: tiny_spec(7),
             max_steps: 5,
             warm_start: true,
+            safe: false,
         })
         .expect("cold create");
     let Response::SessionCreated { warm_start, .. } = created else {
@@ -145,6 +146,7 @@ fn near_identical_session_warm_starts_and_converges_faster() {
             spec: tiny_spec(7),
             max_steps: 5,
             warm_start: true,
+            safe: false,
         })
         .expect("warm create");
     let Response::SessionCreated { warm_start, registry_distance, .. } = created else {
