@@ -13,6 +13,10 @@
 //!    pre-overhaul cost model. Their ratio is the headline `≥ 3x` gate.
 //! 3. **collect_parallel** — multi-worker seed collection throughput.
 //! 4. **simdb workload** — single-environment tuning-iteration throughput.
+//! 5. **batched inference** — recommendations/sec of the shared serving
+//!    tier's packed actor forward ([`rl::SnapshotPolicy`]) at batch 1, 32
+//!    and 256 against the per-session `Ddpg::act` cost model; the batch-32
+//!    ratio is the `≥ 2x` serving gate.
 //!
 //! Every benchmark is seeded, warmed up, and reported as the median of
 //! several repetitions. [`run_suite`] returns a [`PerfReport`] that
@@ -25,7 +29,7 @@
 use crate::{ExperimentScale, Lab};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rl::{Ddpg, DdpgConfig, ReplayBuffer, Transition, TransitionBatch};
+use rl::{Ddpg, DdpgConfig, ReplayBuffer, SnapshotPolicy, Transition, TransitionBatch};
 use simdb::{EngineFlavor, HardwareConfig};
 use std::time::Instant;
 use tinynn::{set_kernel_mode, KernelMode, Matrix};
@@ -38,6 +42,11 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// blocked kernels + packed batches must beat the retained naive path by
 /// at least this factor.
 pub const TRAIN_SPEEDUP_MIN: f64 = 3.0;
+
+/// Serving-tier acceptance gate: one batched actor forward over 32 packed
+/// sessions must produce recommendations at least this much faster than 32
+/// independent per-session forwards (the pre-tier cost model).
+pub const INFERENCE_SPEEDUP_MIN: f64 = 2.0;
 
 /// Knobs tuned in the environment-backed benchmarks (collect/workload).
 const ENV_KNOBS: usize = 8;
@@ -267,6 +276,68 @@ fn workload_throughput(opts: &PerfOptions) -> f64 {
     })
 }
 
+// ---- benchmark 5: batched inference ----
+
+/// Deterministic state rows at the paper's 63-metric shape.
+fn inference_states(rows: usize, dim: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, dim);
+    fill_random(&mut m, &mut rng);
+    m
+}
+
+/// Sessions resident in the per-session baseline — matches the batch-32
+/// serving leg so the two measure the same concurrent load.
+const INFER_SESSIONS: usize = 32;
+
+/// Recommendations/sec of the pre-tier cost model: every concurrent
+/// session owns a full private clone of the weights (what warm starts did
+/// before the shared snapshot tier) and runs its own single-row
+/// `Ddpg::act` forward, one request at a time, round-robin across the
+/// resident sessions.
+fn infer_per_session_throughput(opts: &PerfOptions) -> f64 {
+    let (reps, rounds) = if opts.quick { (3, 64) } else { (5, 512) };
+    let (agent, _) = paper_agent(opts);
+    let snap = agent.snapshot();
+    let mut sessions: Vec<Ddpg> =
+        (0..INFER_SESSIONS).map(|_| Ddpg::from_snapshot(&snap)).collect();
+    let states =
+        inference_states(INFER_SESSIONS, agent.config().state_dim, opts.seed ^ 0x7365_7373);
+    for (s, agent) in sessions.iter_mut().enumerate() {
+        let _ = agent.act(states.row(s)); // warmup
+    }
+    let mut i = 0usize;
+    median_of(reps, || {
+        ops_per_sec(rounds, || {
+            let s = i % INFER_SESSIONS;
+            let _ = sessions[s].act(states.row(s));
+            i += 1;
+        })
+    })
+}
+
+/// Recommendations/sec of the shared tier's packed forward: one
+/// [`SnapshotPolicy::act_batch_into`] call answers `batch` sessions, so
+/// each iteration yields `batch` recommendations.
+fn infer_batched_throughput(batch: usize, opts: &PerfOptions) -> f64 {
+    let (reps, rounds) = if opts.quick { (3, 64) } else { (5, 512) };
+    let rounds = (rounds / batch.max(1)).max(8);
+    let (agent, _) = paper_agent(opts);
+    let mut policy = SnapshotPolicy::from_snapshot(&agent.snapshot());
+    policy.prewarm(batch);
+    let states = inference_states(batch, policy.state_dim(), opts.seed ^ 0x6261_7463);
+    let mut actions = Matrix::zeros(batch, policy.action_dim());
+    policy.act_batch_into(&states, &mut actions); // warmup
+    median_of(reps, || {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            policy.act_batch_into(&states, &mut actions);
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        (rounds * batch) as f64 / secs
+    })
+}
+
 // ---- the suite ----
 
 /// Runs every benchmark and assembles the report. Leaves the process-wide
@@ -326,6 +397,30 @@ pub fn run_suite(opts: &PerfOptions) -> PerfReport {
         name: "simdb_workload".into(),
         unit: "steps_per_sec".into(),
         value: workload_throughput(opts),
+    });
+
+    let per_session = infer_per_session_throughput(opts);
+    benches.push(BenchResult {
+        name: "infer_per_session".into(),
+        unit: "recs_per_sec".into(),
+        value: per_session,
+    });
+    let mut batch32 = 0.0;
+    for &batch in &[1usize, 32, 256] {
+        let recs = infer_batched_throughput(batch, opts);
+        if batch == 32 {
+            batch32 = recs;
+        }
+        benches.push(BenchResult {
+            name: format!("infer_batch{batch}"),
+            unit: "recs_per_sec".into(),
+            value: recs,
+        });
+    }
+    ratios.push(RatioResult {
+        name: "inference_batch32_speedup".into(),
+        value: batch32 / per_session.max(1e-9),
+        min: INFERENCE_SPEEDUP_MIN,
     });
 
     PerfReport { version: SCHEMA_VERSION, quick: opts.quick, benches, ratios }
@@ -587,5 +682,11 @@ mod tests {
         let opts = PerfOptions { quick: true, seed: 7 };
         let v = matmul_throughput(KernelMode::Blocked, 8, 8, 8, &opts);
         assert!(v > 0.0);
+    }
+
+    #[test]
+    fn quick_inference_bench_runs_and_is_positive() {
+        let opts = PerfOptions { quick: true, seed: 7 };
+        assert!(infer_batched_throughput(4, &opts) > 0.0);
     }
 }

@@ -43,6 +43,9 @@ pub struct TraceSummary {
     pub safety_clamps: u64,
     /// Closed regret windows: (window, regret, budget, over budget, radius).
     pub regret_windows: Vec<(u64, f64, f64, bool, f64)>,
+    /// Batched inference passes of the shared serving tier:
+    /// (rows, capacity, queue wait µs, deadline hit, mean Q).
+    pub infer_batches: Vec<(u64, u64, u64, bool, f64)>,
     /// Totals from the run-end event, if present.
     pub run_end: Option<RunTotals>,
     /// Schema/consistency problems found while ingesting (empty = healthy).
@@ -285,6 +288,21 @@ impl TraceSummary {
                     }
                     s.regret_windows.push((*window, *regret, *budget, *over_budget, *radius));
                 }
+                TraceEvent::InferenceBatch { rows, capacity, queue_wait_us, deadline_hit, q_mean } => {
+                    if *rows == 0 || rows > capacity {
+                        s.issues.push(format!(
+                            "line {}: inference batch of {rows} rows vs capacity {capacity}",
+                            i + 1
+                        ));
+                    }
+                    if !q_mean.is_finite() {
+                        s.issues.push(format!(
+                            "line {}: inference batch has a non-finite mean Q",
+                            i + 1
+                        ));
+                    }
+                    s.infer_batches.push((*rows, *capacity, *queue_wait_us, *deadline_hit, *q_mean));
+                }
                 TraceEvent::RunEnd { total_steps, best_tps, crashes, wall_seconds, .. } => {
                     s.run_end = Some(RunTotals {
                         total_steps: *total_steps,
@@ -487,6 +505,20 @@ impl TraceSummary {
                 self.regret_windows.len()
             );
         }
+        if !self.infer_batches.is_empty() {
+            let rows: u64 = self.infer_batches.iter().map(|&(r, ..)| r).sum();
+            let peak = self.infer_batches.iter().map(|&(r, ..)| r).max().unwrap_or(0);
+            let deadline =
+                self.infer_batches.iter().filter(|&&(_, _, _, hit, _)| hit).count();
+            let _ = writeln!(
+                out,
+                "\nbatched serving: {} rows in {} batches (peak {}, {} deadline flushes)",
+                rows,
+                self.infer_batches.len(),
+                peak,
+                deadline
+            );
+        }
         let crashes = self.steps.iter().filter(|r| r.crashed).count();
         let degraded = self.steps.iter().filter(|r| r.degraded).count();
         let _ = writeln!(
@@ -640,6 +672,13 @@ pub fn exemplar_events() -> Vec<TraceEvent> {
             over_budget: false,
             radius: 0.18,
         },
+        TraceEvent::InferenceBatch {
+            rows: 7,
+            capacity: 32,
+            queue_wait_us: 410,
+            deadline_hit: true,
+            q_mean: 0.62,
+        },
         TraceEvent::RunEnd {
             mode: "train".into(),
             total_steps: 1,
@@ -683,6 +722,7 @@ mod tests {
         assert_eq!(s.rollbacks, vec![(13, 2400.0, 5100.0, 0.53, true)]);
         assert_eq!(s.safety_clamps, 1);
         assert_eq!(s.regret_windows, vec![(2, 0.4, 0.75, false, 0.18)]);
+        assert_eq!(s.infer_batches, vec![(7, 32, 410, true, 0.62)]);
         assert_eq!(s.over_budget_windows(), 0);
         assert!((s.worst_regret_ratio() - 0.4 / 0.75).abs() < 1e-12);
         assert!(s.issues.is_empty(), "healthy trace flagged: {:?}", s.issues);
@@ -695,6 +735,7 @@ mod tests {
         assert!(rendered.contains("safety layer:"));
         assert!(rendered.contains("drift at step   12"));
         assert!(rendered.contains("rollback at step   13"));
+        assert!(rendered.contains("batched serving: 7 rows in 1 batches"));
     }
 
     #[test]
@@ -712,6 +753,31 @@ mod tests {
         let s = TraceSummary::from_events(&events);
         assert!(s.issues.iter().any(|i| i.contains("below its")), "{:?}", s.issues);
         assert!(s.issues.iter().any(|i| i.contains("over_budget=true")), "{:?}", s.issues);
+    }
+
+    #[test]
+    fn malformed_inference_batches_are_issues() {
+        // A batch reporting more rows than its capacity and a non-finite
+        // mean Q are both serving-tier bugs the summary must surface.
+        let mut events = exemplar_events();
+        for ev in &mut events {
+            if let TraceEvent::InferenceBatch { rows, capacity, q_mean, .. } = ev {
+                *rows = 40;
+                *capacity = 32;
+                *q_mean = f64::NAN;
+            }
+        }
+        let s = TraceSummary::from_events(&events);
+        assert!(
+            s.issues.iter().any(|i| i.contains("inference batch of 40 rows")),
+            "{:?}",
+            s.issues
+        );
+        assert!(
+            s.issues.iter().any(|i| i.contains("non-finite mean Q")),
+            "{:?}",
+            s.issues
+        );
     }
 
     #[test]

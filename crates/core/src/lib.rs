@@ -62,7 +62,8 @@ pub use drift::{DriftConfig, DriftDetector, DriftEvent};
 pub use env::{DbEnv, EnvConfig, EnvError, RecoveryPolicy, RecoveryStats, StepOutcome};
 pub use memory_pool::{Batch, MemoryKind, MemoryPool, PerConfig};
 pub use online::{
-    tune_online, DegradedReason, OnlineConfig, OnlineSession, OnlineStep, TuningOutcome,
+    tune_online, DegradedReason, OnlineConfig, OnlineSession, OnlineStep, SharedPolicy,
+    TuningOutcome,
 };
 pub use parallel::collect_parallel;
 pub use reward::{Perf, RewardConfig, RewardKind, CRASH_REWARD};

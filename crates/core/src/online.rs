@@ -27,6 +27,23 @@ use rand::{Rng, SeedableRng};
 use rl::{perturb, Ddpg, GaussianNoise, NoiseProcess, ReplayBuffer, Transition, TransitionBatch};
 use serde::{Deserialize, Serialize};
 use simdb::{KnobConfig, PerfMetrics};
+use std::sync::Arc;
+
+/// A shared inference backend serving actor/critic forward passes for many
+/// sessions at once (the daemon's batched inference tier). A session
+/// admitted against a published model version calls through this instead of
+/// owning a private [`Ddpg`] until its first fine-tune update forks a
+/// private copy. `None` replies mean the backend no longer serves that
+/// version (e.g. it is shutting down); the session then forks and continues
+/// on its own agent, so serving-tier availability can never wedge a tuning
+/// request.
+pub trait SharedPolicy: Send + Sync {
+    /// Deterministic evaluation-mode action for `state` under `version`'s
+    /// weights, clamped to the `[0, 1]` knob box.
+    fn act(&self, version: u64, state: &[f32]) -> Option<Vec<f32>>;
+    /// Critic score of `(state, action)` under `version`'s weights.
+    fn q(&self, version: u64, state: &[f32], action: &[f32]) -> Option<f32>;
+}
 
 /// Online-tuning parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -59,6 +76,12 @@ pub struct OnlineConfig {
     pub satisfaction: Option<f64>,
     /// RNG seed.
     pub seed: u64,
+    /// Fine-tune minibatch size (capped by the replay length). `0` inherits
+    /// the trainer batch size the model was built with
+    /// (`model.snapshot.config.batch_size`), so offline and online training
+    /// agree without restating the number.
+    #[serde(default = "default_minibatch")]
+    pub minibatch: usize,
     /// Consecutive failed steps (crashes or unmeasurable degraded steps)
     /// before the request aborts and recommends the best configuration
     /// known so far instead of risking further deploys.
@@ -75,6 +98,12 @@ fn default_max_consecutive_failures() -> u32 {
     3
 }
 
+/// Historical default: online fine-tuning always sampled up to 16
+/// transitions per update before the size became configurable.
+fn default_minibatch() -> usize {
+    16
+}
+
 impl Default for OnlineConfig {
     fn default() -> Self {
         Self {
@@ -86,6 +115,7 @@ impl Default for OnlineConfig {
             candidates: 1,
             satisfaction: None,
             seed: 0,
+            minibatch: default_minibatch(),
             max_consecutive_failures: default_max_consecutive_failures(),
             safety: None,
         }
@@ -182,7 +212,20 @@ impl TuningOutcome {
 /// any of them out with the same [`TuningOutcome`] the one-shot call
 /// produces.
 pub struct OnlineSession {
-    agent: Ddpg,
+    /// The immutable model the session started from. Sessions admitted
+    /// through [`OnlineSession::begin_shared`] hold a reference-counted
+    /// bump of the registry's published snapshot — no weights are copied
+    /// at admission.
+    model: Arc<TrainedModel>,
+    /// Privately owned agent: `None` while the session still serves
+    /// inference through the shared tier; materialized (copy-on-write
+    /// fork) by the first fine-tune update or the first shared-tier miss.
+    agent: Option<Ddpg>,
+    /// Shared batched-inference backend + published model version.
+    shared: Option<(u64, Arc<dyn SharedPolicy>)>,
+    /// Effective fine-tune minibatch size (resolved from
+    /// [`OnlineConfig::minibatch`], `0` = the model's trainer batch size).
+    minibatch: usize,
     cfg: OnlineConfig,
     reward: crate::reward::RewardConfig,
     action_indices: Vec<usize>,
@@ -219,15 +262,45 @@ impl OnlineSession {
     /// When the model was trained for a different knob subset than the
     /// environment exposes.
     pub fn begin(env: &mut DbEnv, model: &TrainedModel, cfg: &OnlineConfig) -> Self {
+        Self::begin_shared(env, Arc::new(model.clone()), cfg, None)
+    }
+
+    /// [`OnlineSession::begin`] for the serving tier: the session borrows
+    /// the shared `model` snapshot (an `Arc` bump, no weight copy) and,
+    /// when `shared` names a batched-inference backend publishing that
+    /// model as `version`, serves actor/critic forwards through it until
+    /// the first fine-tune update forks a private agent (copy-on-write).
+    /// With `shared = None` the private agent is materialized eagerly,
+    /// which is exactly [`OnlineSession::begin`].
+    ///
+    /// # Panics
+    /// When the model was trained for a different knob subset than the
+    /// environment exposes.
+    pub fn begin_shared(
+        env: &mut DbEnv,
+        model: Arc<TrainedModel>,
+        cfg: &OnlineConfig,
+        shared: Option<(u64, Arc<dyn SharedPolicy>)>,
+    ) -> Self {
         assert_eq!(
             model.action_indices,
             env.space().indices(),
             "model was trained for a different knob subset"
         );
-        let mut agent = Ddpg::from_snapshot(&model.snapshot);
-        // A handful of online samples must refine, not replace, hours of
-        // offline training.
-        agent.scale_learning_rates(0.05);
+        let agent = if shared.is_some() {
+            None
+        } else {
+            let mut agent = Ddpg::from_snapshot(&model.snapshot);
+            // A handful of online samples must refine, not replace, hours
+            // of offline training.
+            agent.scale_learning_rates(0.05);
+            Some(agent)
+        };
+        let minibatch = if cfg.minibatch == 0 {
+            model.snapshot.config.batch_size.max(1)
+        } else {
+            cfg.minibatch
+        };
         env.set_processor(model.processor.clone());
         let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x0411));
         let noise =
@@ -248,11 +321,14 @@ impl OnlineSession {
             .map(|s| SafetyController::new(s, baseline_action.clone()));
         let drift = cfg.safety.map(|s| DriftDetector::new(s.drift));
         let mut session = Self {
-            agent,
-            cfg: cfg.clone(),
             reward: model.reward,
             action_indices: model.action_indices.clone(),
             reward_scale: model.reward_scale,
+            model,
+            agent,
+            shared,
+            minibatch,
+            cfg: cfg.clone(),
             rng,
             noise,
             replay: ReplayBuffer::new(4096),
@@ -308,6 +384,75 @@ impl OnlineSession {
         self.warm_action = Some(action);
     }
 
+    /// The immutable model the session started from. While
+    /// [`OnlineSession::shares_model`] holds, this is the *only* resident
+    /// copy of the weights the session references — K warm-started
+    /// sessions off one registry snapshot keep O(1) weight memory total.
+    pub fn model(&self) -> &Arc<TrainedModel> {
+        &self.model
+    }
+
+    /// True while the session still borrows the shared snapshot (no
+    /// private agent has been forked yet).
+    pub fn shares_model(&self) -> bool {
+        self.agent.is_none()
+    }
+
+    /// Materializes the private copy-on-write fork: builds an agent from
+    /// the shared snapshot, scales its learning rates for online use, and
+    /// drops the shared-tier handle. Idempotent; a no-op once forked.
+    fn fork_agent(&mut self) {
+        if self.agent.is_none() {
+            let mut agent = Ddpg::from_snapshot(&self.model.snapshot);
+            agent.scale_learning_rates(0.05);
+            self.agent = Some(agent);
+        }
+        self.shared = None;
+    }
+
+    /// Actor recommendation for the current state: the owned agent once
+    /// forked, the shared batched tier otherwise. A shared-tier refusal
+    /// (version retired, backend draining) forks on the spot.
+    fn policy_act(&mut self) -> Vec<f32> {
+        if self.agent.is_none() {
+            if let Some((version, shared)) = &self.shared {
+                if let Some(action) = shared.act(*version, &self.state) {
+                    return action;
+                }
+            }
+        }
+        self.fork_agent();
+        let state = std::mem::take(&mut self.state);
+        let action = match self.agent.as_mut() {
+            Some(agent) => agent.act(&state),
+            // fork_agent just guaranteed Some; keep the non-panicking arm
+            // anyway (this module is panic-free by policy).
+            None => vec![0.5; self.action_indices.len()],
+        };
+        self.state = state;
+        action
+    }
+
+    /// Critic score for `(current state, action)`, routed like
+    /// [`OnlineSession::policy_act`].
+    fn policy_q(&mut self, action: &[f32]) -> f32 {
+        if self.agent.is_none() {
+            if let Some((version, shared)) = &self.shared {
+                if let Some(q) = shared.q(*version, &self.state, action) {
+                    return q;
+                }
+            }
+        }
+        self.fork_agent();
+        let state = std::mem::take(&mut self.state);
+        let q = match self.agent.as_mut() {
+            Some(agent) => agent.q_value(&state, action),
+            None => 0.0,
+        };
+        self.state = state;
+        q
+    }
+
     fn sparse_perturb(&mut self, raw: &[f32]) -> Vec<f32> {
         let dim = raw.len();
         let k = ((dim as f32 * self.cfg.noise_fraction).ceil() as usize).clamp(1, dim);
@@ -331,7 +476,7 @@ impl OnlineSession {
         let step = self.steps.len() + 1;
         // lint:allow(determinism) reason=wall-clock feeds telemetry timings only, never seeded state
         let t_rec = std::time::Instant::now();
-        let raw = self.agent.act(&self.state);
+        let raw = self.policy_act();
         let recommendation_wall_us = t_rec.elapsed().as_micros() as u64;
         // Step 1 deploys the model's recommendation verbatim (or the
         // registry's warm action); later steps explore around the
@@ -341,10 +486,10 @@ impl OnlineSession {
             self.warm_action.take().unwrap_or(raw)
         } else {
             let mut best = self.sparse_perturb(&raw);
-            let mut best_q = self.agent.q_value(&self.state, &best);
+            let mut best_q = self.policy_q(&best);
             for _ in 1..self.cfg.candidates.max(1) {
                 let cand = self.sparse_perturb(&raw);
-                let q = self.agent.q_value(&self.state, &cand);
+                let q = self.policy_q(&cand);
                 if q > best_q {
                     best_q = q;
                     best = cand;
@@ -485,10 +630,17 @@ impl OnlineSession {
         self.state = out.state;
 
         if self.cfg.fine_tune && self.replay.len() >= 3 {
-            for _ in 0..self.cfg.updates_per_step {
-                // Reusable packed minibatch: no per-update allocations.
-                self.replay.sample_into(self.replay.len().min(16), &mut self.rng, &mut self.batch);
-                let _ = self.agent.train_step_batch(&self.batch, None, None);
+            // First gradient update: a shared session forks its private
+            // copy of the weights here (copy-on-write) — the published
+            // snapshot other sessions serve from stays immutable.
+            self.fork_agent();
+            let n = self.replay.len().min(self.minibatch.max(1));
+            if let Some(agent) = self.agent.as_mut() {
+                for _ in 0..self.cfg.updates_per_step {
+                    // Reusable packed minibatch: no per-update allocations.
+                    self.replay.sample_into(n, &mut self.rng, &mut self.batch);
+                    let _ = agent.train_step_batch(&self.batch, None, None);
+                }
             }
         }
         self.noise.decay();
@@ -571,7 +723,12 @@ impl OnlineSession {
             seed: self.cfg.seed,
             episode: 0,
             ep_step: self.steps.len(),
-            snapshot: self.agent.snapshot(),
+            snapshot: match &self.agent {
+                Some(agent) => agent.snapshot(),
+                // Never forked: the session's weights are still exactly
+                // the shared snapshot it was admitted against.
+                None => self.model.snapshot.clone(),
+            },
             processor: env.processor().clone(),
             transitions: self.replay.iter().cloned().collect(),
             report,
@@ -586,7 +743,10 @@ impl OnlineSession {
     /// [`TuningOutcome`] the one-shot [`tune_online`] produces.
     pub fn finish(self, env: &mut DbEnv) -> TuningOutcome {
         let updated_model = TrainedModel {
-            snapshot: self.agent.snapshot(),
+            snapshot: match &self.agent {
+                Some(agent) => agent.snapshot(),
+                None => self.model.snapshot.clone(),
+            },
             processor: env.processor().clone(),
             reward: self.reward,
             action_indices: self.action_indices,
@@ -775,6 +935,158 @@ mod tests {
         ck.validate_against(simdb::TOTAL_METRIC_COUNT, env.space().dim())
             .expect("drained checkpoint fits its own session");
         let _ = session.finish(&mut env);
+    }
+
+    #[test]
+    fn configured_minibatch_is_actually_sampled() {
+        let (mut env, model) = trained();
+        let cfg = OnlineConfig { minibatch: 3, ..OnlineConfig::default() };
+        let mut session = OnlineSession::begin(&mut env, &model, &cfg);
+        while session.step(&mut env).is_some() {}
+        // Five healthy default steps leave more than 3 transitions in
+        // replay, so the last update's packed batch only holds 3 rows if
+        // the configured size is honoured — the historical hardcoded
+        // `min(len, 16)` would have sampled the whole buffer.
+        assert!(session.replay.len() > 3, "replay must outgrow the configured size");
+        assert_eq!(session.batch.len(), 3, "fine-tune sampled the configured minibatch");
+        let _ = session.finish(&mut env);
+    }
+
+    #[test]
+    fn minibatch_zero_inherits_the_trainer_batch_size() {
+        let (mut env, model) = trained();
+        let cfg = OnlineConfig { minibatch: 0, ..OnlineConfig::default() };
+        let session = OnlineSession::begin(&mut env, &model, &cfg);
+        assert_eq!(session.minibatch, model.snapshot.config.batch_size);
+        assert!(session.minibatch > 0);
+        let _ = session.finish(&mut env);
+    }
+
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Test double for the daemon's batched tier: serves through an
+    /// [`rl::SnapshotPolicy`] (bit-identical to the agent's own forward
+    /// pass) while counting calls, and can be told to refuse service.
+    struct CountingShared {
+        policy: Mutex<rl::SnapshotPolicy>,
+        acts: AtomicU64,
+        qs: AtomicU64,
+        refuse: AtomicBool,
+    }
+
+    impl CountingShared {
+        fn new(model: &TrainedModel) -> Arc<Self> {
+            Arc::new(Self {
+                policy: Mutex::new(rl::SnapshotPolicy::from_snapshot(&model.snapshot)),
+                acts: AtomicU64::new(0),
+                qs: AtomicU64::new(0),
+                refuse: AtomicBool::new(false),
+            })
+        }
+    }
+
+    impl SharedPolicy for CountingShared {
+        fn act(&self, _version: u64, state: &[f32]) -> Option<Vec<f32>> {
+            if self.refuse.load(Ordering::SeqCst) {
+                return None;
+            }
+            self.acts.fetch_add(1, Ordering::SeqCst);
+            Some(self.policy.lock().ok()?.act_row(state))
+        }
+
+        fn q(&self, _version: u64, state: &[f32], action: &[f32]) -> Option<f32> {
+            if self.refuse.load(Ordering::SeqCst) {
+                return None;
+            }
+            self.qs.fetch_add(1, Ordering::SeqCst);
+            Some(self.policy.lock().ok()?.q_row(state, action))
+        }
+    }
+
+    #[test]
+    fn shared_session_serves_through_the_tier_and_matches_private() {
+        // Without fine-tuning a shared session never forks: every actor
+        // and critic call goes through the shared tier, the resident
+        // weights stay the single Arc'd snapshot, and the observed steps
+        // are bit-identical to a session that owns a private agent.
+        let cfg = OnlineConfig { fine_tune: false, ..OnlineConfig::default() };
+        let (mut env_a, model_a) = trained();
+        let private = tune_online(&mut env_a, &model_a, &cfg);
+
+        let (mut env_b, model_b) = trained();
+        let tier = CountingShared::new(&model_b);
+        let arc_model = Arc::new(model_b.clone());
+        let mut session = OnlineSession::begin_shared(
+            &mut env_b,
+            arc_model.clone(),
+            &cfg,
+            Some((1, tier.clone())),
+        );
+        assert!(session.shares_model(), "admission must not fork");
+        assert!(Arc::ptr_eq(session.model(), &arc_model), "no weight copy at admission");
+        while session.step(&mut env_b).is_some() {}
+        assert!(session.shares_model(), "no fine-tune => never forks");
+        assert!(tier.acts.load(Ordering::SeqCst) >= private.steps.len() as u64);
+        assert!(tier.qs.load(Ordering::SeqCst) >= 1, "candidate screening used the tier");
+        let out = session.finish(&mut env_b);
+        assert_eq!(out.updated_model.snapshot.actor, model_b.snapshot.actor);
+        assert_eq!(out.steps.len(), private.steps.len());
+        for (a, b) in private.steps.iter().zip(&out.steps) {
+            assert_eq!(a.throughput_tps, b.throughput_tps, "step {}", a.step);
+            assert_eq!(a.reward, b.reward, "step {}", a.step);
+        }
+    }
+
+    #[test]
+    fn fine_tune_forks_a_private_copy_on_first_update() {
+        let (mut env, model) = trained();
+        let tier = CountingShared::new(&model);
+        let mut session = OnlineSession::begin_shared(
+            &mut env,
+            Arc::new(model.clone()),
+            &OnlineConfig::default(),
+            Some((1, tier.clone())),
+        );
+        // Fine-tuning starts once replay holds 3 transitions, i.e. inside
+        // the 3rd step; the first two steps must stay on the shared tier.
+        let _ = session.step(&mut env);
+        let _ = session.step(&mut env);
+        assert!(session.shares_model(), "no update yet, no fork");
+        // A drained-before-fork session snapshots the shared weights.
+        let ck = session.drain_checkpoint(&env);
+        assert_eq!(ck.snapshot.actor, model.snapshot.actor);
+        let _ = session.step(&mut env);
+        assert!(!session.shares_model(), "the first update forks");
+        while session.step(&mut env).is_some() {}
+        let out = session.finish(&mut env);
+        assert_ne!(
+            out.updated_model.snapshot.actor, model.snapshot.actor,
+            "the fork fine-tunes its own copy"
+        );
+    }
+
+    #[test]
+    fn a_refusing_shared_tier_forks_immediately() {
+        // A retired version / draining backend answers None; the session
+        // must fork on the spot and complete on its private agent rather
+        // than wedge.
+        let (mut env, model) = trained();
+        let tier = CountingShared::new(&model);
+        tier.refuse.store(true, Ordering::SeqCst);
+        let mut session = OnlineSession::begin_shared(
+            &mut env,
+            Arc::new(model.clone()),
+            &OnlineConfig::default(),
+            Some((1, tier.clone())),
+        );
+        let first = session.step(&mut env);
+        assert!(first.is_some());
+        assert!(!session.shares_model(), "refusal forks immediately");
+        while session.step(&mut env).is_some() {}
+        let out = session.finish(&mut env);
+        assert!(!out.steps.is_empty());
+        assert_eq!(tier.acts.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -156,7 +156,7 @@ pub struct Ddpg {
     scratch: DdpgScratch,
 }
 
-fn build_actor(cfg: &DdpgConfig, rng: &mut StdRng, seed_salt: u64) -> Mlp {
+pub(crate) fn build_actor(cfg: &DdpgConfig, rng: &mut StdRng, seed_salt: u64) -> Mlp {
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     let mut prev = cfg.state_dim;
     for (i, &h) in cfg.actor_hidden.iter().enumerate() {
@@ -180,7 +180,7 @@ fn build_actor(cfg: &DdpgConfig, rng: &mut StdRng, seed_salt: u64) -> Mlp {
     Mlp::new(layers)
 }
 
-fn build_critic(cfg: &DdpgConfig, rng: &mut StdRng, seed_salt: u64) -> Mlp {
+pub(crate) fn build_critic(cfg: &DdpgConfig, rng: &mut StdRng, seed_salt: u64) -> Mlp {
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     let mut prev = cfg.state_dim + cfg.action_dim;
     for (i, &h) in cfg.critic_hidden.iter().enumerate() {

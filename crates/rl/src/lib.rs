@@ -9,6 +9,8 @@
 //!   §5.1 credits with a 2× convergence speedup,
 //! * [`replay::ReplayBuffer`] — the plain experience replay memory
 //!   (§2.2.4),
+//! * [`eval::SnapshotPolicy`] — evaluation-only batched actor/critic over
+//!   an immutable snapshot, the serving tier's inference engine,
 //! * [`noise`] — Ornstein–Uhlenbeck and decaying Gaussian exploration,
 //! * [`qlearning::QLearning`] and [`dqn::Dqn`] — the value-based methods
 //!   §3.3 explains cannot scale to continuous 266-dimensional actions,
@@ -20,6 +22,7 @@ pub mod batch;
 pub mod ddpg;
 pub mod dqn;
 pub mod env;
+pub mod eval;
 pub mod noise;
 pub mod per;
 pub mod qlearning;
@@ -29,6 +32,7 @@ pub use batch::TransitionBatch;
 pub use ddpg::{Ddpg, DdpgConfig, DdpgSnapshot, TrainStats};
 pub use dqn::{Dqn, DqnConfig};
 pub use env::{Environment, StepResult, Transition};
+pub use eval::SnapshotPolicy;
 pub use noise::{perturb, GaussianNoise, NoiseProcess, OrnsteinUhlenbeck};
 pub use per::{PerStats, PrioritizedBatch, PrioritizedReplay};
 pub use qlearning::{discretize_state, QLearning};

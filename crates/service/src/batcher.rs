@@ -1,0 +1,431 @@
+//! The shared inference tier: a deadline-based microbatcher over
+//! versioned model snapshots.
+//!
+//! Every warm session created off the same registry entry runs the same
+//! actor network — yet before this tier existed each session cloned the
+//! weights and ran its own single-row forward passes. The
+//! [`PolicyServer`] instead keeps ONE evaluation-mode
+//! [`rl::SnapshotPolicy`] per published snapshot version and serves all
+//! sessions through it: actor-forward requests queue on a channel, a
+//! worker thread collects up to `max_batch` of them (or whatever arrived
+//! when the oldest request's deadline expires), packs the states into one
+//! `[rows × state_dim]` matrix per version, runs a single batched actor
+//! pass (plus a batched critic pass for Q-value telemetry), and answers
+//! each row to its waiting session.
+//!
+//! Sessions reach the tier through the [`cdbtune::SharedPolicy`] trait.
+//! The tier is strictly read-only over published snapshots: the moment a
+//! session takes its first online gradient step it forks a private copy
+//! (copy-on-write, handled by [`cdbtune::OnlineSession`]) and stops
+//! calling in. A `None` reply — unknown version, shutdown in progress, or
+//! a dimension mismatch — tells the session to fork immediately; the tier
+//! never blocks a session forever.
+
+use cdbtune::{SharedPolicy, Telemetry, TraceEvent, TraceLevel, TrainedModel};
+use rl::SnapshotPolicy;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tinynn::Matrix;
+
+/// One queued actor-forward request.
+struct Pending {
+    version: u64,
+    state: Vec<f32>,
+    reply: Sender<Option<Vec<f32>>>,
+    enqueued: Instant,
+}
+
+/// Lifetime counters of one [`PolicyServer`] (monotone; read via
+/// [`PolicyServer::stats`] and reported on the daemon's status line).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Rows (actor-forward requests) served across all batches.
+    pub rows: u64,
+    /// Batches flushed because the oldest request's deadline expired.
+    pub deadline_flushes: u64,
+    /// Batches flushed because they reached `max_batch` rows.
+    pub full_flushes: u64,
+}
+
+/// The shared batched-inference tier. One per daemon; see the module docs.
+pub struct PolicyServer {
+    queue_tx: Mutex<Option<Sender<Pending>>>,
+    policies: Mutex<Vec<(u64, SnapshotPolicy)>>,
+    max_batch: usize,
+    deadline: Duration,
+    telemetry: Telemetry,
+    batches: AtomicU64,
+    rows: AtomicU64,
+    deadline_flushes: AtomicU64,
+    full_flushes: AtomicU64,
+    worker_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl PolicyServer {
+    /// Spawns the tier: one worker thread that batches up to `max_batch`
+    /// requests or whatever arrived within `deadline_us` microseconds of
+    /// the oldest queued request, whichever comes first.
+    pub fn spawn(max_batch: usize, deadline_us: u64, telemetry: Telemetry) -> Arc<Self> {
+        let (tx, rx) = channel();
+        let server = Arc::new(Self {
+            queue_tx: Mutex::new(Some(tx)),
+            policies: Mutex::new(Vec::new()),
+            max_batch: max_batch.max(1),
+            deadline: Duration::from_micros(deadline_us),
+            telemetry,
+            batches: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            deadline_flushes: AtomicU64::new(0),
+            full_flushes: AtomicU64::new(0),
+            worker_handle: Mutex::new(None),
+        });
+        let worker = {
+            let server = Arc::clone(&server);
+            std::thread::Builder::new()
+                .name("policy-batcher".into())
+                .spawn(move || server.worker_loop(rx))
+                .ok()
+        };
+        if let Ok(mut handle) = server.worker_handle.lock() {
+            *handle = worker;
+        }
+        server
+    }
+
+    /// Registers a published snapshot under its registry version, building
+    /// the evaluation-mode policy once. Idempotent: later calls with the
+    /// same version are no-ops, so every warm session can call this.
+    pub fn ensure(&self, version: u64, model: &TrainedModel) {
+        if let Ok(mut policies) = self.policies.lock() {
+            if policies.iter().any(|(v, _)| *v == version) {
+                return;
+            }
+            let mut policy = SnapshotPolicy::from_snapshot(&model.snapshot);
+            policy.prewarm(self.max_batch);
+            policies.push((version, policy));
+        }
+    }
+
+    /// Registered snapshot versions, ascending.
+    pub fn versions(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .policies
+            .lock()
+            .map(|p| p.iter().map(|(v, _)| *v).collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            full_flushes: self.full_flushes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new requests, drains everything already queued
+    /// (every waiting session still gets its reply), and joins the worker.
+    pub fn shutdown(&self) {
+        let tx = match self.queue_tx.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(_) => None,
+        };
+        drop(tx);
+        let worker = match self.worker_handle.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(_) => None,
+        };
+        if let Some(handle) = worker {
+            let _ = handle.join();
+        }
+    }
+
+    /// Enqueues one actor-forward request and blocks until the batch it
+    /// lands in is flushed. `None` means the tier cannot serve it (unknown
+    /// version or shutdown) and the caller should fall back to a private
+    /// agent.
+    fn enqueue(&self, version: u64, state: &[f32]) -> Option<Vec<f32>> {
+        let tx = match self.queue_tx.lock() {
+            Ok(guard) => guard.as_ref().cloned(),
+            Err(_) => None,
+        }?;
+        let (reply_tx, reply_rx) = channel();
+        // lint:allow(determinism) reason=queue-wait telemetry only; actions stay deterministic
+        let enqueued = Instant::now();
+        tx.send(Pending { version, state: state.to_vec(), reply: reply_tx, enqueued }).ok()?;
+        drop(tx);
+        reply_rx.recv().ok().flatten()
+    }
+
+    fn worker_loop(&self, rx: Receiver<Pending>) {
+        let mut batch: Vec<Pending> = Vec::with_capacity(self.max_batch);
+        let mut states = Matrix::zeros(1, 1);
+        let mut actions = Matrix::zeros(1, 1);
+        let mut qs = Matrix::zeros(1, 1);
+        loop {
+            // Block for the first request of the next batch; an error here
+            // means the channel is both empty and closed — drain complete.
+            let first = match rx.recv() {
+                Ok(p) => p,
+                Err(_) => break,
+            };
+            // lint:allow(determinism) reason=flush deadline; batching latency, not policy output
+            let deadline = Instant::now() + self.deadline;
+            batch.push(first);
+            while batch.len() < self.max_batch {
+                // lint:allow(determinism) reason=flush deadline; batching latency, not policy output
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(remaining) {
+                    Ok(p) => batch.push(p),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            let deadline_hit = batch.len() < self.max_batch;
+            self.flush(&mut batch, deadline_hit, &mut states, &mut actions, &mut qs);
+        }
+    }
+
+    /// Runs one batched forward pass per distinct snapshot version in the
+    /// batch and replies to every row.
+    fn flush(
+        &self,
+        batch: &mut Vec<Pending>,
+        deadline_hit: bool,
+        states: &mut Matrix,
+        actions: &mut Matrix,
+        qs: &mut Matrix,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let total_rows = batch.len() as u64;
+        let queue_wait_us =
+            batch.iter().map(|p| p.enqueued.elapsed().as_micros() as u64).max().unwrap_or(0);
+        // Distinct versions in ascending order (a Vec, not a HashMap: the
+        // iteration order is part of the observable reply order).
+        let mut versions: Vec<u64> = batch.iter().map(|p| p.version).collect();
+        versions.sort_unstable();
+        versions.dedup();
+        let mut q_sum = 0.0f64;
+        let mut q_rows = 0u64;
+        // Buffer every row's payload (None = refusal) and reply only after
+        // the stats counters are bumped, so a woken caller never observes a
+        // flush the counters do not yet reflect.
+        let mut payloads: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
+        if let Ok(mut policies) = self.policies.lock() {
+            for &version in &versions {
+                let rows: Vec<usize> = batch
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.version == version)
+                    .map(|(i, _)| i)
+                    .collect();
+                let policy = policies.iter_mut().find(|(v, _)| *v == version);
+                let Some((_, policy)) = policy else {
+                    continue;
+                };
+                let dim = policy.state_dim();
+                if batch.iter().any(|p| p.version == version && p.state.len() != dim) {
+                    // A malformed row poisons the pack; refuse the whole
+                    // version group so nobody trains on a skewed matrix.
+                    continue;
+                }
+                states.resize(rows.len(), dim);
+                for (r, &i) in rows.iter().enumerate() {
+                    states.row_mut(r).copy_from_slice(&batch[i].state);
+                }
+                policy.act_batch_into(states, actions);
+                policy.q_batch_into(states, actions, qs);
+                for (r, &i) in rows.iter().enumerate() {
+                    q_sum += f64::from(qs.row(r)[0]);
+                    q_rows += 1;
+                    payloads[i] = Some(actions.row(r).to_vec());
+                }
+            }
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(total_rows, Ordering::Relaxed);
+        if deadline_hit {
+            self.deadline_flushes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.full_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.telemetry.enabled(TraceLevel::Step) {
+            self.telemetry.emit(&TraceEvent::InferenceBatch {
+                rows: total_rows,
+                capacity: self.max_batch as u64,
+                queue_wait_us,
+                deadline_hit,
+                q_mean: if q_rows > 0 { q_sum / q_rows as f64 } else { 0.0 },
+            });
+        }
+        for (p, payload) in batch.iter().zip(payloads) {
+            let _ = p.reply.send(payload);
+        }
+        batch.clear();
+    }
+}
+
+impl SharedPolicy for PolicyServer {
+    fn act(&self, version: u64, state: &[f32]) -> Option<Vec<f32>> {
+        self.enqueue(version, state)
+    }
+
+    fn q(&self, version: u64, state: &[f32], action: &[f32]) -> Option<f32> {
+        // Q-queries are occasional (candidate screening, telemetry) and
+        // cheap; they run directly instead of riding the actor batch.
+        let mut policies = self.policies.lock().ok()?;
+        let (_, policy) = policies.iter_mut().find(|(v, _)| *v == version)?;
+        if state.len() != policy.state_dim() || action.len() != policy.action_dim() {
+            return None;
+        }
+        Some(policy.q_row(state, action))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdbtune::RewardConfig;
+
+    fn test_model(knobs: usize, seed: u64) -> TrainedModel {
+        TrainedModel::cold((0..knobs).collect(), RewardConfig::default(), seed)
+    }
+
+    fn test_state(dim: usize, salt: u64) -> Vec<f32> {
+        (0..dim).map(|i| ((i as u64 * 31 + salt * 7 + 3) % 100) as f32 / 100.0).collect()
+    }
+
+    #[test]
+    fn deadline_flush_releases_a_single_straggler() {
+        let model = test_model(4, 11);
+        let dim = model.snapshot.config.state_dim;
+        let server = PolicyServer::spawn(8, 3_000, Telemetry::null());
+        server.ensure(1, &model);
+        let state = test_state(dim, 1);
+        // One lone request can never fill an 8-row batch; only the
+        // deadline releases it.
+        let got = server.act(1, &state).expect("straggler must be served");
+        let mut reference = SnapshotPolicy::from_snapshot(&model.snapshot);
+        assert_eq!(got, reference.act_row(&state));
+        let stats = server.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.rows, 1);
+        assert_eq!(stats.deadline_flushes, 1);
+        assert_eq!(stats.full_flushes, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_batches_flush_before_the_deadline() {
+        let model = test_model(4, 12);
+        let dim = model.snapshot.config.state_dim;
+        // A 30-second deadline: if the batch did not flush on reaching
+        // max_batch the test would hang far past any reasonable runtime.
+        let server = PolicyServer::spawn(4, 30_000_000, Telemetry::null());
+        server.ensure(1, &model);
+        let workers: Vec<_> = (0..4)
+            .map(|salt| {
+                let server = Arc::clone(&server);
+                let state = test_state(dim, salt);
+                std::thread::spawn(move || (state.clone(), server.act(1, &state)))
+            })
+            .collect();
+        let mut reference = SnapshotPolicy::from_snapshot(&model.snapshot);
+        for w in workers {
+            let (state, got) = w.join().expect("worker thread");
+            assert_eq!(got.expect("served"), reference.act_row(&state));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.full_flushes, 1);
+        assert_eq!(stats.deadline_flushes, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let model = test_model(4, 13);
+        let dim = model.snapshot.config.state_dim;
+        // Large batch + long deadline: requests pile up in the worker's
+        // accumulating batch and only a flush can answer them.
+        let server = PolicyServer::spawn(64, 30_000_000, Telemetry::null());
+        server.ensure(1, &model);
+        let workers: Vec<_> = (0..6)
+            .map(|salt| {
+                let server = Arc::clone(&server);
+                let state = test_state(dim, salt);
+                std::thread::spawn(move || server.act(1, &state).is_some())
+            })
+            .collect();
+        // Let every request reach the queue, then pull the plug.
+        std::thread::sleep(Duration::from_millis(300));
+        server.shutdown();
+        for w in workers {
+            assert!(w.join().expect("worker thread"), "queued request must be drained, not dropped");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.rows, 6);
+        // After shutdown new requests are refused instead of blocking.
+        assert!(server.act(1, &test_state(dim, 9)).is_none());
+    }
+
+    #[test]
+    fn unknown_versions_and_bad_rows_are_refused() {
+        let model = test_model(4, 14);
+        let dim = model.snapshot.config.state_dim;
+        let server = PolicyServer::spawn(4, 1_000, Telemetry::null());
+        server.ensure(3, &model);
+        assert_eq!(server.versions(), vec![3]);
+        // Unregistered version: served rows say None, the session forks.
+        assert!(server.act(99, &test_state(dim, 1)).is_none());
+        // Wrong state dimension never reaches the matrix pack.
+        assert!(server.act(3, &test_state(dim - 1, 1)).is_none());
+        // Direct critic queries agree with the reference policy.
+        let state = test_state(dim, 2);
+        let action = vec![0.25; 4];
+        let mut reference = SnapshotPolicy::from_snapshot(&model.snapshot);
+        let q = server.q(3, &state, &action).expect("registered version");
+        assert_eq!(q, reference.q_row(&state, &action));
+        assert!(server.q(99, &state, &action).is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn mixed_version_batches_answer_every_row_from_its_own_snapshot() {
+        let model_a = test_model(4, 15);
+        let model_b = test_model(4, 16);
+        let dim = model_a.snapshot.config.state_dim;
+        let server = PolicyServer::spawn(8, 50_000, Telemetry::null());
+        server.ensure(1, &model_a);
+        server.ensure(2, &model_b);
+        let workers: Vec<_> = (0..6)
+            .map(|i| {
+                let server = Arc::clone(&server);
+                let version = 1 + (i % 2) as u64;
+                let state = test_state(dim, i);
+                std::thread::spawn(move || (version, state.clone(), server.act(version, &state)))
+            })
+            .collect();
+        let mut ref_a = SnapshotPolicy::from_snapshot(&model_a.snapshot);
+        let mut ref_b = SnapshotPolicy::from_snapshot(&model_b.snapshot);
+        for w in workers {
+            let (version, state, got) = w.join().expect("worker thread");
+            let want = if version == 1 { ref_a.act_row(&state) } else { ref_b.act_row(&state) };
+            assert_eq!(got.expect("served"), want, "row must use its own version's weights");
+        }
+        server.shutdown();
+    }
+}

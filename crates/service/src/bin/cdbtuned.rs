@@ -41,6 +41,7 @@ fn usage() -> String {
 USAGE:
   cdbtuned [--addr HOST:PORT] [--workers N] [--queue N]
            [--registry-dir DIR] [--checkpoint-dir DIR] [--max-distance D]
+           [--batch-max N] [--batch-deadline-us T]
            [--trace-out FILE --trace-level LEVEL]
 
 FLAGS:
@@ -55,6 +56,10 @@ FLAGS:
                     training checkpoints; omit to discard them
   --max-distance    max fingerprint distance for a warm start
                     (default 0.25)
+  --batch-max       most actor forwards one batched inference pass of
+                    the shared serving tier packs         (default 32)
+  --batch-deadline-us  how long (µs) the batcher holds a lone request
+                    while waiting for company            (default 500)
 
 {}
 
@@ -78,6 +83,8 @@ fn run() -> Result<(), String> {
         registry_dir: args.raw("registry-dir").map(str::to_string),
         checkpoint_dir: args.raw("checkpoint-dir").map(str::to_string),
         max_distance: args.get("max-distance", 0.25f64)?,
+        batch_max: args.get("batch-max", 32usize)?,
+        batch_deadline_us: args.get("batch-deadline-us", 500u64)?,
         telemetry: telemetry_from_args(&args)?,
     };
     install_signal_handlers();

@@ -103,14 +103,64 @@ impl WorkloadFingerprint {
             && self.disk_gb == other.disk_gb
     }
 
+    /// The behavioural summaries the distance is computed over, as
+    /// mutable references (used by [`WorkloadFingerprint::sanitize`]).
+    fn summaries_mut(&mut self) -> [&mut f64; 8] {
+        [
+            &mut self.scale,
+            &mut self.baseline_tps,
+            &mut self.baseline_p99_us,
+            &mut self.stats.mean,
+            &mut self.stats.std,
+            &mut self.stats.min,
+            &mut self.stats.max,
+            &mut self.stats.l2,
+        ]
+    }
+
+    /// True when every behavioural summary is a finite number.
+    pub fn is_finite(&self) -> bool {
+        [
+            self.scale,
+            self.baseline_tps,
+            self.baseline_p99_us,
+            self.stats.mean,
+            self.stats.std,
+            self.stats.min,
+            self.stats.max,
+            self.stats.l2,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
+    }
+
+    /// Replaces non-finite behavioural summaries with `0.0`, returning
+    /// whether anything changed. A metric-dropout fault can leave NaN/Inf
+    /// in the observed `SHOW STATUS` vector; published fingerprints must
+    /// be sanitized so a poisoned entry can neither NaN-compare as
+    /// "nearest" nor silently never match (the registry calls this on
+    /// every publish).
+    pub fn sanitize(&mut self) -> bool {
+        let mut changed = false;
+        for v in self.summaries_mut() {
+            if !v.is_finite() {
+                *v = 0.0;
+                changed = true;
+            }
+        }
+        changed
+    }
+
     /// Distance between fingerprints: relative-RMS over the behavioural
     /// components (the same [`cdbtune::drift::rel_rms`] kernel the online
     /// drift detector scores metric windows with), plus a fixed penalty
     /// when the declared workload kind differs (similar metrics under a
     /// different label are still suspect). Incompatible fingerprints are
-    /// infinitely far apart.
+    /// infinitely far apart — and so is any fingerprint carrying a
+    /// NaN/Inf summary, so a poisoned entry (or query) deterministically
+    /// never matches instead of riding NaN comparison order.
     pub fn distance(&self, other: &Self) -> f64 {
-        if !self.compatible(other) {
+        if !self.compatible(other) || !self.is_finite() || !other.is_finite() {
             return f64::INFINITY;
         }
         let pairs = [
@@ -240,6 +290,39 @@ mod tests {
             assert!(!a.compatible(&b));
             assert_eq!(a.distance(&b), f64::INFINITY);
         }
+    }
+
+    #[test]
+    fn poisoned_summaries_are_infinitely_far() {
+        let clean = base_fp();
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut bad = base_fp();
+            bad.stats.mean = poison;
+            assert!(!bad.is_finite());
+            // Poison on either side of the comparison rejects the pair —
+            // NaN must not ride IEEE comparison order into a "nearest" hit.
+            assert_eq!(clean.distance(&bad), f64::INFINITY);
+            assert_eq!(bad.distance(&clean), f64::INFINITY);
+            let mut bad_tps = base_fp();
+            bad_tps.baseline_tps = poison;
+            assert_eq!(clean.distance(&bad_tps), f64::INFINITY);
+        }
+        assert!(clean.is_finite());
+        assert_eq!(clean.distance(&clean), 0.0);
+    }
+
+    #[test]
+    fn sanitize_clears_non_finite_summaries() {
+        let mut fp = base_fp();
+        fp.stats.l2 = f64::NAN;
+        fp.baseline_p99_us = f64::INFINITY;
+        assert!(fp.sanitize());
+        assert!(fp.is_finite());
+        assert_eq!(fp.stats.l2, 0.0);
+        assert_eq!(fp.baseline_p99_us, 0.0);
+        // Untouched summaries keep their values; a clean fingerprint is a no-op.
+        assert_eq!(fp.baseline_tps, 5000.0);
+        assert!(!fp.sanitize());
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   online.
 //! * [`session`] — one tuning session: environment + online tuner +
 //!   registry integration, advanced one step per request.
+//! * [`batcher`] — the shared inference tier: a deadline-based
+//!   microbatcher that packs concurrent sessions' actor-forward requests
+//!   into one `[batch × 63]` matrix per versioned snapshot and answers
+//!   each row, so K warm sessions share one resident model.
 //! * [`server`] — the daemon: bounded admission queue, fixed worker pool,
 //!   graceful drain persisting live sessions as [`cdbtune::TrainingCheckpoint`]s.
 //! * [`client`] — a minimal blocking client for tests and the `bench`
@@ -29,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batcher;
 pub mod client;
 pub mod fingerprint;
 pub mod proto;
@@ -36,9 +41,82 @@ pub mod registry;
 pub mod server;
 pub mod session;
 
+pub use batcher::{BatchStats, PolicyServer};
 pub use client::Client;
 pub use fingerprint::{StateStats, WorkloadFingerprint};
 pub use proto::{Request, Response, PROTO_VERSION};
 pub use registry::{ModelRegistry, RegistryEntry};
 pub use server::{spawn, ServerHandle, ServiceConfig, ShutdownStats};
 pub use session::{SessionOutcome, TuningSession};
+
+/// Per-thread allocation tracking for regression tests: warm-lookup and
+/// serving paths must stay O(metadata), never cloning weight matrices.
+/// Thread-local (not a global toggle) so the service crate's threaded lib
+/// tests don't interfere with one another.
+#[cfg(test)]
+mod test_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        // const-initialized + no Drop: accessing these from inside the
+        // allocator cannot itself allocate or recurse.
+        static TRACKING: Cell<bool> = const { Cell::new(false) };
+        static BYTES: Cell<u64> = const { Cell::new(0) };
+        static LARGEST: Cell<u64> = const { Cell::new(0) };
+    }
+
+    struct TrackingAlloc;
+
+    fn note(size: usize) {
+        TRACKING.with(|t| {
+            if t.get() {
+                BYTES.with(|b| b.set(b.get() + size as u64));
+                LARGEST.with(|l| l.set(l.get().max(size as u64)));
+            }
+        });
+    }
+
+    // SAFETY: every method delegates to the `System` allocator with the
+    // caller's own layout; the only addition is side-effect-free counter
+    // bookkeeping in no-Drop thread-locals.
+    unsafe impl GlobalAlloc for TrackingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            note(layout.size());
+            // SAFETY: same layout contract as the caller's.
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            note(layout.size());
+            // SAFETY: same layout contract as the caller's.
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            note(new_size);
+            // SAFETY: ptr/layout come straight from the caller, who owns
+            // the allocation contract.
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: ptr/layout come straight from the caller.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static ALLOC: TrackingAlloc = TrackingAlloc;
+
+    /// Runs `f` with this thread's allocation tracking armed; returns
+    /// `(result, total_bytes_allocated, largest_single_allocation)`.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+        BYTES.with(|b| b.set(0));
+        LARGEST.with(|l| l.set(0));
+        TRACKING.with(|t| t.set(true));
+        let out = f();
+        TRACKING.with(|t| t.set(false));
+        (out, BYTES.with(Cell::get), LARGEST.with(Cell::get))
+    }
+}

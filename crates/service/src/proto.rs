@@ -111,6 +111,12 @@ pub enum Response {
         recovery_rollbacks: u64,
         /// Re-tune epochs entered after drift detections, all sessions.
         retune_epochs: u64,
+        /// Batched inference passes the shared serving tier executed.
+        infer_batches: u64,
+        /// Actor-forward rows served across all batched passes.
+        infer_rows: u64,
+        /// Batches flushed by the deadline rather than by filling up.
+        infer_deadline_flushes: u64,
     },
     /// The session's best configuration so far.
     Recommendation {
@@ -334,6 +340,9 @@ impl Response {
                 drift_events,
                 recovery_rollbacks,
                 retune_epochs,
+                infer_batches,
+                infer_rows,
+                infer_deadline_flushes,
             } => {
                 let mut o = versioned("service_status");
                 o.u64("active_sessions", *active_sessions)
@@ -347,7 +356,10 @@ impl Response {
                     .bool("draining", *draining)
                     .u64("drift_events", *drift_events)
                     .u64("recovery_rollbacks", *recovery_rollbacks)
-                    .u64("retune_epochs", *retune_epochs);
+                    .u64("retune_epochs", *retune_epochs)
+                    .u64("infer_batches", *infer_batches)
+                    .u64("infer_rows", *infer_rows)
+                    .u64("infer_deadline_flushes", *infer_deadline_flushes);
                 o.finish()
             }
             Response::Recommendation {
@@ -431,6 +443,9 @@ impl Response {
                 drift_events: j.u64("drift_events"),
                 recovery_rollbacks: j.u64("recovery_rollbacks"),
                 retune_epochs: j.u64("retune_epochs"),
+                infer_batches: j.u64("infer_batches"),
+                infer_rows: j.u64("infer_rows"),
+                infer_deadline_flushes: j.u64("infer_deadline_flushes"),
             }),
             "recommendation" => Ok(Response::Recommendation {
                 session: j.u64("session"),
@@ -535,6 +550,9 @@ mod tests {
                 drift_events: 2,
                 recovery_rollbacks: 1,
                 retune_epochs: 2,
+                infer_batches: 9,
+                infer_rows: 40,
+                infer_deadline_flushes: 3,
             },
             Response::Recommendation {
                 session: 3,
@@ -615,12 +633,21 @@ mod tests {
                       \"total_sessions\":2,\"queue_depth\":0,\"busy_workers\":1,\
                       \"warm_hits\":1,\"warm_misses\":1,\"rejected\":0,\
                       \"registry_len\":1,\"draining\":false}";
-        let Response::ServiceStatus { drift_events, recovery_rollbacks, retune_epochs, .. } =
-            Response::from_json_line(status).unwrap()
+        let Response::ServiceStatus {
+            drift_events,
+            recovery_rollbacks,
+            retune_epochs,
+            infer_batches,
+            infer_rows,
+            infer_deadline_flushes,
+            ..
+        } = Response::from_json_line(status).unwrap()
         else {
             panic!("wrong variant");
         };
         assert_eq!((drift_events, recovery_rollbacks, retune_epochs), (0, 0, 0));
+        // Same rule for the batched-serving counters added after safety.
+        assert_eq!((infer_batches, infer_rows, infer_deadline_flushes), (0, 0, 0));
 
         let rec = "{\"v\":1,\"type\":\"recommendation\",\"session\":3,\"best_tps\":10.0,\
                    \"best_p99_us\":20.0,\"throughput_gain\":0.1,\"changed_knobs\":2,\

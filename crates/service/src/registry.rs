@@ -18,17 +18,23 @@ use cdbtune::jsonio::{Json, Obj};
 use cdbtune::TrainedModel;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One published model and the fingerprint it was earned under.
+///
+/// The model is behind an [`Arc`]: an entry is an immutable published
+/// snapshot, and every warm session served from it borrows the same
+/// resident copy of the weights. Cloning an entry bumps a refcount; it
+/// does not duplicate weight matrices.
 #[derive(Debug, Clone)]
 pub struct RegistryEntry {
-    /// Registry-assigned entry id.
+    /// Registry-assigned entry id (the snapshot version the serving tier
+    /// batches inference under).
     pub id: u64,
     /// Fingerprint of the session that published the entry.
     pub fingerprint: WorkloadFingerprint,
-    /// The fine-tuned model.
-    pub model: TrainedModel,
+    /// The fine-tuned model (shared, immutable snapshot).
+    pub model: Arc<TrainedModel>,
     /// Best normalized action the session deployed (warm sessions replay
     /// it at step 1).
     pub best_action: Vec<f32>,
@@ -41,7 +47,9 @@ pub struct RegistryEntry {
 /// A warm-start lookup hit.
 #[derive(Debug, Clone)]
 pub struct RegistryMatch {
-    /// The matched entry (cloned; the registry keeps its own copy).
+    /// The matched entry. The weights inside are shared with the registry
+    /// (and every other hit on the same entry) behind an `Arc` — a hit is
+    /// O(metadata), not O(model).
     pub entry: RegistryEntry,
     /// Fingerprint distance between the query and the entry.
     pub distance: f64,
@@ -110,7 +118,7 @@ impl ModelRegistry {
         Ok(RegistryEntry {
             id,
             fingerprint,
-            model,
+            model: Arc::new(model),
             best_action,
             best_tps: j.num("best_tps"),
             steps: j.u64("steps") as usize,
@@ -130,7 +138,10 @@ impl ModelRegistry {
     /// Publishes a model under a fingerprint, returning the entry id. With
     /// a disk-backed registry the entry is also written out (model first,
     /// then metadata, so a crash between the two leaves no dangling
-    /// metadata for [`ModelRegistry::open`] to trip on).
+    /// metadata for [`ModelRegistry::open`] to trip on). Non-finite
+    /// fingerprint summaries (a metric-dropout fault can leave NaN/Inf in
+    /// the observed state) are sanitized to zero so the stored entry stays
+    /// matchable under [`WorkloadFingerprint::distance`]'s finite-only rule.
     pub fn publish(
         &self,
         fingerprint: WorkloadFingerprint,
@@ -139,8 +150,13 @@ impl ModelRegistry {
         best_tps: f64,
         steps: usize,
     ) -> std::io::Result<u64> {
+        let mut fingerprint = fingerprint;
+        if fingerprint.sanitize() {
+            eprintln!("registry: sanitized non-finite fingerprint summaries at publish");
+        }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        let entry = RegistryEntry { id, fingerprint, model, best_action, best_tps, steps };
+        let entry =
+            RegistryEntry { id, fingerprint, model: Arc::new(model), best_action, best_tps, steps };
         if let Some(dir) = &self.dir {
             std::fs::write(dir.join(format!("model-{id}.json")), entry.model.to_json())?;
             let mut o = Obj::new();
@@ -194,6 +210,9 @@ impl ModelRegistry {
                 best = Some((d, entry));
             }
         }
+        // `entry.clone()` bumps the model `Arc` and copies a few words of
+        // metadata — it must never deep-copy weight matrices (K concurrent
+        // warm sessions hold K references to ONE resident model).
         best.map(|(distance, entry)| RegistryMatch { entry: entry.clone(), distance })
     }
 }
@@ -270,6 +289,81 @@ mod tests {
         let mut other = fp(5000.0);
         other.knobs = 8;
         assert!(reg.lookup(&other, &[0, 1, 2], 10.0).is_none());
+    }
+
+    #[test]
+    fn a_poisoned_entry_never_wins_a_lookup() {
+        let reg = ModelRegistry::in_memory();
+        // Forge a poisoned entry directly (bypassing publish's sanitizer),
+        // as an old registry directory could carry NaN summaries written
+        // before the finite-only distance rule existed.
+        let mut bad = fp(5050.0);
+        bad.stats.mean = f64::NAN;
+        bad.stats.l2 = f64::NAN;
+        reg.entries.lock().unwrap().push(RegistryEntry {
+            id: 101,
+            fingerprint: bad,
+            model: Arc::new(model(&[0, 1, 2], 1)),
+            best_action: vec![0.5; 3],
+            best_tps: 5100.0,
+            steps: 3,
+        });
+        // Alone, the poisoned entry never matches — whatever the threshold.
+        assert!(reg.lookup(&fp(5050.0), &[0, 1, 2], 1e9).is_none());
+        // Next to a clean entry it always loses, even though the clean
+        // fingerprint is measurably farther from the query.
+        reg.entries.lock().unwrap().push(RegistryEntry {
+            id: 102,
+            fingerprint: fp(6000.0),
+            model: Arc::new(model(&[0, 1, 2], 2)),
+            best_action: vec![0.7; 3],
+            best_tps: 6100.0,
+            steps: 3,
+        });
+        let hit = reg.lookup(&fp(5050.0), &[0, 1, 2], 10.0).expect("clean entry wins");
+        assert_eq!(hit.entry.id, 102);
+        // publish() sanitizes, so a fingerprint poisoned at publish time is
+        // stored finite (and therefore stays matchable).
+        let mut poisoned_pub = fp(5050.0);
+        poisoned_pub.baseline_p99_us = f64::INFINITY;
+        reg.publish(poisoned_pub, model(&[0, 1, 2], 3), vec![0.5; 3], 5100.0, 2).unwrap();
+        let entries = reg.entries.lock().unwrap();
+        assert!(entries.last().unwrap().fingerprint.is_finite());
+    }
+
+    #[test]
+    fn warm_hits_share_one_resident_model() {
+        let reg = ModelRegistry::in_memory();
+        reg.publish(fp(5000.0), model(&[0, 1, 2], 1), vec![0.5; 3], 5200.0, 4).unwrap();
+        let hits: Vec<RegistryMatch> = (0..4)
+            .map(|_| reg.lookup(&fp(5050.0), &[0, 1, 2], 0.5).expect("warm hit"))
+            .collect();
+        for pair in hits.windows(2) {
+            assert!(
+                Arc::ptr_eq(&pair[0].entry.model, &pair[1].entry.model),
+                "every hit must reference the same resident model"
+            );
+        }
+        // K hits hold K + 1 references (registry + hits) to ONE model:
+        // warm-session weight memory is O(1) in the session count.
+        assert_eq!(Arc::strong_count(&hits[0].entry.model), hits.len() + 1);
+    }
+
+    #[test]
+    fn warm_lookup_allocates_no_weight_sized_buffers() {
+        let reg = ModelRegistry::in_memory();
+        reg.publish(fp(5000.0), model(&[0, 1, 2], 1), vec![0.5; 3], 5200.0, 4).unwrap();
+        // Warm up once so lazy one-time costs don't bill the measured run.
+        let _ = reg.lookup(&fp(5050.0), &[0, 1, 2], 0.5).expect("warm hit");
+        let (hit, bytes, largest) = crate::test_alloc::measure(|| {
+            reg.lookup(&fp(5050.0), &[0, 1, 2], 0.5).expect("warm hit")
+        });
+        assert_eq!(hit.entry.id, 1);
+        // The paper-shaped actor/critic stack is hundreds of KiB of f32
+        // matrices; a hit must be O(metadata). Before the Arc'd entry this
+        // deep-copied all four networks and fails both bounds.
+        assert!(largest < 4096, "largest lookup allocation was {largest} bytes");
+        assert!(bytes < 16_384, "lookup allocated {bytes} bytes in total");
     }
 
     #[test]

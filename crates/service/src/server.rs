@@ -23,6 +23,7 @@
 //! `service_queue` at step level), bracketed by a `run_start`/`run_end`
 //! pair with mode `"serve"`.
 
+use crate::batcher::PolicyServer;
 use crate::proto::{Request, Response};
 use crate::registry::ModelRegistry;
 use crate::session::TuningSession;
@@ -51,6 +52,12 @@ pub struct ServiceConfig {
     pub checkpoint_dir: Option<String>,
     /// Maximum fingerprint distance a warm start will accept.
     pub max_distance: f64,
+    /// Largest number of actor-forward requests one batched inference
+    /// pass serves (the shared tier's `[batch × 63]` pack width).
+    pub batch_max: usize,
+    /// How long (µs) the batcher holds the oldest queued request while
+    /// waiting for company before flushing a partial batch.
+    pub batch_deadline_us: u64,
     /// Service-level trace handle.
     pub telemetry: Telemetry,
 }
@@ -64,6 +71,8 @@ impl Default for ServiceConfig {
             registry_dir: None,
             checkpoint_dir: None,
             max_distance: 0.25,
+            batch_max: 32,
+            batch_deadline_us: 500,
             telemetry: Telemetry::null(),
         }
     }
@@ -87,11 +96,13 @@ struct Shared {
     registry: ModelRegistry,
     max_distance: f64,
     checkpoint_dir: Option<String>,
+    serving: Arc<PolicyServer>,
     telemetry: Telemetry,
 }
 
 impl Shared {
     fn status_response(&self) -> Response {
+        let infer = self.serving.stats();
         Response::ServiceStatus {
             active_sessions: self.active_sessions.load(Ordering::SeqCst),
             total_sessions: self.total_sessions.load(Ordering::SeqCst),
@@ -105,6 +116,9 @@ impl Shared {
             drift_events: self.drift_events.load(Ordering::SeqCst),
             recovery_rollbacks: self.recovery_rollbacks.load(Ordering::SeqCst),
             retune_epochs: self.retune_epochs.load(Ordering::SeqCst),
+            infer_batches: infer.batches,
+            infer_rows: infer.rows,
+            infer_deadline_flushes: infer.deadline_flushes,
         }
     }
 
@@ -177,6 +191,9 @@ impl ServerHandle {
         for w in self.workers {
             let _ = w.join();
         }
+        // Workers are gone, so no session can be mid-inference: drain the
+        // shared tier after them, never before.
+        self.shared.serving.shutdown();
         let stats = ShutdownStats {
             total_sessions: self.shared.total_sessions.load(Ordering::SeqCst),
             drained_sessions: self.shared.drained_sessions.load(Ordering::SeqCst),
@@ -227,6 +244,11 @@ pub fn spawn(cfg: ServiceConfig) -> std::io::Result<ServerHandle> {
         registry,
         max_distance: cfg.max_distance,
         checkpoint_dir: cfg.checkpoint_dir.clone(),
+        serving: PolicyServer::spawn(
+            cfg.batch_max.max(1),
+            cfg.batch_deadline_us,
+            cfg.telemetry.clone(),
+        ),
         telemetry: cfg.telemetry.clone(),
     });
     let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.queue_capacity.max(1));
@@ -448,6 +470,7 @@ fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) ->
                 safe,
                 &shared.registry,
                 shared.max_distance,
+                &shared.serving,
                 &shared.telemetry,
             ) {
                 Ok(s) => {

@@ -8,13 +8,15 @@
 //! drain instead persists the live state as a
 //! [`cdbtune::TrainingCheckpoint`].
 
+use crate::batcher::PolicyServer;
 use crate::fingerprint::WorkloadFingerprint;
 use crate::registry::ModelRegistry;
 use cdbtune::{
     DbEnv, EnvSpec, OnlineConfig, OnlineSession, OnlineStep, RecoveryStats, SafetyConfig,
-    Telemetry, TraceEvent, TrainedModel, TuningOutcome,
+    SharedPolicy, Telemetry, TraceEvent, TrainedModel, TuningOutcome,
 };
 use simdb::PerfMetrics;
+use std::sync::Arc;
 
 /// What a closed session reported.
 #[derive(Debug)]
@@ -56,6 +58,11 @@ impl TuningSession {
     /// Opens a session: builds the instance, measures the baseline under
     /// the default configuration, fingerprints it, and warm-starts from
     /// the registry when allowed and a near-enough entry exists.
+    ///
+    /// A warm start no longer clones the matched weights: the session
+    /// borrows the registry's resident snapshot (`Arc`) and serves its
+    /// actor forwards through `serving`, the shared batched-inference
+    /// tier, until its first online gradient update forks a private copy.
     pub fn create(
         id: u64,
         spec: EnvSpec,
@@ -64,6 +71,7 @@ impl TuningSession {
         safe: bool,
         registry: &ModelRegistry,
         max_distance: f64,
+        serving: &Arc<PolicyServer>,
         telemetry: &Telemetry,
     ) -> Result<Self, String> {
         let mut env = spec.build()?;
@@ -77,26 +85,33 @@ impl TuningSession {
         } else {
             None
         };
-        let (model, warm_start, registry_distance, warm_action) = match hit {
-            Some(m) => (m.entry.model.clone(), true, m.distance, Some(m.entry.best_action)),
-            None => (
-                TrainedModel::cold(
-                    env.space().indices().to_vec(),
-                    *env.reward_config(),
-                    spec.seed,
-                ),
-                false,
-                0.0,
-                None,
-            ),
-        };
         let cfg = OnlineConfig {
             max_steps,
             seed: spec.seed,
             safety: safe.then(SafetyConfig::default),
             ..OnlineConfig::default()
         };
-        let mut inner = OnlineSession::begin(&mut env, &model, &cfg);
+        let (mut inner, warm_start, registry_distance, warm_action) = match hit {
+            Some(m) => {
+                serving.ensure(m.entry.id, &m.entry.model);
+                let tier: Arc<dyn SharedPolicy> = Arc::clone(serving) as Arc<dyn SharedPolicy>;
+                let inner = OnlineSession::begin_shared(
+                    &mut env,
+                    Arc::clone(&m.entry.model),
+                    &cfg,
+                    Some((m.entry.id, tier)),
+                );
+                (inner, true, m.distance, Some(m.entry.best_action))
+            }
+            None => {
+                let model = Arc::new(TrainedModel::cold(
+                    env.space().indices().to_vec(),
+                    *env.reward_config(),
+                    spec.seed,
+                ));
+                (OnlineSession::begin_shared(&mut env, model, &cfg, None), false, 0.0, None)
+            }
+        };
         if let Some(action) = warm_action {
             inner.set_warm_action(action);
         }
@@ -137,6 +152,12 @@ impl TuningSession {
     /// The session warm-started from a registry entry.
     pub fn warm_start(&self) -> bool {
         self.warm_start
+    }
+
+    /// True while the session still serves from the shared snapshot (no
+    /// private weight copy has been forked yet).
+    pub fn shares_model(&self) -> bool {
+        self.inner.as_ref().is_some_and(|s| s.shares_model())
     }
 
     /// Fingerprint distance to the chosen registry entry (0 when cold).
@@ -319,6 +340,10 @@ mod tests {
         }
     }
 
+    fn tiny_tier() -> Arc<PolicyServer> {
+        PolicyServer::spawn(8, 200, Telemetry::null())
+    }
+
     #[test]
     fn cold_session_runs_to_budget_and_publishes() {
         let registry = ModelRegistry::in_memory();
@@ -331,6 +356,7 @@ mod tests {
             false,
             &registry,
             0.25,
+            &tiny_tier(),
             &telemetry,
         )
         .expect("session opens");
@@ -357,23 +383,77 @@ mod tests {
         let registry = ModelRegistry::in_memory();
         let telemetry = Telemetry::null();
         let mut first =
-            TuningSession::create(1, tiny_spec(7), 3, true, false, &registry, 0.25, &telemetry)
+            TuningSession::create(1, tiny_spec(7), 3, true, false, &registry, 0.25, &tiny_tier(), &telemetry)
                 .expect("first session opens");
         while first.step().is_some() {}
         let _ = first.close(&registry, false);
 
         // Same shape, different seed: close fingerprint, must warm-start.
         let second =
-            TuningSession::create(2, tiny_spec(8), 3, true, false, &registry, 0.25, &telemetry)
+            TuningSession::create(2, tiny_spec(8), 3, true, false, &registry, 0.25, &tiny_tier(), &telemetry)
                 .expect("second session opens");
         assert!(second.warm_start(), "near-identical fingerprint must hit the registry");
         assert!(second.registry_distance() < 0.25);
 
         // warm_start=false forces a cold start even with a perfect match.
         let forced_cold =
-            TuningSession::create(3, tiny_spec(9), 3, false, false, &registry, 0.25, &telemetry)
+            TuningSession::create(3, tiny_spec(9), 3, false, false, &registry, 0.25, &tiny_tier(), &telemetry)
                 .expect("cold session opens");
         assert!(!forced_cold.warm_start());
+    }
+
+    #[test]
+    fn k_warm_sessions_borrow_one_snapshot_until_they_fine_tune() {
+        let registry = ModelRegistry::in_memory();
+        let telemetry = Telemetry::null();
+        let tier = tiny_tier();
+        let mut seeder =
+            TuningSession::create(1, tiny_spec(7), 3, true, false, &registry, 0.25, &tier, &telemetry)
+                .expect("seeder session opens");
+        while seeder.step().is_some() {}
+        let _ = seeder.close(&registry, false);
+        assert_eq!(registry.len(), 1);
+
+        // K warm sessions: all borrow the SAME resident snapshot — weight
+        // memory is O(1) in the session count, not O(K).
+        let sessions: Vec<TuningSession> = (0..3u64)
+            .map(|k| {
+                TuningSession::create(
+                    10 + k,
+                    tiny_spec(20 + k),
+                    3,
+                    true,
+                    false,
+                    &registry,
+                    0.25,
+                    &tier,
+                    &telemetry,
+                )
+                .expect("warm session opens")
+            })
+            .collect();
+        for s in &sessions {
+            assert!(s.warm_start());
+            assert!(s.shares_model(), "no private weights before the first update");
+        }
+        let models: Vec<&Arc<TrainedModel>> = sessions
+            .iter()
+            .map(|s| s.inner.as_ref().expect("live session").model())
+            .collect();
+        for pair in models.windows(2) {
+            assert!(Arc::ptr_eq(pair[0], pair[1]), "warm sessions must share one snapshot");
+        }
+        // References: the registry's entry + one per session. No copies.
+        assert_eq!(Arc::strong_count(models[0]), 1 + sessions.len());
+
+        // Stepping to the fine-tune threshold forks a private copy; the
+        // shared snapshot itself stays immutable and stays resident.
+        let mut tuned = sessions.into_iter().next().expect("one session");
+        while tuned.step().is_some() {}
+        assert!(!tuned.shares_model(), "fine-tuning must fork a private copy");
+        let stats = tier.stats();
+        assert!(stats.rows > 0, "pre-fork forwards must ride the batched tier");
+        tier.shutdown();
     }
 
     #[test]
@@ -387,6 +467,7 @@ mod tests {
             true,
             &registry,
             0.25,
+            &tiny_tier(),
             &Telemetry::null(),
         )
         .expect("safe session opens");
@@ -419,6 +500,7 @@ mod tests {
             false,
             &registry,
             0.25,
+            &tiny_tier(),
             &Telemetry::null(),
         )
         .expect("faulty session opens");
@@ -446,6 +528,7 @@ mod tests {
             false,
             &registry,
             0.25,
+            &tiny_tier(),
             &Telemetry::null(),
         ) {
             Err(e) => e,

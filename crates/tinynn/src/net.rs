@@ -83,6 +83,17 @@ impl Mlp {
         &scratch.acts[layers.len()]
     }
 
+    /// Runs the network forward and copies the output activation into
+    /// `out` (resized in place). This is the batched-serving entry point:
+    /// the caller owns the destination, so a warm network plus a warm
+    /// caller buffer performs zero heap allocations per call, whatever the
+    /// batch height — unlike [`Mlp::forward_ref`], the result also
+    /// survives the next forward pass.
+    pub fn forward_into(&mut self, input: &Matrix, train: bool, out: &mut Matrix) {
+        let act = self.forward_ref(input, train);
+        out.copy_from(act);
+    }
+
     /// Runs the network forward. `train` enables dropout and batch
     /// statistics. Clones the output activation out of the scratch arena;
     /// hot paths use [`Mlp::forward_ref`] instead.
