@@ -24,7 +24,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Lint ids accepted inside `// lint:allow(<id>) reason=...` annotations.
-pub const ALLOW_IDS: &[&str] = &["panic", "determinism", "lock-order", "unsafe", "telemetry"];
+pub const ALLOW_IDS: &[&str] =
+    &["panic", "determinism", "lock-order", "unsafe", "telemetry", "reactor"];
 
 /// `(lint id, one-line description)` pairs for `tunelint --list`.
 pub const LINT_DOCS: &[(&str, &str)] = &[
@@ -33,6 +34,7 @@ pub const LINT_DOCS: &[(&str, &str)] = &[
     ("lock-order", "inconsistent Mutex/RwLock acquisition order across functions (deadlock risk)"),
     ("unsafe-audit", "unsafe blocks/fns without a `// SAFETY:` comment"),
     ("telemetry-schema", "field-name drift between telemetry encoders and decoders"),
+    ("reactor-blocking", "blocking reads/sleeps/recv/locks inside the event-driven reactor modules"),
     ("annotation", "malformed lint:allow annotations (unknown id or missing reason)"),
 ];
 
@@ -183,6 +185,8 @@ pub struct AnalysisConfig {
     pub determinism_allowlist: Vec<String>,
     /// lock-order considers these paths.
     pub lock_scope: Vec<String>,
+    /// reactor-blocking forbids blocking calls in these paths.
+    pub reactor_scope: Vec<String>,
     /// telemetry-schema cross-checks encode/decode inside these files.
     pub telemetry_files: Vec<String>,
 }
@@ -196,6 +200,7 @@ impl AnalysisConfig {
                 "crates/core/src/env.rs",
                 "crates/core/src/online.rs",
                 "crates/core/src/trainer.rs",
+                "crates/service/src/reactor/",
                 "crates/service/src/server.rs",
                 "crates/service/src/session.rs",
                 "crates/simdb/src/engine.rs",
@@ -223,6 +228,7 @@ impl AnalysisConfig {
                 "crates/bench/src/perf.rs",
             ]),
             lock_scope: v(&["crates/simdb/", "crates/service/"]),
+            reactor_scope: v(&["crates/service/src/reactor/"]),
             telemetry_files: v(&["crates/core/src/telemetry.rs"]),
         }
     }
@@ -296,6 +302,7 @@ pub fn analyze_sources(sources: &[SourceFile], cfg: &AnalysisConfig) -> Vec<Find
     for s in sources {
         findings.extend(lints::panic_safety::run(s, cfg));
         findings.extend(lints::determinism::run(s, cfg));
+        findings.extend(lints::reactor_blocking::run(s, cfg));
         findings.extend(lints::unsafe_audit::run(s));
         findings.extend(annotation_findings(s));
     }
@@ -665,6 +672,24 @@ mod framework_tests {
     }
 
     #[test]
+    fn repo_config_scopes_the_reactor_modules() {
+        // The event-driven runtime must be covered by both the blocking-call
+        // lint and the panic-safety lint (a panic on the reactor thread
+        // takes down every connection at once).
+        let cfg = AnalysisConfig::default_for_repo();
+        for path in [
+            "crates/service/src/reactor/events.rs",
+            "crates/service/src/reactor/poll.rs",
+            "crates/service/src/reactor/conn.rs",
+            "crates/service/src/reactor/frame.rs",
+        ] {
+            assert!(cfg.matches_any(path, &cfg.reactor_scope), "{path} in reactor scope");
+            assert!(cfg.matches_any(path, &cfg.panic_hot_paths), "{path} panic-checked");
+        }
+        assert!(!cfg.matches_any("crates/service/src/server.rs", &cfg.reactor_scope));
+    }
+
+    #[test]
     fn decl_name_recovers_fields_params_and_lets() {
         let cases: &[(&str, &str, &str)] = &[
             ("struct A { heat: HashMap<u64, u32> }", "HashMap", "heat"),
@@ -789,6 +814,18 @@ mod fixture_tests {
             ..AnalysisConfig::default()
         };
         assert_eq!(run_fixture(&["lock_clean.rs"], &cfg), Vec::<String>::new());
+    }
+
+    #[test]
+    fn reactor_blocking_fixture_matches_golden() {
+        let cfg = AnalysisConfig {
+            reactor_scope: vec!["reactor_blocking.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(
+            run_fixture(&["reactor_blocking.rs"], &cfg),
+            golden("reactor_blocking.expected")
+        );
     }
 
     #[test]

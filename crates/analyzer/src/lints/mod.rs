@@ -1,9 +1,10 @@
-//! The five repo-specific lints. Each module exposes a `run` function
+//! The six repo-specific lints. Each module exposes a `run` function
 //! returning findings; scoping (which paths a lint applies to) lives in
 //! [`crate::AnalysisConfig`] so fixture tests can target fixture files.
 
 pub mod determinism;
 pub mod lock_order;
 pub mod panic_safety;
+pub mod reactor_blocking;
 pub mod telemetry_schema;
 pub mod unsafe_audit;

@@ -1,0 +1,179 @@
+//! reactor-blocking: the event-driven runtime (PR 8) serves thousands of
+//! connections from one reactor thread, so a single blocking call in its
+//! modules stalls every session at once. Flags blocking-read helpers
+//! (`read_to_string`, `read_to_end`, `read_line`, `read_exact`),
+//! `BufReader` (its fill is a blocking read), `thread::sleep`, blocking
+//! channel `.recv()`, `set_nonblocking(false)`, and Mutex `.lock()` (the
+//! reactor is share-nothing by design; a contended lock blocks the event
+//! loop) outside test code, unless annotated
+//! `// lint:allow(reactor) reason=...` — worker threads that block on the
+//! job queue by design carry exactly that annotation.
+
+use crate::lexer::Tok;
+use crate::{is_punct, mk_finding, AnalysisConfig, Finding, SourceFile};
+
+/// Blocking `Read`-trait helpers: each parks the thread until the peer
+/// sends enough bytes, which is never acceptable on the reactor thread.
+const BLOCKING_READS: &[&str] = &["read_to_string", "read_to_end", "read_line", "read_exact"];
+
+/// Runs the lint over one file (no-op outside the configured reactor
+/// modules).
+pub fn run(s: &SourceFile, cfg: &AnalysisConfig) -> Vec<Finding> {
+    if !cfg.matches_any(&s.path, &cfg.reactor_scope) {
+        return Vec::new();
+    }
+    let toks = &s.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if s.in_test(line) || s.allowed("reactor", line) {
+            continue;
+        }
+        let id = match &toks[i].tok {
+            Tok::Ident(id) => id.as_str(),
+            _ => continue,
+        };
+        if BLOCKING_READS.contains(&id) && i > 0 && is_punct(toks, i - 1, '.') && is_punct(toks, i + 1, '(')
+        {
+            out.push(mk_finding(
+                s,
+                "reactor-blocking",
+                line,
+                id,
+                format!(
+                    "`.{id}(..)` blocks until the peer delivers bytes; reactor modules must \
+                     use the nonblocking `FrameDecoder` path or annotate \
+                     `// lint:allow(reactor) reason=...`"
+                ),
+            ));
+        } else if id == "BufReader" {
+            out.push(mk_finding(
+                s,
+                "reactor-blocking",
+                line,
+                "BufReader",
+                "`BufReader` refills with a blocking read; reactor modules buffer \
+                 incrementally via `FrameDecoder` instead"
+                    .to_string(),
+            ));
+        } else if id == "sleep" && is_punct(toks, i + 1, '(') {
+            out.push(mk_finding(
+                s,
+                "reactor-blocking",
+                line,
+                "thread::sleep",
+                "`thread::sleep` parks the reactor thread and stalls every connection; \
+                 use the poller timeout for pacing or annotate \
+                 `// lint:allow(reactor) reason=...`"
+                    .to_string(),
+            ));
+        } else if id == "recv"
+            && i > 0
+            && is_punct(toks, i - 1, '.')
+            && is_punct(toks, i + 1, '(')
+            && is_punct(toks, i + 2, ')')
+        {
+            out.push(mk_finding(
+                s,
+                "reactor-blocking",
+                line,
+                "recv",
+                "blocking `.recv()` parks the thread until a message arrives; the reactor \
+                 drains completions with `try_recv()` after a poller wake — worker threads \
+                 that block by design must annotate `// lint:allow(reactor) reason=...`"
+                    .to_string(),
+            ));
+        } else if id == "set_nonblocking"
+            && is_punct(toks, i + 1, '(')
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(v)) if v == "false")
+            && is_punct(toks, i + 3, ')')
+        {
+            out.push(mk_finding(
+                s,
+                "reactor-blocking",
+                line,
+                "set_nonblocking(false)",
+                "switching a socket back to blocking mode re-introduces stalls the \
+                 reactor exists to avoid"
+                    .to_string(),
+            ));
+        } else if id == "lock" && i > 0 && is_punct(toks, i - 1, '.') && is_punct(toks, i + 1, '(')
+        {
+            out.push(mk_finding(
+                s,
+                "reactor-blocking",
+                line,
+                "lock",
+                "a Mutex `.lock()` can block the event loop (and holding it across a \
+                 poller wait deadlocks under contention); the reactor is share-nothing — \
+                 route state through the job/done channels or annotate \
+                 `// lint:allow(reactor) reason=...`"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig { reactor_scope: vec!["evloop.rs".into()], ..AnalysisConfig::default() }
+    }
+
+    fn tags(src: &str) -> Vec<String> {
+        let s = SourceFile::parse("evloop.rs", src);
+        run(&s, &cfg()).into_iter().map(|f| f.tag).collect()
+    }
+
+    #[test]
+    fn flags_blocking_reads_and_bufreader() {
+        let src = "fn f(s: &mut TcpStream) { let mut b = String::new(); \
+                   s.read_to_string(&mut b); s.read_exact(&mut buf); \
+                   let r = BufReader::new(s); }";
+        assert_eq!(tags(src), vec!["read_to_string", "read_exact", "BufReader"]);
+    }
+
+    #[test]
+    fn flags_sleep_recv_lock_and_reblocking() {
+        let src = "fn f() { std::thread::sleep(d); rx.recv(); m.lock(); \
+                   sock.set_nonblocking(false); }";
+        assert_eq!(
+            tags(src),
+            vec!["thread::sleep", "recv", "lock", "set_nonblocking(false)"]
+        );
+    }
+
+    #[test]
+    fn nonblocking_idioms_are_fine() {
+        let src = "fn f() { sock.set_nonblocking(true); rx.try_recv(); \
+                   rx.recv_timeout(d); stream.read(&mut buf); }";
+        assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_with_reason() {
+        let src = "fn f() {\n  // lint:allow(reactor) reason=worker blocks by design\n  \
+                   rx.recv();\n  rx2.recv();\n}";
+        let s = SourceFile::parse("evloop.rs", src);
+        let fs = run(&s, &cfg());
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 4);
+    }
+
+    #[test]
+    fn test_code_and_out_of_scope_files_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { rx.recv(); thread::sleep(d); } }";
+        assert!(tags(src).is_empty());
+        let s = SourceFile::parse("other.rs", "fn f() { rx.recv(); }");
+        assert!(run(&s, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn strings_mentioning_blocking_calls_are_not_code() {
+        let src = "fn f() { log(\"never .recv() or sleep( here\"); }";
+        assert!(tags(src).is_empty());
+    }
+}

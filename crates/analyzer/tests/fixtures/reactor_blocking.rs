@@ -1,0 +1,37 @@
+// Fixture for the reactor-blocking lint: each violation below must
+// appear in reactor_blocking.expected; the annotated and test-only
+// sites must not.
+
+fn pump(stream: &mut TcpStream) {
+    let mut line = String::new();
+    stream.read_to_string(&mut line); // line 7: read_to_string
+    stream.read_exact(&mut [0u8; 4]); // line 8: read_exact
+    let reader = BufReader::new(stream); // line 9: BufReader
+    reader.read_line(&mut line); // line 10: read_line
+}
+
+fn tick(rx: &Receiver<Job>) {
+    std::thread::sleep(Duration::from_millis(5)); // line 14: thread::sleep
+    let job = rx.recv(); // line 15: recv
+    let _ = rx.try_recv(); // fine: nonblocking drain
+    let _ = rx.recv_timeout(Duration::from_millis(1)); // fine: bounded
+}
+
+fn share(state: &Mutex<State>, sock: &TcpStream) {
+    let guard = state.lock(); // line 21: lock
+    sock.set_nonblocking(false); // line 22: set_nonblocking(false)
+    sock.set_nonblocking(true); // fine: the reactor's normal mode
+}
+
+fn worker(rx: &Receiver<Job>) {
+    // lint:allow(reactor) reason=worker threads block on the job queue by design
+    let job = rx.recv(); // suppressed by the annotation above
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        std::thread::sleep(Duration::from_millis(5)); // test code: skipped
+        rx.recv();
+    }
+}

@@ -21,5 +21,8 @@ pub mod trace;
 pub use harness::{ExperimentScale, Lab};
 pub use perf::{PerfOptions, PerfReport};
 pub use report::{print_header, print_row, write_json};
-pub use svc::{run_load, LatencyStats, LoadReport, LoadSpec, SessionResult};
+pub use svc::{
+    run_load, run_open_load, LatencyStats, LoadReport, LoadSpec, OpenLoadReport, OpenLoadSpec,
+    SessionResult,
+};
 pub use trace::{schema_round_trip, SessionRow, StepRow, TraceSummary};

@@ -21,6 +21,8 @@ pub struct LatencyStats {
     pub p95_ms: f64,
     /// 99th percentile.
     pub p99_ms: f64,
+    /// 99.9th percentile (tail of a 10k-session run).
+    pub p999_ms: f64,
     /// Largest sample.
     pub max_ms: f64,
 }
@@ -42,6 +44,7 @@ impl LatencyStats {
             p50_ms: pick(0.50),
             p95_ms: pick(0.95),
             p99_ms: pick(0.99),
+            p999_ms: pick(0.999),
             max_ms: *sorted.last().unwrap(),
         }
     }
@@ -69,6 +72,8 @@ pub struct LoadSpec {
     pub safe: bool,
     /// Send a `shutdown` request after the sessions finish.
     pub shutdown: bool,
+    /// Tenant token stamped on every `create_session` (None = anonymous).
+    pub tenant: Option<String>,
 }
 
 impl Default for LoadSpec {
@@ -82,6 +87,7 @@ impl Default for LoadSpec {
             warm_start: true,
             safe: false,
             shutdown: false,
+            tenant: None,
         }
     }
 }
@@ -183,9 +189,9 @@ impl LoadReport {
         let rl = &self.request_latency;
         let _ = writeln!(
             out,
-            "request latency ({} reqs): p50 {:.1} ms  p95 {:.1} ms  p99 {:.1} ms  max {:.1} \
-             ms",
-            rl.count, rl.p50_ms, rl.p95_ms, rl.p99_ms, rl.max_ms
+            "request latency ({} reqs): p50 {:.1} ms  p95 {:.1} ms  p99 {:.1} ms  p999 {:.1} \
+             ms  max {:.1} ms",
+            rl.count, rl.p50_ms, rl.p95_ms, rl.p99_ms, rl.p999_ms, rl.max_ms
         );
         let sw = &self.session_wall;
         let _ = writeln!(
@@ -231,6 +237,7 @@ fn run_session(spec: &LoadSpec, slot: usize) -> SessionResult {
         max_steps: spec.steps,
         warm_start: spec.warm_start,
         safe: spec.safe,
+        tenant: spec.tenant.clone(),
     };
     // One session = create, N steps, a hold (optionally), recommend, close.
     // A Rejected or drained Closed response at any point ends the session
@@ -281,7 +288,7 @@ fn run_session(spec: &LoadSpec, slot: usize) -> SessionResult {
                     break;
                 }
             }
-            Response::Error { message } => {
+            Response::Error { message, .. } => {
                 result.error = Some(format!("daemon error: {message}"));
                 return finish(result, started);
             }
@@ -322,6 +329,206 @@ pub fn run_load(spec: &LoadSpec) -> LoadReport {
     }
 }
 
+/// What one open-loop load run should do: sessions arrive on a fixed
+/// schedule (`rate` per second) regardless of how fast the daemon
+/// drains them — the honest way to measure tail latency, since a
+/// closed loop slows its own arrivals down when the daemon struggles.
+#[derive(Debug, Clone)]
+pub struct OpenLoadSpec {
+    /// Daemon address.
+    pub addr: String,
+    /// Total sessions to launch.
+    pub sessions: usize,
+    /// Arrival rate, sessions per second (0 = all at once).
+    pub rate: f64,
+    /// Tuning steps per session.
+    pub steps: usize,
+    /// Environment each session asks the daemon to tune (seed + slot).
+    pub spec: EnvSpec,
+    /// Ask the daemon to warm-start from its registry.
+    pub warm_start: bool,
+    /// Ask for the safe-tuning layer on every session.
+    pub safe: bool,
+    /// Tenant token stamped on every `create_session`.
+    pub tenant: Option<String>,
+    /// Sleep this long mid-session (between stepping and closing).
+    pub hold_ms: u64,
+}
+
+impl Default for OpenLoadSpec {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            sessions: 100,
+            rate: 50.0,
+            steps: 2,
+            spec: EnvSpec::default(),
+            warm_start: true,
+            safe: false,
+            tenant: None,
+            hold_ms: 0,
+        }
+    }
+}
+
+/// Aggregated outcome of one open-loop run. Unlike [`LoadReport`] it
+/// never renders per-session lines — at 10k sessions only the
+/// distribution matters.
+#[derive(Debug, Clone)]
+pub struct OpenLoadReport {
+    /// Per-session outcomes, slot order.
+    pub results: Vec<SessionResult>,
+    /// Per-request round-trip latency percentiles across all sessions.
+    pub request_latency: LatencyStats,
+    /// Session wall-time percentiles (completed sessions only).
+    pub session_wall: LatencyStats,
+    /// The arrival rate the run asked for (sessions/s).
+    pub offered_rate: f64,
+    /// The arrival rate the generator actually achieved (sessions/s).
+    pub achieved_rate: f64,
+    /// Whole-run wall time, seconds.
+    pub wall_s: f64,
+}
+
+impl OpenLoadReport {
+    /// Sessions that ran to completion.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.rejected.is_none() && r.error.is_none()).count()
+    }
+
+    /// Sessions the daemon turned away with a typed rejection.
+    pub fn rejected(&self) -> usize {
+        self.results.iter().filter(|r| r.rejected.is_some()).count()
+    }
+
+    /// Sessions that failed with a transport/protocol error.
+    pub fn errors(&self) -> usize {
+        self.results.iter().filter(|r| r.error.is_some()).count()
+    }
+
+    /// Fraction of sessions rejected or errored, in [0, 1].
+    pub fn rejection_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        (self.rejected() + self.errors()) as f64 / self.results.len() as f64
+    }
+
+    /// Renders the distribution-level summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== svc open load: {} sessions at {:.0}/s (achieved {:.0}/s) over {:.1}s ===",
+            self.results.len(),
+            self.offered_rate,
+            self.achieved_rate,
+            self.wall_s
+        );
+        let _ = writeln!(
+            out,
+            "  {} completed, {} rejected, {} errors  (rejection rate {:.2}%)",
+            self.completed(),
+            self.rejected(),
+            self.errors(),
+            self.rejection_rate() * 100.0
+        );
+        let rl = &self.request_latency;
+        let _ = writeln!(
+            out,
+            "  request latency ({} reqs): p50 {:.1} ms  p99 {:.1} ms  p999 {:.1} ms  max \
+             {:.1} ms",
+            rl.count, rl.p50_ms, rl.p99_ms, rl.p999_ms, rl.max_ms
+        );
+        let sw = &self.session_wall;
+        let _ = writeln!(
+            out,
+            "  session wall ({} sessions): p50 {:.0} ms  p99 {:.0} ms  max {:.0} ms",
+            sw.count, sw.p50_ms, sw.p99_ms, sw.max_ms
+        );
+        for r in self.results.iter().filter(|r| r.error.is_some()).take(5) {
+            let _ = writeln!(out, "  error slot {}: {}", r.slot, r.error.as_deref().unwrap_or(""));
+        }
+        out
+    }
+}
+
+/// Runs an open-loop load: session `i` launches at `t0 + i/rate` no
+/// matter how the previous ones are doing. Each session runs on its own
+/// small-stack thread (10k sessions ≈ 10k blocked clients — cheap).
+pub fn run_open_load(spec: &OpenLoadSpec) -> OpenLoadReport {
+    let per_session = LoadSpec {
+        addr: spec.addr.clone(),
+        sessions: 1,
+        steps: spec.steps,
+        spec: spec.spec.clone(),
+        hold_ms: spec.hold_ms,
+        warm_start: spec.warm_start,
+        safe: spec.safe,
+        shutdown: false,
+        tenant: spec.tenant.clone(),
+    };
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(spec.sessions);
+    for slot in 0..spec.sessions {
+        if spec.rate > 0.0 {
+            let target = Duration::from_secs_f64(slot as f64 / spec.rate);
+            let elapsed = t0.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+        let per_session = per_session.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("svc-open-{slot}"))
+            .stack_size(256 * 1024)
+            .spawn(move || run_session(&per_session, slot));
+        handles.push((slot, spawned));
+    }
+    let spawn_wall = t0.elapsed().as_secs_f64();
+    let mut results: Vec<SessionResult> = handles
+        .into_iter()
+        .map(|(slot, h)| match h {
+            Ok(h) => h.join().unwrap_or_else(|_| failed_slot(slot, "session thread panicked")),
+            Err(e) => failed_slot(slot, &format!("spawn: {e}")),
+        })
+        .collect();
+    results.sort_by_key(|r| r.slot);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let request_ms: Vec<f64> =
+        results.iter().flat_map(|r| r.request_ms.iter().copied()).collect();
+    let walls: Vec<f64> = results
+        .iter()
+        .filter(|r| r.rejected.is_none() && r.error.is_none())
+        .map(|r| r.wall_ms)
+        .collect();
+    OpenLoadReport {
+        request_latency: LatencyStats::of(&request_ms),
+        session_wall: LatencyStats::of(&walls),
+        offered_rate: spec.rate,
+        achieved_rate: if spawn_wall > 0.0 { results.len() as f64 / spawn_wall } else { 0.0 },
+        wall_s,
+        results,
+    }
+}
+
+fn failed_slot(slot: usize, error: &str) -> SessionResult {
+    SessionResult {
+        slot,
+        session: 0,
+        warm_start: false,
+        steps: 0,
+        best_tps: 0.0,
+        throughput_gain: 0.0,
+        drained: false,
+        rejected: None,
+        error: Some(error.to_string()),
+        wall_ms: 0.0,
+        request_ms: Vec::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,7 +541,10 @@ mod tests {
         assert_eq!(s.p50_ms, 50.0);
         assert_eq!(s.p95_ms, 95.0);
         assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.p999_ms, 100.0);
         assert_eq!(s.max_ms, 100.0);
+        let thousand: Vec<f64> = (1..=1000).map(f64::from).collect();
+        assert_eq!(LatencyStats::of(&thousand).p999_ms, 999.0);
         let one = LatencyStats::of(&[7.5]);
         assert_eq!((one.p50_ms, one.p99_ms, one.max_ms), (7.5, 7.5, 7.5));
         assert_eq!(LatencyStats::of(&[]).count, 0);
@@ -376,5 +586,36 @@ mod tests {
         assert!(rendered.contains("REJECTED (queue_full)"));
         assert!(rendered.contains("ERROR: boom"));
         assert!(rendered.contains("warm"));
+    }
+
+    #[test]
+    fn open_report_rejection_rate_counts_rejects_and_errors() {
+        let ok = failed_slot(0, "x"); // template; fix up below
+        let mut ok = SessionResult { error: None, ..ok };
+        ok.request_ms = vec![1.0, 9.0];
+        ok.wall_ms = 50.0;
+        let rejected =
+            SessionResult { slot: 1, rejected: Some("queue_full".into()), ..ok.clone() };
+        let errored = failed_slot(2, "connect refused");
+        let results = vec![ok, rejected, errored];
+        let request_ms: Vec<f64> =
+            results.iter().flat_map(|r| r.request_ms.iter().copied()).collect();
+        let report = OpenLoadReport {
+            request_latency: LatencyStats::of(&request_ms),
+            session_wall: LatencyStats::of(&[50.0]),
+            offered_rate: 100.0,
+            achieved_rate: 97.0,
+            wall_s: 1.5,
+            results,
+        };
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.rejected(), 1);
+        assert_eq!(report.errors(), 1);
+        assert!((report.rejection_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let rendered = report.render();
+        assert!(rendered.contains("open load: 3 sessions at 100/s"));
+        assert!(rendered.contains("rejection rate 66.67%"));
+        assert!(rendered.contains("p999"));
+        assert_eq!(OpenLoadReport { results: Vec::new(), ..report }.rejection_rate(), 0.0);
     }
 }

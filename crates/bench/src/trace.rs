@@ -46,6 +46,11 @@ pub struct TraceSummary {
     /// Batched inference passes of the shared serving tier:
     /// (rows, capacity, queue wait µs, deadline hit, mean Q).
     pub infer_batches: Vec<(u64, u64, u64, bool, f64)>,
+    /// Reactor health samples over time: (conns, sessions, queued jobs,
+    /// busy workers) per `reactor_sample` sweep tick.
+    pub reactor_samples: Vec<(u64, u64, u64, u64)>,
+    /// Idle connections the reactor reaped (slow-loris defense).
+    pub idle_closes: u64,
     /// Totals from the run-end event, if present.
     pub run_end: Option<RunTotals>,
     /// Schema/consistency problems found while ingesting (empty = healthy).
@@ -303,6 +308,25 @@ impl TraceSummary {
                     }
                     s.infer_batches.push((*rows, *capacity, *queue_wait_us, *deadline_hit, *q_mean));
                 }
+                TraceEvent::ReactorSample { conns, sessions, queued_jobs, busy_workers } => {
+                    if sessions > conns {
+                        s.issues.push(format!(
+                            "line {}: reactor sample reports {sessions} sessions on only \
+                             {conns} connections",
+                            i + 1
+                        ));
+                    }
+                    s.reactor_samples.push((*conns, *sessions, *queued_jobs, *busy_workers));
+                }
+                TraceEvent::IdleClose { idle_ms, .. } => {
+                    if *idle_ms == 0 {
+                        s.issues.push(format!(
+                            "line {}: idle_close fired with zero idle time",
+                            i + 1
+                        ));
+                    }
+                    s.idle_closes += 1;
+                }
                 TraceEvent::RunEnd { total_steps, best_tps, crashes, wall_seconds, .. } => {
                     s.run_end = Some(RunTotals {
                         total_steps: *total_steps,
@@ -519,6 +543,23 @@ impl TraceSummary {
                 deadline
             );
         }
+        if !self.reactor_samples.is_empty() || self.idle_closes > 0 {
+            let peak_conns = self.reactor_samples.iter().map(|&(c, ..)| c).max().unwrap_or(0);
+            let peak_sessions =
+                self.reactor_samples.iter().map(|&(_, s, ..)| s).max().unwrap_or(0);
+            let peak_queue =
+                self.reactor_samples.iter().map(|&(_, _, q, _)| q).max().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "\nreactor: peak {} conns, {} sessions, {} queued jobs \
+                 ({} samples), {} idle closes",
+                peak_conns,
+                peak_sessions,
+                peak_queue,
+                self.reactor_samples.len(),
+                self.idle_closes
+            );
+        }
         let crashes = self.steps.iter().filter(|r| r.crashed).count();
         let degraded = self.steps.iter().filter(|r| r.degraded).count();
         let _ = writeln!(
@@ -679,6 +720,8 @@ pub fn exemplar_events() -> Vec<TraceEvent> {
             deadline_hit: true,
             q_mean: 0.62,
         },
+        TraceEvent::ReactorSample { conns: 120, sessions: 96, queued_jobs: 5, busy_workers: 2 },
+        TraceEvent::IdleClose { conn: 44, idle_ms: 31000, had_session: true },
         TraceEvent::RunEnd {
             mode: "train".into(),
             total_steps: 1,
@@ -723,6 +766,8 @@ mod tests {
         assert_eq!(s.safety_clamps, 1);
         assert_eq!(s.regret_windows, vec![(2, 0.4, 0.75, false, 0.18)]);
         assert_eq!(s.infer_batches, vec![(7, 32, 410, true, 0.62)]);
+        assert_eq!(s.reactor_samples, vec![(120, 96, 5, 2)]);
+        assert_eq!(s.idle_closes, 1);
         assert_eq!(s.over_budget_windows(), 0);
         assert!((s.worst_regret_ratio() - 0.4 / 0.75).abs() < 1e-12);
         assert!(s.issues.is_empty(), "healthy trace flagged: {:?}", s.issues);
@@ -731,6 +776,7 @@ mod tests {
         assert!(rendered.contains("mode=train"));
         assert!(rendered.contains("service sessions:"));
         assert!(rendered.contains("warm(d=0.042)"));
+        assert!(rendered.contains("reactor: peak 120 conns"));
         assert!(rendered.contains("1 accepted, 1 rejected"));
         assert!(rendered.contains("safety layer:"));
         assert!(rendered.contains("drift at step   12"));

@@ -128,9 +128,9 @@ impl EnvSpec {
             scale: args.get("scale", d.scale)?,
             knobs: args.get("knobs", d.knobs)?,
             seed: args.get("seed", d.seed)?,
-            warmup_txns: d.warmup_txns,
-            measure_txns: d.measure_txns,
-            horizon: d.horizon,
+            warmup_txns: args.get("warmup-txns", d.warmup_txns)?,
+            measure_txns: args.get("measure-txns", d.measure_txns)?,
+            horizon: args.get("horizon", d.horizon)?,
             faults: args.raw("faults").map(str::to_string),
         })
     }
@@ -209,6 +209,8 @@ pub fn shared_flags_help() -> &'static str {
   --ram-gb / --disk-gb                                   (default 1 / 12)
   --scale     dataset scale vs the paper                 (default 0.1)
   --seed                                                  (default 42)
+  --warmup-txns / --measure-txns  txns per measurement   (default 60 / 300)
+  --horizon   env steps per episode                      (default 20)
   --faults    inject infrastructure faults, e.g.
               'restart=0.2,hang=0.05,crash=0.02,straggler=0.1x4,
                fsync=0.1x8,dropout=0.05,seed=7[,from=N,until=N]'
@@ -261,8 +263,14 @@ mod tests {
         assert_eq!(spec.workload, WorkloadKind::TpcC);
         assert_eq!(spec.knobs, 6);
         assert_eq!(spec.seed, 7);
+        assert_eq!(spec.measure_txns, EnvSpec::default().measure_txns);
         let env = spec.build().unwrap();
         assert_eq!(env.space().dim(), 6);
+        let a = args(&[("warmup-txns", "2"), ("measure-txns", "8"), ("horizon", "2")]);
+        let spec = EnvSpec::from_args(&a).unwrap();
+        assert_eq!(spec.warmup_txns, 2);
+        assert_eq!(spec.measure_txns, 8);
+        assert_eq!(spec.horizon, 2);
     }
 
     #[test]

@@ -457,6 +457,27 @@ pub enum TraceEvent {
         /// Mean critic score of the batch's `(state, action)` rows.
         q_mean: f64,
     },
+    /// A periodic health sample of the event-driven reactor (emitted on
+    /// each sweep tick of the `--runtime=events` daemon).
+    ReactorSample {
+        /// Connections currently registered with the poller.
+        conns: u64,
+        /// Tuning sessions currently live across all shards.
+        sessions: u64,
+        /// Compute jobs queued on the shard run queues.
+        queued_jobs: u64,
+        /// Compute workers currently executing a job.
+        busy_workers: u64,
+    },
+    /// The reactor reaped an idle connection (slow-loris defense).
+    IdleClose {
+        /// Reactor-assigned connection token.
+        conn: u64,
+        /// How long the connection had been silent (ms).
+        idle_ms: u64,
+        /// The connection hosted a live session (settled before close).
+        had_session: bool,
+    },
 }
 
 impl TraceEvent {
@@ -479,6 +500,8 @@ impl TraceEvent {
             TraceEvent::SafetyClamp { .. } => "safety_clamp",
             TraceEvent::RegretWindow { .. } => "regret_window",
             TraceEvent::InferenceBatch { .. } => "inference_batch",
+            TraceEvent::ReactorSample { .. } => "reactor_sample",
+            TraceEvent::IdleClose { .. } => "idle_close",
         }
     }
 
@@ -490,7 +513,9 @@ impl TraceEvent {
             | TraceEvent::Admission { .. }
             | TraceEvent::ServiceQueue { .. }
             | TraceEvent::SafetyClamp { .. }
-            | TraceEvent::InferenceBatch { .. } => TraceLevel::Step,
+            | TraceEvent::InferenceBatch { .. }
+            | TraceEvent::ReactorSample { .. }
+            | TraceEvent::IdleClose { .. } => TraceLevel::Step,
             _ => TraceLevel::Summary,
         }
     }
@@ -672,6 +697,15 @@ impl TraceEvent {
                     .u64("queue_wait_us", *queue_wait_us)
                     .bool("deadline_hit", *deadline_hit)
                     .f64("q_mean", *q_mean);
+            }
+            TraceEvent::ReactorSample { conns, sessions, queued_jobs, busy_workers } => {
+                o.u64("conns", *conns)
+                    .u64("sessions", *sessions)
+                    .u64("queued_jobs", *queued_jobs)
+                    .u64("busy_workers", *busy_workers);
+            }
+            TraceEvent::IdleClose { conn, idle_ms, had_session } => {
+                o.u64("conn", *conn).u64("idle_ms", *idle_ms).bool("had_session", *had_session);
             }
         }
         o.finish()
@@ -860,6 +894,17 @@ impl TraceEvent {
                 queue_wait_us: j.u64("queue_wait_us"),
                 deadline_hit: j.boolean("deadline_hit"),
                 q_mean: j.num("q_mean"),
+            }),
+            "reactor_sample" => Ok(TraceEvent::ReactorSample {
+                conns: j.u64("conns"),
+                sessions: j.u64("sessions"),
+                queued_jobs: j.u64("queued_jobs"),
+                busy_workers: j.u64("busy_workers"),
+            }),
+            "idle_close" => Ok(TraceEvent::IdleClose {
+                conn: j.u64("conn"),
+                idle_ms: j.u64("idle_ms"),
+                had_session: j.boolean("had_session"),
             }),
             other => Err(format!("unknown trace event type '{other}'")),
         }
@@ -1204,6 +1249,8 @@ mod tests {
                 deadline_hit: true,
                 q_mean: 0.62,
             },
+            TraceEvent::ReactorSample { conns: 120, sessions: 96, queued_jobs: 5, busy_workers: 2 },
+            TraceEvent::IdleClose { conn: 44, idle_ms: 31000, had_session: true },
             TraceEvent::SessionClose {
                 session: 11,
                 steps: 5,

@@ -10,33 +10,36 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A connected `cdbtuned` client.
+///
+/// Reads and writes go through the same stream (writes via
+/// [`BufReader::get_mut`]) so a client costs one file descriptor, not
+/// two — a 10k-session load generator with `try_clone`d read/write
+/// halves needs 20k fds and dies on EMFILE right at the default nofile
+/// ceiling.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: BufReader<TcpStream>,
 }
 
 impl Client {
     /// Connects to a running daemon.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
-        writer.set_nodelay(true).ok();
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { reader, writer })
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream: BufReader::new(stream) })
     }
 
     /// Caps how long [`Client::request`] waits for a response line.
     pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
-        self.writer.set_read_timeout(timeout)
+        self.stream.get_ref().set_read_timeout(timeout)
     }
 
     /// Sends one request and reads one response line. An empty read means
     /// the daemon hung up (e.g. after draining this connection's session).
     pub fn request(&mut self, req: &Request) -> Result<Response, String> {
-        writeln!(self.writer, "{}", req.to_json_line())
-            .and_then(|()| self.writer.flush())
+        writeln!(self.stream.get_mut(), "{}", req.to_json_line())
             .map_err(|e| format!("send failed: {e}"))?;
         let mut line = String::new();
-        match self.reader.read_line(&mut line) {
+        match self.stream.read_line(&mut line) {
             Ok(0) => Err("connection closed by the daemon".into()),
             Ok(_) => Response::from_json_line(line.trim()),
             Err(e) => Err(format!("receive failed: {e}")),

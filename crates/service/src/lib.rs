@@ -24,6 +24,10 @@
 //!   each row, so K warm sessions share one resident model.
 //! * [`server`] — the daemon: bounded admission queue, fixed worker pool,
 //!   graceful drain persisting live sessions as [`cdbtune::TrainingCheckpoint`]s.
+//! * [`reactor`] — the event-driven runtime (`--runtime=events`): one
+//!   reactor thread multiplexing thousands of connections over a libc-free
+//!   epoll shim, a sharded compute pool, typed admission control, and
+//!   per-tenant quotas — 10k concurrent sessions on one box.
 //! * [`client`] — a minimal blocking client for tests and the `bench`
 //!   load generator.
 //!
@@ -37,6 +41,7 @@ pub mod batcher;
 pub mod client;
 pub mod fingerprint;
 pub mod proto;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod session;
@@ -45,6 +50,7 @@ pub use batcher::{BatchStats, PolicyServer};
 pub use client::Client;
 pub use fingerprint::{StateStats, WorkloadFingerprint};
 pub use proto::{Request, Response, PROTO_VERSION};
+pub use reactor::{spawn_runtime, ReactorConfig, RuntimeConfig, RuntimeHandle, RuntimeKind};
 pub use registry::{ModelRegistry, RegistryEntry};
 pub use server::{spawn, ServerHandle, ServiceConfig, ShutdownStats};
 pub use session::{SessionOutcome, TuningSession};

@@ -36,6 +36,9 @@ pub enum Request {
         /// clamping, drift detection, and automatic rollback. Absent on
         /// the wire means `false` (unguarded, the pre-safety behaviour).
         safe: bool,
+        /// Tenant token for per-tenant quotas and fairness in the
+        /// events runtime. Absent means anonymous/uncapped.
+        tenant: Option<String>,
     },
     /// Advances the session by one tuning step.
     Step,
@@ -156,15 +159,21 @@ pub enum Response {
     /// Typed backpressure: the bounded admission queue had no room (or the
     /// daemon is draining). The client should retry later or elsewhere.
     Rejected {
-        /// `"queue_full"` or `"draining"`.
+        /// `"queue_full"`, `"draining"`, or `"tenant_quota"`.
         reason: String,
         /// Queue depth at decision time.
         queue_depth: u64,
     },
-    /// The request failed; the connection stays usable.
+    /// The request failed. Most errors leave the connection usable;
+    /// protocol violations (e.g. `frame_too_large`) carry a typed
+    /// `code` and are followed by a server-side connection close.
     Error {
         /// Human-readable cause.
         message: String,
+        /// Machine-readable error class (`""` for generic errors,
+        /// `"frame_too_large"` when an input line overflowed the frame
+        /// cap and the connection is being closed).
+        code: String,
     },
 }
 
@@ -243,12 +252,15 @@ impl Request {
     /// Encodes the request as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         match self {
-            Request::CreateSession { spec, max_steps, warm_start, safe } => {
+            Request::CreateSession { spec, max_steps, warm_start, safe, tenant } => {
                 let mut o = versioned("create_session");
                 o.obj("spec", |s| spec_to_obj(s, spec))
                     .u64("max_steps", *max_steps as u64)
                     .bool("warm_start", *warm_start)
                     .bool("safe", *safe);
+                if let Some(t) = tenant {
+                    o.str("tenant", t);
+                }
                 o.finish()
             }
             Request::Step => versioned("step").finish(),
@@ -270,11 +282,16 @@ impl Request {
                     None => return Err("create_session is missing 'spec'".into()),
                 };
                 let max_steps = j.u64("max_steps") as usize;
+                let tenant = match j.get("tenant") {
+                    Some(Json::Str(s)) if !s.is_empty() => Some(s.clone()),
+                    _ => None,
+                };
                 Ok(Request::CreateSession {
                     spec,
                     max_steps: if max_steps == 0 { 5 } else { max_steps },
                     warm_start: j.boolean("warm_start"),
                     safe: j.boolean("safe"),
+                    tenant,
                 })
             }
             "step" => Ok(Request::Step),
@@ -288,6 +305,20 @@ impl Request {
 }
 
 impl Response {
+    /// A generic (untyped) error that leaves the connection usable.
+    pub fn err(message: impl Into<String>) -> Self {
+        Response::Error { message: message.into(), code: String::new() }
+    }
+
+    /// The typed `frame_too_large` protocol violation; the server closes
+    /// the connection after sending this.
+    pub fn frame_too_large(buffered: usize, limit: usize) -> Self {
+        Response::Error {
+            message: format!("input line of {buffered}+ bytes exceeds the {limit}-byte frame cap"),
+            code: "frame_too_large".into(),
+        }
+    }
+
     /// Encodes the response as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         match self {
@@ -400,9 +431,12 @@ impl Response {
                 o.str("reason", reason).u64("queue_depth", *queue_depth);
                 o.finish()
             }
-            Response::Error { message } => {
+            Response::Error { message, code } => {
                 let mut o = versioned("error");
                 o.str("message", message);
+                if !code.is_empty() {
+                    o.str("code", code);
+                }
                 o.finish()
             }
         }
@@ -469,7 +503,9 @@ impl Response {
                 reason: j.string("reason"),
                 queue_depth: j.u64("queue_depth"),
             }),
-            "error" => Ok(Response::Error { message: j.string("message") }),
+            "error" => {
+                Ok(Response::Error { message: j.string("message"), code: j.string("code") })
+            }
             other => Err(format!("unknown response type '{other}'")),
         }
     }
@@ -503,6 +539,14 @@ mod tests {
                 max_steps: 4,
                 warm_start: true,
                 safe: true,
+                tenant: Some("acme-prod".into()),
+            },
+            Request::CreateSession {
+                spec: sample_spec(),
+                max_steps: 4,
+                warm_start: false,
+                safe: false,
+                tenant: None,
             },
             Request::Step,
             Request::Status,
@@ -568,7 +612,9 @@ mod tests {
             },
             Response::Closed { session: 3, steps: 4, published: true, drained: false },
             Response::Rejected { reason: "queue_full".into(), queue_depth: 4 },
-            Response::Error { message: "no open session".into() },
+            Response::Rejected { reason: "tenant_quota".into(), queue_depth: 0 },
+            Response::err("no open session"),
+            Response::frame_too_large(70000, 65536),
         ];
         for resp in responses {
             let line = resp.to_json_line();
@@ -600,6 +646,7 @@ mod tests {
                     max_steps: 5,
                     warm_start: false,
                     safe: false,
+                    tenant: None,
                 };
                 let back = Request::from_json_line(&req.to_json_line()).unwrap();
                 assert_eq!(back, req);
@@ -610,7 +657,7 @@ mod tests {
     #[test]
     fn missing_spec_fields_take_defaults() {
         let line = "{\"v\":1,\"type\":\"create_session\",\"spec\":{\"workload\":\"tpcc\"}}";
-        let Request::CreateSession { spec, max_steps, warm_start, safe } =
+        let Request::CreateSession { spec, max_steps, warm_start, safe, tenant } =
             Request::from_json_line(line).unwrap()
         else {
             panic!("wrong variant");
@@ -623,6 +670,29 @@ mod tests {
         assert_eq!(max_steps, 5, "absent budget falls back to the paper's 5");
         assert!(!warm_start);
         assert!(!safe, "absent safe flag means the unguarded pre-safety path");
+        assert_eq!(tenant, None, "absent tenant token means anonymous/uncapped");
+    }
+
+    #[test]
+    fn error_code_is_typed_but_optional_on_the_wire() {
+        // Old daemons emit errors with no code; they decode as generic.
+        let old = "{\"v\":1,\"type\":\"error\",\"message\":\"boom\"}";
+        assert_eq!(Response::from_json_line(old).unwrap(), Response::err("boom"));
+        // Generic errors do not serialize an empty code field.
+        assert!(!Response::err("boom").to_json_line().contains("\"code\""));
+        // frame_too_large carries its machine-readable class.
+        let line = Response::frame_too_large(99, 64).to_json_line();
+        let Response::Error { code, message } = Response::from_json_line(&line).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(code, "frame_too_large");
+        assert!(message.contains("99"));
+        // Empty tenant strings normalize to anonymous.
+        let req = "{\"v\":1,\"type\":\"create_session\",\"spec\":{},\"tenant\":\"\"}";
+        let Request::CreateSession { tenant, .. } = Request::from_json_line(req).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(tenant, None);
     }
 
     #[test]

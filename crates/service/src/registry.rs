@@ -55,6 +55,16 @@ pub struct RegistryMatch {
     pub distance: f64,
 }
 
+/// Publishes whose fingerprint lands within this distance of an existing
+/// same-knob entry are folded into it instead of appended. Without the
+/// fold, a 10k-session warm fleet tuning one workload family republishes
+/// 10k near-identical snapshots: the registry retains a full model clone
+/// per close, every later warm lookup scans (and the serving tier loads)
+/// the pile, and close-wave tail latency balloons. Kept well under the
+/// daemon's warm-start radius (0.25): anything this close would have
+/// warm-started from the entry it duplicates.
+pub const FOLD_DISTANCE: f64 = 0.1;
+
 /// Thread-safe store of [`RegistryEntry`]s with optional disk persistence.
 pub struct ModelRegistry {
     dir: Option<PathBuf>,
@@ -135,7 +145,9 @@ impl ModelRegistry {
         self.len() == 0
     }
 
-    /// Publishes a model under a fingerprint, returning the entry id. With
+    /// Publishes a model under a fingerprint, returning the id it is now
+    /// served under — a fresh id, or the id of a near-duplicate entry the
+    /// publish folded into (see [`FOLD_DISTANCE`]). With
     /// a disk-backed registry the entry is also written out (model first,
     /// then metadata, so a crash between the two leaves no dangling
     /// metadata for [`ModelRegistry::open`] to trip on). Non-finite
@@ -154,6 +166,30 @@ impl ModelRegistry {
         if fingerprint.sanitize() {
             eprintln!("registry: sanitized non-finite fingerprint summaries at publish");
         }
+        // Near-duplicate fold (see [`FOLD_DISTANCE`]): a publish that adds
+        // nothing over its nearest neighbour returns the neighbour's id; a
+        // strictly better one replaces the neighbour under a fresh id, so
+        // entries stay immutable snapshots (the serving tier caches
+        // per-id) while the registry stays bounded under fleet churn.
+        let replaced: Option<u64> = {
+            let mut entries =
+                self.entries.lock().map_err(|_| std::io::Error::other("registry poisoned"))?;
+            let nearest = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.model.action_indices == model.action_indices)
+                .map(|(i, e)| (i, fingerprint.distance(&e.fingerprint)))
+                .filter(|&(_, d)| d.is_finite() && d <= FOLD_DISTANCE)
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            match nearest {
+                Some((i, _)) if best_tps <= entries[i].best_tps => return Ok(entries[i].id),
+                Some((i, _)) => Some(entries.remove(i).id),
+                None => None,
+            }
+            // A concurrent lookup between this unlock and the re-insert
+            // below misses the folded entry and cold-starts — benign, and
+            // it keeps disk writes out of the lookup lock's critical path.
+        };
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let entry =
             RegistryEntry { id, fingerprint, model: Arc::new(model), best_action, best_tps, steps };
@@ -179,6 +215,12 @@ impl ModelRegistry {
         }
         if let Ok(mut entries) = self.entries.lock() {
             entries.push(entry);
+        }
+        // New pair is on disk before the superseded one goes away, so a
+        // crash mid-replacement leaves a loadable registry either way.
+        if let (Some(dir), Some(old)) = (&self.dir, replaced) {
+            let _ = std::fs::remove_file(dir.join(format!("entry-{old}.json")));
+            let _ = std::fs::remove_file(dir.join(format!("model-{old}.json")));
         }
         Ok(id)
     }
@@ -259,21 +301,83 @@ mod tests {
     #[test]
     fn lookup_ties_resolve_to_the_lowest_id_deterministically() {
         // Two entries with *identical* fingerprints are exactly
-        // equidistant from any query. The entries vec is id-ordered
-        // (publish appends ascending ids; open() sorts by id) and lookup
-        // only replaces its candidate on a strictly smaller distance, so
-        // a tie always resolves to the lowest id — the warm-start choice
-        // cannot depend on scan or load order.
+        // equidistant from any query. publish() folds such duplicates
+        // nowadays, but a registry directory written before the fold rule
+        // can still load them — forge the pair directly. The entries vec
+        // is id-ordered (open() sorts by id) and lookup only replaces its
+        // candidate on a strictly smaller distance, so a tie always
+        // resolves to the lowest id — the warm-start choice cannot depend
+        // on scan or load order.
         let reg = ModelRegistry::in_memory();
-        let first =
-            reg.publish(fp(5000.0), model(&[0, 1, 2], 1), vec![0.1; 3], 5100.0, 3).unwrap();
-        let second =
-            reg.publish(fp(5000.0), model(&[0, 1, 2], 2), vec![0.9; 3], 5300.0, 6).unwrap();
-        assert!(first < second);
+        for (id, seed) in [(1u64, 1u64), (2, 2)] {
+            reg.entries.lock().unwrap().push(RegistryEntry {
+                id,
+                fingerprint: fp(5000.0),
+                model: Arc::new(model(&[0, 1, 2], seed)),
+                best_action: vec![0.1 * seed as f32; 3],
+                best_tps: 5100.0 + 100.0 * seed as f64,
+                steps: 3,
+            });
+        }
         for _ in 0..10 {
             let hit = reg.lookup(&fp(5000.0), &[0, 1, 2], 0.5).expect("tie within range");
-            assert_eq!(hit.entry.id, first, "tie must resolve to the lowest id");
+            assert_eq!(hit.entry.id, 1, "tie must resolve to the lowest id");
         }
+    }
+
+    #[test]
+    fn near_duplicate_publishes_fold_instead_of_growing_the_registry() {
+        let reg = ModelRegistry::in_memory();
+        let first =
+            reg.publish(fp(5000.0), model(&[0, 1, 2], 1), vec![0.5; 3], 5200.0, 4).unwrap();
+        // Same fingerprint, no better: folded into the existing entry.
+        let folded =
+            reg.publish(fp(5000.0), model(&[0, 1, 2], 2), vec![0.6; 3], 5150.0, 4).unwrap();
+        assert_eq!(folded, first);
+        assert_eq!(reg.len(), 1);
+        let hit = reg.lookup(&fp(5000.0), &[0, 1, 2], 0.5).unwrap();
+        assert_eq!(hit.entry.best_action, vec![0.5; 3], "loser must not clobber the entry");
+        // Same fingerprint, strictly better: replaces under a fresh id
+        // (entries are immutable snapshots; the serving tier caches by id).
+        let better =
+            reg.publish(fp(5000.0), model(&[0, 1, 2], 3), vec![0.7; 3], 6000.0, 5).unwrap();
+        assert!(better > first);
+        assert_eq!(reg.len(), 1);
+        let hit = reg.lookup(&fp(5000.0), &[0, 1, 2], 0.5).unwrap();
+        assert_eq!(hit.entry.id, better);
+        assert_eq!(hit.entry.best_tps, 6000.0);
+        // A genuinely different workload still appends.
+        reg.publish(fp(9500.0), model(&[0, 1, 2], 4), vec![0.9; 3], 9900.0, 5).unwrap();
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn disk_replacement_persists_only_the_winning_pair() {
+        let dir = std::env::temp_dir()
+            .join(format!("cdbtuned-registry-fold-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let reg = ModelRegistry::open(&dir).unwrap();
+            let first =
+                reg.publish(fp(5000.0), model(&[0, 1, 2], 1), vec![0.5; 3], 5200.0, 4).unwrap();
+            let better =
+                reg.publish(fp(5000.0), model(&[0, 1, 2], 2), vec![0.7; 3], 6000.0, 5).unwrap();
+            assert!(better > first);
+            // Exactly one entry/model pair remains on disk: the winner's.
+            let names: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            assert_eq!(names.len(), 2, "stale pair must be removed: {names:?}");
+            assert!(names.contains(&format!("entry-{better}.json")));
+            assert!(names.contains(&format!("model-{better}.json")));
+        }
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.lookup(&fp(5000.0), &[0, 1, 2], 0.5).unwrap().entry.best_tps, 6000.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -446,10 +446,10 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
 fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) -> Response {
     let req = match Request::from_json_line(text) {
         Ok(r) => r,
-        Err(e) => return Response::Error { message: format!("bad request: {e}") },
+        Err(e) => return Response::err(format!("bad request: {e}")),
     };
     match req {
-        Request::CreateSession { spec, max_steps, warm_start, safe } => {
+        Request::CreateSession { spec, max_steps, warm_start, safe, tenant: _ } => {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return Response::Rejected {
                     reason: "draining".into(),
@@ -457,9 +457,7 @@ fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) ->
                 };
             }
             if session.is_some() {
-                return Response::Error {
-                    message: "this connection already hosts a session".into(),
-                };
+                return Response::err("this connection already hosts a session");
             }
             let id = shared.next_session_id.fetch_add(1, Ordering::SeqCst);
             match TuningSession::create(
@@ -492,11 +490,11 @@ fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) ->
                     *session = Some(s);
                     resp
                 }
-                Err(e) => Response::Error { message: format!("create_session: {e}") },
+                Err(e) => Response::err(format!("create_session: {e}")),
             }
         }
         Request::Step => match session.as_mut() {
-            None => Response::Error { message: "no open session".into() },
+            None => Response::err("no open session"),
             Some(s) => match s.step() {
                 Some(step) => {
                     shared.absorb_session_deltas(s);
@@ -511,14 +509,12 @@ fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) ->
                         finished: s.is_finished(),
                     }
                 }
-                None => Response::Error {
-                    message: "session is finished; recommend or close_session".into(),
-                },
+                None => Response::err("session is finished; recommend or close_session"),
             },
         },
         Request::Status => shared.status_response(),
         Request::Recommend => match session.as_ref() {
-            None => Response::Error { message: "no open session".into() },
+            None => Response::err("no open session"),
             Some(s) => Response::Recommendation {
                 session: s.id(),
                 best_tps: s.best_perf().throughput_tps,
@@ -533,7 +529,7 @@ fn dispatch(shared: &Shared, text: &str, session: &mut Option<TuningSession>) ->
             },
         },
         Request::CloseSession => match session.take() {
-            None => Response::Error { message: "no open session".into() },
+            None => Response::err("no open session"),
             Some(mut s) => {
                 shared.absorb_session_deltas(&mut s);
                 let out = s.close(&shared.registry, false);

@@ -173,6 +173,15 @@ rustc $EDITION -O --crate-name perf crates/bench/src/bin/perf.rs \
     --extern cdbtune="$OPT/libcdbtune.rlib" --extern baselines="$OPT/libbaselines.rlib" \
     --extern service="$OPT/libservice.rlib" --extern bench="$OPT/libbench.rlib" \
     -o "$OPT/perf" -Adead_code
+# The perf suite's service leg (svc_10k_* gates) spawns cdbtuned as a
+# subprocess so the daemon and the load generator get separate fd tables.
+rustc $EDITION -O --crate-name cdbtuned crates/service/src/bin/cdbtuned.rs \
+    -L "$OUT" -L "$OPT" "${EXT_BASE[@]}" \
+    --extern simdb="$OPT/libsimdb.rlib" --extern workload="$OPT/libworkload.rlib" \
+    --extern rl="$OPT/librl.rlib" --extern tinynn="$OPT/libtinynn.rlib" \
+    --extern cdbtune="$OPT/libcdbtune.rlib" --extern service="$OPT/libservice.rlib" \
+    -o "$OPT/cdbtuned" -Adead_code
+export CDBTUNED_BIN="$OPT/cdbtuned"
 "$OPT/perf" --quick --check --ratios-only --tolerance 0.6
 
 echo "== zero-allocation steady-state gate =="
@@ -199,12 +208,12 @@ trace_tmp=$(mktemp -d)
 "$OUT/trace_summary" "$trace_tmp/run.jsonl"
 rm -rf "$trace_tmp"
 
-echo "== daemon smoke (in-memory registry, client-driven shutdown) =="
+echo "== daemon smoke: threads runtime (client-driven shutdown) =="
 # Disk registry/checkpoints need real serde, so the offline smoke runs the
 # daemon in-memory only: boot on an ephemeral port, run two short client
 # sessions, shut down via the protocol, and validate the daemon trace.
 svc_tmp=$(mktemp -d)
-"$OUT/cdbtuned" --addr 127.0.0.1:0 --workers 2 --queue 2 \
+"$OUT/cdbtuned" --addr 127.0.0.1:0 --runtime threads --workers 2 --queue 2 \
     --trace-out "$svc_tmp/daemon.jsonl" --trace-level step \
     >"$svc_tmp/stdout" 2>"$svc_tmp/stderr" &
 svc_pid=$!
@@ -228,5 +237,41 @@ fi
 wait "$svc_pid"
 "$OUT/trace_summary" "$svc_tmp/daemon.jsonl"
 rm -rf "$svc_tmp"
+
+echo "== daemon smoke: events runtime (open-loop gate, SIGTERM drain) =="
+# The reactor runtime must honor the same drain contract: boot, run a
+# closed-loop pair and an open-loop burst (rejection-rate gated), then
+# SIGTERM with a session still held and require a clean exit plus a
+# balanced service trace.
+evt_tmp=$(mktemp -d)
+"$OUT/cdbtuned" --addr 127.0.0.1:0 --runtime events --workers 2 --queue 256 \
+    --trace-out "$evt_tmp/daemon.jsonl" --trace-level step \
+    >"$evt_tmp/stdout" 2>"$evt_tmp/stderr" &
+evt_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^cdbtuned listening on //p' "$evt_tmp/stdout")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "events cdbtuned never reported its address"
+    cat "$evt_tmp/stderr"
+    kill "$evt_pid" 2>/dev/null || true
+    exit 1
+fi
+"$OUT/svc_load" --addr "$addr" --sessions 2 --steps 2 --knobs 4 --scale 0.003
+"$OUT/svc_load" --addr "$addr" --mode open --sessions 20 --rate 200 --steps 1 \
+    --knobs 4 --scale 0.003 --warm-start false --max-reject-rate 0.0
+# Hold a session live across the SIGTERM so the drain has work to do.
+"$OUT/svc_load" --addr "$addr" --sessions 1 --steps 1 \
+    --knobs 4 --scale 0.003 --hold-ms 10000 >/dev/null 2>&1 &
+holder_pid=$!
+sleep 1.5
+kill -TERM "$evt_pid"
+wait "$evt_pid" # exit 0 = clean drain
+wait "$holder_pid" || true
+"$OUT/trace_summary" "$evt_tmp/daemon.jsonl"
+rm -rf "$evt_tmp"
 
 echo "== local verify OK =="

@@ -1,0 +1,167 @@
+//! End-to-end exercise of the event-driven runtime (`--runtime=events`):
+//! the reactor must be observably equivalent to the blocking thread-pool
+//! server on the same seeded script, enforce per-tenant quotas over the
+//! wire, survive adversarial byte-dribbled framing, and hold up under an
+//! open-loop arrival schedule.
+
+use bench::svc::{run_open_load, OpenLoadSpec};
+use cdbtune::EnvSpec;
+use service::{
+    spawn_runtime, Client, ReactorConfig, Request, Response, RuntimeConfig, RuntimeHandle,
+    RuntimeKind, ServiceConfig,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use workload::WorkloadKind;
+
+fn tiny_spec(seed: u64) -> EnvSpec {
+    EnvSpec {
+        workload: WorkloadKind::SysbenchRw,
+        scale: 0.003,
+        knobs: 6,
+        seed,
+        warmup_txns: 10,
+        measure_txns: 60,
+        horizon: 8,
+        ..EnvSpec::default()
+    }
+}
+
+fn events_runtime(reactor: ReactorConfig) -> RuntimeHandle {
+    spawn_runtime(RuntimeConfig {
+        service: ServiceConfig { workers: 2, queue_capacity: 16, ..ServiceConfig::default() },
+        kind: RuntimeKind::Events,
+        reactor,
+    })
+    .expect("events runtime boots on a loopback port")
+}
+
+/// Runs one deterministic session script and returns every response as
+/// its canonical JSON line.
+fn run_script(addr: &str, seed: u64, steps: usize) -> Vec<String> {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut lines = Vec::new();
+    let mut push = |r: Response| lines.push(r.to_json_line());
+    push(
+        client
+            .request(&Request::CreateSession {
+                spec: tiny_spec(seed),
+                max_steps: 6,
+                warm_start: false,
+                safe: false,
+                tenant: None,
+            })
+            .expect("create"),
+    );
+    for _ in 0..steps {
+        push(client.request(&Request::Step).expect("step"));
+    }
+    push(client.request(&Request::Recommend).expect("recommend"));
+    push(client.request(&Request::CloseSession).expect("close"));
+    lines
+}
+
+#[test]
+fn events_and_threads_runtimes_agree_on_a_seeded_script() {
+    let events = events_runtime(ReactorConfig::default());
+    let threads = spawn_runtime(RuntimeConfig {
+        service: ServiceConfig { workers: 2, queue_capacity: 16, ..ServiceConfig::default() },
+        kind: RuntimeKind::Threads,
+        reactor: ReactorConfig::default(),
+    })
+    .expect("threads runtime boots");
+    for seed in [5u64, 23] {
+        let via_events = run_script(&events.addr().to_string(), seed, 3);
+        let via_threads = run_script(&threads.addr().to_string(), seed, 3);
+        assert_eq!(
+            via_events, via_threads,
+            "seed {seed}: the two runtimes must be bit-identical on the wire"
+        );
+    }
+    events.shutdown();
+    threads.shutdown();
+}
+
+#[test]
+fn tenant_quota_is_enforced_over_the_wire() {
+    let handle = events_runtime(ReactorConfig {
+        tenant_max_sessions: 1,
+        ..ReactorConfig::default()
+    });
+    let addr = handle.addr();
+    let create = |client: &mut Client| {
+        client
+            .request(&Request::CreateSession {
+                spec: tiny_spec(3),
+                max_steps: 4,
+                warm_start: false,
+                safe: false,
+                tenant: Some("acme".to_string()),
+            })
+            .expect("create request")
+    };
+    let mut first = Client::connect(addr).expect("connect");
+    assert!(matches!(create(&mut first), Response::SessionCreated { .. }));
+    let mut second = Client::connect(addr).expect("connect");
+    match create(&mut second) {
+        Response::Rejected { reason, .. } => assert_eq!(reason, "tenant_quota"),
+        other => panic!("expected a typed tenant_quota rejection, got {other:?}"),
+    }
+    // Closing the first session frees the slot for the same tenant.
+    let _ = first.request(&Request::CloseSession).expect("close");
+    let mut third = Client::connect(addr).expect("connect");
+    assert!(matches!(create(&mut third), Response::SessionCreated { .. }));
+    handle.shutdown();
+}
+
+#[test]
+fn byte_dribbled_frames_parse_and_oversized_frames_get_a_typed_error() {
+    let handle = events_runtime(ReactorConfig::default());
+
+    // Dribble a status request a few bytes at a time: the decoder must
+    // reassemble it across arbitrary read boundaries.
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let frame = Request::Status.to_json_line() + "\n";
+    for chunk in frame.as_bytes().chunks(3) {
+        raw.write_all(chunk).expect("dribble");
+        raw.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status response");
+    assert!(line.contains("\"service_status\""), "unexpected reply: {line}");
+
+    // An unterminated oversized frame draws frame_too_large, then close.
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    raw.write_all(&vec![b'a'; 70 * 1024]).expect("oversized blob");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error line");
+    assert!(line.contains("frame_too_large"), "unexpected reply: {line}");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).expect("eof"), 0, "daemon must close the conn");
+    handle.shutdown();
+}
+
+#[test]
+fn open_loop_arrivals_complete_under_the_reactor() {
+    let handle = events_runtime(ReactorConfig::default());
+    let report = run_open_load(&OpenLoadSpec {
+        addr: handle.addr().to_string(),
+        sessions: 24,
+        rate: 120.0,
+        steps: 1,
+        spec: tiny_spec(17),
+        warm_start: false,
+        safe: false,
+        tenant: None,
+        hold_ms: 0,
+    });
+    assert_eq!(report.errors(), 0, "{}", report.render());
+    assert_eq!(report.completed(), 24, "{}", report.render());
+    assert!(report.rejection_rate() == 0.0, "{}", report.render());
+    assert!(report.request_latency.p99_ms > 0.0);
+    handle.shutdown();
+}

@@ -104,6 +104,7 @@ fn near_identical_session_warm_starts_and_converges_faster() {
             max_steps: 5,
             warm_start: true,
             safe: false,
+            tenant: None,
         })
         .expect("cold create");
     let Response::SessionCreated { warm_start, .. } = created else {
@@ -147,6 +148,7 @@ fn near_identical_session_warm_starts_and_converges_faster() {
             max_steps: 5,
             warm_start: true,
             safe: false,
+            tenant: None,
         })
         .expect("warm create");
     let Response::SessionCreated { warm_start, registry_distance, .. } = created else {
