@@ -15,21 +15,30 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Parsed baseline: fingerprint -> allowed count.
+/// Parsed baseline: fingerprint -> allowed count, plus (for
+/// interprocedural findings) the call chain observed when the entry was
+/// recorded, so a baselined transitive finding stays explainable.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
     /// Allowed findings per fingerprint.
     pub entries: BTreeMap<String, u32>,
+    /// Optional recorded call chain per fingerprint (` -> `-joined).
+    pub chains: BTreeMap<String, String>,
 }
 
 impl Baseline {
-    /// Counts fingerprints over a finding set.
+    /// Counts fingerprints over a finding set, recording call chains
+    /// for interprocedural findings.
     pub fn from_findings(findings: &[Finding]) -> Baseline {
         let mut entries: BTreeMap<String, u32> = BTreeMap::new();
+        let mut chains: BTreeMap<String, String> = BTreeMap::new();
         for f in findings {
             *entries.entry(f.fingerprint()).or_insert(0) += 1;
+            if !f.chain.is_empty() {
+                chains.entry(f.fingerprint()).or_insert_with(|| f.chain.join(" -> "));
+            }
         }
-        Baseline { entries }
+        Baseline { entries, chains }
     }
 
     /// Deterministic serialization: sorted keys, stable layout, trailing
@@ -42,6 +51,11 @@ impl Baseline {
             s.push_str(&escape(k));
             s.push_str("\", \"count\": ");
             s.push_str(&c.to_string());
+            if let Some(chain) = self.chains.get(k) {
+                s.push_str(", \"chain\": \"");
+                s.push_str(&escape(chain));
+                s.push('"');
+            }
             s.push('}');
             if idx != last {
                 s.push(',');
@@ -57,6 +71,7 @@ impl Baseline {
     /// machine-generated, so surprises mean corruption).
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut entries = BTreeMap::new();
+        let mut chains = BTreeMap::new();
         for (n, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if let Some(rest) = line.strip_prefix("{\"key\": \"") {
@@ -70,10 +85,16 @@ impl Baseline {
                 let count: u32 = digits
                     .parse()
                     .map_err(|_| format!("baseline line {}: bad count", n + 1))?;
+                // Optional recorded call chain for interprocedural keys.
+                if let Some(rest) = after[digits.len()..].strip_prefix(", \"chain\": \"") {
+                    let (chain, _) = read_escaped(rest)
+                        .ok_or_else(|| format!("baseline line {}: unterminated chain", n + 1))?;
+                    chains.insert(key.clone(), chain);
+                }
                 entries.insert(key, count);
             }
         }
-        Ok(Baseline { entries })
+        Ok(Baseline { entries, chains })
     }
 
     /// Loads a baseline; `Ok(None)` when the file does not exist yet.
@@ -190,6 +211,7 @@ mod tests {
             fn_name: "f".to_string(),
             tag: tag.to_string(),
             message: "m".to_string(),
+            chain: Vec::new(),
         }
     }
 
@@ -216,6 +238,30 @@ mod tests {
         b.entries.insert("lint|a.rs|f:weird\"key\\x".to_string(), 1);
         let json = b.to_json();
         assert_eq!(Baseline::parse(&json).expect("parse"), b);
+    }
+
+    #[test]
+    fn chain_field_round_trips_and_stays_optional() {
+        let mut with_chain = finding("a.rs", 3, "calls-panic:decode");
+        with_chain.chain =
+            vec!["step (a.rs:3)".to_string(), "decode (b.rs:1)".to_string(), "`unwrap`".to_string()];
+        let plain = finding("c.rs", 1, "unwrap");
+        let b = Baseline::from_findings(&[with_chain.clone(), plain.clone()]);
+        assert_eq!(
+            b.chains.get(&with_chain.fingerprint()).map(String::as_str),
+            Some("step (a.rs:3) -> decode (b.rs:1) -> `unwrap`")
+        );
+        assert!(!b.chains.contains_key(&plain.fingerprint()));
+        let json = b.to_json();
+        assert!(json.contains("\"chain\": \"step (a.rs:3)"));
+        let parsed = Baseline::parse(&json).expect("parse");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), json);
+        // Old-format files (no chain field) still parse.
+        let legacy = "{\n  \"entries\": [\n    {\"key\": \"x|y|z:t\", \"count\": 2}\n  ]\n}\n";
+        let old = Baseline::parse(legacy).expect("legacy parse");
+        assert_eq!(old.entries["x|y|z:t"], 2);
+        assert!(old.chains.is_empty());
     }
 
     #[test]

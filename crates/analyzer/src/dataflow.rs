@@ -1,0 +1,506 @@
+//! Interprocedural dataflow over the call graph.
+//!
+//! Propagates four facts from the token-level seed detectors to a
+//! fixpoint, caller-ward along call edges:
+//!
+//! * **may-block** — blocking reads, `thread::sleep`, blocking
+//!   `.recv()`, and `.lock()` on a known lock binding;
+//! * **may-panic** — `.unwrap()`, `.expect(..)`, `panic!`-family
+//!   macros, slice indexing (same detectors as the `panic-safety`
+//!   token lint);
+//! * **sends-bounded** — `.send(..)` on a bounded `sync_channel`
+//!   sender (can park the thread when the queue is full);
+//! * **locks-acquired** — the set of lock bindings a fn (or anything it
+//!   calls) acquires.
+//!
+//! The lattices are tiny and monotone — booleans with a witness, and
+//! finite name sets — so a plain worklist terminates even on cyclic
+//! (recursive) graphs. Each boolean fact keeps a [`Witness`]: the line
+//! it was observed at and, for propagated facts, the callee it came
+//! through, so lints can reconstruct the full call chain for messages.
+//!
+//! Suppression composes with the existing annotations: a seed under
+//! `lint:allow(reactor|panic|lock-order|channel)` never enters the
+//! lattice, and propagation through a *call site* annotated with the
+//! matching id is cut, which is how deliberate blocking workers stay
+//! out of their callers' facts.
+
+use crate::callgraph::CallGraph;
+use crate::lexer::Tok;
+use crate::{decl_name_before, ident_at, is_keyword, is_punct, SourceFile};
+use std::collections::BTreeSet;
+
+/// Blocking `Read`-trait helpers (shared with the reactor lint).
+pub const BLOCKING_READS: &[&str] =
+    &["read_to_string", "read_to_end", "read_line", "read_exact"];
+
+/// Why a boolean fact holds for a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Line inside the node where the seed or the propagating call is.
+    pub line: u32,
+    /// Seed tag (`recv`, `unwrap`, ...) or callee qual for propagated.
+    pub desc: String,
+    /// Callee node the fact came through (None for a direct seed).
+    pub via: Option<usize>,
+}
+
+/// One ordered observation inside a fn body (token order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A lock acquisition `name.lock()/.read()/.write()`.
+    Acquire {
+        /// Lock binding name.
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A resolved call to another node.
+    Call {
+        /// Callee node index.
+        callee: usize,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A direct blocking operation.
+    Block {
+        /// Seed tag (`recv`, `thread::sleep`, ...).
+        tag: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A direct panic site.
+    Panic {
+        /// Seed tag (`unwrap`, `index`, ...).
+        tag: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A bounded-channel send.
+    Send {
+        /// Sender binding name.
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+}
+
+impl Event {
+    /// The event's source line.
+    pub fn line(&self) -> u32 {
+        match self {
+            Event::Acquire { line, .. }
+            | Event::Call { line, .. }
+            | Event::Block { line, .. }
+            | Event::Panic { line, .. }
+            | Event::Send { line, .. } => *line,
+        }
+    }
+}
+
+/// Fixpoint results, indexed by call-graph node.
+#[derive(Debug, Default)]
+pub struct Dataflow {
+    /// Ordered events per node (test regions and allowed lines elided).
+    pub events: Vec<Vec<Event>>,
+    /// may-block witness per node.
+    pub may_block: Vec<Option<Witness>>,
+    /// may-panic witness per node.
+    pub may_panic: Vec<Option<Witness>>,
+    /// bounded-send witness per node.
+    pub sends_bounded: Vec<Option<Witness>>,
+    /// Lock bindings acquired by the node or anything it calls.
+    pub locks: Vec<BTreeSet<String>>,
+    /// Every binding declared with a Mutex/RwLock type, workspace-wide.
+    pub lock_names: BTreeSet<String>,
+    /// Every binding holding a bounded `SyncSender`.
+    pub bounded_senders: BTreeSet<String>,
+}
+
+/// Reconstructs the call chain behind a propagated fact as
+/// `qual (file:line)` frames, ending at the seed tag. `start` must have
+/// a witness in `facts`.
+pub fn chain_of(
+    facts: &[Option<Witness>],
+    graph: &CallGraph,
+    sources: &[SourceFile],
+    start: usize,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = start;
+    for _ in 0..=graph.nodes.len() {
+        let w = match &facts[cur] {
+            Some(w) => w,
+            None => break,
+        };
+        let n = &graph.nodes[cur];
+        out.push(format!("{} ({}:{})", n.qual, sources[n.file].path, w.line));
+        match w.via {
+            Some(next) => cur = next,
+            None => {
+                out.push(format!("`{}`", w.desc));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Runs seed extraction and the propagation fixpoint. Panic events in
+/// files matching `kernel_allowlist` (dim-asserted compute kernels) are
+/// skipped at extraction, so they never enter the may-panic lattice.
+pub fn run(sources: &[SourceFile], graph: &CallGraph, kernel_allowlist: &[String]) -> Dataflow {
+    let mut d = Dataflow {
+        lock_names: collect_lock_names(sources),
+        bounded_senders: collect_bounded_senders(sources),
+        ..Dataflow::default()
+    };
+    let n = graph.nodes.len();
+    d.events = (0..n)
+        .map(|i| {
+            let path = &sources[graph.nodes[i].file].path;
+            let kernel = kernel_allowlist.iter().any(|p| path.contains(p.as_str()));
+            extract_events(i, graph, sources, &d, kernel)
+        })
+        .collect();
+    d.may_block = vec![None; n];
+    d.may_panic = vec![None; n];
+    d.sends_bounded = vec![None; n];
+    d.locks = vec![BTreeSet::new(); n];
+
+    // Seed the boolean facts and the direct lock sets.
+    for i in 0..n {
+        for ev in &d.events[i] {
+            match ev {
+                Event::Block { tag, line } if d.may_block[i].is_none() => {
+                    d.may_block[i] =
+                        Some(Witness { line: *line, desc: tag.clone(), via: None });
+                }
+                Event::Panic { tag, line } if d.may_panic[i].is_none() => {
+                    d.may_panic[i] =
+                        Some(Witness { line: *line, desc: tag.clone(), via: None });
+                }
+                Event::Send { name, line } if d.sends_bounded[i].is_none() => {
+                    d.sends_bounded[i] =
+                        Some(Witness { line: *line, desc: format!("{name}.send"), via: None });
+                }
+                Event::Acquire { name, .. } => {
+                    d.locks[i].insert(name.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    propagate_bool(&mut d.may_block, &d.events, graph, sources, "reactor");
+    propagate_bool(&mut d.may_panic, &d.events, graph, sources, "panic");
+    propagate_bool(&mut d.sends_bounded, &d.events, graph, sources, "channel");
+    propagate_locks(&mut d.locks, &d.events, graph, sources);
+    d
+}
+
+/// Caller-ward worklist for one boolean fact. Propagation into a caller
+/// happens through its first non-suppressed call site of the callee;
+/// a call line annotated `lint:allow(<allow_id>)` cuts the flow.
+fn propagate_bool(
+    facts: &mut [Option<Witness>],
+    events: &[Vec<Event>],
+    graph: &CallGraph,
+    sources: &[SourceFile],
+    allow_id: &str,
+) {
+    let mut work: Vec<usize> =
+        (0..facts.len()).filter(|&i| facts[i].is_some()).collect();
+    while let Some(m) = work.pop() {
+        for &c in &graph.callers[m] {
+            if facts[c].is_some() {
+                continue;
+            }
+            let site = events[c].iter().find_map(|ev| match ev {
+                Event::Call { callee, line }
+                    if *callee == m
+                        && !sources[graph.nodes[c].file].allowed(allow_id, *line) =>
+                {
+                    Some(*line)
+                }
+                _ => None,
+            });
+            if let Some(line) = site {
+                facts[c] = Some(Witness {
+                    line,
+                    desc: graph.nodes[m].qual.clone(),
+                    via: Some(m),
+                });
+                work.push(c);
+            }
+        }
+    }
+}
+
+/// Caller-ward worklist for the lock sets (finite union lattice).
+fn propagate_locks(
+    locks: &mut [BTreeSet<String>],
+    events: &[Vec<Event>],
+    graph: &CallGraph,
+    sources: &[SourceFile],
+) {
+    let mut work: Vec<usize> =
+        (0..locks.len()).filter(|&i| !locks[i].is_empty()).collect();
+    while let Some(m) = work.pop() {
+        let from = locks[m].clone();
+        for &c in &graph.callers[m] {
+            let calls_through = events[c].iter().any(|ev| matches!(ev,
+                Event::Call { callee, line }
+                    if *callee == m
+                        && !sources[graph.nodes[c].file].allowed("lock-order", *line)));
+            if !calls_through {
+                continue;
+            }
+            let before = locks[c].len();
+            locks[c].extend(from.iter().cloned());
+            if locks[c].len() != before {
+                work.push(c);
+            }
+        }
+    }
+}
+
+/// Every binding declared with a `Mutex`/`RwLock` type, in any file.
+fn collect_lock_names(sources: &[SourceFile]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for s in sources {
+        let toks = &s.lexed.tokens;
+        for i in 0..toks.len() {
+            if matches!(ident_at(toks, i), Some("Mutex") | Some("RwLock")) {
+                if let Some(n) = decl_name_before(toks, i) {
+                    names.insert(n);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Bindings that hold a bounded `SyncSender`: the first element of a
+/// `let (tx, rx) = ..sync_channel..(..)` destructure, any binding
+/// declared with a `SyncSender` type, and (one hop of) `.clone()`
+/// aliases of either.
+fn collect_bounded_senders(sources: &[SourceFile]) -> BTreeSet<String> {
+    let mut senders = BTreeSet::new();
+    for s in sources {
+        let toks = &s.lexed.tokens;
+        for i in 0..toks.len() {
+            match ident_at(toks, i) {
+                Some("sync_channel") => {
+                    // Walk back over the path (`std::sync::mpsc::`) to `=`,
+                    // then over the `(tx, rx)` tuple to its first ident.
+                    let mut j = i as isize - 1;
+                    while j >= 0
+                        && matches!(&toks[j as usize].tok, Tok::Punct(':') | Tok::Ident(_))
+                        && ident_at(toks, j as usize) != Some("use")
+                    {
+                        j -= 1;
+                    }
+                    if j < 1 || !is_punct(toks, j as usize, '=') {
+                        continue;
+                    }
+                    let close = j as usize - 1;
+                    if !is_punct(toks, close, ')') {
+                        continue;
+                    }
+                    let mut depth = 0i32;
+                    let mut k = close as isize;
+                    while k >= 0 {
+                        match toks[k as usize].tok {
+                            Tok::Punct(')') => depth += 1,
+                            Tok::Punct('(') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k -= 1;
+                    }
+                    if k >= 0 {
+                        if let Some(tx) = ident_at(toks, k as usize + 1) {
+                            if !is_keyword(tx) {
+                                senders.insert(tx.to_string());
+                            }
+                        }
+                    }
+                }
+                Some("SyncSender") => {
+                    if let Some(n) = decl_name_before(toks, i) {
+                        senders.insert(n);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // `.clone()` aliases: `let tx2 = tx.clone()` (two passes cover
+    // alias-of-alias chains in practice).
+    for _ in 0..2 {
+        let mut added = Vec::new();
+        for s in sources {
+            let toks = &s.lexed.tokens;
+            for i in 0..toks.len() {
+                if ident_at(toks, i) == Some("clone")
+                    && i >= 2
+                    && is_punct(toks, i - 1, '.')
+                    && is_punct(toks, i + 1, '(')
+                {
+                    let src = match ident_at(toks, i - 2) {
+                        Some(x) if senders.contains(x) => x,
+                        _ => continue,
+                    };
+                    let _ = src;
+                    if i >= 4
+                        && is_punct(toks, i - 3, '=')
+                        && matches!(ident_at(toks, i.wrapping_sub(5)), Some("let") | Some("mut"))
+                    {
+                        if let Some(dst) = ident_at(toks, i - 4) {
+                            added.push(dst.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        let before = senders.len();
+        senders.extend(added);
+        if senders.len() == before {
+            break;
+        }
+    }
+    senders
+}
+
+/// Token ranges of fns nested inside `node`'s body (their events belong
+/// to the nested node).
+fn nested_ranges(node: usize, graph: &CallGraph) -> Vec<(usize, usize)> {
+    let me = &graph.nodes[node];
+    let mut skip: Vec<(usize, usize)> = graph
+        .nodes
+        .iter()
+        .filter(|m| m.file == me.file && m.body.0 > me.body.0 && m.body.1 < me.body.1)
+        .map(|m| (m.tok_fn, m.body.1))
+        .collect();
+    skip.sort_unstable();
+    skip
+}
+
+/// Extracts the ordered event list for one node: lock acquisitions,
+/// blocking/panic/send seeds (suppressed by their allow ids and test
+/// regions), and resolved calls — all in token order.
+fn extract_events(
+    node: usize,
+    graph: &CallGraph,
+    sources: &[SourceFile],
+    d: &Dataflow,
+    kernel: bool,
+) -> Vec<Event> {
+    let me = &graph.nodes[node];
+    let s = &sources[me.file];
+    let toks = &s.lexed.tokens;
+    let (bo, bc) = me.body;
+    let skip = nested_ranges(node, graph);
+
+    // (token index, event) pairs; calls merge in by their site token.
+    let mut evs: Vec<(usize, Event)> = Vec::new();
+    for e in &graph.edges[node] {
+        let line = e.line;
+        if !s.in_test(line) {
+            evs.push((e.tok, Event::Call { callee: e.callee, line }));
+        }
+    }
+
+    let mut i = bo + 1;
+    while i < bc {
+        if let Some(&(_, se)) = skip.iter().find(|&&(ss, se)| ss <= i && i <= se) {
+            i = se + 1;
+            continue;
+        }
+        let line = toks[i].line;
+        if s.in_test(line) {
+            i += 1;
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Ident(id) => {
+                let id = id.as_str();
+                let dot_before = i >= 1 && is_punct(toks, i - 1, '.');
+                let paren_after = is_punct(toks, i + 1, '(');
+                let zero_arg = paren_after && is_punct(toks, i + 2, ')');
+                if BLOCKING_READS.contains(&id) && dot_before && paren_after {
+                    if !s.allowed("reactor", line) {
+                        evs.push((i, Event::Block { tag: id.to_string(), line }));
+                    }
+                } else if id == "sleep" && paren_after && !dot_before {
+                    if !s.allowed("reactor", line) {
+                        evs.push((i, Event::Block { tag: "thread::sleep".into(), line }));
+                    }
+                } else if id == "recv" && dot_before && zero_arg {
+                    if !s.allowed("reactor", line) {
+                        evs.push((i, Event::Block { tag: "recv".into(), line }));
+                    }
+                } else if (id == "lock" || id == "read" || id == "write") && dot_before && zero_arg
+                {
+                    if let Some(recv) = ident_at(toks, i.wrapping_sub(2)) {
+                        if d.lock_names.contains(recv) {
+                            if id == "lock" && !s.allowed("reactor", line) {
+                                evs.push((i, Event::Block { tag: format!("{recv}.lock"), line }));
+                            }
+                            if !s.allowed("lock-order", line) {
+                                evs.push((
+                                    i + 1, // after the Block at the same site
+                                    Event::Acquire { name: recv.to_string(), line },
+                                ));
+                            }
+                        }
+                    }
+                } else if id == "unwrap" && dot_before && zero_arg {
+                    if !kernel && !s.allowed("panic", line) {
+                        evs.push((i, Event::Panic { tag: "unwrap".into(), line }));
+                    }
+                } else if id == "expect" && dot_before && paren_after {
+                    if !kernel && !s.allowed("panic", line) {
+                        evs.push((i, Event::Panic { tag: "expect".into(), line }));
+                    }
+                } else if (id == "panic" || id == "todo" || id == "unimplemented")
+                    && is_punct(toks, i + 1, '!')
+                {
+                    if !kernel && !s.allowed("panic", line) {
+                        evs.push((i, Event::Panic { tag: format!("{id}!"), line }));
+                    }
+                } else if id == "send" && dot_before && paren_after {
+                    if let Some(recv) = ident_at(toks, i.wrapping_sub(2)) {
+                        if d.bounded_senders.contains(recv) && !s.allowed("channel", line) {
+                            evs.push((i, Event::Send { name: recv.to_string(), line }));
+                        }
+                    }
+                }
+            }
+            Tok::Punct('[') => {
+                if !kernel && i >= 1 && is_index_receiver(toks, i - 1) && !s.allowed("panic", line)
+                {
+                    evs.push((i, Event::Panic { tag: "index".into(), line }));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    evs.sort_by_key(|(tok, _)| *tok);
+    evs.into_iter().map(|(_, e)| e).collect()
+}
+
+/// Same indexing-receiver rule as the panic-safety token lint.
+fn is_index_receiver(toks: &[crate::lexer::Token], prev: usize) -> bool {
+    match &toks[prev].tok {
+        Tok::Punct(')') | Tok::Punct(']') => true,
+        Tok::Ident(s) => !is_keyword(s) || s == "self",
+        _ => false,
+    }
+}

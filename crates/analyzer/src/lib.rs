@@ -14,8 +14,11 @@
 //! burned down over time.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
 
 use crate::lexer::{Lexed, Tok, Token};
 use std::fmt;
@@ -25,7 +28,7 @@ use std::path::{Path, PathBuf};
 
 /// Lint ids accepted inside `// lint:allow(<id>) reason=...` annotations.
 pub const ALLOW_IDS: &[&str] =
-    &["panic", "determinism", "lock-order", "unsafe", "telemetry", "reactor"];
+    &["panic", "determinism", "lock-order", "unsafe", "telemetry", "reactor", "channel"];
 
 /// `(lint id, one-line description)` pairs for `tunelint --list`.
 pub const LINT_DOCS: &[(&str, &str)] = &[
@@ -35,6 +38,7 @@ pub const LINT_DOCS: &[(&str, &str)] = &[
     ("unsafe-audit", "unsafe blocks/fns without a `// SAFETY:` comment"),
     ("telemetry-schema", "field-name drift between telemetry encoders and decoders"),
     ("reactor-blocking", "blocking reads/sleeps/recv/locks inside the event-driven reactor modules"),
+    ("channel-deadlock", "bounded sync_channel send reachable while a lock is held (deadlock risk)"),
     ("annotation", "malformed lint:allow annotations (unknown id or missing reason)"),
 ];
 
@@ -75,12 +79,18 @@ pub struct Finding {
     pub tag: String,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
+    /// For interprocedural findings: the call chain from the reported
+    /// site to the offending operation, as `qual (file:line)` frames.
+    /// Empty for direct (single-function) findings.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
     /// Stable identity for the baseline ratchet. Deliberately excludes
     /// the line number so unrelated edits shifting lines do not churn
-    /// the baseline; the enclosing fn + tag pin the site well enough.
+    /// the baseline; the enclosing fn (impl-qualified, so same-named
+    /// methods in different impl blocks stay distinct) + tag pin the
+    /// site well enough.
     pub fn fingerprint(&self) -> String {
         format!("{}|{}|{}:{}", self.lint, self.file, self.fn_name, self.tag)
     }
@@ -113,6 +123,9 @@ pub struct Allow {
 pub struct FnSpan {
     /// Function name.
     pub name: String,
+    /// Scope-qualified name from the item parser (`Type::name` for impl
+    /// methods, `mod::name` for module fns) — see [`parse::FnItem`].
+    pub qual: String,
     /// 1-based line of the `fn` keyword.
     pub start: u32,
     /// 1-based line of the closing brace.
@@ -137,6 +150,9 @@ pub struct SourceFile {
     pub allows: Vec<Allow>,
     /// All function items (nested fns included, so spans may overlap).
     pub fns: Vec<FnSpan>,
+    /// The parsed item skeleton (fns, impls, traits, use aliases) the
+    /// interprocedural passes build on.
+    pub items: parse::FileItems,
 }
 
 impl SourceFile {
@@ -145,8 +161,20 @@ impl SourceFile {
         let lexed = lexer::lex(text);
         let test_regions = test_regions(&lexed.tokens);
         let allows = parse_allows(&lexed);
-        let fns = fn_spans(&lexed.tokens);
-        SourceFile { path: path.to_string(), lexed, test_regions, allows, fns }
+        let items = parse::parse_items(&lexed.tokens);
+        let fns = items
+            .fns
+            .iter()
+            .map(|it| FnSpan {
+                name: it.name.clone(),
+                qual: it.qual.clone(),
+                start: it.line,
+                end: lexed.tokens[it.body.1].line,
+                tok_start: it.tok_fn,
+                tok_end: it.body.1,
+            })
+            .collect();
+        SourceFile { path: path.to_string(), lexed, test_regions, allows, fns, items }
     }
 
     /// True when `line` falls inside a `#[test]`/`#[cfg(test)]` item.
@@ -171,6 +199,18 @@ impl SourceFile {
             .map(|f| f.name.as_str())
             .unwrap_or("<top>")
     }
+
+    /// Qualified name (`Type::method`, `mod::fn`) of the innermost
+    /// function containing `line`, or `<top>`. Findings fingerprint on
+    /// this, so same-named fns in different impl blocks stay distinct.
+    pub fn enclosing_qual(&self, line: u32) -> &str {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= line && line <= f.end)
+            .min_by_key(|f| f.tok_end - f.tok_start)
+            .map(|f| f.qual.as_str())
+            .unwrap_or("<top>")
+    }
 }
 
 /// Which paths each lint applies to. Matching is plain substring on the
@@ -189,6 +229,11 @@ pub struct AnalysisConfig {
     pub reactor_scope: Vec<String>,
     /// telemetry-schema cross-checks encode/decode inside these files.
     pub telemetry_files: Vec<String>,
+    /// Compute-kernel files whose panic sites (dim-derived slice indexing,
+    /// debug_asserted at entry) never seed the interprocedural may-panic
+    /// lattice. Token-level panic-safety still applies if such a file is
+    /// also a hot path.
+    pub panic_kernel_allowlist: Vec<String>,
 }
 
 impl AnalysisConfig {
@@ -230,6 +275,7 @@ impl AnalysisConfig {
             lock_scope: v(&["crates/simdb/", "crates/service/"]),
             reactor_scope: v(&["crates/service/src/reactor/"]),
             telemetry_files: v(&["crates/core/src/telemetry.rs"]),
+            panic_kernel_allowlist: v(&["crates/tinynn/src/kernels.rs"]),
         }
     }
 
@@ -240,13 +286,46 @@ impl AnalysisConfig {
 }
 
 /// Result of analyzing a tree: how many files were scanned plus the
-/// sorted findings.
+/// sorted findings and the call-graph coverage counters.
 #[derive(Debug)]
 pub struct Analysis {
     /// Number of `.rs` files lexed and linted.
     pub files: usize,
     /// All findings, sorted by (file, line, lint).
     pub findings: Vec<Finding>,
+    /// Call-graph size/coverage (for `tunelint --graph-stats`).
+    pub graph_stats: callgraph::GraphStats,
+}
+
+/// Everything the interprocedural lints consume: the parsed sources,
+/// the workspace call graph, and the dataflow facts propagated over it.
+#[derive(Debug)]
+pub struct Workspace<'a> {
+    /// All parsed source files, in the order the graph indexes them.
+    pub sources: &'a [SourceFile],
+    /// Symbol-resolved call graph over `sources`.
+    pub graph: callgraph::CallGraph,
+    /// Fixpoint facts (may-block / may-panic / locks / bounded sends).
+    pub flow: dataflow::Dataflow,
+}
+
+impl<'a> Workspace<'a> {
+    /// Builds the call graph and runs the dataflow fixpoint with no
+    /// kernel allowlist (fixture tests exercise every seed).
+    pub fn build(sources: &'a [SourceFile]) -> Workspace<'a> {
+        Workspace::build_with(sources, &[])
+    }
+
+    /// Builds the call graph and runs the dataflow fixpoint. Panic events
+    /// in files matching `kernel_allowlist` are not extracted as seeds.
+    pub fn build_with(
+        sources: &'a [SourceFile],
+        kernel_allowlist: &[String],
+    ) -> Workspace<'a> {
+        let graph = callgraph::build(sources);
+        let flow = dataflow::run(sources, &graph, kernel_allowlist);
+        Workspace { sources, graph, flow }
+    }
 }
 
 /// Walks `root/crates` for `.rs` files, skipping `tests/`, `benches/`,
@@ -292,22 +371,37 @@ pub fn analyze_tree(root: &Path, cfg: &AnalysisConfig) -> io::Result<Analysis> {
             .replace('\\', "/");
         sources.push(SourceFile::parse(&rel, &text));
     }
-    Ok(Analysis { files: sources.len(), findings: analyze_sources(&sources, cfg) })
+    let ws = Workspace::build_with(&sources, &cfg.panic_kernel_allowlist);
+    Ok(Analysis {
+        files: sources.len(),
+        graph_stats: ws.graph.stats(),
+        findings: analyze_workspace(&ws, cfg),
+    })
 }
 
 /// Runs every lint over already-parsed sources. This is the entry point
 /// fixture tests use (no filesystem walking involved).
 pub fn analyze_sources(sources: &[SourceFile], cfg: &AnalysisConfig) -> Vec<Finding> {
+    let ws = Workspace::build_with(sources, &cfg.panic_kernel_allowlist);
+    analyze_workspace(&ws, cfg)
+}
+
+/// Runs every lint — token-level per file, then the interprocedural
+/// passes over the prebuilt workspace.
+pub fn analyze_workspace(ws: &Workspace<'_>, cfg: &AnalysisConfig) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for s in sources {
+    for s in ws.sources {
         findings.extend(lints::panic_safety::run(s, cfg));
         findings.extend(lints::determinism::run(s, cfg));
         findings.extend(lints::reactor_blocking::run(s, cfg));
         findings.extend(lints::unsafe_audit::run(s));
         findings.extend(annotation_findings(s));
     }
-    findings.extend(lints::lock_order::run(sources, cfg));
-    findings.extend(lints::telemetry_schema::run(sources, cfg));
+    findings.extend(lints::panic_safety::run_transitive(ws, cfg));
+    findings.extend(lints::reactor_blocking::run_transitive(ws, cfg));
+    findings.extend(lints::lock_order::run(ws, cfg));
+    findings.extend(lints::channel_deadlock::run(ws, cfg));
+    findings.extend(lints::telemetry_schema::run(ws.sources, cfg));
     findings.sort();
     findings
 }
@@ -357,9 +451,10 @@ pub(crate) fn mk_finding(
         line,
         lint,
         severity: Severity::Deny,
-        fn_name: s.enclosing_fn(line).to_string(),
+        fn_name: s.enclosing_qual(line).to_string(),
         tag: tag.to_string(),
         message,
+        chain: Vec::new(),
     }
 }
 
@@ -527,46 +622,6 @@ fn match_bracket(toks: &[Token], open: usize) -> Option<usize> {
         }
     }
     None
-}
-
-/// All `fn name ... { ... }` items, nested included.
-fn fn_spans(toks: &[Token]) -> Vec<FnSpan> {
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i + 1 < toks.len() {
-        if ident_at(toks, i) == Some("fn") {
-            if let Some(name) = ident_at(toks, i + 1) {
-                let name = name.to_string();
-                let mut m = i + 2;
-                let mut body = None;
-                while m < toks.len() {
-                    match toks[m].tok {
-                        Tok::Punct('{') => {
-                            body = Some(m);
-                            break;
-                        }
-                        Tok::Punct(';') => break,
-                        _ => {}
-                    }
-                    m += 1;
-                }
-                if let Some(b) = body {
-                    let e = match_brace(toks, b);
-                    out.push(FnSpan {
-                        name,
-                        start: toks[i].line,
-                        end: toks[e].line,
-                        tok_start: i,
-                        tok_end: e,
-                    });
-                }
-                i += 2;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    out
 }
 
 /// Extracts `lint:allow(<id>) reason=...` from comment text.
@@ -877,5 +932,135 @@ mod fixture_tests {
         // An empty baseline leaves every finding new (fresh-repo mode).
         let r3 = baseline::apply(&baseline::Baseline::default(), findings.clone());
         assert_eq!(r3.new.len(), findings.len());
+    }
+
+    /// Parses fixtures under caller-chosen repo-relative paths (the graph
+    /// fixtures need `crates/<name>/` prefixes so cross-crate resolution
+    /// rules engage).
+    fn parse_as(pairs: &[(&str, &str)]) -> Vec<SourceFile> {
+        let dir = fixture_dir();
+        pairs
+            .iter()
+            .map(|(path, fixture)| {
+                let text = fs::read_to_string(dir.join(fixture))
+                    .unwrap_or_else(|e| panic!("read fixture {fixture}: {e}"));
+                SourceFile::parse(path, &text)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn callgraph_fixture_matches_golden() {
+        let sources = parse_as(&[
+            ("crates/gdep/src/lib.rs", "graph_dep.rs"),
+            ("crates/gmain/src/lib.rs", "graph_main.rs"),
+        ]);
+        let ws = Workspace::build(&sources);
+        let got: Vec<String> =
+            ws.graph.dump(&sources).lines().map(|l| l.to_string()).collect();
+        assert_eq!(got, golden("callgraph.expected"));
+        // Spot-check the edge classes the golden encodes, so a regenerated
+        // golden can't silently drop one: trait-object dispatch reaches
+        // BOTH impls, the use-alias call crosses crates, and both flavors
+        // of recursion produce edges.
+        for must in [
+            "edge crates/gmain/src/lib.rs|run_all -> crates/gdep/src/lib.rs|Fast::go",
+            "edge crates/gmain/src/lib.rs|run_all -> crates/gdep/src/lib.rs|Slow::go",
+            "edge crates/gmain/src/lib.rs|run_all -> crates/gdep/src/lib.rs|helper",
+            "edge crates/gdep/src/lib.rs|recurse -> crates/gdep/src/lib.rs|recurse",
+            "edge crates/gmain/src/lib.rs|ping -> crates/gmain/src/lib.rs|pong",
+            "edge crates/gmain/src/lib.rs|pong -> crates/gmain/src/lib.rs|ping",
+        ] {
+            assert!(got.iter().any(|l| l == must), "missing {must}");
+        }
+    }
+
+    #[test]
+    fn reactor_transitive_two_level_fixture() {
+        let sources = parse_as(&[
+            ("fixtures/reactor_entry2.rs", "reactor_entry2.rs"),
+            ("fixtures/reactor_helpers2.rs", "reactor_helpers2.rs"),
+        ]);
+        let cfg = AnalysisConfig {
+            reactor_scope: vec!["reactor_entry2.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        let findings = analyze_sources(&sources, &cfg);
+        let got: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}:{}:{}:{}", f.lint, f.file, f.line, f.tag))
+            .collect();
+        assert_eq!(got, golden("reactor_transitive.expected"));
+        // The single finding must carry the FULL two-level chain: the
+        // boundary callee and the deeper helper that actually blocks.
+        let msg = &findings[0].message;
+        assert!(msg.contains("dispatch_work (fixtures/reactor_helpers2.rs:"), "{msg}");
+        assert!(msg.contains("finish (fixtures/reactor_helpers2.rs:"), "{msg}");
+        assert!(msg.contains("`thread::sleep`"), "{msg}");
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_call_cycle() {
+        // Mutual recursion with a blocking seed inside the cycle: the
+        // fixpoint must terminate and may_block must reach both fns.
+        let src = "\
+pub fn a(n: u64) {
+    if n > 0 {
+        b(n - 1);
+    }
+}
+
+pub fn b(n: u64) {
+    std::thread::sleep(Duration::from_millis(n));
+    a(n);
+}
+";
+        let sources = vec![SourceFile::parse("fixtures/cycle.rs", src)];
+        let ws = Workspace::build(&sources);
+        for name in ["a", "b"] {
+            let i = ws
+                .graph
+                .nodes
+                .iter()
+                .position(|n| n.qual == name)
+                .unwrap_or_else(|| panic!("node {name}"));
+            assert!(ws.flow.may_block[i].is_some(), "may_block not reached for {name}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_same_named_methods() {
+        // Regression: fingerprints qualify the fn name with its impl, so
+        // two `check` methods on different types never share a baseline key.
+        let src = "\
+pub struct Alpha;
+pub struct Beta;
+
+impl Alpha {
+    pub fn check(v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+}
+
+impl Beta {
+    pub fn check(v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+}
+";
+        let sources = vec![SourceFile::parse("fixtures/fp_collide.rs", src)];
+        let cfg = AnalysisConfig {
+            panic_hot_paths: vec!["fp_collide.rs".into()],
+            ..AnalysisConfig::default()
+        };
+        let findings = analyze_sources(&sources, &cfg);
+        let fps: std::collections::BTreeSet<String> = findings
+            .iter()
+            .filter(|f| f.lint == "panic-safety")
+            .map(|f| f.fingerprint())
+            .collect();
+        assert_eq!(fps.len(), 2, "fingerprints collided: {fps:?}");
+        assert!(fps.iter().any(|k| k.contains("Alpha::check")), "{fps:?}");
+        assert!(fps.iter().any(|k| k.contains("Beta::check")), "{fps:?}");
     }
 }

@@ -1,0 +1,158 @@
+//! channel-deadlock: a bounded `sync_channel` send parks the sender
+//! when the queue is full. If the sender is parked *while holding a
+//! lock* that the consumer side needs before it can drain the queue,
+//! the system deadlocks under exactly the load it was built for. The
+//! lint walks each in-scope function's dataflow events: a `.send(..)`
+//! on a bounded sender — direct or anywhere down the call graph — while
+//! a lock is held is a finding. Suppress with
+//! `// lint:allow(channel) reason=...` at the send or call site.
+
+use crate::dataflow::{chain_of, Event};
+use crate::{mk_finding, AnalysisConfig, Finding, Workspace};
+use std::collections::BTreeSet;
+
+/// Runs the lint over the workspace (scope: the lock-order paths, where
+/// the lock/channel mixing lives).
+pub fn run(ws: &Workspace<'_>, cfg: &AnalysisConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for n in 0..ws.graph.nodes.len() {
+        let node = &ws.graph.nodes[n];
+        let s = &ws.sources[node.file];
+        if !cfg.matches_any(&s.path, &cfg.lock_scope) {
+            continue;
+        }
+        let mut held: Vec<String> = Vec::new();
+        for ev in &ws.flow.events[n] {
+            match ev {
+                Event::Acquire { name, .. } => held.push(name.clone()),
+                Event::Send { name, line } => {
+                    if let Some(h) = held.first() {
+                        out.push(mk_finding(
+                            s,
+                            "channel-deadlock",
+                            *line,
+                            &format!("send-held:{h}"),
+                            format!(
+                                "bounded `{name}.send(..)` while holding lock `{h}`: a full \
+                                 queue parks this thread with the lock held and can deadlock \
+                                 the consumer; send after releasing the lock or annotate \
+                                 `// lint:allow(channel) reason=...`"
+                            ),
+                        ));
+                    }
+                }
+                Event::Call { callee, line } => {
+                    if held.is_empty()
+                        || ws.flow.sends_bounded[*callee].is_none()
+                        || s.allowed("channel", *line)
+                        || !seen.insert((n, *callee))
+                    {
+                        continue;
+                    }
+                    let h = held.first().cloned().unwrap_or_default();
+                    let target = &ws.graph.nodes[*callee];
+                    let mut chain = vec![format!("{} ({}:{})", node.qual, s.path, line)];
+                    chain.extend(chain_of(&ws.flow.sends_bounded, &ws.graph, ws.sources, *callee));
+                    let mut f = mk_finding(
+                        s,
+                        "channel-deadlock",
+                        *line,
+                        &format!("send-held-via:{}", target.qual),
+                        format!(
+                            "fn `{}` calls `{}`, which reaches a bounded channel send, while \
+                             holding lock `{h}`: {}; send after releasing the lock or annotate \
+                             `// lint:allow(channel) reason=...`",
+                            node.qual,
+                            target.qual,
+                            chain.join(" -> ")
+                        ),
+                    );
+                    f.chain = chain;
+                    out.push(f);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig { lock_scope: vec![".rs".into()], ..AnalysisConfig::default() }
+    }
+
+    fn check(sources: &[SourceFile]) -> Vec<Finding> {
+        let ws = Workspace::build(sources);
+        run(&ws, &cfg())
+    }
+
+    #[test]
+    fn send_while_holding_a_lock_is_flagged() {
+        let src = "struct S { state: Mutex<u8> }\n\
+                   fn f(s: &S) { let (tx, rx) = std::sync::mpsc::sync_channel::<u8>(4); \
+                   let g = s.state.lock(); tx.send(1); }\n";
+        let s = SourceFile::parse("svc.rs", src);
+        let fs = check(&[s]);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].tag, "send-held:state");
+    }
+
+    #[test]
+    fn send_before_the_lock_is_clean() {
+        let src = "struct S { state: Mutex<u8> }\n\
+                   fn f(s: &S) { let (tx, rx) = std::sync::mpsc::sync_channel::<u8>(4); \
+                   tx.send(1); let g = s.state.lock(); }\n";
+        let s = SourceFile::parse("svc.rs", src);
+        assert!(check(&[s]).is_empty());
+    }
+
+    #[test]
+    fn unbounded_channel_send_is_clean() {
+        let src = "struct S { state: Mutex<u8> }\n\
+                   fn f(s: &S) { let (tx, rx) = std::sync::mpsc::channel::<u8>(); \
+                   let g = s.state.lock(); tx.send(1); }\n";
+        let s = SourceFile::parse("svc.rs", src);
+        assert!(check(&[s]).is_empty());
+    }
+
+    #[test]
+    fn send_reached_through_a_helper_is_flagged_with_chain() {
+        let src = "struct S { state: Mutex<u8>, queue_tx: SyncSender<u8> }\n\
+                   fn push(s: &S) { s.queue_tx.send(1); }\n\
+                   fn f(s: &S) { let g = s.state.lock(); push(s); }\n";
+        let s = SourceFile::parse("svc.rs", src);
+        let fs = check(&[s]);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].tag, "send-held-via:push");
+        assert_eq!(fs[0].chain.last().unwrap(), "`queue_tx.send`");
+    }
+
+    #[test]
+    fn allow_at_the_send_suppresses() {
+        let src = "struct S { state: Mutex<u8>, queue_tx: SyncSender<u8> }\n\
+                   fn f(s: &S) {\n\
+                     let g = s.state.lock();\n\
+                     // lint:allow(channel) reason=consumer never takes state\n\
+                     s.queue_tx.send(1);\n\
+                   }\n";
+        let s = SourceFile::parse("svc.rs", src);
+        assert!(check(&[s]).is_empty());
+    }
+
+    #[test]
+    fn cloned_sender_is_still_bounded() {
+        let src = "struct S { state: Mutex<u8> }\n\
+                   fn f(s: &S) { let (tx, rx) = sync_channel::<u8>(1); let tx2 = tx.clone(); \
+                   let g = s.state.lock(); tx2.send(1); }\n";
+        let s = SourceFile::parse("svc.rs", src);
+        let fs = check(&[s]);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].tag, "send-held:state");
+    }
+}

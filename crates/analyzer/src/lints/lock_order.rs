@@ -1,91 +1,73 @@
 //! lock-order: `simdb` and `service` take multiple `Mutex`/`RwLock`
 //! guards; if two functions acquire the same pair in opposite orders, a
-//! deadlock is one unlucky interleaving away. The lint recovers lock
-//! binding names from declarations, records the order each function
-//! acquires them in, builds the union order graph across both crates,
-//! and fails on any cycle, pointing at the acquisition sites involved.
+//! deadlock is one unlucky interleaving away. The lint walks each
+//! in-scope function's dataflow events — direct acquisitions *and*
+//! calls to functions whose transitive lock set is known — so a lock
+//! taken three helpers deep while the caller already holds another
+//! still produces an ordering edge. The union order graph across both
+//! crates is checked for cycles, pointing at the acquisition (or call)
+//! sites involved.
 
-use crate::{
-    decl_name_before, ident_at, is_punct, mk_finding, AnalysisConfig, Finding, SourceFile,
-};
+use crate::dataflow::Event;
+use crate::{mk_finding, AnalysisConfig, Finding, Workspace};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Where an ordered acquisition edge `a -> b` was observed (the site of
-/// the *second* acquisition).
+/// Where an ordered acquisition edge `a -> b` was observed: the site of
+/// the *second* acquisition, or of the call that performs it.
 #[derive(Debug, Clone)]
 struct EdgeSite {
     file_idx: usize,
     line: u32,
     func: String,
+    /// Callee whose lock set contributed `b`, for call-mediated edges.
+    via: Option<String>,
 }
 
-/// Runs the lint across all in-scope files (cross-file by design: the
-/// cycle may span crates).
-pub fn run(sources: &[SourceFile], cfg: &AnalysisConfig) -> Vec<Finding> {
-    let in_scope: Vec<(usize, &SourceFile)> = sources
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| cfg.matches_any(&s.path, &cfg.lock_scope))
-        .collect();
-    if in_scope.is_empty() {
-        return Vec::new();
-    }
-
-    // Pass 1: every binding declared with a Mutex/RwLock type.
-    let mut names: BTreeSet<String> = BTreeSet::new();
-    for (_, s) in &in_scope {
-        let toks = &s.lexed.tokens;
-        for i in 0..toks.len() {
-            if matches!(ident_at(toks, i), Some("Mutex") | Some("RwLock")) {
-                if let Some(n) = decl_name_before(toks, i) {
-                    names.insert(n);
-                }
-            }
-        }
-    }
-
-    // Pass 2: per-function acquisition order -> edges (earlier, later).
+/// Runs the lint across the whole workspace (cross-file and
+/// cross-function by design: the cycle may span crates).
+pub fn run(ws: &Workspace<'_>, cfg: &AnalysisConfig) -> Vec<Finding> {
     let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
-    for (file_idx, s) in &in_scope {
-        let toks = &s.lexed.tokens;
-        for f in &s.fns {
-            let mut acq: Vec<(String, u32)> = Vec::new();
-            for i in f.tok_start..=f.tok_end.min(toks.len().saturating_sub(1)) {
-                let line = toks[i].line;
-                // Attribute tokens inside nested fns to the nested fn only.
-                if s.enclosing_fn(line) != f.name {
-                    continue;
+    for n in 0..ws.graph.nodes.len() {
+        let node = &ws.graph.nodes[n];
+        let s = &ws.sources[node.file];
+        if !cfg.matches_any(&s.path, &cfg.lock_scope) {
+            continue;
+        }
+        // Locks already acquired earlier in this fn, in order.
+        let mut held: Vec<String> = Vec::new();
+        for ev in &ws.flow.events[n] {
+            match ev {
+                Event::Acquire { name, line } => {
+                    for h in &held {
+                        if h != name {
+                            edges.entry((h.clone(), name.clone())).or_insert(EdgeSite {
+                                file_idx: node.file,
+                                line: *line,
+                                func: node.qual.clone(),
+                                via: None,
+                            });
+                        }
+                    }
+                    held.push(name.clone());
                 }
-                if let Some(m) = ident_at(toks, i) {
-                    if (m == "lock" || m == "read" || m == "write")
-                        && i >= 2
-                        && is_punct(toks, i - 1, '.')
-                        && is_punct(toks, i + 1, '(')
-                        && is_punct(toks, i + 2, ')')
-                    {
-                        if let Some(name) = ident_at(toks, i - 2) {
-                            if names.contains(name)
-                                && !s.in_test(line)
-                                && !s.allowed("lock-order", line)
-                            {
-                                acq.push((name.to_string(), line));
+                Event::Call { callee, line } => {
+                    if held.is_empty() || s.allowed("lock-order", *line) {
+                        continue;
+                    }
+                    for b in &ws.flow.locks[*callee] {
+                        for h in &held {
+                            if h != b {
+                                edges.entry((h.clone(), b.clone())).or_insert(EdgeSite {
+                                    file_idx: node.file,
+                                    line: *line,
+                                    func: node.qual.clone(),
+                                    via: Some(ws.graph.nodes[*callee].qual.clone()),
+                                });
                             }
                         }
                     }
                 }
-            }
-            for a in 0..acq.len() {
-                for b in (a + 1)..acq.len() {
-                    if acq[a].0 != acq[b].0 {
-                        edges
-                            .entry((acq[a].0.clone(), acq[b].0.clone()))
-                            .or_insert(EdgeSite {
-                                file_idx: *file_idx,
-                                line: acq[b].1,
-                                func: f.name.clone(),
-                            });
-                    }
-                }
+                _ => {}
             }
         }
     }
@@ -111,13 +93,19 @@ pub fn run(sources: &[SourceFile], cfg: &AnalysisConfig) -> Vec<Finding> {
         let a = &cycle[w];
         let b = &cycle[(w + 1) % cycle.len()];
         if let Some(site) = edges.get(&(a.clone(), b.clone())) {
+            let how = match &site.via {
+                Some(callee) => {
+                    format!("calls `{callee}`, which acquires `{b}`, while holding `{a}`")
+                }
+                None => format!("acquires `{b}` while holding `{a}`"),
+            };
             out.push(mk_finding(
-                sources.get(site.file_idx).unwrap_or(&sources[0]),
+                ws.sources.get(site.file_idx).unwrap_or(&ws.sources[0]),
                 "lock-order",
                 site.line,
                 &format!("cycle:{a}->{b}"),
                 format!(
-                    "lock order cycle {desc}: fn `{}` acquires `{b}` while holding `{a}`; \
+                    "lock order cycle {desc}: fn `{}` {how}; \
                      pick one global order or annotate `// lint:allow(lock-order) reason=...`",
                     site.func
                 ),
@@ -177,9 +165,15 @@ fn find_cycle<'a>(adj: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Option<Vec<Stri
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SourceFile;
 
     fn cfg() -> AnalysisConfig {
         AnalysisConfig { lock_scope: vec![".rs".into()], ..AnalysisConfig::default() }
+    }
+
+    fn check(sources: &[SourceFile], cfg: &AnalysisConfig) -> Vec<Finding> {
+        let ws = Workspace::build(sources);
+        run(&ws, cfg)
     }
 
     #[test]
@@ -188,7 +182,7 @@ mod tests {
                    fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n\
                    fn g(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); }\n";
         let s = SourceFile::parse("locks.rs", src);
-        let fs = run(&[s], &cfg());
+        let fs = check(&[s], &cfg());
         assert_eq!(fs.len(), 2);
         assert!(fs.iter().any(|f| f.tag == "cycle:a->b"));
         assert!(fs.iter().any(|f| f.tag == "cycle:b->a"));
@@ -200,7 +194,7 @@ mod tests {
                    fn f(s: &S) { s.a.lock(); s.b.read(); }\n\
                    fn g(s: &S) { s.a.lock(); s.b.write(); }\n";
         let s = SourceFile::parse("locks.rs", src);
-        assert!(run(&[s], &cfg()).is_empty());
+        assert!(check(&[s], &cfg()).is_empty());
     }
 
     #[test]
@@ -210,7 +204,7 @@ mod tests {
             "struct S { a: Mutex<u8>, b: Mutex<u8> }\nfn f(s: &S) { s.a.lock(); s.b.lock(); }",
         );
         let s2 = SourceFile::parse("two.rs", "fn g(s: &S) { s.b.lock(); s.a.lock(); }");
-        assert_eq!(run(&[s1, s2], &cfg()).len(), 2);
+        assert_eq!(check(&[s1, s2], &cfg()).len(), 2);
     }
 
     #[test]
@@ -218,14 +212,14 @@ mod tests {
         let src = "struct S { file: Mutex<u8> }\n\
                    fn f(s: &S, out: &mut W) { s.file.lock(); out.write(buf); out.read(buf); }";
         let s = SourceFile::parse("locks.rs", src);
-        assert!(run(&[s], &cfg()).is_empty());
+        assert!(check(&[s], &cfg()).is_empty());
     }
 
     #[test]
     fn same_lock_twice_is_not_an_edge() {
         let src = "struct S { a: Mutex<u8> }\nfn f(s: &S) { s.a.lock(); s.a.lock(); }";
         let s = SourceFile::parse("locks.rs", src);
-        assert!(run(&[s], &cfg()).is_empty());
+        assert!(check(&[s], &cfg()).is_empty());
     }
 
     #[test]
@@ -238,7 +232,7 @@ mod tests {
                      s.a.lock();\n\
                    }\n";
         let s = SourceFile::parse("locks.rs", src);
-        assert!(run(&[s], &cfg()).is_empty());
+        assert!(check(&[s], &cfg()).is_empty());
     }
 
     #[test]
@@ -249,7 +243,52 @@ mod tests {
              fn f(s: &S) { s.a.lock(); s.b.lock(); }\n\
              fn g(s: &S) { s.b.lock(); s.a.lock(); }\n",
         );
-        let scoped = AnalysisConfig { lock_scope: vec!["other/".into()], ..AnalysisConfig::default() };
-        assert!(run(&[s], &scoped).is_empty());
+        let scoped =
+            AnalysisConfig { lock_scope: vec!["other/".into()], ..AnalysisConfig::default() };
+        assert!(check(&[s], &scoped).is_empty());
+    }
+
+    #[test]
+    fn lock_acquired_by_a_callee_forms_the_edge() {
+        // f holds `a` and calls helper() which locks `b`; g orders them
+        // the other way directly -> cycle, with the call-mediated edge
+        // attributed to f's call site.
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   fn helper(s: &S) { s.b.lock(); }\n\
+                   fn f(s: &S) { s.a.lock(); helper(s); }\n\
+                   fn g(s: &S) { s.b.lock(); s.a.lock(); }\n";
+        let s = SourceFile::parse("locks.rs", src);
+        let fs = check(&[s], &cfg());
+        assert_eq!(fs.len(), 2);
+        let ab = fs.iter().find(|f| f.tag == "cycle:a->b").expect("a->b edge");
+        assert_eq!(ab.line, 3);
+        assert!(ab.message.contains("calls `helper`"));
+    }
+
+    #[test]
+    fn callee_locks_two_levels_deep_still_form_the_edge() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   fn inner(s: &S) { s.b.lock(); }\n\
+                   fn mid(s: &S) { inner(s); }\n\
+                   fn f(s: &S) { s.a.lock(); mid(s); }\n\
+                   fn g(s: &S) { s.b.lock(); s.a.lock(); }\n";
+        let s = SourceFile::parse("locks.rs", src);
+        let fs = check(&[s], &cfg());
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().any(|f| f.tag == "cycle:a->b" && f.message.contains("calls `mid`")));
+    }
+
+    #[test]
+    fn annotated_call_site_does_not_form_a_callee_edge() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   fn helper(s: &S) { s.b.lock(); }\n\
+                   fn f(s: &S) {\n\
+                     s.a.lock();\n\
+                     // lint:allow(lock-order) reason=a is dropped before helper locks b\n\
+                     helper(s);\n\
+                   }\n\
+                   fn g(s: &S) { s.b.lock(); s.a.lock(); }\n";
+        let s = SourceFile::parse("locks.rs", src);
+        assert!(check(&[s], &cfg()).is_empty());
     }
 }

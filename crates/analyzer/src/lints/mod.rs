@@ -1,7 +1,12 @@
-//! The six repo-specific lints. Each module exposes a `run` function
+//! The repo-specific lints. Each module exposes a `run` function
 //! returning findings; scoping (which paths a lint applies to) lives in
 //! [`crate::AnalysisConfig`] so fixture tests can target fixture files.
+//! `panic_safety` and `reactor_blocking` additionally expose
+//! `run_transitive`, consuming the interprocedural facts from
+//! [`crate::dataflow`]; `lock_order` and `channel_deadlock` are
+//! interprocedural throughout and take the whole [`crate::Workspace`].
 
+pub mod channel_deadlock;
 pub mod determinism;
 pub mod lock_order;
 pub mod panic_safety;

@@ -6,8 +6,10 @@
 //! indexing (which can panic on out-of-bounds) outside test code, unless
 //! annotated `// lint:allow(panic) reason=...`.
 
+use crate::dataflow::{chain_of, Event};
 use crate::lexer::Tok;
-use crate::{is_keyword, is_punct, mk_finding, AnalysisConfig, Finding, SourceFile};
+use crate::{is_keyword, is_punct, mk_finding, AnalysisConfig, Finding, SourceFile, Workspace};
+use std::collections::BTreeSet;
 
 /// Runs the lint over one file (no-op outside the configured hot paths).
 pub fn run(s: &SourceFile, cfg: &AnalysisConfig) -> Vec<Finding> {
@@ -102,6 +104,56 @@ fn is_index_receiver(toks: &[crate::lexer::Token], prev: usize) -> bool {
     }
 }
 
+/// Transitive pass: a hot-path fn calling an out-of-hot-path callee
+/// that *may panic* (directly or deeper down) is flagged at the call
+/// site with the chain to the panic site. Hot-path callees are skipped:
+/// their own direct sites are already flagged by `run`, and their
+/// outward calls by this pass at the deeper frame.
+pub fn run_transitive(ws: &Workspace<'_>, cfg: &AnalysisConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for n in 0..ws.graph.nodes.len() {
+        let node = &ws.graph.nodes[n];
+        let s = &ws.sources[node.file];
+        if !cfg.matches_any(&s.path, &cfg.panic_hot_paths) || s.in_test(node.line) {
+            continue;
+        }
+        for ev in &ws.flow.events[n] {
+            let (callee, line) = match ev {
+                Event::Call { callee, line } => (*callee, *line),
+                _ => continue,
+            };
+            let target = &ws.graph.nodes[callee];
+            if cfg.matches_any(&ws.sources[target.file].path, &cfg.panic_hot_paths)
+                || ws.flow.may_panic[callee].is_none()
+                || s.allowed("panic", line)
+                || !seen.insert((n, callee))
+            {
+                continue;
+            }
+            let mut chain = vec![format!("{} ({}:{})", node.qual, s.path, line)];
+            chain.extend(chain_of(&ws.flow.may_panic, &ws.graph, ws.sources, callee));
+            let mut f = mk_finding(
+                s,
+                "panic-safety",
+                line,
+                &format!("calls-panic:{}", target.qual),
+                format!(
+                    "hot-path fn `{}` reaches a panic site through `{}`: {}; make the \
+                     callee return a typed error or annotate the call \
+                     `// lint:allow(panic) reason=...`",
+                    node.qual,
+                    target.qual,
+                    chain.join(" -> ")
+                ),
+            );
+            f.chain = chain;
+            out.push(f);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +217,30 @@ mod tests {
     fn strings_mentioning_unwrap_are_not_code() {
         let src = "fn f() { log(\"please .unwrap() later\"); }";
         assert!(tags(src).is_empty());
+    }
+
+    #[test]
+    fn transitive_panic_through_a_helper_is_flagged_with_chain() {
+        let hot = SourceFile::parse("hot.rs", "fn step() { decode(b); }\n");
+        let cold =
+            SourceFile::parse("cold.rs", "pub fn decode(b: &[u8]) -> u8 { b.first().unwrap() }\n");
+        let sources = vec![hot, cold];
+        let ws = Workspace::build(&sources);
+        let fs = run_transitive(&ws, &cfg());
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].tag, "calls-panic:decode");
+        assert_eq!(fs[0].chain.last().unwrap(), "`unwrap`");
+    }
+
+    #[test]
+    fn annotated_seed_does_not_propagate() {
+        let hot = SourceFile::parse("hot.rs", "fn step() { decode(b); }\n");
+        let cold = SourceFile::parse(
+            "cold.rs",
+            "pub fn decode(b: &[u8]) -> u8 {\n  // lint:allow(panic) reason=len checked by caller\n  b.first().unwrap()\n}\n",
+        );
+        let sources = vec![hot, cold];
+        let ws = Workspace::build(&sources);
+        assert!(run_transitive(&ws, &cfg()).is_empty());
     }
 }

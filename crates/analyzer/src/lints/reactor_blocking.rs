@@ -9,8 +9,10 @@
 //! `// lint:allow(reactor) reason=...` — worker threads that block on the
 //! job queue by design carry exactly that annotation.
 
+use crate::dataflow::{chain_of, Event};
 use crate::lexer::Tok;
-use crate::{is_punct, mk_finding, AnalysisConfig, Finding, SourceFile};
+use crate::{is_punct, mk_finding, AnalysisConfig, Finding, SourceFile, Workspace};
+use std::collections::BTreeSet;
 
 /// Blocking `Read`-trait helpers: each parks the thread until the peer
 /// sends enough bytes, which is never acceptable on the reactor thread.
@@ -115,12 +117,112 @@ pub fn run(s: &SourceFile, cfg: &AnalysisConfig) -> Vec<Finding> {
     out
 }
 
+/// Transitive pass: a reactor-scope fn calling an out-of-scope callee
+/// that *may block* (directly or deeper down) is flagged at the call
+/// site, with the full call chain to the blocking operation in the
+/// message. In-scope callees are skipped — their own direct seeds or
+/// outward calls are already reported at the deeper frame, so each
+/// blocking path surfaces exactly once.
+pub fn run_transitive(ws: &Workspace<'_>, cfg: &AnalysisConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for n in 0..ws.graph.nodes.len() {
+        let node = &ws.graph.nodes[n];
+        let s = &ws.sources[node.file];
+        if !cfg.matches_any(&s.path, &cfg.reactor_scope) || s.in_test(node.line) {
+            continue;
+        }
+        for ev in &ws.flow.events[n] {
+            let (callee, line) = match ev {
+                Event::Call { callee, line } => (*callee, *line),
+                _ => continue,
+            };
+            let target = &ws.graph.nodes[callee];
+            if cfg.matches_any(&ws.sources[target.file].path, &cfg.reactor_scope)
+                || ws.flow.may_block[callee].is_none()
+                || s.allowed("reactor", line)
+                || !seen.insert((n, callee))
+            {
+                continue;
+            }
+            let mut chain = vec![format!("{} ({}:{})", node.qual, s.path, line)];
+            chain.extend(chain_of(&ws.flow.may_block, &ws.graph, ws.sources, callee));
+            let mut f = mk_finding(
+                s,
+                "reactor-blocking",
+                line,
+                &format!("calls-block:{}", target.qual),
+                format!(
+                    "reactor fn `{}` reaches a blocking call through `{}`: {}; move the \
+                     blocking work to a worker thread or annotate the call \
+                     `// lint:allow(reactor) reason=...`",
+                    node.qual,
+                    target.qual,
+                    chain.join(" -> ")
+                ),
+            );
+            f.chain = chain;
+            out.push(f);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn cfg() -> AnalysisConfig {
         AnalysisConfig { reactor_scope: vec!["evloop.rs".into()], ..AnalysisConfig::default() }
+    }
+
+    #[test]
+    fn transitive_blocking_via_two_helpers_is_flagged_with_chain() {
+        let reactor = SourceFile::parse(
+            "evloop.rs",
+            "fn on_ready() { dispatch(1); }\n",
+        );
+        let helpers = SourceFile::parse(
+            "helpers.rs",
+            "pub fn dispatch(x: u32) { fetch(x); }\n\
+             pub fn fetch(x: u32) { let mut b = String::new(); stream.read_to_string(&mut b); }\n",
+        );
+        let sources = vec![reactor, helpers];
+        let ws = Workspace::build(&sources);
+        let fs = run_transitive(&ws, &cfg());
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].tag, "calls-block:dispatch");
+        assert_eq!(fs[0].line, 1);
+        // Full chain: entry -> dispatch -> fetch -> seed.
+        assert_eq!(fs[0].chain.len(), 4);
+        assert!(fs[0].chain[0].starts_with("on_ready"));
+        assert!(fs[0].chain[1].starts_with("dispatch"));
+        assert!(fs[0].chain[2].starts_with("fetch"));
+        assert_eq!(fs[0].chain[3], "`read_to_string`");
+        assert!(fs[0].message.contains("fetch (helpers.rs:2)"));
+    }
+
+    #[test]
+    fn allow_at_the_call_site_cuts_the_transitive_finding() {
+        let reactor = SourceFile::parse(
+            "evloop.rs",
+            "fn on_ready() {\n  // lint:allow(reactor) reason=handed to worker pool\n  dispatch(1);\n}\n",
+        );
+        let helpers =
+            SourceFile::parse("helpers.rs", "pub fn dispatch(x: u32) { rx.recv(); }\n");
+        let sources = vec![reactor, helpers];
+        let ws = Workspace::build(&sources);
+        assert!(run_transitive(&ws, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn nonblocking_helpers_produce_no_transitive_findings() {
+        let reactor = SourceFile::parse("evloop.rs", "fn on_ready() { dispatch(1); }\n");
+        let helpers =
+            SourceFile::parse("helpers.rs", "pub fn dispatch(x: u32) { rx.try_recv(); }\n");
+        let sources = vec![reactor, helpers];
+        let ws = Workspace::build(&sources);
+        assert!(run_transitive(&ws, &cfg()).is_empty());
     }
 
     fn tags(src: &str) -> Vec<String> {

@@ -1,0 +1,54 @@
+// Call-graph fixture, "gdep" crate (parsed as crates/gdep/src/lib.rs).
+// Exercises: same-file free-fn calls, trait decl + two impls (dispatch
+// targets), direct recursion, and a method name shared by two impls
+// (shadowing — resolution must stay conservative).
+
+pub fn helper() -> u32 {
+    leaf()
+}
+
+fn leaf() -> u32 {
+    7
+}
+
+pub trait Runner {
+    fn go(&self) -> u32;
+}
+
+pub struct Fast;
+pub struct Slow;
+
+impl Runner for Fast {
+    fn go(&self) -> u32 {
+        1
+    }
+}
+
+impl Runner for Slow {
+    fn go(&self) -> u32 {
+        recurse(3)
+    }
+}
+
+pub fn recurse(n: u32) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    recurse(n - 1)
+}
+
+pub struct Widget;
+
+impl Widget {
+    pub fn shade(&self) -> u32 {
+        2
+    }
+}
+
+pub struct Gadget;
+
+impl Gadget {
+    pub fn shade(&self) -> u32 {
+        3
+    }
+}

@@ -1,0 +1,25 @@
+// Call-graph fixture, "gmain" crate (parsed as crates/gmain/src/lib.rs).
+// Exercises: cross-crate free-fn resolution through a use alias, mutual
+// recursion, trait-object dispatch through `dyn Runner`, and calls to a
+// method name two foreign impls share.
+
+use gdep::{helper, Runner};
+
+pub fn ping(n: u32) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    pong(n - 1)
+}
+
+pub fn pong(n: u32) -> u32 {
+    ping(n)
+}
+
+pub fn run_all(r: &dyn Runner) -> u32 {
+    helper() + r.go()
+}
+
+pub fn shadowed(w: &gdep::Widget, g: &gdep::Gadget) -> u32 {
+    w.shade() + g.shade()
+}

@@ -1,0 +1,18 @@
+// Transitive reactor-blocking fixture, two helper levels deep: the entry
+// below never blocks directly — it reaches `thread::sleep` only through
+// `dispatch_work` -> `finish` in reactor_helpers2.rs (out of reactor
+// scope). The finding must fire here, at the reactor boundary, with the
+// full call chain.
+
+pub fn on_ready(ev: Event) {
+    route(ev); // same-file hop before leaving the reactor
+}
+
+fn route(ev: Event) {
+    dispatch_work(ev.payload); // line 12: the boundary call that is flagged
+}
+
+pub fn on_tick() {
+    // lint:allow(reactor) reason=handed to the worker pool at this boundary
+    dispatch_work(0); // suppressed: annotated at the boundary call site
+}

@@ -1,0 +1,16 @@
+// Helpers for reactor_entry2.rs — NOT in reactor scope, so nothing in
+// this file is flagged directly. The blocking seed sits two levels below
+// the reactor entry and must surface there through the dataflow.
+
+pub fn dispatch_work(payload: u64) {
+    prepare(payload);
+    finish(payload);
+}
+
+fn prepare(_payload: u64) {
+    let _ = 1 + 1; // benign
+}
+
+fn finish(payload: u64) {
+    std::thread::sleep(Duration::from_millis(payload)); // the seed
+}

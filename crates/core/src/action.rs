@@ -46,6 +46,7 @@ impl ActionSpace {
             let idx = registry
                 .index_of(name)
                 .ok_or_else(|| SimDbError::UnknownKnob { name: name.to_string() })?;
+            // lint:allow(panic) reason=index_of returns indices into the registry's own catalogue
             if !registry.defs()[idx].blacklisted {
                 indices.push(idx);
             }
@@ -56,6 +57,7 @@ impl ActionSpace {
     /// The first `n` knobs of this space (nested subsets for Fig. 8:
     /// "the 40 selected knobs must contain the 20 selected knobs").
     pub fn truncated(&self, n: usize) -> Self {
+        // lint:allow(panic) reason=the range is clamped to indices.len()
         Self { indices: self.indices[..n.min(self.indices.len())].to_vec() }
     }
 

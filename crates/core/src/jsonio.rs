@@ -224,7 +224,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -248,6 +248,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        // lint:allow(panic) reason=pos never exceeds bytes.len() by the cursor invariant
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
@@ -265,13 +266,14 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
+        // lint:allow(panic) reason=pos never exceeds bytes.len() by the cursor invariant
         let s = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error("invalid utf8 in number"))?;
         s.parse::<f64>().map(Json::Num).map_err(|_| self.error("invalid number"))
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -310,6 +312,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     // Consume one UTF-8 character (multi-byte safe).
+                    // lint:allow(panic) reason=pos never exceeds bytes.len() by the cursor invariant
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.error("invalid utf8"))?;
                     let c = rest.chars().next().ok_or_else(|| self.error("empty"))?;
@@ -321,7 +324,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -343,7 +346,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -354,7 +357,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let val = self.value()?;
             fields.push((key, val));
             self.skip_ws();

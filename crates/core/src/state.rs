@@ -47,11 +47,13 @@ impl StateProcessor {
     pub fn observe(&mut self, delta: &MetricsDelta) {
         self.count += 1;
         let n = self.count as f64;
-        for (i, &raw) in delta.values.iter().enumerate() {
-            let x = if raw.is_finite() { raw } else { self.mean[i] };
-            let d = x - self.mean[i];
-            self.mean[i] += d / n;
-            self.m2[i] += d * (x - self.mean[i]);
+        for (&raw, (mean, m2)) in
+            delta.values.iter().zip(self.mean.iter_mut().zip(&mut self.m2))
+        {
+            let x = if raw.is_finite() { raw } else { *mean };
+            let d = x - *mean;
+            *mean += d / n;
+            *m2 += d * (x - *mean);
         }
     }
 
@@ -83,17 +85,17 @@ impl StateProcessor {
         delta
             .values
             .iter()
-            .enumerate()
-            .map(|(i, &raw)| {
+            .zip(self.mean.iter().zip(&self.m2))
+            .map(|(&raw, (&mean, &m2))| {
                 // Defence in depth: a non-finite entry reaching this point
                 // vectorizes as its mean (i.e. 0 after standardization).
-                let x = if raw.is_finite() { raw } else { self.mean[i] };
-                let var = if self.count > 1 { self.m2[i] / (self.count - 1) as f64 } else { 0.0 };
+                let x = if raw.is_finite() { raw } else { mean };
+                let var = if self.count > 1 { m2 / (self.count - 1) as f64 } else { 0.0 };
                 if var <= 1e-12 {
                     0.0
                 } else {
-                    let scale = var.sqrt().max(0.1 * self.mean[i].abs());
-                    (((x - self.mean[i]) / scale).clamp(-5.0, 5.0)) as f32
+                    let scale = var.sqrt().max(0.1 * mean.abs());
+                    (((x - mean) / scale).clamp(-5.0, 5.0)) as f32
                 }
             })
             .collect()

@@ -1092,6 +1092,7 @@ impl Telemetry {
             return;
         }
         if let Some(sink) = &self.sink {
+            // lint:allow(reactor) reason=the sink lock guards one in-memory record call and is never held across blocking work
             if let Ok(mut guard) = sink.lock() {
                 guard.record(event);
             }

@@ -666,6 +666,7 @@ pub fn train_offline_resumable(
                             is_weight_max = is_weight_max.max(f64::from(x));
                         }
                     }
+                    // lint:allow(panic) reason=the training kernel indexes scratch matrices it resizes to the asserted batch geometry
                     let _ = agent.train_step_batch(
                         &batch_scratch.batch,
                         batch_scratch.is_weights(),

@@ -264,8 +264,10 @@ impl Ddpg {
         assert_eq!(action.len(), da, "action width mismatch");
         self.scratch.one_row.resize(1, ds + da);
         let row = self.scratch.one_row.row_mut(0);
-        row[..ds].copy_from_slice(state);
-        row[ds..].copy_from_slice(action);
+        let (s_part, a_part) = row.split_at_mut(ds);
+        s_part.copy_from_slice(state);
+        a_part.copy_from_slice(action);
+        // lint:allow(panic) reason=the forward pass of a 1-row input yields a 1x1 matrix
         self.critic.forward_ref(&self.scratch.one_row, false)[(0, 0)]
     }
 

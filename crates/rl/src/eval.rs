@@ -127,10 +127,12 @@ impl SnapshotPolicy {
         assert_eq!(action.len(), da, "action width mismatch");
         self.one_row.resize(1, ds + da);
         let row = self.one_row.row_mut(0);
-        row[..ds].copy_from_slice(state);
-        row[ds..].copy_from_slice(action);
+        let (s_part, a_part) = row.split_at_mut(ds);
+        s_part.copy_from_slice(state);
+        a_part.copy_from_slice(action);
         let mut out = std::mem::take(&mut self.one_out);
         self.critic.forward_into(&self.one_row, false, &mut out);
+        // lint:allow(panic) reason=the forward pass of a 1-row input yields a 1x1 matrix
         let q = out[(0, 0)];
         self.one_out = out;
         q

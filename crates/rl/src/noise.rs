@@ -54,6 +54,7 @@ impl OrnsteinUhlenbeck {
 
 impl NoiseProcess for OrnsteinUhlenbeck {
     fn sample(&mut self, rng: &mut dyn rand::RngCore) -> Vec<f32> {
+        // lint:allow(panic) reason=constant arguments make the unit normal infallible
         let normal = Normal::new(0.0f32, 1.0).expect("unit normal");
         for x in &mut self.state {
             let dw: f32 = normal.sample(rng);
@@ -93,6 +94,7 @@ impl GaussianNoise {
 
 impl NoiseProcess for GaussianNoise {
     fn sample(&mut self, rng: &mut dyn rand::RngCore) -> Vec<f32> {
+        // lint:allow(panic) reason=max(1e-9) keeps sigma finite and positive even for NaN input
         let normal = Normal::new(0.0f32, self.sigma.max(1e-9)).expect("valid sigma");
         (0..self.dim).map(|_| normal.sample(rng)).collect()
     }

@@ -88,9 +88,11 @@ impl PolicyServer {
             let server = Arc::clone(&server);
             std::thread::Builder::new()
                 .name("policy-batcher".into())
+                // lint:allow(reactor) reason=worker_loop blocks on the dedicated policy-batcher thread spawned here
                 .spawn(move || server.worker_loop(rx))
                 .ok()
         };
+        // lint:allow(reactor) reason=the handle slot lock is touched only at spawn and shutdown
         if let Ok(mut handle) = server.worker_handle.lock() {
             *handle = worker;
         }
@@ -101,6 +103,7 @@ impl PolicyServer {
     /// the evaluation-mode policy once. Idempotent: later calls with the
     /// same version are no-ops, so every warm session can call this.
     pub fn ensure(&self, version: u64, model: &TrainedModel) {
+        // lint:allow(reactor) reason=the policy-list lock guards an in-memory version map
         if let Ok(mut policies) = self.policies.lock() {
             if policies.iter().any(|(v, _)| *v == version) {
                 return;
@@ -161,6 +164,7 @@ impl PolicyServer {
         let (reply_tx, reply_rx) = channel();
         // lint:allow(determinism) reason=queue-wait telemetry only; actions stay deterministic
         let enqueued = Instant::now();
+        // lint:allow(channel) reason=tx is a clone of the sender; the queue_tx guard died at the end of the match above
         tx.send(Pending { version, state: state.to_vec(), reply: reply_tx, enqueued }).ok()?;
         drop(tx);
         reply_rx.recv().ok().flatten()
@@ -244,13 +248,16 @@ impl PolicyServer {
                 }
                 states.resize(rows.len(), dim);
                 for (r, &i) in rows.iter().enumerate() {
+                    // lint:allow(panic) reason=rows holds indices collected from enumerating batch
                     states.row_mut(r).copy_from_slice(&batch[i].state);
                 }
                 policy.act_batch_into(states, actions);
                 policy.q_batch_into(states, actions, qs);
                 for (r, &i) in rows.iter().enumerate() {
+                    // lint:allow(panic) reason=q_batch_into sizes qs to one column per packed row
                     q_sum += f64::from(qs.row(r)[0]);
                     q_rows += 1;
+                    // lint:allow(panic) reason=rows holds indices collected from enumerating batch, and payloads is sized to batch
                     payloads[i] = Some(actions.row(r).to_vec());
                 }
             }

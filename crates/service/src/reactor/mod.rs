@@ -113,6 +113,7 @@ impl RuntimeHandle {
 /// Boots the configured runtime and returns immediately with a handle.
 pub fn spawn_runtime(cfg: RuntimeConfig) -> std::io::Result<RuntimeHandle> {
     match cfg.kind {
+        // lint:allow(reactor) reason=the thread-pool listener blocks on its own worker threads, not the reactor
         RuntimeKind::Threads => Ok(RuntimeHandle::Threads(spawn(cfg.service)?)),
         RuntimeKind::Events => Ok(RuntimeHandle::Events(spawn_events(cfg.service, cfg.reactor)?)),
     }

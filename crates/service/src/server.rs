@@ -339,6 +339,7 @@ fn reject(shared: &Shared, stream: TcpStream, reason: &'static str) {
 fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
     loop {
         let next = {
+            // lint:allow(reactor) reason=worker threads block on the shared accept queue by design
             let guard = match rx.lock() {
                 Ok(g) => g,
                 Err(_) => return,

@@ -289,26 +289,33 @@ pub fn solve_closed_network(centers: &[Center], clients: f64, delay_us: f64) -> 
     let mut x = n / response;
     for _ in 0..200 {
         let mut r_total = z;
-        let mut r = vec![0.0; k];
-        for i in 0..k {
-            let arrival_q = q[i] * (n - 1.0) / n;
-            r[i] = q_demand[i] * (1.0 + arrival_q);
-            r_total += r[i];
-        }
+        let r: Vec<f64> = q
+            .iter()
+            .zip(&q_demand)
+            .map(|(&qi, &dem)| {
+                let arrival_q = qi * (n - 1.0) / n;
+                let ri = dem * (1.0 + arrival_q);
+                r_total += ri;
+                ri
+            })
+            .collect();
         x = n / r_total.max(1e-9);
         let mut delta: f64 = 0.0;
-        for i in 0..k {
-            let new_q = x * r[i];
-            delta = delta.max((new_q - q[i]).abs());
-            q[i] = new_q;
+        for (qi, &ri) in q.iter_mut().zip(&r) {
+            let new_q = x * ri;
+            delta = delta.max((new_q - *qi).abs());
+            *qi = new_q;
         }
         response = r_total;
         if delta < 1e-6 {
             break;
         }
     }
-    let stretch =
-        (0..k).map(|i| if q_demand[i] <= 0.0 { 1.0 } else { 1.0 + q[i] * (n - 1.0) / n }).collect();
+    let stretch = q
+        .iter()
+        .zip(&q_demand)
+        .map(|(&qi, &dem)| if dem <= 0.0 { 1.0 } else { 1.0 + qi * (n - 1.0) / n })
+        .collect();
     QueueSolution { throughput_tps: x * 1e6, response_us: response, stretch }
 }
 

@@ -296,8 +296,8 @@ impl Engine {
     /// engine's cumulative metrics stay monotone across restarts.
     fn fold_component_counters(&mut self) {
         let snapshot = self.component_counters();
-        for i in 0..snapshot.cumulative.len() {
-            self.base.cumulative[i] += snapshot.cumulative[i];
+        for (base, snap) in self.base.cumulative.iter_mut().zip(&snapshot.cumulative) {
+            *base += *snap;
         }
     }
 
@@ -335,8 +335,8 @@ impl Engine {
                 Ok(i) => i,
                 Err(i) => i - 1,
             };
-            let (offset, tid) = offsets[idx];
-            tables[tid].page_at(global - offset)
+            let &(offset, tid) = offsets.get(idx)?;
+            tables.get(tid)?.page_at(global - offset)
         });
         // Prewarm faults should not count as workload misses.
         // (They are folded out by taking a metrics snapshot before a run.)
@@ -459,8 +459,10 @@ impl Engine {
             .map(|d| {
                 let per_center = [d.cpu_us, d.read_io_us, d.write_io_us, d.log_io_us];
                 let mut lat = d.lock_wait_us;
-                for (i, (&dem, &c)) in per_center.iter().zip(&centers_servers).enumerate() {
-                    lat += dem * ((solution.stretch[i] - 1.0) / c + 1.0);
+                for ((&dem, &c), &st) in
+                    per_center.iter().zip(&centers_servers).zip(&solution.stretch)
+                {
+                    lat += dem * ((st - 1.0) / c + 1.0);
                 }
                 lat * admission
             })
@@ -482,10 +484,11 @@ impl Engine {
         self.last_clients = clients;
         self.last_effective = n_eff;
         self.last_window_lock_waits = self.locks.counters().0 - lock_waits_at_start;
-        self.last_queue_read =
-            solution.stretch[1] - 1.0;
-        self.last_queue_write = solution.stretch[2] - 1.0;
-        self.last_log_pending = solution.stretch[3] - 1.0;
+        // Queue depths per service center (missing centers mean no queue).
+        let stretch = |i: usize| solution.stretch.get(i).copied().unwrap_or(1.0);
+        self.last_queue_read = stretch(1) - 1.0;
+        self.last_queue_write = stretch(2) - 1.0;
+        self.last_log_pending = stretch(3) - 1.0;
 
         Ok(PerfMetrics::from_latencies(&mut latencies, params.offered_clients, aborts))
     }
@@ -607,7 +610,8 @@ impl Engine {
                 if self.lock_write(table, key, params, n_eff, d, held_locks) {
                     return;
                 }
-                let (page, created) = self.tables[table].insert(key);
+                let Some(t) = self.tables.get_mut(table) else { return };
+                let (page, created) = t.insert(key);
                 if created {
                     self.own.bump(C::PagesCreated, 1.0);
                 }
@@ -619,18 +623,17 @@ impl Engine {
             }
             Op::Delete { table, key } => {
                 self.own.bump(C::ComDelete, 1.0);
-                if self.tables.get(table).is_none() {
+                let Some(depth) = self.tables.get(table).map(|t| t.index_depth()) else {
                     return;
-                }
-                d.cpu_us += (self.tables[table].index_depth() as f64
-                    * params.cpu_per_index_level_us
+                };
+                d.cpu_us += (depth as f64 * params.cpu_per_index_level_us
                     + params.cpu_per_row_us)
                     * (1.0 + params.query_cache_write_penalty)
                     * params.swap_cpu_factor;
                 if self.lock_write(table, key, params, n_eff, d, held_locks) {
                     return;
                 }
-                if let Some(page) = self.tables[table].delete(key) {
+                if let Some(page) = self.tables.get_mut(table).and_then(|t| t.delete(key)) {
                     self.touch_page(page, true, params, d, 1.0);
                     let out = self.wal.append(96);
                     self.charge_log(out, params, d);
@@ -683,13 +686,19 @@ impl Engine {
             }
             Op::Join { outer, inner, outer_rows } => {
                 self.own.bump(C::ComSelect, 1.0);
-                if self.tables.get(outer).is_none() || self.tables.get(inner).is_none() {
+                if self.tables.get(outer).is_none() {
                     return;
                 }
+                let Some((inner_depth, inner_rows)) = self
+                    .tables
+                    .get(inner)
+                    .map(|t| (t.index_depth() as f64, t.row_count().max(1) as u64))
+                else {
+                    return;
+                };
                 let build_bytes = outer_rows * 110;
                 let join_buf = self.settings.join_buffer_bytes.max(1);
                 let passes = (build_bytes as f64 / join_buf as f64).ceil().max(1.0);
-                let inner_depth = self.tables[inner].index_depth() as f64;
                 d.cpu_us += outer_rows as f64
                     * (params.cpu_per_row_us * 0.5 + inner_depth * params.cpu_per_index_level_us * 0.4)
                     * passes.sqrt()
@@ -697,12 +706,11 @@ impl Engine {
                 self.own.bump(C::RowsRead, outer_rows as f64 * 2.0);
                 self.own.bump(C::HandlerReadRnd, outer_rows as f64);
                 // Probe a sample of inner pages; block-nested-loop re-probes.
-                let inner_rows = self.tables[inner].row_count().max(1) as u64;
                 let probes = (outer_rows.min(SCAN_SAMPLE_PAGES as u64)).max(1);
                 let scale = (outer_rows as f64 / probes as f64) * passes;
                 for i in 0..probes {
                     let key = (i * 2654435761) % inner_rows;
-                    if let Some(page) = self.tables[inner].lookup(key) {
+                    if let Some(page) = self.tables.get(inner).and_then(|t| t.lookup(key)) {
                         self.touch_page(page, false, params, d, 0.5 * scale);
                     }
                 }
@@ -884,8 +892,10 @@ impl Engine {
     /// The `SHOW STATUS` analogue: the full 63-metric internal table.
     pub fn metrics(&self) -> InternalMetrics {
         let mut m = self.component_counters();
-        for i in 0..m.cumulative.len() {
-            m.cumulative[i] += self.base.cumulative[i] + self.own.cumulative[i];
+        for ((c, b), o) in
+            m.cumulative.iter_mut().zip(&self.base.cumulative).zip(&self.own.cumulative)
+        {
+            *c += *b + *o;
         }
         m.set_state(S::BufferPoolPagesTotal, self.bp.capacity() as f64);
         m.set_state(S::BufferPoolPagesFree, self.bp.free_count() as f64);

@@ -95,11 +95,13 @@ impl EffectMultipliers {
     /// Multiplier for a component (≈1.0; <1 is cheaper).
     #[inline]
     pub fn get(&self, c: CostComponent) -> f64 {
+        // lint:allow(panic) reason=CostComponent discriminants are < COST_COMPONENT_COUNT by construction
         self.multipliers[c as usize]
     }
 
     fn apply(&mut self, c: CostComponent, m: f64) {
         // Clamp individual factors: no single marginal knob may dominate.
+        // lint:allow(panic) reason=CostComponent discriminants are < COST_COMPONENT_COUNT by construction
         self.multipliers[c as usize] *= m.clamp(0.5, 2.0);
     }
 }
@@ -121,7 +123,12 @@ pub fn compute_multipliers(registry: &KnobRegistry, config: &KnobConfig) -> Effe
                 out.apply(*component, 1.0 + magnitude * (s - s0));
             }
             EffectProfile::Interact { component, partner, magnitude } => {
-                let y = registry.defs()[*partner].normalize(config.get_index(*partner));
+                // A dangling partner index (impossible for catalogue-built
+                // profiles) contributes no interaction term.
+                let y = match registry.defs().get(*partner) {
+                    Some(p) => p.normalize(config.get_index(*partner)),
+                    None => x,
+                };
                 out.apply(*component, 1.0 + magnitude * (x - y) * (x - y));
             }
         }

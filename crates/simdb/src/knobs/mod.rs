@@ -213,7 +213,7 @@ impl KnobRegistry {
 
     /// Indices of tunable knobs, in catalogue order.
     pub fn tunable_indices(&self) -> Vec<usize> {
-        (0..self.defs.len()).filter(|&i| !self.defs[i].blacklisted).collect()
+        self.defs.iter().enumerate().filter(|(_, d)| !d.blacklisted).map(|(i, _)| i).collect()
     }
 
     /// Looks up a knob index by name.
@@ -260,11 +260,16 @@ impl KnobConfig {
 
     /// Reads a knob by name.
     pub fn get(&self, name: &str) -> Option<KnobValue> {
-        self.registry.index_of(name).map(|i| self.values[i])
+        self.registry.index_of(name).and_then(|i| self.values.get(i).copied())
     }
 
     /// Reads a knob by index.
+    ///
+    /// # Panics
+    /// Panics when `index` is outside the catalogue; callers iterate the
+    /// registry's own indices.
     pub fn get_index(&self, index: usize) -> KnobValue {
+        // lint:allow(panic) reason=callers iterate the registry's own catalogue indices
         self.values[index]
     }
 
@@ -292,10 +297,16 @@ impl KnobConfig {
     }
 
     /// Normalizes the knobs at `indices` into a `[0, 1]` action vector.
+    /// Out-of-catalogue indices (impossible for `ActionSpace`-derived
+    /// index sets) normalize to the midpoint rather than panicking, so
+    /// the action vector keeps its width.
     pub fn normalize_subset(&self, indices: &[usize]) -> Vec<f64> {
         indices
             .iter()
-            .map(|&i| self.registry.defs()[i].normalize(self.values[i]))
+            .map(|&i| match (self.registry.defs().get(i), self.values.get(i)) {
+                (Some(def), Some(v)) => def.normalize(*v),
+                _ => 0.5,
+            })
             .collect()
     }
 
@@ -312,9 +323,9 @@ impl KnobConfig {
         self.registry
             .defs()
             .iter()
-            .enumerate()
-            .filter(|(i, _)| self.values[*i] != other.values[*i])
-            .map(|(i, d)| (d.name.as_str(), self.values[i], other.values[i]))
+            .zip(self.values.iter().zip(&other.values))
+            .filter(|(_, (a, b))| a != b)
+            .map(|(d, (a, b))| (d.name.as_str(), *a, *b))
             .collect()
     }
 
@@ -325,9 +336,11 @@ impl KnobConfig {
     pub fn apply_normalized(&mut self, indices: &[usize], action: &[f64]) {
         assert_eq!(indices.len(), action.len(), "action width mismatch");
         for (&i, &x) in indices.iter().zip(action) {
-            let def = &self.registry.defs()[i];
+            let Some(def) = self.registry.defs().get(i) else { continue };
             if !def.blacklisted {
-                self.values[i] = def.denormalize(x);
+                if let Some(v) = self.values.get_mut(i) {
+                    *v = def.denormalize(x);
+                }
             }
         }
     }

@@ -46,9 +46,10 @@ impl PerfMetrics {
         let n = latencies_us.len();
         let sum: f64 = latencies_us.iter().sum();
         let avg = sum / n as f64;
-        latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("latency must not be NaN"));
-        let p99 = latencies_us[percentile_index(n, 0.99)];
-        let p95 = latencies_us[percentile_index(n, 0.95)];
+        latencies_us.sort_by(f64::total_cmp);
+        let nth = |p: f64| latencies_us.get(percentile_index(n, p)).copied().unwrap_or(avg);
+        let p99 = nth(0.99);
+        let p95 = nth(0.95);
         let throughput = f64::from(clients) / (avg / 1e6).max(1e-12);
         Self {
             throughput_tps: throughput,

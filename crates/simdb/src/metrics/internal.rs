@@ -287,18 +287,21 @@ impl InternalMetrics {
     /// Reads a gauge.
     #[inline]
     pub fn get_state(&self, m: StateMetric) -> f64 {
+        // lint:allow(panic) reason=StateMetric discriminants are < STATE_METRIC_COUNT by construction
         self.state[m as usize]
     }
 
     /// Sets a gauge.
     #[inline]
     pub fn set_state(&mut self, m: StateMetric, v: f64) {
+        // lint:allow(panic) reason=StateMetric discriminants are < STATE_METRIC_COUNT by construction
         self.state[m as usize] = v;
     }
 
     /// Reads a counter.
     #[inline]
     pub fn get_cumulative(&self, m: CumulativeMetric) -> f64 {
+        // lint:allow(panic) reason=CumulativeMetric discriminants are < CUMULATIVE_METRIC_COUNT by construction
         self.cumulative[m as usize]
     }
 
@@ -306,6 +309,7 @@ impl InternalMetrics {
     #[inline]
     pub fn bump(&mut self, m: CumulativeMetric, by: f64) {
         debug_assert!(by >= 0.0, "cumulative metrics are monotone, got -{by} for {m:?}");
+        // lint:allow(panic) reason=CumulativeMetric discriminants are < CUMULATIVE_METRIC_COUNT by construction
         self.cumulative[m as usize] += by;
     }
 
@@ -314,10 +318,12 @@ impl InternalMetrics {
     /// cumulative values differenced.
     pub fn delta_since(&self, earlier: &InternalMetrics) -> MetricsDelta {
         let mut d = MetricsDelta::default();
-        d.values[..STATE_METRIC_COUNT].copy_from_slice(&self.state);
-        for i in 0..CUMULATIVE_METRIC_COUNT {
-            d.values[STATE_METRIC_COUNT + i] =
-                (self.cumulative[i] - earlier.cumulative[i]).max(0.0);
+        let (states, cums) = d.values.split_at_mut(STATE_METRIC_COUNT);
+        states.copy_from_slice(&self.state);
+        for (dv, (now, then)) in
+            cums.iter_mut().zip(self.cumulative.iter().zip(&earlier.cumulative))
+        {
+            *dv = (now - then).max(0.0);
         }
         d
     }

@@ -63,8 +63,10 @@ impl BPlusTree {
         let mut d = 1;
         let mut n = self.root;
         loop {
+            // lint:allow(panic) reason=node ids are arena indices maintained by insert/split
             match &self.nodes[n] {
                 Node::Internal { children, .. } => {
+                    // lint:allow(panic) reason=internal nodes always have at least one child
                     n = children[0];
                     d += 1;
                 }
@@ -124,6 +126,7 @@ impl BPlusTree {
         let mut out = Vec::with_capacity(limit.min(1024));
         let mut node = self.find_leaf(start);
         loop {
+            // lint:allow(panic) reason=node ids are arena indices maintained by insert/split
             match &self.nodes[node] {
                 Node::Leaf { keys, values, next } => {
                     let begin = keys.partition_point(|&k| k < start);
@@ -131,6 +134,7 @@ impl BPlusTree {
                         if out.len() >= limit {
                             return out;
                         }
+                        // lint:allow(panic) reason=i < keys.len() by the loop bound and values parallels keys
                         out.push((keys[i], values[i]));
                     }
                     match next {
@@ -151,6 +155,7 @@ impl BPlusTree {
         let mut node = self.find_leaf(start);
         loop {
             touched += 1;
+            // lint:allow(panic) reason=node ids are arena indices maintained by insert/split
             match &self.nodes[node] {
                 Node::Leaf { keys, next, .. } => {
                     let begin = keys.partition_point(|&k| k < start);
@@ -172,9 +177,11 @@ impl BPlusTree {
     fn find_leaf(&self, key: u64) -> usize {
         let mut n = self.root;
         loop {
+            // lint:allow(panic) reason=node ids are arena indices maintained by insert/split
             match &self.nodes[n] {
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|&k| k <= key);
+                    // lint:allow(panic) reason=partition_point <= keys.len() and children.len() == keys.len() + 1
                     n = children[idx];
                 }
                 Node::Leaf { .. } => return n,

@@ -124,9 +124,13 @@ impl BufferPool {
         }
         if let Some(&idx) = self.table.get(&page) {
             self.touch(idx);
-            if write && !self.frames[idx as usize].dirty {
-                self.frames[idx as usize].dirty = true;
-                self.dirty += 1;
+            if write {
+                if let Some(f) = self.frames.get_mut(idx as usize) {
+                    if !f.dirty {
+                        f.dirty = true;
+                        self.dirty += 1;
+                    }
+                }
             }
             return AccessOutcome { hit: true, evicted_dirty: false };
         }
@@ -143,7 +147,7 @@ impl BufferPool {
         let mut flushed = 0;
         let mut cursor = self.tail;
         while cursor != NIL && flushed < max_pages {
-            let f = &mut self.frames[cursor as usize];
+            let Some(f) = self.frames.get_mut(cursor as usize) else { break };
             if f.dirty {
                 f.dirty = false;
                 self.dirty -= 1;
@@ -199,6 +203,7 @@ impl BufferPool {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.unlink(victim);
+            // lint:allow(panic) reason=frame ids are intrusive-list indices bounded by capacity
             let f = self.frames[victim as usize];
             self.table.remove(&f.page);
             if f.dirty {
@@ -213,6 +218,7 @@ impl BufferPool {
             self.frames.push(Frame { page, dirty: false, prev: NIL, next: NIL });
             (self.frames.len() - 1) as u32
         };
+        // lint:allow(panic) reason=frame ids are intrusive-list indices bounded by capacity
         self.frames[idx as usize] = Frame { page, dirty, prev: NIL, next: NIL };
         if dirty {
             self.dirty += 1;
@@ -232,28 +238,35 @@ impl BufferPool {
 
     fn unlink(&mut self, idx: u32) {
         let (prev, next) = {
+            // lint:allow(panic) reason=frame ids are intrusive-list indices bounded by capacity
             let f = &self.frames[idx as usize];
             (f.prev, f.next)
         };
         if prev != NIL {
+            // lint:allow(panic) reason=frame ids are intrusive-list indices bounded by capacity
             self.frames[prev as usize].next = next;
         } else {
             self.head = next;
         }
         if next != NIL {
+            // lint:allow(panic) reason=frame ids are intrusive-list indices bounded by capacity
             self.frames[next as usize].prev = prev;
         } else {
             self.tail = prev;
         }
+        // lint:allow(panic) reason=frame ids are intrusive-list indices bounded by capacity
         let f = &mut self.frames[idx as usize];
         f.prev = NIL;
         f.next = NIL;
     }
 
     fn push_front(&mut self, idx: u32) {
+        // lint:allow(panic) reason=frame ids are intrusive-list indices bounded by capacity
         self.frames[idx as usize].prev = NIL;
+        // lint:allow(panic) reason=frame ids are intrusive-list indices bounded by capacity
         self.frames[idx as usize].next = self.head;
         if self.head != NIL {
+            // lint:allow(panic) reason=frame ids are intrusive-list indices bounded by capacity
             self.frames[self.head as usize].prev = idx;
         }
         self.head = idx;

@@ -33,6 +33,7 @@ impl Init {
         let data = match self {
             Init::Uniform(a) => (0..n).map(|_| rng.gen_range(-a..=a)).collect(),
             Init::Normal(sigma) => {
+                // lint:allow(panic) reason=sigma is a finite compile-time scheme constant
                 let dist = Normal::new(0.0, f64::from(sigma)).expect("valid sigma");
                 (0..n).map(|_| dist.sample(rng) as f32).collect()
             }
@@ -42,6 +43,7 @@ impl Init {
             }
             Init::HeNormal => {
                 let sigma = (2.0 / rows.max(1) as f32).sqrt();
+                // lint:allow(panic) reason=sigma derived from max(1) fan-in is finite and positive
                 let dist = Normal::new(0.0, f64::from(sigma)).expect("valid sigma");
                 (0..n).map(|_| dist.sample(rng) as f32).collect()
             }

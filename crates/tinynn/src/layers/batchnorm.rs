@@ -97,6 +97,7 @@ impl Layer for BatchNorm {
             let (mean_row, std_row) = (self.mean.row(0), self.batch_std.row(0));
             // Split the borrow: rows of x_hat vs the 1-row statistics.
             let x_row =
+                // lint:allow(panic) reason=the row range derives from x_hat's own dims after copy_from
                 &mut self.x_hat.as_mut_slice()[r * input.cols()..(r + 1) * input.cols()];
             for (x, (&m, &s)) in x_row.iter_mut().zip(mean_row.iter().zip(std_row)) {
                 *x = (*x - m) / s;
@@ -199,9 +200,13 @@ impl Layer for BatchNorm {
         for m in state {
             assert_eq!(m.cols(), self.dim(), "batchnorm state width mismatch");
         }
+        // lint:allow(panic) reason=state length asserted to 4 above
         self.gamma.value = state[0].clone();
+        // lint:allow(panic) reason=state length asserted to 4 above
         self.beta.value = state[1].clone();
+        // lint:allow(panic) reason=state length asserted to 4 above
         self.running_mean = state[2].clone();
+        // lint:allow(panic) reason=state length asserted to 4 above
         self.running_var = state[3].clone();
     }
 }

@@ -87,12 +87,16 @@ impl Layer for Dense {
     fn load_state(&mut self, state: &[Matrix]) {
         assert_eq!(state.len(), 2, "dense expects [weight, bias]");
         assert_eq!(
+            // lint:allow(panic) reason=state length asserted to 2 on the line above
             (state[0].rows(), state[0].cols()),
             (self.weight.value.rows(), self.weight.value.cols()),
             "dense weight shape mismatch"
         );
+        // lint:allow(panic) reason=state length asserted to 2 above
         assert_eq!(state[1].cols(), self.bias.value.cols(), "dense bias shape mismatch");
+        // lint:allow(panic) reason=state length asserted to 2 above
         self.weight.value = state[0].clone();
+        // lint:allow(panic) reason=state length asserted to 2 above
         self.bias.value = state[1].clone();
     }
 }

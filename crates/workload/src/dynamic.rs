@@ -295,6 +295,7 @@ impl Workload for DynamicWorkload {
     }
 
     fn default_clients(&self) -> u32 {
+        // lint:allow(panic) reason=new() builds one generator per kind and kinds() is never empty
         self.generators[0].1.default_clients()
     }
 

@@ -91,6 +91,7 @@ impl SysbenchWorkload {
     }
 
     fn random_table(&self, rng: &mut StdRng) -> TableId {
+        // lint:allow(panic) reason=the index is drawn from 0..tables.len()
         self.tables[rng.gen_range(0..self.tables.len())]
     }
 

@@ -55,6 +55,7 @@ impl TpccWorkload {
     }
 
     fn t(&self) -> Tables {
+        // lint:allow(panic) reason=the Workload contract runs setup() before any window()
         self.tables.expect("setup() must run before window()")
     }
 

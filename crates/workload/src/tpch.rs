@@ -49,6 +49,7 @@ impl TpchWorkload {
     }
 
     fn t(&self) -> Tables {
+        // lint:allow(panic) reason=the Workload contract runs setup() before any window()
         self.tables.expect("setup() must run before window()")
     }
 

@@ -103,6 +103,7 @@ impl Workload for YcsbWorkload {
     }
 
     fn window(&mut self, n: usize, rng: &mut StdRng) -> Vec<Txn> {
+        // lint:allow(panic) reason=the Workload contract runs setup() before any window()
         let table = self.table.expect("setup() must run before window()");
         (0..n)
             .map(|_| {

@@ -79,7 +79,7 @@ build analyzer crates/analyzer/src/lib.rs
 run_tests analyzer crates/analyzer/src/lib.rs ""
 rustc $EDITION --crate-name tunelint crates/analyzer/src/bin/tunelint.rs \
     -L "$OUT" --extern analyzer="$OUT/libanalyzer.rlib" -o "$OUT/tunelint"
-"$OUT/tunelint" --root .
+"$OUT/tunelint" --root . --graph-stats
 
 echo "== build cdbtune binary =="
 rustc $EDITION --crate-name cdbtune_bin crates/core/src/bin/cdbtune.rs \

@@ -16,12 +16,16 @@ cargo clippy --all-targets -- -D warnings
 # shift, zero false positives on the static control trace).
 cargo test -q --test safety_e2e
 
-# Static-analysis gate: tunelint walks every crates/**/*.rs with the six
+# Static-analysis gate: tunelint walks every crates/**/*.rs with the seven
 # project lints (panic-safety, determinism, lock-order, unsafe-audit,
-# telemetry-schema, reactor-blocking) and fails on any deny finding not covered by the
-# committed ratchet baseline. Regenerate with `tunelint --fix-baseline`
-# after deliberately burning down (or accepting) findings.
-cargo run --release -p analyzer --bin tunelint -- --root .
+# telemetry-schema, reactor-blocking, channel-deadlock) — interprocedural
+# since PR 9 (call graph + fixpoint dataflow, DESIGN.md §15) — and fails on
+# any deny finding not covered by the committed ratchet baseline (stale
+# entries also fail). --graph-stats prints call-graph coverage
+# (nodes/edges/unresolved) so resolution regressions show up in CI logs.
+# Regenerate the baseline with `tunelint --fix-baseline` after deliberately
+# burning down (or accepting) findings.
+cargo run --release -p analyzer --bin tunelint -- --root . --graph-stats
 
 # Perf-regression gate (DESIGN.md §11): re-runs the microbench suite and
 # compares against the committed BENCH_PERF.json. The machine-independent
