@@ -11,7 +11,7 @@
 //! All commands operate on a simulated instance (`--flavor`, `--ram-gb`,
 //! `--disk-gb`) loaded with the chosen workload at `--scale`.
 
-use cdbtune::cli::{make_env, shared_flags_help, Args};
+use cdbtune::cli::{configure_threads, make_env, shared_flags_help, Args};
 use cdbtune::{
     resume_from_checkpoint, tune_online, train_offline, OnlineConfig, PerConfig, SafetyConfig,
     TrainedModel, TrainerConfig, TrainingCheckpoint,
@@ -234,6 +234,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = configure_threads(&args) {
+        eprintln!("error: {e}\n\n{}", usage());
+        return ExitCode::FAILURE;
+    }
     let result = match command {
         "train" => cmd_train(&args),
         "tune" => cmd_tune(&args),

@@ -164,6 +164,25 @@ impl EnvSpec {
     }
 }
 
+/// Applies `--threads` to the process-wide [`tinynn::pool`] width and
+/// returns the effective count.
+///
+/// Resolution order: `--threads N` > the `CDBTUNE_THREADS` environment
+/// variable > `std::thread::available_parallelism()`. The width is a
+/// performance knob only — the pool's sharded kernels are bit-identical
+/// at any thread count — so both binaries can accept it without touching
+/// reproducibility.
+pub fn configure_threads(args: &Args) -> Result<usize, String> {
+    if let Some(raw) = args.raw("threads") {
+        let n: usize = raw.parse().map_err(|e| format!("--threads: {e}"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        tinynn::pool::set_threads(n);
+    }
+    Ok(tinynn::pool::threads())
+}
+
 /// Builds a [`Telemetry`] handle from `--trace-out`/`--trace-level`.
 /// Returns the null handle when tracing is off; `--trace-level` without
 /// `--trace-out` is an error.
@@ -214,6 +233,9 @@ pub fn shared_flags_help() -> &'static str {
   --faults    inject infrastructure faults, e.g.
               'restart=0.2,hang=0.05,crash=0.02,straggler=0.1x4,
                fsync=0.1x8,dropout=0.05,seed=7[,from=N,until=N]'
+  --threads   worker-pool width for kernels/collection (default
+              CDBTUNE_THREADS, else available_parallelism; results are
+              bit-identical at any width)
   --trace-out    write structured JSONL trace events to this file
   --trace-level  off | summary | step | debug       (default step, with --trace-out)"
 }
@@ -307,8 +329,24 @@ mod tests {
     #[test]
     fn help_text_documents_the_pr2_flags() {
         let help = shared_flags_help();
-        for flag in ["--trace-out", "--trace-level", "--faults"] {
+        for flag in ["--trace-out", "--trace-level", "--faults", "--threads"] {
             assert!(help.contains(flag), "shared help missing {flag}");
         }
+    }
+
+    #[test]
+    fn threads_flag_validates_and_sets_the_pool_width() {
+        let bad = args(&[("threads", "0")]);
+        assert!(configure_threads(&bad).unwrap_err().contains("--threads"));
+        let worse = args(&[("threads", "many")]);
+        assert!(configure_threads(&worse).unwrap_err().contains("--threads"));
+        // Setting the width is safe to exercise concurrently with the other
+        // tests: the sharded kernels are bit-identical at any width, so a
+        // global width flip cannot perturb their numeric assertions.
+        let three = args(&[("threads", "3")]);
+        assert_eq!(configure_threads(&three).unwrap(), 3);
+        let absent = args(&[]);
+        assert!(configure_threads(&absent).unwrap() >= 1);
+        tinynn::pool::set_threads(1);
     }
 }

@@ -5,6 +5,11 @@
 //! with a seeded random policy; the collected transitions seed the memory
 //! pool before DDPG training starts (the cold-start data generation of
 //! §2.1.1, spread across cores instead of servers).
+//!
+//! Collection rounds run on the persistent [`tinynn::pool`] workers (one
+//! chunk per collection worker) instead of spawning a thread per worker per
+//! round; seed derivation, output ordering, and telemetry are unchanged by
+//! the port, and the effective concurrency is `min(workers, --threads)`.
 
 use crate::env::DbEnv;
 use crate::telemetry::{Telemetry, TraceEvent};
@@ -59,51 +64,48 @@ where
     F: Fn(usize) -> DbEnv + Sync,
 {
     assert!(workers > 0, "need at least one worker");
-    let mut all = Vec::with_capacity(workers * steps_per_worker);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let make_env = &make_env;
-                scope.spawn(move |_| {
-                    let mut env = make_env(w);
-                    let mut rng = StdRng::seed_from_u64(worker_seed(seed, w));
-                    let dim = env.space().dim();
-                    let mut out = Vec::with_capacity(steps_per_worker);
-                    let mut crashes = 0u64;
-                    let mut state = env.reset_episode(env.engine().registry().default_config());
-                    for _ in 0..steps_per_worker {
-                        let action: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
-                        let step = env.step_action(&action);
-                        crashes += u64::from(step.crashed);
-                        out.push(Transition {
-                            state: state.clone(),
-                            action,
-                            reward: step.reward as f32,
-                            next_state: step.state.clone(),
-                            done: step.done,
-                        });
-                        state = if step.done {
-                            env.reset_episode(env.engine().registry().default_config())
-                        } else {
-                            step.state
-                        };
-                    }
-                    (out, crashes)
-                })
-            })
-            .collect();
-        for (w, h) in handles.into_iter().enumerate() {
-            let (out, crashes) = h.join().expect("collector worker must not panic");
-            telemetry.emit(&TraceEvent::CollectWorker {
-                worker: w as u64,
-                derived_seed: worker_seed(seed, w),
-                steps: out.len() as u64,
-                crashes,
+    // One result slot per collection worker, filled on the persistent pool
+    // (one chunk per worker). Results land by index, and telemetry is
+    // emitted sequentially afterwards, so ordering is identical to the old
+    // spawn-per-round join loop regardless of pool width.
+    let mut slots: Vec<Option<(Vec<Transition>, u64)>> = (0..workers).map(|_| None).collect();
+    tinynn::pool::for_each_mut(&mut slots, |w, slot| {
+        let mut env = make_env(w);
+        let mut rng = StdRng::seed_from_u64(worker_seed(seed, w));
+        let dim = env.space().dim();
+        let mut out = Vec::with_capacity(steps_per_worker);
+        let mut crashes = 0u64;
+        let mut state = env.reset_episode(env.engine().registry().default_config());
+        for _ in 0..steps_per_worker {
+            let action: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+            let step = env.step_action(&action);
+            crashes += u64::from(step.crashed);
+            out.push(Transition {
+                state: state.clone(),
+                action,
+                reward: step.reward as f32,
+                next_state: step.state.clone(),
+                done: step.done,
             });
-            all.extend(out);
+            state = if step.done {
+                env.reset_episode(env.engine().registry().default_config())
+            } else {
+                step.state
+            };
         }
-    })
-    .expect("crossbeam scope");
+        *slot = Some((out, crashes));
+    });
+    let mut all = Vec::with_capacity(workers * steps_per_worker);
+    for (w, slot) in slots.into_iter().enumerate() {
+        let (out, crashes) = slot.expect("collector worker must fill its slot");
+        telemetry.emit(&TraceEvent::CollectWorker {
+            worker: w as u64,
+            derived_seed: worker_seed(seed, w),
+            steps: out.len() as u64,
+            crashes,
+        });
+        all.extend(out);
+    }
     all
 }
 

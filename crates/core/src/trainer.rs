@@ -1044,6 +1044,55 @@ mod tests {
     }
 
     #[test]
+    fn training_run_is_bit_identical_across_pool_widths() {
+        // End-to-end determinism gate for the worker pool: a full seeded
+        // training run — environment stepping, replay sampling, sharded
+        // forward/backward/Adam/polyak, actor evals — must produce an
+        // identical TrainingReport and model snapshot at pool width 1 and
+        // width 4. The batch of 64 pushes the 64x63x128 matmuls past the
+        // sharding thresholds, so width 4 genuinely exercises the
+        // parallel kernel paths rather than falling back to serial.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let seed_pool: Vec<Transition> = {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+            (0..96)
+                .map(|i| Transition {
+                    state: (0..simdb::TOTAL_METRIC_COUNT).map(|_| rng.gen()).collect(),
+                    action: (0..6).map(|_| rng.gen()).collect(),
+                    reward: rng.gen::<f32>(),
+                    next_state: (0..simdb::TOTAL_METRIC_COUNT).map(|_| rng.gen()).collect(),
+                    done: i % 9 == 8,
+                })
+                .collect()
+        };
+        let run = |width: usize| {
+            tinynn::pool::set_threads(width);
+            let mut env = tiny_env();
+            let cfg = TrainerConfig {
+                episodes: 2,
+                steps_per_episode: 5,
+                batch_size: 64,
+                random_warmup_steps: 4,
+                ..TrainerConfig::smoke()
+            };
+            let (model, mut report) = train_offline(&mut env, &cfg, seed_pool.clone());
+            tinynn::pool::set_threads(1);
+            report.wall_seconds = 0.0; // the one field that may legitimately differ
+            (model, report)
+        };
+        let (m1, r1) = run(1);
+        let (m4, r4) = run(4);
+        assert_eq!(m1.snapshot, m4.snapshot, "model weights must be bit-identical");
+        assert_eq!(m1.action_indices, m4.action_indices);
+        assert_eq!(
+            format!("{r1:?}"),
+            format!("{r4:?}"),
+            "training reports must match field-for-field at widths 1 and 4"
+        );
+    }
+
+    #[test]
     fn cold_model_matches_the_requested_subspace() {
         let env = tiny_env();
         let model =

@@ -621,6 +621,52 @@ mod tests {
     }
 
     #[test]
+    fn train_step_weights_bit_identical_across_thread_counts() {
+        // The pool shards kernels along range-invariant axes (DESIGN.md
+        // §16), so training at any width must produce identical weights.
+        // Paper-sized layers push every product past the parallel dispatch
+        // thresholds, making this a real multicore run where cores exist.
+        let cfg = DdpgConfig::paper(63, 16);
+        let mut packed = crate::batch::TransitionBatch::new();
+        packed.begin(64, 63, 16);
+        let mut rng = StdRng::seed_from_u64(0x517);
+        let transitions: Vec<Transition> = (0..64)
+            .map(|_| Transition {
+                state: (0..63).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                action: (0..16).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                reward: rng.gen_range(-1.0f32..1.0),
+                next_state: (0..63).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                done: false,
+            })
+            .collect();
+        for t in &transitions {
+            packed.push(t);
+        }
+        let run = |width: usize| {
+            tinynn::pool::set_threads(width);
+            let mut agent = Ddpg::new(cfg.clone());
+            for _ in 0..3 {
+                let _ = agent.train_step_batch(&packed, None, None);
+            }
+            let probe: Vec<f32> = (0..63).map(|i| (i as f32) / 63.0).collect();
+            let action = agent.act(&probe);
+            tinynn::pool::set_threads(1);
+            (agent.snapshot(), action)
+        };
+        let (m1, a1) = run(1);
+        let (m2, a2) = run(2);
+        let (m4, a4) = run(4);
+        assert!(m1 == m2, "weights diverged between 1 and 2 threads");
+        assert!(m1 == m4, "weights diverged between 1 and 4 threads");
+        for (x, y) in a1.iter().zip(&a2) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a1.iter().zip(&a4) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
     fn importance_weights_scale_gradients() {
         let mut a1 = Ddpg::new(tiny_cfg());
         let mut a2 = Ddpg::new(tiny_cfg());

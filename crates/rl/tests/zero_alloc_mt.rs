@@ -1,0 +1,106 @@
+//! Proves the steady-state training loop stays allocation-free when the
+//! sharded kernels run on the persistent worker pool (DESIGN.md §11, §16).
+//!
+//! Same counting `#[global_allocator]` gate as `zero_alloc.rs`, but with
+//! `tinynn::pool::set_threads(4)` so the 64x63 batch matmuls, Adam
+//! updates, and polyak blends dispatch across pool workers. The pool's
+//! steady state is statics + a stack-borrowed closure pointer + atomics:
+//! worker threads, the slot mutex, and thread-name strings are all
+//! allocated during warmup, so the armed window must still count **zero**
+//! heap allocations — from the caller *and* from every pool worker (the
+//! counter is global, so worker-side allocations are caught too). This
+//! file holds exactly one test so no concurrent test-harness activity can
+//! allocate inside the measured window.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rl::{Ddpg, DdpgConfig, ReplayBuffer, Transition, TransitionBatch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: delegates to the system allocator with the same layout.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: delegates to the system allocator with the same layout.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: forwards the caller's contract to the system allocator.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // Frees are not counted: dropping warmup temporaries is fine.
+        // SAFETY: delegates to the system allocator with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn synthetic_replay(state_dim: usize, action_dim: usize, n: usize) -> ReplayBuffer {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut buf = ReplayBuffer::new(n);
+    for i in 0..n {
+        buf.push(Transition {
+            state: (0..state_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            action: (0..action_dim).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            reward: rng.gen_range(-1.0..1.0),
+            next_state: (0..state_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            done: i % 17 == 16,
+        })
+    }
+    buf
+}
+
+#[test]
+fn steady_state_multithreaded_train_step_performs_zero_allocations() {
+    // Four-wide pool over the paper's shapes: 63 metrics, 64 knobs,
+    // minibatch 64 — large enough that matmul/Adam/polyak all shard.
+    tinynn::pool::set_threads(4);
+    let cfg = DdpgConfig { batch_size: 64, seed: 3, ..DdpgConfig::paper(63, 64) };
+    let batch_size = cfg.batch_size;
+    let replay = synthetic_replay(cfg.state_dim, cfg.action_dim, 512);
+    let mut agent = Ddpg::new(cfg);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut batch = TransitionBatch::new();
+
+    // Warmup: grows every reusable buffer to steady-state size AND makes
+    // the pool spawn its persistent workers (thread stacks, names, the
+    // lazily-initialized shared slot) before the counter is armed.
+    for _ in 0..5 {
+        replay.sample_into(batch_size, &mut rng, &mut batch);
+        let _ = agent.train_step_batch(&batch, None, None);
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..20 {
+        replay.sample_into(batch_size, &mut rng, &mut batch);
+        let _ = agent.train_step_batch(&batch, None, None);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(n, 0, "steady-state pooled training performed {n} heap allocations");
+}

@@ -11,7 +11,7 @@
 //! compute pool, per-tenant quotas — built for 10k concurrent sessions)
 //! and `--runtime=threads` (the original blocking pool).
 
-use cdbtune::cli::{shared_flags_help, telemetry_from_args, Args};
+use cdbtune::cli::{configure_threads, shared_flags_help, telemetry_from_args, Args};
 use service::reactor::poll::raise_nofile_limit;
 use service::{spawn_runtime, ReactorConfig, RuntimeConfig, RuntimeKind, ServiceConfig};
 use std::io::Write;
@@ -99,6 +99,10 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let args = Args::parse(&argv)?;
+    // Resolve the kernel/collection pool width before any session spawns:
+    // session training and the shared batched-inference tier both ride the
+    // sharded tinynn kernels.
+    configure_threads(&args)?;
     let kind: RuntimeKind = args.get("runtime", "events".to_string())?.parse()?;
     let cfg = RuntimeConfig {
         service: ServiceConfig {

@@ -16,7 +16,9 @@
 //!   and Polyak soft updates for DDPG target networks,
 //! * [`optim`] — SGD (± momentum) and Adam,
 //! * [`loss`] — MSE and Huber,
-//! * [`linalg`] — Cholesky, triangular solves, SPD solve with jitter.
+//! * [`linalg`] — Cholesky, triangular solves, SPD solve with jitter,
+//! * [`pool`] — a persistent worker pool giving the kernels deterministic
+//!   (bit-identical at any thread count) intra-op parallelism.
 //!
 //! # Example
 //!
@@ -54,6 +56,7 @@ pub mod loss;
 pub mod matrix;
 pub mod net;
 pub mod optim;
+pub mod pool;
 
 pub use init::{Init, PAPER_PARAM_INIT, PAPER_WEIGHT_INIT};
 pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};

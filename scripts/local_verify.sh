@@ -191,6 +191,13 @@ rustc $EDITION -O --test --crate-name zero_alloc crates/rl/tests/zero_alloc.rs \
     -o "$OPT/zero_alloc" -Adead_code
 "$OPT/zero_alloc" --test-threads 1
 
+echo "== zero-allocation steady-state gate (4-wide worker pool) =="
+rustc $EDITION -O --test --crate-name zero_alloc_mt crates/rl/tests/zero_alloc_mt.rs \
+    -L "$OUT" -L "$OPT" "${EXT_BASE[@]}" \
+    --extern rl="$OPT/librl.rlib" --extern tinynn="$OPT/libtinynn.rlib" \
+    -o "$OPT/zero_alloc_mt" -Adead_code
+"$OPT/zero_alloc_mt" --test-threads 1
+
 echo "== trace schema smoke (binary -> summarizer) =="
 rustc $EDITION --crate-name trace_summary crates/bench/src/bin/trace_summary.rs \
     -L "$OUT" "${EXT_BASE[@]}" \
